@@ -1,0 +1,61 @@
+// Ablation (extension): disk scrubbing — the trade between latent-error
+// exposure and rebuild bandwidth.
+//
+// Short scrub periods shrink the h terms (fewer latent sectors survive to
+// ambush a critical rebuild) but steal drive bandwidth from rebuilds,
+// inflating the failure-coincidence terms. The sweep exposes the optimal
+// period per configuration.
+#include "bench_common.hpp"
+
+#include "core/scrubbing.hpp"
+
+int main() {
+  using namespace nsrel;
+  bench::preamble("Ablation", "scrub period vs reliability");
+
+  const core::SystemConfig baseline = core::SystemConfig::baseline();
+  const auto configurations = core::sensitivity_configurations();
+
+  std::vector<std::string> headers{"scrub period", "eff. HER",
+                                   "rebuild budget"};
+  for (const auto& c : configurations) headers.push_back(core::name(c));
+  report::Table table(std::move(headers));
+
+  const std::vector<double> periods{30,   60,   120,  240,  480,
+                                    720,  1440, 2920, 8766};
+  for (const double period : periods) {
+    core::ScrubbingParams sp;
+    sp.period = Hours(period);
+    const core::ScrubbingModel model(sp);
+    const auto effect = model.effect(baseline);
+    const core::SystemConfig scrubbed = model.apply(baseline);
+    const core::Analyzer analyzer(scrubbed);
+    std::vector<std::string> row{
+        fixed(period, 0) + " h", sci(effect.effective_her_per_byte),
+        fixed(100.0 * effect.rebuild_bandwidth_fraction, 2) + "%"};
+    for (const auto& c : configurations) {
+      const double events = analyzer.events_per_pb_year(c);
+      row.push_back(sci(events) +
+                    (bench::kTarget.met_by(events) ? " *" : ""));
+    }
+    table.add_row(std::move(row));
+  }
+  // No scrubbing at all = the paper's baseline.
+  {
+    const core::Analyzer analyzer(baseline);
+    std::vector<std::string> row{"none (paper)",
+                                 sci(baseline.drive.her_per_byte),
+                                 fixed(100.0 * baseline.rebuild_bandwidth_fraction, 2) + "%"};
+    for (const auto& c : configurations) {
+      const double events = analyzer.events_per_pb_year(c);
+      row.push_back(sci(events) +
+                    (bench::kTarget.met_by(events) ? " *" : ""));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  std::cout << "(* = meets target; scrub pass ~2.6 h at 1 MiB commands.\n"
+            << " The optimum sits where marginal latent-error gains equal\n"
+            << " marginal rebuild-slowdown losses — around 1-5 days here.)\n";
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Ablation (modeling assumption): how much does the exponential-lifetime
+// assumption behind every Markov model in the paper matter?
+//
+// The non-Markovian simulator holds MTTF fixed and varies the Weibull
+// hazard shape: < 1 is infant mortality (clustered early failures —
+// exponential is OPTIMISTIC), > 1 is wearout (renewed components rarely
+// fail right away — exponential is CONSERVATIVE).
+#include "bench_common.hpp"
+
+#include "models/no_internal_raid.hpp"
+#include "sim/weibull_simulator.hpp"
+
+int main() {
+  using namespace nsrel;
+  bench::preamble("Ablation", "Weibull lifetimes vs the exponential assumption");
+
+  models::NoInternalRaidParams p;
+  p.node_set_size = 8;
+  p.redundancy_set_size = 4;
+  p.fault_tolerance = 2;
+  p.drives_per_node = 3;
+  p.node_failure = PerHour(0.002);
+  p.drive_failure = PerHour(0.003);
+  p.node_rebuild = PerHour(1.0);
+  p.drive_rebuild = PerHour(3.0);
+  p.capacity = gigabytes(300.0);
+  p.her_per_byte = 8e-14;
+
+  const models::NoInternalRaidModel model(p);
+  const double markov = model.mttdl_exact().value();
+  std::cout << "accelerated FT2 no-internal-RAID system; Markov MTTDL = "
+            << sci(markov) << " h\n\n";
+
+  report::Table table({"Weibull shape", "regime", "simulated MTTDL (h)",
+                       "vs Markov", "95% CI half-width"});
+  const int trials = 4000;
+  std::uint64_t seed = 7100;
+  for (const double shape : {0.5, 0.7, 1.0, 1.5, 2.0, 3.0}) {
+    sim::WeibullStorageSimulator simulator(
+        p, sim::WeibullShapes{shape, shape}, seed++);
+    const sim::MttdlEstimate e = simulator.estimate(trials);
+    const char* regime = shape < 1.0   ? "infant mortality"
+                         : shape == 1.0 ? "exponential"
+                                        : "wearout";
+    table.add_row({fixed(shape, 1), regime, sci(e.mean_hours),
+                   fixed(e.mean_hours / markov, 3) + "x",
+                   sci(1.96 * e.stderr_hours)});
+  }
+  table.print(std::cout);
+  std::cout << "\n(MTTF held fixed across shapes; repairs renew components.\n"
+            << " The Markov assumption is conservative under wearout and\n"
+            << " optimistic under infant mortality.)\n";
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Shared helpers for the figure-reproduction binaries. Each bench prints
+// the series behind one paper figure: rows of (parameter value, events per
+// PB-year per configuration) so the shape — orderings, crossovers, where
+// the target line is crossed — can be compared with the paper directly.
+#pragma once
+
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/analyzer.hpp"
+#include "report/table.hpp"
+#include "util/format.hpp"
+
+namespace nsrel::bench {
+
+inline const core::ReliabilityTarget kTarget = core::ReliabilityTarget::paper();
+
+/// Prints the standard preamble: figure id, what is swept, the target.
+inline void preamble(const std::string& figure, const std::string& what) {
+  std::cout << figure << ": " << what << "\n"
+            << "reliability target: < " << sci(kTarget.events_per_pb_year)
+            << " data loss events per PB-year\n";
+}
+
+/// One sweep row: evaluates every configuration on a SystemConfig produced
+/// by `make_config(x)` and renders events/PB-year (with a '*' marking
+/// values that meet the target).
+inline void print_sweep(
+    const std::string& x_label, const std::vector<double>& xs,
+    const std::function<std::string(double)>& format_x,
+    const std::function<core::SystemConfig(double)>& make_config,
+    const std::vector<core::Configuration>& configurations) {
+  std::vector<std::string> headers{x_label};
+  for (const auto& c : configurations) headers.push_back(core::name(c));
+  report::Table table(std::move(headers));
+  for (const double x : xs) {
+    std::vector<std::string> row{format_x(x)};
+    const core::Analyzer analyzer(make_config(x));
+    for (const auto& c : configurations) {
+      const double events = analyzer.events_per_pb_year(c);
+      row.push_back(sci(events) + (kTarget.met_by(events) ? " *" : ""));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  std::cout << "(* = meets target)\n";
+}
+
+}  // namespace nsrel::bench

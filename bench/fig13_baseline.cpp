@@ -1,0 +1,41 @@
+// Figure 13: baseline comparison of the 9 redundancy configurations at the
+// section-6 parameters, against the 2e-3 events/PB-year target.
+//
+// Paper observations this should reproduce:
+//  1. FT1 configurations miss the target (by orders of magnitude).
+//  2. Internal RAID 5 ~ internal RAID 6 for FT >= 2.
+//  3. FT3 + internal RAID exceeds the target by ~5 orders of magnitude.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace nsrel;
+  bench::preamble("Figure 13", "baseline comparison of 9 configurations");
+
+  const core::Analyzer analyzer(core::SystemConfig::baseline());
+  report::Table table({"configuration", "MTTDL", "events/PB-yr", "vs target",
+                       "meets"});
+  for (const auto& configuration : core::all_configurations()) {
+    const auto result = analyzer.analyze(configuration);
+    const double ratio =
+        result.events_per_pb_year / bench::kTarget.events_per_pb_year;
+    table.add_row({core::name(configuration),
+                   human_hours(result.mttdl.value()),
+                   sci(result.events_per_pb_year), sci(ratio) + "x",
+                   bench::kTarget.met_by(result) ? "yes" : "NO"});
+  }
+  table.print(std::cout);
+
+  // The three observations, checked mechanically.
+  const double raid5_ft2 =
+      analyzer.events_per_pb_year({core::InternalScheme::kRaid5, 2});
+  const double raid6_ft2 =
+      analyzer.events_per_pb_year({core::InternalScheme::kRaid6, 2});
+  const double raid5_ft3 =
+      analyzer.events_per_pb_year({core::InternalScheme::kRaid5, 3});
+  std::cout << "\nobservation 2 check: RAID6/RAID5 events ratio at FT2 = "
+            << fixed(raid6_ft2 / raid5_ft2, 3) << " (paper: ~1)\n"
+            << "observation 3 check: FT3+IR5 headroom vs target = "
+            << sci(bench::kTarget.events_per_pb_year / raid5_ft3)
+            << "x (paper: ~5 orders)\n";
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Figure 14: sensitivity to drive MTTF (100k..750k hours), evaluated for
+// the three surviving configurations at both node-MTTF endpoints
+// (100k and 1M hours).
+//
+// Paper shape: FT2-NIR misses the target at low node MTTF and is marginal
+// at high node MTTF; FT2-IR5 is nearly flat in drive MTTF (node-failure
+// bound); FT3-NIR is strongly drive-MTTF sensitive but passes.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace nsrel;
+  bench::preamble("Figure 14", "sensitivity to drive MTTF");
+
+  const std::vector<double> drive_mttf_hours{100e3, 200e3, 300e3,
+                                             500e3, 750e3};
+  for (const double node_mttf : {100e3, 1000e3}) {
+    std::cout << "\nnode MTTF = " << fixed(node_mttf / 1e3, 0) << "k hours:\n";
+    bench::print_sweep(
+        "drive MTTF (h)", drive_mttf_hours,
+        [](double x) { return fixed(x / 1e3, 0) + "k"; },
+        [node_mttf](double x) {
+          core::SystemConfig c = core::SystemConfig::baseline();
+          c.node_mttf = Hours(node_mttf);
+          c.drive.mttf = Hours(x);
+          return c;
+        },
+        core::sensitivity_configurations());
+  }
+  return 0;
+}

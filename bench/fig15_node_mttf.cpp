@@ -1,0 +1,44 @@
+// Figure 15: sensitivity to node MTTF (100k..1M hours) at both drive-MTTF
+// endpoints (100k and 750k hours).
+//
+// Paper shape: FT2-IR5 shows the most sensitivity to node MTTF; all three
+// configurations are more sensitive when drive MTTF is high (drive
+// failures no longer mask node failures); FT2-NIR misses the target for
+// most of the range.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace nsrel;
+  bench::preamble("Figure 15", "sensitivity to node MTTF");
+
+  const std::vector<double> node_mttf_hours{100e3, 200e3, 400e3,
+                                            700e3, 1000e3};
+  for (const double drive_mttf : {100e3, 750e3}) {
+    std::cout << "\ndrive MTTF = " << fixed(drive_mttf / 1e3, 0)
+              << "k hours:\n";
+    bench::print_sweep(
+        "node MTTF (h)", node_mttf_hours,
+        [](double x) { return fixed(x / 1e3, 0) + "k"; },
+        [drive_mttf](double x) {
+          core::SystemConfig c = core::SystemConfig::baseline();
+          c.drive.mttf = Hours(drive_mttf);
+          c.node_mttf = Hours(x);
+          return c;
+        },
+        core::sensitivity_configurations());
+  }
+
+  // Sensitivity spans, quantifying "most sensitive".
+  std::cout << "\nevents ratio (node MTTF 100k vs 1M, drive MTTF 750k):\n";
+  for (const auto& config : core::sensitivity_configurations()) {
+    core::SystemConfig low = core::SystemConfig::baseline();
+    low.drive.mttf = Hours(750e3);
+    low.node_mttf = Hours(100e3);
+    core::SystemConfig high = low;
+    high.node_mttf = Hours(1000e3);
+    const double ratio = core::Analyzer(low).events_per_pb_year(config) /
+                         core::Analyzer(high).events_per_pb_year(config);
+    std::cout << "  " << core::name(config) << ": " << sci(ratio) << "x\n";
+  }
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Figure 17: sensitivity to link speed (1, 5, 10 Gb/s in the paper; a
+// denser sweep here to expose the crossover).
+//
+// Paper shape: the rebuild is link-bound below ~3 Gb/s and disk-bound
+// above, so reliability is flat between 5 and 10 Gb/s.
+#include "bench_common.hpp"
+
+#include "rebuild/planner.hpp"
+
+int main() {
+  using namespace nsrel;
+  bench::preamble("Figure 17", "sensitivity to link speed");
+
+  const std::vector<double> gbps{1, 2, 3, 4, 5, 10};
+  bench::print_sweep(
+      "link speed", gbps, [](double x) { return fixed(x, 0) + " Gb/s"; },
+      [](double x) {
+        core::SystemConfig c = core::SystemConfig::baseline();
+        c.link.raw_speed = gigabits_per_second(x);
+        return c;
+      },
+      core::sensitivity_configurations());
+
+  // Bottleneck decomposition at each point.
+  std::cout << "\nnode rebuild decomposition (FT2 flows):\n";
+  report::Table decomposition(
+      {"link speed", "disk time", "network time", "bottleneck"});
+  for (const double x : gbps) {
+    rebuild::RebuildParams p;
+    p.link.raw_speed = gigabits_per_second(x);
+    const rebuild::RebuildPlanner planner(p);
+    decomposition.add_row(
+        {fixed(x, 0) + " Gb/s",
+         fixed(to_hours(planner.node_disk_time()).value(), 2) + " h",
+         fixed(to_hours(planner.node_network_time()).value(), 2) + " h",
+         planner.rates().node_bottleneck == rebuild::Bottleneck::kDisk
+             ? "disk"
+             : "network"});
+  }
+  decomposition.print(std::cout);
+
+  const rebuild::RebuildPlanner baseline{rebuild::RebuildParams{}};
+  std::cout << "crossover (network-bound -> disk-bound) at "
+            << fixed(baseline.link_speed_crossover().value() / 1e9, 2)
+            << " Gb/s raw (paper: ~3 Gb/s)\n";
+  return 0;
+}

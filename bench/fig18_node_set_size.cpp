@@ -1,0 +1,34 @@
+// Figure 18: sensitivity to node set size N.
+//
+// Paper shape: FT2-NIR shows some sensitivity; FT2-IR5 and FT3-NIR are
+// relatively insensitive — the failure domain grows with N but the
+// critical fraction of redundancy sets shrinks, and the per-PB
+// normalization cancels most of the rest.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace nsrel;
+  bench::preamble("Figure 18", "sensitivity to node set size");
+
+  const std::vector<double> sizes{16, 32, 64, 128, 256};
+  bench::print_sweep(
+      "node set size", sizes,
+      [](double x) { return fixed(x, 0); },
+      [](double x) {
+        core::SystemConfig c = core::SystemConfig::baseline();
+        c.node_set_size = static_cast<int>(x);
+        return c;
+      },
+      core::sensitivity_configurations());
+
+  // The compensating mechanism: k2/k3 critical fractions fall with N.
+  std::cout << "\ncritical fractions (R=8):\n";
+  report::Table fractions({"N", "k2=(R-1)/(N-1)", "k3"});
+  for (const double x : sizes) {
+    const int n = static_cast<int>(x);
+    fractions.add_row({fixed(x, 0), fixed(7.0 / (n - 1.0), 4),
+                       fixed(42.0 / ((n - 1.0) * (n - 2.0)), 5)});
+  }
+  fractions.print(std::cout);
+  return 0;
+}

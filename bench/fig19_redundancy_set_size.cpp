@@ -1,0 +1,38 @@
+// Figure 19: sensitivity to redundancy set size R.
+//
+// Paper shape: all configurations become less reliable as R grows, with
+// about an order of magnitude between the extremes. Two forces combine:
+// larger R means less redundancy overhead (so more logical PB per node
+// set) but a larger fraction of critical redundancy sets and more data
+// read per rebuild.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace nsrel;
+  bench::preamble("Figure 19", "sensitivity to redundancy set size");
+
+  const std::vector<double> sizes{4, 6, 8, 10, 12, 16};
+  bench::print_sweep(
+      "redundancy set size", sizes,
+      [](double x) { return fixed(x, 0); },
+      [](double x) {
+        core::SystemConfig c = core::SystemConfig::baseline();
+        c.redundancy_set_size = static_cast<int>(x);
+        return c;
+      },
+      core::sensitivity_configurations());
+
+  // Span between extremes (the paper quotes ~1 order of magnitude).
+  std::cout << "\nspan R=4 -> R=16:\n";
+  for (const auto& config : core::sensitivity_configurations()) {
+    core::SystemConfig small = core::SystemConfig::baseline();
+    small.redundancy_set_size = 4;
+    core::SystemConfig large = core::SystemConfig::baseline();
+    large.redundancy_set_size = 16;
+    const double ratio = core::Analyzer(large).events_per_pb_year(config) /
+                         core::Analyzer(small).events_per_pb_year(config);
+    std::cout << "  " << core::name(config) << ": " << fixed(ratio, 1)
+              << "x less reliable\n";
+  }
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Microbenchmarks comparing the three erasure codes: GF(256)
+// Reed-Solomon vs the XOR-only EVENODD and RDP — the encode/decode cost
+// trade behind the era's preference for XOR codes inside controllers.
+#include <benchmark/benchmark.h>
+
+#include "erasure/evenodd.hpp"
+#include "erasure/rdp.hpp"
+#include "erasure/reed_solomon.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace nsrel;
+using erasure::Shard;
+
+std::vector<Shard> random_shards(int count, std::size_t size,
+                                 std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<Shard> shards(static_cast<std::size_t>(count), Shard(size));
+  for (auto& shard : shards) {
+    for (auto& byte : shard) byte = static_cast<std::uint8_t>(rng.below(256));
+  }
+  return shards;
+}
+
+void BM_RsEncode(benchmark::State& state) {
+  const auto size = static_cast<std::size_t>(state.range(0));
+  const erasure::ReedSolomonCode code(10, 2);  // RAID-6-like geometry
+  const auto data = random_shards(10, size, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(code.encode(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(10 * size));
+}
+BENCHMARK(BM_RsEncode)->Arg(4096)->Arg(65536);
+
+void BM_EvenOddEncode(benchmark::State& state) {
+  const auto size = static_cast<std::size_t>(state.range(0));
+  const erasure::EvenOddCode code(11);  // 11 data columns
+  const std::size_t column = size - size % 10;
+  const auto data = random_shards(11, column, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(code.encode(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(11 * column));
+}
+BENCHMARK(BM_EvenOddEncode)->Arg(4100)->Arg(65540);
+
+void BM_RdpEncode(benchmark::State& state) {
+  const auto size = static_cast<std::size_t>(state.range(0));
+  const erasure::RdpCode code(11);  // 10 data columns
+  const std::size_t column = size - size % 10;
+  const auto data = random_shards(10, column, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(code.encode(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(10 * column));
+}
+BENCHMARK(BM_RdpEncode)->Arg(4100)->Arg(65540);
+
+void BM_RsDecodeTwoErasures(benchmark::State& state) {
+  const auto size = static_cast<std::size_t>(state.range(0));
+  const erasure::ReedSolomonCode code(10, 2);
+  auto shards = random_shards(10, size, 4);
+  auto parity = code.encode(shards);
+  shards.insert(shards.end(), parity.begin(), parity.end());
+  std::vector<bool> present(12, true);
+  present[2] = present[7] = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(code.reconstruct(shards, present));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(10 * size));
+}
+BENCHMARK(BM_RsDecodeTwoErasures)->Arg(4096)->Arg(65536);
+
+void BM_RdpDecodeTwoErasures(benchmark::State& state) {
+  const auto size = static_cast<std::size_t>(state.range(0));
+  const erasure::RdpCode code(11);
+  const std::size_t column = size - size % 10;
+  auto columns = random_shards(10, column, 5);
+  auto parity = code.encode(columns);
+  columns.insert(columns.end(), parity.begin(), parity.end());
+  std::vector<bool> present(12, true);
+  present[2] = present[7] = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(code.reconstruct(columns, present));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(10 * column));
+}
+BENCHMARK(BM_RdpDecodeTwoErasures)->Arg(4100)->Arg(65540);
+
+void BM_EvenOddDecodeTwoErasures(benchmark::State& state) {
+  const auto size = static_cast<std::size_t>(state.range(0));
+  const erasure::EvenOddCode code(11);
+  const std::size_t column = size - size % 10;
+  auto columns = random_shards(11, column, 6);
+  auto parity = code.encode(columns);
+  columns.insert(columns.end(), parity.begin(), parity.end());
+  std::vector<bool> present(13, true);
+  present[2] = present[7] = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(code.reconstruct(columns, present));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(11 * column));
+}
+BENCHMARK(BM_EvenOddDecodeTwoErasures)->Arg(4100)->Arg(65540);
+
+}  // namespace
+
+BENCHMARK_MAIN();

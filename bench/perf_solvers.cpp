@@ -1,0 +1,92 @@
+// Microbenchmarks (google-benchmark) for the numeric machinery: LU solves,
+// chain construction, the recursive no-internal-RAID solve as k grows, and
+// the closed forms — quantifying the cost of exact vs approximate paths.
+#include <benchmark/benchmark.h>
+
+#include "ctmc/absorbing.hpp"
+#include "linalg/lu.hpp"
+#include "models/no_internal_raid.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace nsrel;
+
+linalg::Matrix random_dd_matrix(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  linalg::Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) m(i, j) = rng.uniform() - 0.5;
+    m(i, i) += static_cast<double>(n);
+  }
+  return m;
+}
+
+void BM_LuSolve(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const linalg::Matrix a = random_dd_matrix(n, 1);
+  const linalg::Vector b(n, 1.0);
+  for (auto _ : state) {
+    const linalg::LuDecomposition lu(a);
+    benchmark::DoNotOptimize(lu.solve(b));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_LuSolve)->RangeMultiplier(2)->Range(8, 256)->Complexity();
+
+models::NoInternalRaidParams nir_params(int k) {
+  models::NoInternalRaidParams p;
+  p.node_set_size = 64;
+  p.redundancy_set_size = 12;
+  p.fault_tolerance = k;
+  p.drives_per_node = 12;
+  p.node_failure = PerHour(1.0 / 400'000.0);
+  p.drive_failure = PerHour(1.0 / 300'000.0);
+  p.node_rebuild = PerHour(0.19);
+  p.drive_rebuild = PerHour(2.28);
+  p.capacity = gigabytes(300.0);
+  p.her_per_byte = 8e-14;
+  return p;
+}
+
+void BM_NirChainBuild(benchmark::State& state) {
+  const models::NoInternalRaidModel model(
+      nir_params(static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.chain());
+  }
+}
+BENCHMARK(BM_NirChainBuild)->DenseRange(1, 7);
+
+void BM_NirExactSolve(benchmark::State& state) {
+  const models::NoInternalRaidModel model(
+      nir_params(static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.mttdl_exact().value());
+  }
+}
+BENCHMARK(BM_NirExactSolve)->DenseRange(1, 7);
+
+void BM_NirClosedForm(benchmark::State& state) {
+  const models::NoInternalRaidModel model(
+      nir_params(static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.mttdl_closed_form().value());
+  }
+}
+BENCHMARK(BM_NirClosedForm)->DenseRange(1, 7);
+
+void BM_AbsorbingFullAnalysis(benchmark::State& state) {
+  const models::NoInternalRaidModel model(
+      nir_params(static_cast<int>(state.range(0))));
+  const auto chain = model.chain();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctmc::AbsorbingSolver::analyze(
+        chain, models::NoInternalRaidModel::root_state()));
+  }
+}
+BENCHMARK(BM_AbsorbingFullAnalysis)->DenseRange(1, 6);
+
+}  // namespace
+
+BENCHMARK_MAIN();

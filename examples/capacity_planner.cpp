@@ -1,0 +1,90 @@
+// Capacity planner: for a desired usable capacity and reliability target,
+// search the configuration space (internal scheme x node fault tolerance x
+// redundancy set size) for the cheapest configuration — measured in raw
+// drive count — that meets the target. This is the "user-configurable
+// goals" use the paper's conclusion anticipates for its closed forms.
+//
+// Usage: capacity_planner [usable_petabytes] [target_events_per_pb_year]
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+
+#include "core/analyzer.hpp"
+#include "report/table.hpp"
+#include "util/format.hpp"
+
+namespace {
+
+struct Candidate {
+  nsrel::core::Configuration configuration;
+  int redundancy_set_size = 0;
+  double events_per_pb_year = 0.0;
+  double raw_drives_per_usable_pb = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace nsrel;
+
+  const double usable_pb = argc > 1 ? std::atof(argv[1]) : 1.0;
+  const double target_events = argc > 2 ? std::atof(argv[2]) : 2e-3;
+  const core::ReliabilityTarget target{target_events};
+
+  std::cout << "Planning for " << fixed(usable_pb, 2)
+            << " PB usable, target < " << sci(target.events_per_pb_year)
+            << " events/PB-yr\n";
+
+  std::vector<Candidate> passing;
+  for (const int r : {6, 8, 10, 12, 16}) {
+    core::SystemConfig config = core::SystemConfig::baseline();
+    config.redundancy_set_size = r;
+    const core::Analyzer analyzer(config);
+    for (const auto& configuration : core::all_configurations()) {
+      if (configuration.node_fault_tolerance >= r) continue;
+      const auto result = analyzer.analyze(configuration);
+      if (!target.met_by(result)) continue;
+      // Raw drives needed to present the usable capacity.
+      const double usable_per_drive = config.drive.capacity.value() *
+                                      config.capacity_utilization *
+                                      analyzer.code_rate(configuration);
+      Candidate c;
+      c.configuration = configuration;
+      c.redundancy_set_size = r;
+      c.events_per_pb_year = result.events_per_pb_year;
+      c.raw_drives_per_usable_pb = 1e15 / usable_per_drive;
+      passing.push_back(c);
+    }
+  }
+
+  if (passing.empty()) {
+    std::cout << "No configuration meets the target; consider higher fault "
+                 "tolerance or better hardware.\n";
+    return 1;
+  }
+
+  std::sort(passing.begin(), passing.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.raw_drives_per_usable_pb < b.raw_drives_per_usable_pb;
+            });
+
+  report::Table table(
+      {"configuration", "R", "events/PB-yr", "drives for target capacity"});
+  for (const auto& c : passing) {
+    table.add_row({core::name(c.configuration),
+                   std::to_string(c.redundancy_set_size),
+                   sci(c.events_per_pb_year),
+                   fixed(std::ceil(c.raw_drives_per_usable_pb * usable_pb), 0)});
+  }
+  table.print(std::cout);
+
+  const auto& best = passing.front();
+  std::cout << "\nCheapest passing configuration: "
+            << core::name(best.configuration) << " with R="
+            << best.redundancy_set_size << " ("
+            << fixed(std::ceil(best.raw_drives_per_usable_pb * usable_pb), 0)
+            << " drives)\n";
+  return 0;
+}

@@ -1,0 +1,325 @@
+#include "brick/object_store.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace nsrel::brick {
+
+ObjectStore::ObjectStore(const StoreParams& params)
+    : params_(params),
+      code_(params.redundancy_set_size - params.fault_tolerance,
+            params.fault_tolerance),
+      layout_({params.node_count, params.redundancy_set_size}) {
+  NSREL_EXPECTS(params_.fault_tolerance >= 1);
+  NSREL_EXPECTS(params_.redundancy_set_size > params_.fault_tolerance);
+  NSREL_EXPECTS(params_.redundancy_set_size <= params_.node_count);
+  NSREL_EXPECTS(params_.chunk_size.value() > 0.0);
+  nodes_.reserve(static_cast<std::size_t>(params_.node_count));
+  for (int i = 0; i < params_.node_count; ++i) {
+    nodes_.emplace_back(i, params_.drives_per_node, params_.drive_capacity);
+  }
+}
+
+const Node& ObjectStore::node(int id) const {
+  NSREL_EXPECTS(id >= 0 && id < params_.node_count);
+  return nodes_[static_cast<std::size_t>(id)];
+}
+
+int ObjectStore::live_nodes() const {
+  return static_cast<int>(
+      std::count_if(nodes_.begin(), nodes_.end(),
+                    [](const Node& n) { return n.alive(); }));
+}
+
+std::vector<int> ObjectStore::place_stripe() {
+  // A node can host a shard when it is alive AND some drive has room (a
+  // fail-in-place node can be alive with every drive dead or full).
+  const auto placeable = [&](int n) {
+    const Node& candidate = nodes_[static_cast<std::size_t>(n)];
+    return candidate.alive() &&
+           candidate.free_bytes() >= params_.chunk_size.value();
+  };
+  // Walk the rotating layout until a slot whose R nodes all qualify —
+  // the even-distribution placement of section 4.1.
+  for (int attempt = 0; attempt < params_.node_count; ++attempt) {
+    const std::vector<int> candidate =
+        layout_.nodes_for_stripe(next_stripe_slot_);
+    ++next_stripe_slot_;
+    if (std::all_of(candidate.begin(), candidate.end(), placeable)) {
+      return candidate;
+    }
+  }
+  // Degraded fallback: with failures scattered, every R-consecutive window
+  // can be blocked even while >= R nodes qualify. Place on the R usable
+  // nodes with the most free space (correctness over evenness; the next
+  // rebuild re-levels).
+  std::vector<int> usable;
+  for (int n = 0; n < params_.node_count; ++n) {
+    if (placeable(n)) usable.push_back(n);
+  }
+  if (static_cast<int>(usable.size()) < params_.redundancy_set_size) {
+    throw ContractViolation("fewer than R live nodes available for placement");
+  }
+  std::sort(usable.begin(), usable.end(), [&](int a, int b) {
+    return nodes_[static_cast<std::size_t>(a)].free_bytes() >
+           nodes_[static_cast<std::size_t>(b)].free_bytes();
+  });
+  usable.resize(static_cast<std::size_t>(params_.redundancy_set_size));
+  return usable;
+}
+
+ObjectId ObjectStore::write(const std::vector<std::uint8_t>& bytes) {
+  NSREL_EXPECTS(!bytes.empty());
+  const auto chunk = static_cast<std::size_t>(params_.chunk_size.value());
+  const int data_shards = code_.data_shards();
+  const std::size_t stripe_capacity =
+      chunk * static_cast<std::size_t>(data_shards);
+  const std::size_t stripe_count =
+      (bytes.size() + stripe_capacity - 1) / stripe_capacity;
+
+  ObjectMeta meta;
+  meta.size = bytes.size();
+  for (std::size_t s = 0; s < stripe_count; ++s) {
+    // Slice this stripe's data into k zero-padded chunks.
+    std::vector<Chunk> data(static_cast<std::size_t>(data_shards),
+                            Chunk(chunk, 0));
+    const std::size_t base = s * stripe_capacity;
+    for (std::size_t i = 0; i < stripe_capacity && base + i < bytes.size();
+         ++i) {
+      data[i / chunk][i % chunk] = bytes[base + i];
+    }
+    std::vector<Chunk> shards = data;
+    std::vector<Chunk> parity = code_.encode(data);
+    shards.insert(shards.end(), std::make_move_iterator(parity.begin()),
+                  std::make_move_iterator(parity.end()));
+
+    const std::vector<int> placement = place_stripe();
+    Stripe stripe;
+    stripe.shards.resize(shards.size());
+    for (std::size_t i = 0; i < shards.size(); ++i) {
+      Node& target = nodes_[static_cast<std::size_t>(placement[i])];
+      const ChunkId id = next_chunk_++;
+      const std::optional<int> drive = target.put(id, std::move(shards[i]));
+      NSREL_EXPECTS(drive.has_value());  // out of space
+      stripe.shards[i] = ShardLocation{placement[i], *drive, id};
+    }
+    meta.stripes.push_back(std::move(stripe));
+  }
+  const ObjectId id = next_object_++;
+  objects_.emplace(id, std::move(meta));
+  return id;
+}
+
+bool ObjectStore::shard_available(const ShardLocation& loc) const {
+  const Node& n = nodes_[static_cast<std::size_t>(loc.node)];
+  return n.alive() && n.drive(loc.drive).alive() &&
+         n.get(loc.drive, loc.chunk).has_value();
+}
+
+std::pair<std::vector<Chunk>, std::vector<bool>> ObjectStore::gather(
+    const Stripe& stripe) const {
+  const auto chunk = static_cast<std::size_t>(params_.chunk_size.value());
+  std::vector<Chunk> shards(stripe.shards.size(), Chunk(chunk, 0));
+  std::vector<bool> present(stripe.shards.size(), false);
+  for (std::size_t i = 0; i < stripe.shards.size(); ++i) {
+    const ShardLocation& loc = stripe.shards[i];
+    const Node& n = nodes_[static_cast<std::size_t>(loc.node)];
+    if (!n.alive()) continue;
+    const std::optional<Chunk> data = n.get(loc.drive, loc.chunk);
+    if (data.has_value()) {
+      shards[i] = *data;
+      present[i] = true;
+    }
+  }
+  return {std::move(shards), std::move(present)};
+}
+
+std::vector<std::uint8_t> ObjectStore::read(ObjectId id) const {
+  const auto it = objects_.find(id);
+  NSREL_EXPECTS(it != objects_.end());
+  const ObjectMeta& meta = it->second;
+  const auto chunk = static_cast<std::size_t>(params_.chunk_size.value());
+  const int data_shards = code_.data_shards();
+
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(meta.size);
+  for (const Stripe& stripe : meta.stripes) {
+    auto [shards, present] = gather(stripe);
+    if (!code_.recoverable(present)) {
+      throw DataLossError("object " + std::to_string(id) +
+                          ": a stripe lost more shards than the code "
+                          "tolerates");
+    }
+    const bool all_data_present = [&] {
+      for (int i = 0; i < data_shards; ++i) {
+        if (!present[static_cast<std::size_t>(i)]) return false;
+      }
+      return true;
+    }();
+    io_stats_.chunk_reads += static_cast<std::uint64_t>(data_shards);
+    if (!all_data_present) ++io_stats_.decode_operations;
+    const std::vector<Chunk> full =
+        all_data_present ? shards : code_.reconstruct(shards, present);
+    for (int i = 0; i < data_shards; ++i) {
+      const Chunk& piece = full[static_cast<std::size_t>(i)];
+      for (std::size_t b = 0; b < chunk && bytes.size() < meta.size; ++b) {
+        bytes.push_back(piece[b]);
+      }
+    }
+  }
+  NSREL_ENSURES(bytes.size() == meta.size);
+  io_stats_.logical_bytes += static_cast<double>(meta.size);
+  return bytes;
+}
+
+std::vector<std::uint8_t> ObjectStore::read_range(ObjectId id,
+                                                  std::size_t offset,
+                                                  std::size_t length) const {
+  const auto it = objects_.find(id);
+  NSREL_EXPECTS(it != objects_.end());
+  const ObjectMeta& meta = it->second;
+  NSREL_EXPECTS(length > 0);
+  NSREL_EXPECTS(offset + length <= meta.size);
+  const auto chunk = static_cast<std::size_t>(params_.chunk_size.value());
+  const auto data_shards = static_cast<std::size_t>(code_.data_shards());
+  const std::size_t stripe_capacity = chunk * data_shards;
+
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(length);
+  std::size_t cursor = offset;
+  const std::size_t end = offset + length;
+  while (cursor < end) {
+    const std::size_t stripe_index = cursor / stripe_capacity;
+    const std::size_t within_stripe = cursor % stripe_capacity;
+    const std::size_t shard_index = within_stripe / chunk;
+    const std::size_t within_chunk = within_stripe % chunk;
+    const std::size_t take =
+        std::min(chunk - within_chunk, end - cursor);
+
+    const Stripe& stripe = meta.stripes[stripe_index];
+    const ShardLocation& loc = stripe.shards[shard_index];
+    Chunk piece;
+    if (shard_available(loc)) {
+      piece = *nodes_[static_cast<std::size_t>(loc.node)].get(loc.drive,
+                                                              loc.chunk);
+      ++io_stats_.chunk_reads;
+    } else {
+      // Degraded read: fetch any k survivors of the stripe and decode.
+      auto [shards, present] = gather(stripe);
+      if (!code_.recoverable(present)) {
+        throw DataLossError("object " + std::to_string(id) +
+                            ": a stripe lost more shards than the code "
+                            "tolerates");
+      }
+      io_stats_.chunk_reads += data_shards;
+      ++io_stats_.decode_operations;
+      const std::vector<Chunk> full = code_.reconstruct(shards, present);
+      piece = full[shard_index];
+    }
+    bytes.insert(bytes.end(),
+                 piece.begin() + static_cast<long>(within_chunk),
+                 piece.begin() + static_cast<long>(within_chunk + take));
+    cursor += take;
+  }
+  io_stats_.logical_bytes += static_cast<double>(length);
+  return bytes;
+}
+
+void ObjectStore::fail_node(int id) {
+  NSREL_EXPECTS(id >= 0 && id < params_.node_count);
+  nodes_[static_cast<std::size_t>(id)].fail();
+}
+
+void ObjectStore::fail_drive(int node_id, int drive_index) {
+  NSREL_EXPECTS(node_id >= 0 && node_id < params_.node_count);
+  nodes_[static_cast<std::size_t>(node_id)].fail_drive(drive_index);
+}
+
+RebuildReport ObjectStore::rebuild() {
+  RebuildReport report;
+  const auto chunk_bytes = params_.chunk_size.value();
+  for (auto& [object_id, meta] : objects_) {
+    for (Stripe& stripe : meta.stripes) {
+      // Which shards are gone?
+      std::vector<std::size_t> lost;
+      for (std::size_t i = 0; i < stripe.shards.size(); ++i) {
+        if (!shard_available(stripe.shards[i])) lost.push_back(i);
+      }
+      if (lost.empty()) continue;
+
+      auto [shards, present] = gather(stripe);
+      if (!code_.recoverable(present)) {
+        throw DataLossError("stripe of object " + std::to_string(object_id) +
+                            " is beyond recovery");
+      }
+      // Account the R-t survivor reads the decode consumes.
+      int inputs_counted = 0;
+      for (std::size_t i = 0;
+           i < present.size() && inputs_counted < code_.data_shards(); ++i) {
+        if (!present[i]) continue;
+        report.sourced_bytes[stripe.shards[i].node] += chunk_bytes;
+        ++inputs_counted;
+      }
+      const std::vector<Chunk> full = code_.reconstruct(shards, present);
+
+      // Re-place each lost shard on a live node outside the stripe.
+      for (const std::size_t i : lost) {
+        std::vector<bool> occupied(
+            static_cast<std::size_t>(params_.node_count), false);
+        for (std::size_t j = 0; j < stripe.shards.size(); ++j) {
+          if (j != i && shard_available(stripe.shards[j])) {
+            occupied[static_cast<std::size_t>(stripe.shards[j].node)] = true;
+          }
+        }
+        int target = -1;
+        double best_free = chunk_bytes - 1.0;
+        for (int n = 0; n < params_.node_count; ++n) {
+          const Node& candidate = nodes_[static_cast<std::size_t>(n)];
+          if (!candidate.alive() ||
+              occupied[static_cast<std::size_t>(n)]) {
+            continue;
+          }
+          if (candidate.free_bytes() > best_free) {
+            target = n;
+            best_free = candidate.free_bytes();
+          }
+        }
+        if (target < 0) {
+          throw ContractViolation(
+              "no live node with spare capacity outside the stripe");
+        }
+        const ChunkId new_chunk = next_chunk_++;
+        const std::optional<int> drive =
+            nodes_[static_cast<std::size_t>(target)].put(new_chunk, full[i]);
+        NSREL_ASSERT(drive.has_value());
+        stripe.shards[i] = ShardLocation{target, *drive, new_chunk};
+        report.received_bytes[target] += chunk_bytes;
+        report.bytes_reconstructed += chunk_bytes;
+        ++report.shards_rebuilt;
+      }
+    }
+  }
+  return report;
+}
+
+bool ObjectStore::fully_redundant() const {
+  for (const auto& [object_id, meta] : objects_) {
+    for (const Stripe& stripe : meta.stripes) {
+      for (const ShardLocation& loc : stripe.shards) {
+        if (!shard_available(loc)) return false;
+      }
+    }
+  }
+  return true;
+}
+
+double ObjectStore::user_bytes() const {
+  double total = 0.0;
+  for (const auto& [object_id, meta] : objects_) {
+    total += static_cast<double>(meta.size);
+  }
+  return total;
+}
+
+}  // namespace nsrel::brick

@@ -1,0 +1,70 @@
+#include "cli/args.hpp"
+
+#include <cstdlib>
+
+#include "util/assert.hpp"
+
+namespace nsrel::cli {
+
+namespace {
+std::vector<std::string> to_tokens(int argc, const char* const* argv) {
+  std::vector<std::string> tokens;
+  for (int i = 1; i < argc; ++i) tokens.emplace_back(argv[i]);
+  return tokens;
+}
+}  // namespace
+
+Args::Args(int argc, const char* const* argv) : Args(to_tokens(argc, argv)) {}
+
+Args::Args(const std::vector<std::string>& tokens) {
+  std::size_t i = 0;
+  if (i < tokens.size() && tokens[i].rfind("--", 0) != 0) {
+    command_ = tokens[i];
+    ++i;
+  }
+  for (; i < tokens.size(); ++i) {
+    const std::string& token = tokens[i];
+    NSREL_EXPECTS(token.rfind("--", 0) == 0);  // stray positional argument
+    NSREL_EXPECTS(i + 1 < tokens.size());      // flag without a value
+    flags_[token.substr(2)] = tokens[++i];
+  }
+}
+
+bool Args::has(const std::string& key) const {
+  consumed_.insert(key);
+  return flags_.count(key) > 0;
+}
+
+std::string Args::get_string(const std::string& key,
+                             const std::string& fallback) const {
+  consumed_.insert(key);
+  const auto it = flags_.find(key);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+double Args::get_double(const std::string& key, double fallback) const {
+  consumed_.insert(key);
+  const auto it = flags_.find(key);
+  if (it == flags_.end()) return fallback;
+  char* end = nullptr;
+  const double value = std::strtod(it->second.c_str(), &end);
+  NSREL_EXPECTS(end != nullptr && *end == '\0' && !it->second.empty());
+  return value;
+}
+
+int Args::get_int(const std::string& key, int fallback) const {
+  const double value = get_double(key, static_cast<double>(fallback));
+  const int as_int = static_cast<int>(value);
+  NSREL_EXPECTS(static_cast<double>(as_int) == value);  // reject 3.5 etc.
+  return as_int;
+}
+
+std::vector<std::string> Args::unused() const {
+  std::vector<std::string> result;
+  for (const auto& [key, value] : flags_) {
+    if (consumed_.count(key) == 0) result.push_back(key);
+  }
+  return result;
+}
+
+}  // namespace nsrel::cli

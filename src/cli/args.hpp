@@ -1,0 +1,47 @@
+// Minimal command-line argument parser for the `nsrel` tool: one
+// positional command followed by `--key value` flags. Typed accessors
+// with defaults; unknown or malformed flags are reported, and every flag
+// actually consumed is tracked so the tool can reject typos.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace nsrel::cli {
+
+class Args {
+ public:
+  /// Parses {argv[1], ...}. The first non-flag token is the command;
+  /// everything else must be `--key value` pairs.
+  /// Throws ContractViolation on a flag without a value or a stray
+  /// positional token.
+  Args(int argc, const char* const* argv);
+
+  /// Convenience for tests.
+  explicit Args(const std::vector<std::string>& tokens);
+
+  [[nodiscard]] const std::string& command() const { return command_; }
+
+  [[nodiscard]] bool has(const std::string& key) const;
+
+  /// Typed accessors; throw ContractViolation when present but malformed.
+  [[nodiscard]] std::string get_string(const std::string& key,
+                                       const std::string& fallback) const;
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const;
+  [[nodiscard]] int get_int(const std::string& key, int fallback) const;
+
+  /// Flags present on the command line but never read by any accessor —
+  /// almost certainly typos. Call after all gets.
+  [[nodiscard]] std::vector<std::string> unused() const;
+
+ private:
+  std::string command_;
+  std::map<std::string, std::string> flags_;
+  mutable std::set<std::string> consumed_;
+};
+
+}  // namespace nsrel::cli

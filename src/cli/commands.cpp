@@ -1,0 +1,425 @@
+#include "cli/commands.hpp"
+
+#include <cmath>
+#include <ostream>
+
+#include "ctmc/dot.hpp"
+#include "models/availability.hpp"
+#include "placement/layout.hpp"
+#include "models/no_internal_raid.hpp"
+#include "models/internal_raid.hpp"
+#include <fstream>
+#include <sstream>
+
+#include "raid/array_model.hpp"
+#include "report/table.hpp"
+#include "scenario/scenario.hpp"
+#include "util/assert.hpp"
+#include "util/format.hpp"
+
+namespace nsrel::cli {
+
+namespace {
+
+constexpr const char* kUsage = R"(nsrel — reliability modeling for networked storage nodes
+(Rao, Hafner, Golding: "Reliability for Networked Storage Nodes", DSN 2006)
+
+usage: nsrel <command> [--flag value ...]
+
+commands:
+  analyze       MTTDL and data-loss events/PB-year for one configuration
+  compare       all 9 configurations against the reliability target
+  rebuild       rebuild-rate decomposition (disk vs network, re-stripe)
+  sweep         sensitivity sweep over one parameter (--param, --from,
+                --to, --steps, optional --csv 1)
+  availability  steady-state availability given a restore tier
+                (--restore-hours, default 168)
+  scenario      run a declarative scenario file (--file path); see
+                scenarios/*.scenario for the format
+  chain         emit the configuration's Markov chain as Graphviz DOT
+                (pipe into `dot -Tpdf` for a Figure-5-style diagram)
+  provision     fail-in-place spare planning: utilization that survives
+                the service life (--years, --confidence)
+  help          this text
+
+configuration flags:
+  --scheme none|raid5|raid6   internal redundancy        (default raid5)
+  --ft K                      node fault tolerance       (default 2)
+  --method exact|closed       solution path              (default exact)
+
+system flags (defaults = the paper's section-6 baseline):
+  --n 64          node set size         --r 8            redundancy set size
+  --d 12          drives per node       --node-mttf 4e5  hours
+  --drive-mttf 3e5 hours                --capacity-gb 300
+  --her-exp 14    1 sector per 10^K bits read            --iops 150
+  --xfer-mbps 40  sustained drive MB/s  --link-gbps 10
+  --rebuild-kb 128                      --restripe-kb 1024
+  --util 0.75     capacity utilization  --bw-frac 0.10   rebuild bandwidth
+  --target 2e-3   events/PB-year
+
+sweep parameters (--param): drive-mttf | node-mttf | rebuild-kb |
+  link-gbps | n | r | d
+)";
+
+core::Method method_from_args(const Args& args) {
+  const std::string method = args.get_string("method", "exact");
+  if (method == "exact") return core::Method::kExactChain;
+  if (method == "closed") return core::Method::kClosedForm;
+  throw ContractViolation("unknown --method '" + method +
+                          "' (use exact|closed)");
+}
+
+int check_unused(const Args& args, std::ostream& err) {
+  const auto unused = args.unused();
+  if (unused.empty()) return 0;
+  err << "unknown flag(s):";
+  for (const auto& key : unused) err << " --" << key;
+  err << "\n";
+  return 2;
+}
+
+int run_analyze(const Args& args, std::ostream& out, std::ostream& err) {
+  const core::Analyzer analyzer(config_from_args(args));
+  const core::Configuration configuration = configuration_from_args(args);
+  const core::Method method = method_from_args(args);
+  const core::ReliabilityTarget target{args.get_double("target", 2e-3)};
+  if (const int rc = check_unused(args, err); rc != 0) return rc;
+
+  const auto result = analyzer.analyze(configuration, method);
+  out << "configuration:     " << core::name(configuration) << "\n"
+      << "MTTDL:             " << human_hours(result.mttdl.value()) << "\n"
+      << "events/system-yr:  " << sci(result.events_per_system_year) << "\n"
+      << "logical capacity:  " << human_bytes(result.logical_capacity.value())
+      << "\n"
+      << "events/PB-yr:      " << sci(result.events_per_pb_year) << "\n"
+      << "target:            " << sci(target.events_per_pb_year) << " ("
+      << (target.met_by(result) ? "met" : "MISSED") << ")\n"
+      << "node rebuild:      "
+      << fixed(to_hours(result.rebuild.node_rebuild_time).value(), 2)
+      << " h ("
+      << (result.rebuild.node_bottleneck == rebuild::Bottleneck::kDisk
+              ? "disk"
+              : "network")
+      << "-bound)\n";
+  if (configuration.internal != core::InternalScheme::kNone) {
+    out << "array lambda_D:    " << sci(result.array_failure_rate.value())
+        << " /h\narray lambda_S:    " << sci(result.sector_error_rate.value())
+        << " /h\nre-stripe:         "
+        << fixed(to_hours(result.rebuild.restripe_time).value(), 1) << " h\n";
+  }
+  return 0;
+}
+
+int run_compare(const Args& args, std::ostream& out, std::ostream& err) {
+  const core::Analyzer analyzer(config_from_args(args));
+  const core::Method method = method_from_args(args);
+  const core::ReliabilityTarget target{args.get_double("target", 2e-3)};
+  if (const int rc = check_unused(args, err); rc != 0) return rc;
+
+  report::Table table({"configuration", "MTTDL", "events/PB-yr", "meets"});
+  for (const auto& configuration : core::all_configurations()) {
+    const auto result = analyzer.analyze(configuration, method);
+    table.add_row({core::name(configuration),
+                   human_hours(result.mttdl.value()),
+                   sci(result.events_per_pb_year),
+                   target.met_by(result) ? "yes" : "NO"});
+  }
+  table.print(out);
+  return 0;
+}
+
+int run_rebuild(const Args& args, std::ostream& out, std::ostream& err) {
+  const core::Analyzer analyzer(config_from_args(args));
+  const int ft = args.get_int("ft", 2);
+  if (const int rc = check_unused(args, err); rc != 0) return rc;
+
+  const rebuild::RebuildPlanner planner = analyzer.planner(ft);
+  const auto flows = planner.flows();
+  const auto rates = planner.rates();
+  out << "node's worth of data: " << human_bytes(planner.node_data().value())
+      << "\n"
+      << "data in+out per node: " << fixed(flows.node_network_inout, 4)
+      << " node's-worth; to/from disks: " << fixed(flows.node_disk_traffic, 4)
+      << "\n"
+      << "disk-side time:       "
+      << fixed(to_hours(planner.node_disk_time()).value(), 2) << " h\n"
+      << "network-side time:    "
+      << fixed(to_hours(planner.node_network_time()).value(), 2) << " h\n"
+      << "node rebuild:         "
+      << fixed(to_hours(rates.node_rebuild_time).value(), 2) << " h ("
+      << (rates.node_bottleneck == rebuild::Bottleneck::kDisk ? "disk"
+                                                              : "network")
+      << "-bound)\n"
+      << "drive rebuild:        "
+      << fixed(to_hours(rates.drive_rebuild_time).value(), 2) << " h\n"
+      << "array re-stripe:      "
+      << fixed(to_hours(rates.restripe_time).value(), 1) << " h\n"
+      << "link crossover:       "
+      << fixed(planner.link_speed_crossover().value() / 1e9, 2) << " Gb/s\n";
+  return 0;
+}
+
+int run_sweep(const Args& args, std::ostream& out, std::ostream& err) {
+  const std::string param = args.get_string("param", "drive-mttf");
+  const double from = args.get_double("from", 100e3);
+  const double to = args.get_double("to", 750e3);
+  const int steps = args.get_int("steps", 5);
+  const bool csv = args.get_int("csv", 0) != 0;
+  const core::Configuration configuration = configuration_from_args(args);
+  const core::Method method = method_from_args(args);
+  const core::SystemConfig base = config_from_args(args);
+  if (const int rc = check_unused(args, err); rc != 0) return rc;
+  NSREL_EXPECTS(steps >= 2);
+  NSREL_EXPECTS(from > 0.0 && to > from);
+
+  report::Table table({param, "MTTDL (h)", "events/PB-yr"});
+  for (int i = 0; i < steps; ++i) {
+    // Log-spaced points: sensitivity plots in the paper span decades.
+    const double x =
+        from * std::pow(to / from, static_cast<double>(i) / (steps - 1));
+    core::SystemConfig config = base;
+    if (param == "drive-mttf") {
+      config.drive.mttf = Hours(x);
+    } else if (param == "node-mttf") {
+      config.node_mttf = Hours(x);
+    } else if (param == "rebuild-kb") {
+      config.rebuild_command = kilobytes(x);
+    } else if (param == "link-gbps") {
+      config.link.raw_speed = gigabits_per_second(x);
+    } else if (param == "n") {
+      config.node_set_size = static_cast<int>(x);
+    } else if (param == "r") {
+      config.redundancy_set_size = static_cast<int>(x);
+    } else if (param == "d") {
+      config.drives_per_node = static_cast<int>(x);
+    } else {
+      err << "unknown --param '" << param << "'\n";
+      return 2;
+    }
+    const auto result = core::Analyzer(config).analyze(configuration, method);
+    table.add_row({sci(x, 4), sci(result.mttdl.value()),
+                   sci(result.events_per_pb_year)});
+  }
+  if (csv) {
+    table.print_csv(out);
+  } else {
+    out << core::name(configuration) << ", sweeping " << param << ":\n";
+    table.print(out);
+  }
+  return 0;
+}
+
+int run_availability(const Args& args, std::ostream& out, std::ostream& err) {
+  const core::SystemConfig sys = config_from_args(args);
+  const core::Configuration configuration = configuration_from_args(args);
+  const double restore_hours = args.get_double("restore-hours", 168.0);
+  if (const int rc = check_unused(args, err); rc != 0) return rc;
+
+  const core::Analyzer analyzer(sys);
+  const auto detail = analyzer.analyze(configuration);
+  // Availability needs the underlying chain; rebuild it from the same
+  // parameters the analyzer used.
+  ctmc::Chain chain;
+  ctmc::StateId healthy = 0;
+  if (configuration.internal == core::InternalScheme::kNone) {
+    models::NoInternalRaidParams p;
+    p.node_set_size = sys.node_set_size;
+    p.redundancy_set_size = sys.redundancy_set_size;
+    p.fault_tolerance = configuration.node_fault_tolerance;
+    p.drives_per_node = sys.drives_per_node;
+    p.node_failure = rate_of(sys.node_mttf);
+    p.drive_failure = rate_of(sys.drive.mttf);
+    p.node_rebuild = detail.rebuild.node_rebuild_rate;
+    p.drive_rebuild = detail.rebuild.drive_rebuild_rate;
+    p.capacity = sys.drive.capacity;
+    p.her_per_byte = sys.drive.her_per_byte;
+    chain = models::NoInternalRaidModel(p).chain();
+    healthy = models::NoInternalRaidModel::root_state();
+  } else {
+    models::InternalRaidParams p;
+    p.node_set_size = sys.node_set_size;
+    p.redundancy_set_size = sys.redundancy_set_size;
+    p.fault_tolerance = configuration.node_fault_tolerance;
+    p.node_failure = rate_of(sys.node_mttf);
+    p.node_rebuild = detail.rebuild.node_rebuild_rate;
+    p.array_failure = detail.array_failure_rate;
+    p.sector_error = detail.sector_error_rate;
+    chain = models::InternalRaidNodeModel(p).chain();
+    healthy = 0;
+  }
+  const auto result =
+      models::AvailabilityModel::analyze(chain, healthy, Hours(restore_hours));
+  out << "configuration:       " << core::name(configuration) << "\n"
+      << "MTTDL:               " << human_hours(result.mttdl.value()) << "\n"
+      << "restore time:        " << fixed(restore_hours, 1) << " h\n"
+      << "availability:        " << fixed(result.availability * 100.0, 9)
+      << " %\n"
+      << "downtime:            " << sci(result.downtime_minutes_per_year)
+      << " min/yr\n"
+      << "degraded (rebuild):  " << fixed(result.degraded_fraction * 100.0, 3)
+      << " % of time\n";
+  return 0;
+}
+
+int run_chain(const Args& args, std::ostream& out, std::ostream& err) {
+  const core::SystemConfig sys = config_from_args(args);
+  const core::Configuration configuration = configuration_from_args(args);
+  if (const int rc = check_unused(args, err); rc != 0) return rc;
+
+  const core::Analyzer analyzer(sys);
+  const auto detail = analyzer.analyze(configuration);
+  ctmc::Chain chain;
+  if (configuration.internal == core::InternalScheme::kNone) {
+    models::NoInternalRaidParams p;
+    p.node_set_size = sys.node_set_size;
+    p.redundancy_set_size = sys.redundancy_set_size;
+    p.fault_tolerance = configuration.node_fault_tolerance;
+    p.drives_per_node = sys.drives_per_node;
+    p.node_failure = rate_of(sys.node_mttf);
+    p.drive_failure = rate_of(sys.drive.mttf);
+    p.node_rebuild = detail.rebuild.node_rebuild_rate;
+    p.drive_rebuild = detail.rebuild.drive_rebuild_rate;
+    p.capacity = sys.drive.capacity;
+    p.her_per_byte = sys.drive.her_per_byte;
+    chain = models::NoInternalRaidModel(p).chain();
+  } else {
+    models::InternalRaidParams p;
+    p.node_set_size = sys.node_set_size;
+    p.redundancy_set_size = sys.redundancy_set_size;
+    p.fault_tolerance = configuration.node_fault_tolerance;
+    p.node_failure = rate_of(sys.node_mttf);
+    p.node_rebuild = detail.rebuild.node_rebuild_rate;
+    p.array_failure = detail.array_failure_rate;
+    p.sector_error = detail.sector_error_rate;
+    chain = models::InternalRaidNodeModel(p).chain();
+  }
+  ctmc::DotOptions options;
+  options.graph_name = core::name(configuration);
+  ctmc::write_dot(chain, out, options);
+  return 0;
+}
+
+int run_provision(const Args& args, std::ostream& out, std::ostream& err) {
+  const core::SystemConfig sys = config_from_args(args);
+  const double years = args.get_double("years", 5.0);
+  const double confidence = args.get_double("confidence", 0.95);
+  if (const int rc = check_unused(args, err); rc != 0) return rc;
+
+  placement::ProvisioningPlanner::Params p;
+  p.nodes = sys.node_set_size;
+  p.drives_per_node = sys.drives_per_node;
+  p.node_failures_per_hour = rate_of(sys.node_mttf).value();
+  p.drive_failures_per_hour = rate_of(sys.drive.mttf).value();
+  p.service_life_hours = years * kHoursPerYear;
+  const placement::ProvisioningPlanner planner(p);
+
+  const int spares = planner.spares_needed(confidence);
+  out << "service life:          " << fixed(years, 1) << " years\n"
+      << "expected loss:         "
+      << fixed(planner.expected_node_equivalents_lost(), 1)
+      << " node-equivalents\n"
+      << "spares for " << fixed(confidence * 100.0, 0)
+      << "% confidence: " << spares << " of " << sys.node_set_size
+      << " nodes\n"
+      << "max initial utilization: "
+      << fixed(100.0 * planner.max_initial_utilization(confidence), 1)
+      << "% (paper baseline: 75%)\n";
+  return 0;
+}
+
+int run_scenario_command(const Args& args, std::ostream& out,
+                         std::ostream& err) {
+  const std::string path = args.get_string("file", "");
+  if (const int rc = check_unused(args, err); rc != 0) return rc;
+  if (path.empty()) {
+    err << "scenario requires --file <path>\n";
+    return 2;
+  }
+  std::ifstream in(path);
+  if (!in) {
+    err << "cannot open scenario file '" << path << "'\n";
+    return 2;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  scenario::run_scenario_text(text.str(), out);
+  return 0;
+}
+
+}  // namespace
+
+core::SystemConfig config_from_args(const Args& args) {
+  core::SystemConfig config = core::SystemConfig::baseline();
+  config.node_set_size = args.get_int("n", config.node_set_size);
+  config.redundancy_set_size = args.get_int("r", config.redundancy_set_size);
+  config.drives_per_node = args.get_int("d", config.drives_per_node);
+  config.node_mttf = Hours(args.get_double("node-mttf", 400e3));
+  config.drive.mttf = Hours(args.get_double("drive-mttf", 300e3));
+  config.drive.capacity = gigabytes(args.get_double("capacity-gb", 300.0));
+  // HER quoted as "1 sector in 10^K bits": per byte = 8 * 10^-K.
+  config.drive.her_per_byte =
+      8.0 * std::pow(10.0, -args.get_double("her-exp", 14.0));
+  config.drive.max_iops = args.get_double("iops", 150.0);
+  config.drive.sustained_rate =
+      megabytes_per_second(args.get_double("xfer-mbps", 40.0));
+  config.link.raw_speed =
+      gigabits_per_second(args.get_double("link-gbps", 10.0));
+  config.rebuild_command = kilobytes(args.get_double("rebuild-kb", 128.0));
+  config.restripe_command = kilobytes(args.get_double("restripe-kb", 1024.0));
+  config.capacity_utilization = args.get_double("util", 0.75);
+  config.rebuild_bandwidth_fraction = args.get_double("bw-frac", 0.10);
+  config.validate();
+  return config;
+}
+
+core::Configuration configuration_from_args(const Args& args) {
+  const std::string scheme = args.get_string("scheme", "raid5");
+  core::Configuration configuration;
+  if (scheme == "none") {
+    configuration.internal = core::InternalScheme::kNone;
+  } else if (scheme == "raid5") {
+    configuration.internal = core::InternalScheme::kRaid5;
+  } else if (scheme == "raid6") {
+    configuration.internal = core::InternalScheme::kRaid6;
+  } else {
+    throw ContractViolation("unknown --scheme '" + scheme +
+                            "' (use none|raid5|raid6)");
+  }
+  configuration.node_fault_tolerance = args.get_int("ft", 2);
+  return configuration;
+}
+
+int dispatch(const Args& args, std::ostream& out, std::ostream& err) {
+  try {
+    const std::string& command = args.command();
+    if (command.empty() || command == "help") {
+      out << kUsage;
+      return command.empty() ? 2 : 0;
+    }
+    if (command == "analyze") return run_analyze(args, out, err);
+    if (command == "compare") return run_compare(args, out, err);
+    if (command == "rebuild") return run_rebuild(args, out, err);
+    if (command == "sweep") return run_sweep(args, out, err);
+    if (command == "availability") return run_availability(args, out, err);
+    if (command == "scenario") return run_scenario_command(args, out, err);
+    if (command == "chain") return run_chain(args, out, err);
+    if (command == "provision") return run_provision(args, out, err);
+    err << "unknown command '" << command << "' (try: nsrel help)\n";
+    return 2;
+  } catch (const ContractViolation& violation) {
+    err << "error: " << violation.what() << "\n";
+    return 1;
+  }
+}
+
+int dispatch(int argc, const char* const* argv, std::ostream& out,
+             std::ostream& err) {
+  try {
+    return dispatch(Args(argc, argv), out, err);
+  } catch (const ContractViolation& violation) {
+    err << "error: " << violation.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace nsrel::cli

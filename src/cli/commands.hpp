@@ -1,0 +1,39 @@
+// The `nsrel` command-line tool's commands, separated from main() so the
+// test suite can drive them against string streams.
+//
+// Commands:
+//   analyze       MTTDL + events/PB-year for one configuration
+//   compare       all 9 configurations (Figure 13 style)
+//   rebuild       rebuild-rate decomposition (section 5.1)
+//   sweep         one-parameter sensitivity sweep, table or CSV
+//   availability  steady-state availability with a restore tier
+//   help          usage
+//
+// Shared flags (every command): --n --r --d --node-mttf --drive-mttf
+// --capacity-gb --her-exp --iops --xfer-mbps --rebuild-kb --restripe-kb
+// --link-gbps --util --bw-frac. Configuration flags: --scheme
+// none|raid5|raid6, --ft 1..; --method exact|closed.
+#pragma once
+
+#include <iosfwd>
+
+#include "cli/args.hpp"
+#include "core/analyzer.hpp"
+
+namespace nsrel::cli {
+
+/// Builds a SystemConfig from the shared flags over the paper baseline.
+[[nodiscard]] core::SystemConfig config_from_args(const Args& args);
+
+/// Parses --scheme/--ft into a Configuration (default: raid5, ft 2).
+[[nodiscard]] core::Configuration configuration_from_args(const Args& args);
+
+/// Dispatches a parsed command line; writes results to `out`, problems to
+/// `err`. Returns a process exit code.
+int dispatch(const Args& args, std::ostream& out, std::ostream& err);
+
+/// Convenience overload for main().
+int dispatch(int argc, const char* const* argv, std::ostream& out,
+             std::ostream& err);
+
+}  // namespace nsrel::cli

@@ -1,0 +1,95 @@
+#include "combinat/critical_sets.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+#include "util/math.hpp"
+
+namespace nsrel::combinat {
+
+double redundancy_set_count(int node_set_size, int redundancy_set_size) {
+  NSREL_EXPECTS(redundancy_set_size >= 1 &&
+                redundancy_set_size <= node_set_size);
+  return binomial(node_set_size, redundancy_set_size);
+}
+
+double sets_per_node(int node_set_size, int redundancy_set_size) {
+  NSREL_EXPECTS(redundancy_set_size >= 1 &&
+                redundancy_set_size <= node_set_size);
+  return binomial(node_set_size - 1, redundancy_set_size - 1);
+}
+
+double critical_fraction(int node_set_size, int redundancy_set_size,
+                         int failures) {
+  NSREL_EXPECTS(failures >= 2);
+  NSREL_EXPECTS(redundancy_set_size >= failures);
+  NSREL_EXPECTS(node_set_size >= redundancy_set_size);
+  // C(N-j, R-j) / C(N-1, R-1) telescopes to a falling-factorial ratio:
+  // (R-1)...(R-j+1) / (N-1)...(N-j+1).
+  return falling_factorial(redundancy_set_size - 1, failures - 1) /
+         falling_factorial(node_set_size - 1, failures - 1);
+}
+
+double k2(int node_set_size, int redundancy_set_size) {
+  return critical_fraction(node_set_size, redundancy_set_size, 2);
+}
+
+double k3(int node_set_size, int redundancy_set_size) {
+  return critical_fraction(node_set_size, redundancy_set_size, 3);
+}
+
+double h_base(const HParams& p) {
+  NSREL_EXPECTS(p.fault_tolerance >= 1);
+  NSREL_EXPECTS(p.redundancy_set_size > p.fault_tolerance);
+  NSREL_EXPECTS(p.node_set_size >= p.redundancy_set_size);
+  NSREL_EXPECTS(p.capacity_bytes > 0.0 && p.her_per_byte >= 0.0);
+  const double numerator =
+      falling_factorial(p.redundancy_set_size - 1, p.fault_tolerance);
+  const double denominator =
+      falling_factorial(p.node_set_size - 1, p.fault_tolerance - 1);
+  return numerator / denominator * p.capacity_bytes * p.her_per_byte;
+}
+
+double h_for_word(const HParams& p, const FailureWord& word) {
+  NSREL_EXPECTS(static_cast<int>(word.size()) == p.fault_tolerance);
+  NSREL_EXPECTS(p.drives_per_node >= 1);
+  int drive_failures = 0;
+  for (const FailureKind kind : word) {
+    if (kind == FailureKind::kDrive) ++drive_failures;
+  }
+  const double h = h_base(p);
+  // h_alpha = h * d^(1 - #drives): all-node words read a full node's worth
+  // of critical data (d drives), each drive failure in the word divides the
+  // critical fraction by d (section 5.2.2).
+  return h * std::pow(static_cast<double>(p.drives_per_node),
+                      1.0 - static_cast<double>(drive_failures));
+}
+
+std::vector<FailureWord> enumerate_words(int length) {
+  NSREL_EXPECTS(length >= 0 && length < 30);
+  const std::size_t count = std::size_t{1} << length;
+  std::vector<FailureWord> words;
+  words.reserve(count);
+  for (std::size_t bits = 0; bits < count; ++bits) {
+    FailureWord word(static_cast<std::size_t>(length));
+    // Most significant bit = first letter, so all N-prefixed words
+    // (bit 0) precede all d-prefixed words (bit 1), recursively.
+    for (int pos = 0; pos < length; ++pos) {
+      const bool is_drive = (bits >> (length - 1 - pos)) & 1U;
+      word[static_cast<std::size_t>(pos)] =
+          is_drive ? FailureKind::kDrive : FailureKind::kNode;
+    }
+    words.push_back(std::move(word));
+  }
+  return words;
+}
+
+std::vector<double> h_set(const HParams& p) {
+  const auto words = enumerate_words(p.fault_tolerance);
+  std::vector<double> values;
+  values.reserve(words.size());
+  for (const auto& word : words) values.push_back(h_for_word(p, word));
+  return values;
+}
+
+}  // namespace nsrel::combinat

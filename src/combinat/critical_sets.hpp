@@ -1,0 +1,77 @@
+// Critical-redundancy-set combinatorics (paper section 5.2).
+//
+// With data evenly distributed over the node set, a redundancy set is
+// "critical" only when it has already absorbed as many failures as the
+// erasure code tolerates. These helpers compute the fraction of a node's
+// (or drive's) redundancy sets that are critical after j failures, the k2
+// and k3 factors appearing in the internal-RAID MTTDL expressions, and the
+// h-parameter families (h_NN, h_Nd, ... and in general h_alpha for words
+// alpha over {N, d}) used by the no-internal-RAID models and the appendix's
+// recursive construction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace nsrel::combinat {
+
+/// Total number of redundancy sets of size R over a node set of size N:
+/// C(N, R).
+[[nodiscard]] double redundancy_set_count(int node_set_size,
+                                          int redundancy_set_size);
+
+/// Number of redundancy sets a single node participates in: C(N-1, R-1).
+[[nodiscard]] double sets_per_node(int node_set_size, int redundancy_set_size);
+
+/// Fraction of a surviving node's redundancy sets that involve all of j
+/// specific failed nodes: C(N-j, R-j) / C(N-1, R-1).
+///
+/// j = 2 gives the paper's k2 = (R-1)/(N-1); j = 3 gives
+/// k3 = (R-1)(R-2)/((N-1)(N-2)). Requires 2 <= j <= R <= N.
+[[nodiscard]] double critical_fraction(int node_set_size,
+                                       int redundancy_set_size, int failures);
+
+/// k2 factor for internal-RAID fault-tolerance-2 (section 5.2.1).
+[[nodiscard]] double k2(int node_set_size, int redundancy_set_size);
+
+/// k3 factor for internal-RAID fault-tolerance-3 (section 5.2.1).
+[[nodiscard]] double k3(int node_set_size, int redundancy_set_size);
+
+/// A failure word: the sequence of failure types (node or drive) that put a
+/// no-internal-RAID system into its current degraded state.
+enum class FailureKind : std::uint8_t { kNode, kDrive };
+using FailureWord = std::vector<FailureKind>;
+
+/// Parameters of the h family for the no-internal-RAID model at node fault
+/// tolerance k (section 5.2.2 for k = 1, 2, 3; appendix in general).
+struct HParams {
+  int node_set_size = 0;        ///< N
+  int redundancy_set_size = 0;  ///< R
+  int drives_per_node = 0;      ///< d
+  int fault_tolerance = 0;      ///< k
+  double capacity_bytes = 0.0;  ///< C
+  double her_per_byte = 0.0;    ///< HER as errors per byte read
+};
+
+/// The base value h for fault tolerance k:
+///   h = [(R-1)(R-2)...(R-k)] / [(N-1)...(N-k+1)] * C * HER.
+/// k = 1 reduces to (R-1)*C*HER, k = 2 to (R-1)(R-2)/(N-1)*C*HER, and
+/// k = 3 to (R-1)(R-2)(R-3)/((N-1)(N-2))*C*HER, as in the paper.
+[[nodiscard]] double h_base(const HParams& p);
+
+/// h_alpha for a failure word alpha of length k: h * d^(1 - #drives(alpha)),
+/// reproducing the paper's table (h_NN = d*h, h_Nd = h_dN = h, h_dd = h/d,
+/// and the analogous k = 3 values). Requires word.size() == fault_tolerance.
+[[nodiscard]] double h_for_word(const HParams& p, const FailureWord& word);
+
+/// The ordered set h^(k): all 2^k values h_alpha with alpha enumerated so
+/// that all N-prefixed words come before all d-prefixed words, recursively
+/// (the order the appendix's L_k recursion consumes: h^(k) =
+/// h_N . h^(k-1) ++ h_d . h^(k-1)).
+[[nodiscard]] std::vector<double> h_set(const HParams& p);
+
+/// Enumerates all failure words of the given length in the same order as
+/// h_set (N-major order: NN..N, N..Nd, ..., dd..d).
+[[nodiscard]] std::vector<FailureWord> enumerate_words(int length);
+
+}  // namespace nsrel::combinat

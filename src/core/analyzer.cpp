@@ -1,0 +1,120 @@
+#include "core/analyzer.hpp"
+
+#include "models/internal_raid.hpp"
+#include "models/no_internal_raid.hpp"
+#include "raid/array_model.hpp"
+#include "util/assert.hpp"
+
+namespace nsrel::core {
+
+Analyzer::Analyzer(SystemConfig config) : config_(std::move(config)) {
+  config_.validate();
+}
+
+rebuild::RebuildPlanner Analyzer::planner(int node_fault_tolerance) const {
+  rebuild::RebuildParams p;
+  p.node_set_size = config_.node_set_size;
+  p.redundancy_set_size = config_.redundancy_set_size;
+  p.fault_tolerance = node_fault_tolerance;
+  p.drives_per_node = config_.drives_per_node;
+  p.drive = config_.drive;
+  p.link = config_.link;
+  p.rebuild_command = config_.rebuild_command;
+  p.restripe_command = config_.restripe_command;
+  p.capacity_utilization = config_.capacity_utilization;
+  p.rebuild_bandwidth_fraction = config_.rebuild_bandwidth_fraction;
+  return rebuild::RebuildPlanner(p);
+}
+
+double Analyzer::code_rate(const Configuration& configuration) const {
+  const double r = config_.redundancy_set_size;
+  const double t = configuration.node_fault_tolerance;
+  const double d = config_.drives_per_node;
+  const double m = internal_fault_tolerance(configuration.internal);
+  NSREL_EXPECTS(r > t);
+  NSREL_EXPECTS(d > m);
+  return (r - t) / r * (d - m) / d;
+}
+
+Bytes Analyzer::logical_capacity(const Configuration& configuration) const {
+  const double raw = static_cast<double>(config_.node_set_size) *
+                     static_cast<double>(config_.drives_per_node) *
+                     config_.drive.capacity.value();
+  return Bytes(raw * config_.capacity_utilization * code_rate(configuration));
+}
+
+AnalysisResult Analyzer::analyze(const Configuration& configuration,
+                                 Method method) const {
+  NSREL_EXPECTS(configuration.node_fault_tolerance >= 1);
+  NSREL_EXPECTS(configuration.node_fault_tolerance <
+                config_.redundancy_set_size);
+
+  AnalysisResult result;
+  result.configuration = configuration;
+
+  const rebuild::RebuildPlanner plan =
+      planner(configuration.node_fault_tolerance);
+  result.rebuild = plan.rates();
+
+  if (configuration.internal == InternalScheme::kNone) {
+    models::NoInternalRaidParams p;
+    p.node_set_size = config_.node_set_size;
+    p.redundancy_set_size = config_.redundancy_set_size;
+    p.fault_tolerance = configuration.node_fault_tolerance;
+    p.drives_per_node = config_.drives_per_node;
+    p.node_failure = rate_of(config_.node_mttf);
+    p.drive_failure = rate_of(config_.drive.mttf);
+    p.node_rebuild = result.rebuild.node_rebuild_rate;
+    p.drive_rebuild = result.rebuild.drive_rebuild_rate;
+    p.capacity = config_.drive.capacity;
+    p.her_per_byte = config_.drive.her_per_byte;
+    const models::NoInternalRaidModel model(p);
+    result.mttdl = method == Method::kExactChain ? model.mttdl_exact()
+                                                 : model.mttdl_closed_form();
+  } else {
+    raid::ArrayParams array;
+    array.drives = config_.drives_per_node;
+    array.drive_mttf = config_.drive.mttf;
+    array.restripe_rate = result.rebuild.restripe_rate;
+    array.capacity = config_.drive.capacity;
+    array.her_per_byte = config_.drive.her_per_byte;
+    const raid::GeneralArrayModel array_model(
+        array, internal_fault_tolerance(configuration.internal));
+    const raid::ArrayRates array_rates = array_model.rates();
+    result.array_failure_rate = array_rates.array_failure;
+    result.sector_error_rate = array_rates.sector_error;
+
+    models::InternalRaidParams p;
+    p.node_set_size = config_.node_set_size;
+    p.redundancy_set_size = config_.redundancy_set_size;
+    p.fault_tolerance = configuration.node_fault_tolerance;
+    p.node_failure = rate_of(config_.node_mttf);
+    p.node_rebuild = result.rebuild.node_rebuild_rate;
+    p.array_failure = array_rates.array_failure;
+    p.sector_error = array_rates.sector_error;
+    const models::InternalRaidNodeModel model(p);
+    result.mttdl = method == Method::kExactChain ? model.mttdl_exact()
+                                                 : model.mttdl_closed_form();
+  }
+
+  result.events_per_system_year = 1.0 / to_years(result.mttdl);
+  result.logical_capacity = logical_capacity(configuration);
+  const double petabytes_logical =
+      result.logical_capacity.value() / petabytes(1.0).value();
+  NSREL_ASSERT(petabytes_logical > 0.0);
+  result.events_per_pb_year =
+      result.events_per_system_year / petabytes_logical;
+  return result;
+}
+
+Hours Analyzer::mttdl(const Configuration& configuration,
+                      Method method) const {
+  return analyze(configuration, method).mttdl;
+}
+
+double Analyzer::events_per_pb_year(const Configuration& configuration,
+                                    Method method) const {
+  return analyze(configuration, method).events_per_pb_year;
+}
+
+}  // namespace nsrel::core

@@ -1,0 +1,70 @@
+// Disk scrubbing extension.
+//
+// The paper's HER captures uncorrectable (latent) sector errors found
+// when a rebuild reads the surviving disks. Periodic scrubbing — reading
+// every sector in the background and repairing what it finds — bounds how
+// long an error can stay latent, shrinking the h terms; but scrub I/O
+// consumes the same drive bandwidth budget the rebuild uses, slowing
+// rebuilds and raising the failure-coincidence terms. This module models
+// both sides of that trade:
+//
+//  * Latent errors develop at rate rho per byte-hour. Between scrubs of
+//    period T, the average latent density seen by a rebuild at a random
+//    time is rho * T / 2, so
+//        effective HER(T) = rho * T / 2,
+//    calibrated so that a reference latency T0 reproduces the drive's
+//    datasheet HER: rho = 2 * HER / T0.
+//  * A scrub pass reads the full drive once per period at the scrub
+//    command size; the bandwidth it consumes is deducted from the
+//    fraction available for rebuild/re-stripe.
+//
+// Sweeping T exposes a genuine optimum: short periods crush the hard-error
+// terms but starve rebuilds; long periods do the opposite.
+#pragma once
+
+#include "core/system_config.hpp"
+#include "util/units.hpp"
+
+namespace nsrel::core {
+
+struct ScrubbingParams {
+  /// Scrub period: every sector is read once per this interval.
+  Hours period{720.0};  // monthly
+  /// Reference latency that calibrates rho from the datasheet HER: the
+  /// latent window assumed by the baseline (no-scrub) model. Default: one
+  /// year — an unscubbed error pool ages about a service interval.
+  Hours reference_latency{kHoursPerYear};
+  /// Command size used by the scrubber (sequential, large).
+  Bytes command = megabytes(1.0);
+};
+
+struct ScrubbingEffect {
+  double effective_her_per_byte = 0.0;   ///< replaces drive HER
+  double scrub_bandwidth_fraction = 0.0; ///< of one drive, consumed by scrub
+  double rebuild_bandwidth_fraction = 0.0;  ///< what's left for rebuild
+};
+
+class ScrubbingModel {
+ public:
+  /// Preconditions: period > 0, reference_latency > 0, command > 0.
+  explicit ScrubbingModel(const ScrubbingParams& params);
+
+  [[nodiscard]] const ScrubbingParams& params() const { return params_; }
+
+  /// The latent-error development rate rho (per byte-hour) implied by the
+  /// drive's datasheet HER and the reference latency.
+  [[nodiscard]] double latent_rate(double datasheet_her_per_byte) const;
+
+  /// Effective HER and the bandwidth split for the given system.
+  /// Throws if the scrub alone needs more than the whole rebuild budget.
+  [[nodiscard]] ScrubbingEffect effect(const core::SystemConfig& system) const;
+
+  /// Convenience: a copy of `system` with the effective HER and reduced
+  /// rebuild bandwidth fraction applied, ready for core::Analyzer.
+  [[nodiscard]] core::SystemConfig apply(const core::SystemConfig& system) const;
+
+ private:
+  ScrubbingParams params_;
+};
+
+}  // namespace nsrel::core

@@ -1,0 +1,72 @@
+#include "core/system_config.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace nsrel::core {
+
+void SystemConfig::validate() const {
+  NSREL_EXPECTS(node_set_size >= 2);
+  NSREL_EXPECTS(redundancy_set_size >= 2);
+  NSREL_EXPECTS(redundancy_set_size <= node_set_size);
+  NSREL_EXPECTS(drives_per_node >= 1);
+  NSREL_EXPECTS(node_mttf.value() > 0.0);
+  NSREL_EXPECTS(drive.mttf.value() > 0.0);
+  NSREL_EXPECTS(drive.capacity.value() > 0.0);
+  NSREL_EXPECTS(drive.max_iops > 0.0);
+  NSREL_EXPECTS(drive.sustained_rate.value() > 0.0);
+  NSREL_EXPECTS(drive.her_per_byte >= 0.0);
+  NSREL_EXPECTS(link.raw_speed.value() > 0.0);
+  NSREL_EXPECTS(link.efficiency > 0.0 && link.efficiency <= 1.0);
+  NSREL_EXPECTS(rebuild_command.value() > 0.0);
+  NSREL_EXPECTS(restripe_command.value() > 0.0);
+  NSREL_EXPECTS(capacity_utilization > 0.0 && capacity_utilization <= 1.0);
+  NSREL_EXPECTS(rebuild_bandwidth_fraction > 0.0 &&
+                rebuild_bandwidth_fraction <= 1.0);
+}
+
+bool set_parameter(SystemConfig& config, const std::string& name,
+                   double value) {
+  if (name == "n") {
+    config.node_set_size = static_cast<int>(value);
+  } else if (name == "r") {
+    config.redundancy_set_size = static_cast<int>(value);
+  } else if (name == "d") {
+    config.drives_per_node = static_cast<int>(value);
+  } else if (name == "node-mttf") {
+    config.node_mttf = Hours(value);
+  } else if (name == "drive-mttf") {
+    config.drive.mttf = Hours(value);
+  } else if (name == "capacity-gb") {
+    config.drive.capacity = gigabytes(value);
+  } else if (name == "her-exp") {
+    config.drive.her_per_byte = 8.0 * std::pow(10.0, -value);
+  } else if (name == "iops") {
+    config.drive.max_iops = value;
+  } else if (name == "xfer-mbps") {
+    config.drive.sustained_rate = megabytes_per_second(value);
+  } else if (name == "link-gbps") {
+    config.link.raw_speed = gigabits_per_second(value);
+  } else if (name == "rebuild-kb") {
+    config.rebuild_command = kilobytes(value);
+  } else if (name == "restripe-kb") {
+    config.restripe_command = kilobytes(value);
+  } else if (name == "util") {
+    config.capacity_utilization = value;
+  } else if (name == "bw-frac") {
+    config.rebuild_bandwidth_fraction = value;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::vector<std::string> parameter_names() {
+  return {"n",         "r",          "d",          "node-mttf",
+          "drive-mttf", "capacity-gb", "her-exp",   "iops",
+          "xfer-mbps",  "link-gbps",  "rebuild-kb", "restripe-kb",
+          "util",       "bw-frac"};
+}
+
+}  // namespace nsrel::core

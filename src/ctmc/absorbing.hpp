@@ -1,0 +1,50 @@
+// Absorbing-chain analysis: mean time to absorption (the paper's MTTDL),
+// per-state occupancy times, absorption probabilities and the standard
+// deviation of the absorption time.
+//
+// Method (paper appendix, after Trivedi): with B the transient states,
+// occupancy times tau solve tau_B * Q_B = -pi_B(0); then
+// MTTDL = sum_i tau_i = <pi0> * R^{-1} * <1,...,1>^t with R = -Q_B.
+#pragma once
+
+#include <vector>
+
+#include "ctmc/chain.hpp"
+
+namespace nsrel::ctmc {
+
+struct AbsorbingAnalysis {
+  /// Expected total time spent in each transient state before absorption,
+  /// indexed like Chain::transient_states(). Hours.
+  std::vector<double> occupancy_hours;
+
+  /// Mean time to absorption = sum of occupancy times. Hours.
+  double mean_time_to_absorption_hours = 0.0;
+
+  /// Standard deviation of the absorption time (phase-type second moment).
+  double stddev_time_to_absorption_hours = 0.0;
+
+  /// Probability of eventually absorbing into each absorbing state,
+  /// indexed like Chain::absorbing_states(). Sums to 1.
+  std::vector<double> absorption_probability;
+};
+
+class AbsorbingSolver {
+ public:
+  /// Analyzes the chain starting from transient state `initial`
+  /// (a full-state id; defaults to state 0).
+  /// Preconditions: chain.validate() passes; `initial` is transient.
+  [[nodiscard]] static AbsorbingAnalysis analyze(const Chain& chain,
+                                                 StateId initial = 0);
+
+  /// Same, with an arbitrary initial distribution over transient states
+  /// (indexed like Chain::transient_states(); must sum to ~1).
+  [[nodiscard]] static AbsorbingAnalysis analyze_distribution(
+      const Chain& chain, const std::vector<double>& initial);
+
+  /// Convenience: just the MTTDL in hours from transient state `initial`.
+  [[nodiscard]] static double mttdl_hours(const Chain& chain,
+                                          StateId initial = 0);
+};
+
+}  // namespace nsrel::ctmc

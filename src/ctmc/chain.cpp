@@ -1,0 +1,165 @@
+#include "ctmc/chain.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/assert.hpp"
+
+namespace nsrel::ctmc {
+
+StateId Chain::add_state(std::string label, StateKind kind) {
+  states_.push_back(State{std::move(label), kind});
+  return states_.size() - 1;
+}
+
+void Chain::add_transition(StateId from, StateId to, double rate) {
+  NSREL_EXPECTS(from < states_.size());
+  NSREL_EXPECTS(to < states_.size());
+  NSREL_EXPECTS(from != to);
+  NSREL_EXPECTS(rate > 0.0);
+  NSREL_EXPECTS(states_[from].kind == StateKind::kTransient);
+  for (auto& t : transitions_) {
+    if (t.from == from && t.to == to) {
+      t.rate += rate;
+      return;
+    }
+  }
+  transitions_.push_back(Transition{from, to, rate});
+}
+
+std::size_t Chain::transient_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(states_.begin(), states_.end(), [](const State& s) {
+        return s.kind == StateKind::kTransient;
+      }));
+}
+
+std::size_t Chain::absorbing_count() const {
+  return states_.size() - transient_count();
+}
+
+const State& Chain::state(StateId id) const {
+  NSREL_EXPECTS(id < states_.size());
+  return states_[id];
+}
+
+StateId Chain::find_state(const std::string& label) const {
+  StateId found = states_.size();
+  for (StateId i = 0; i < states_.size(); ++i) {
+    if (states_[i].label == label) {
+      NSREL_EXPECTS(found == states_.size());  // ambiguous label
+      found = i;
+    }
+  }
+  NSREL_EXPECTS(found < states_.size());  // missing label
+  return found;
+}
+
+std::vector<StateId> Chain::transient_states() const {
+  std::vector<StateId> result;
+  for (StateId i = 0; i < states_.size(); ++i) {
+    if (states_[i].kind == StateKind::kTransient) result.push_back(i);
+  }
+  return result;
+}
+
+std::vector<StateId> Chain::absorbing_states() const {
+  std::vector<StateId> result;
+  for (StateId i = 0; i < states_.size(); ++i) {
+    if (states_[i].kind == StateKind::kAbsorbing) result.push_back(i);
+  }
+  return result;
+}
+
+linalg::Matrix Chain::generator() const {
+  const std::size_t n = states_.size();
+  linalg::Matrix q(n, n);
+  for (const auto& t : transitions_) {
+    q(t.from, t.to) += t.rate;
+    q(t.from, t.from) -= t.rate;
+  }
+  return q;
+}
+
+linalg::Matrix Chain::transient_generator() const {
+  const auto transient = transient_states();
+  // Map full state id -> transient index.
+  std::vector<std::size_t> index(states_.size(), states_.size());
+  for (std::size_t i = 0; i < transient.size(); ++i) index[transient[i]] = i;
+
+  linalg::Matrix qb(transient.size(), transient.size());
+  for (const auto& t : transitions_) {
+    const std::size_t from = index[t.from];
+    if (from == states_.size()) continue;  // from absorbing (cannot happen)
+    qb(from, from) -= t.rate;  // diagonal reflects ALL outflow, including
+                               // flow into absorbing states
+    const std::size_t to = index[t.to];
+    if (to != states_.size()) qb(from, to) += t.rate;
+  }
+  return qb;
+}
+
+linalg::Matrix Chain::absorption_matrix() const {
+  linalg::Matrix r = transient_generator();
+  r *= -1.0;
+  return r;
+}
+
+std::vector<double> Chain::rates_into(StateId absorbing) const {
+  NSREL_EXPECTS(absorbing < states_.size());
+  NSREL_EXPECTS(states_[absorbing].kind == StateKind::kAbsorbing);
+  const auto transient = transient_states();
+  std::vector<std::size_t> index(states_.size(), states_.size());
+  for (std::size_t i = 0; i < transient.size(); ++i) index[transient[i]] = i;
+
+  std::vector<double> rates(transient.size(), 0.0);
+  for (const auto& t : transitions_) {
+    if (t.to != absorbing) continue;
+    const std::size_t from = index[t.from];
+    NSREL_ASSERT(from != states_.size());
+    rates[from] += t.rate;
+  }
+  return rates;
+}
+
+double Chain::exit_rate(StateId id) const {
+  NSREL_EXPECTS(id < states_.size());
+  double total = 0.0;
+  for (const auto& t : transitions_) {
+    if (t.from == id) total += t.rate;
+  }
+  return total;
+}
+
+std::string Chain::validate() const {
+  if (transient_count() == 0) return "chain has no transient states";
+  if (absorbing_count() == 0) return "chain has no absorbing states";
+
+  // BFS on the reversed graph from absorbing states: every transient state
+  // must be able to reach absorption, otherwise MTTDL is infinite and the
+  // absorption matrix is singular.
+  std::vector<char> reaches(states_.size(), 0);
+  std::queue<StateId> frontier;
+  for (const StateId a : absorbing_states()) {
+    reaches[a] = 1;
+    frontier.push(a);
+  }
+  while (!frontier.empty()) {
+    const StateId current = frontier.front();
+    frontier.pop();
+    for (const auto& t : transitions_) {
+      if (t.to == current && !reaches[t.from]) {
+        reaches[t.from] = 1;
+        frontier.push(t.from);
+      }
+    }
+  }
+  for (StateId i = 0; i < states_.size(); ++i) {
+    if (!reaches[i]) {
+      return "state '" + states_[i].label + "' cannot reach absorption";
+    }
+  }
+  return {};
+}
+
+}  // namespace nsrel::ctmc

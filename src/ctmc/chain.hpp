@@ -1,0 +1,87 @@
+// Continuous-time Markov chain representation.
+//
+// A `Chain` is a labeled state space with exponential transition rates,
+// some states marked absorbing (data-loss states in this library's models).
+// The class exposes the infinitesimal generator Q, its restriction Q_B to
+// the transient (non-absorbing) states, and the paper appendix's
+// "absorption matrix" R = -Q_B.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace nsrel::ctmc {
+
+using StateId = std::size_t;
+
+enum class StateKind : unsigned char { kTransient, kAbsorbing };
+
+struct State {
+  std::string label;
+  StateKind kind = StateKind::kTransient;
+};
+
+struct Transition {
+  StateId from = 0;
+  StateId to = 0;
+  double rate = 0.0;  ///< events per hour
+};
+
+class Chain {
+ public:
+  /// Adds a state; returns its id (ids are dense, in insertion order).
+  StateId add_state(std::string label,
+                    StateKind kind = StateKind::kTransient);
+
+  /// Adds a transition with the given rate (> 0). Transitions out of
+  /// absorbing states are rejected; parallel transitions accumulate.
+  void add_transition(StateId from, StateId to, double rate);
+
+  [[nodiscard]] std::size_t state_count() const { return states_.size(); }
+  [[nodiscard]] std::size_t transient_count() const;
+  [[nodiscard]] std::size_t absorbing_count() const;
+  [[nodiscard]] const State& state(StateId id) const;
+  [[nodiscard]] const std::vector<Transition>& transitions() const {
+    return transitions_;
+  }
+
+  /// Id of the state with the given label; throws if absent or ambiguous.
+  [[nodiscard]] StateId find_state(const std::string& label) const;
+
+  /// Ids of transient states, in insertion order. This ordering defines the
+  /// rows/columns of transient_generator() and absorption_matrix().
+  [[nodiscard]] std::vector<StateId> transient_states() const;
+  [[nodiscard]] std::vector<StateId> absorbing_states() const;
+
+  /// Full infinitesimal generator Q: off-diagonal entries are transition
+  /// rates, diagonal entries make each row sum to zero.
+  [[nodiscard]] linalg::Matrix generator() const;
+
+  /// Q_B: Q restricted to transient states.
+  [[nodiscard]] linalg::Matrix transient_generator() const;
+
+  /// R = -Q_B, the appendix's absorption matrix: positive diagonal,
+  /// non-positive off-diagonal entries.
+  [[nodiscard]] linalg::Matrix absorption_matrix() const;
+
+  /// For each transient state (in transient_states() order), the total rate
+  /// into the given absorbing state.
+  [[nodiscard]] std::vector<double> rates_into(StateId absorbing) const;
+
+  /// Total exit rate of a state (sum of outgoing transition rates).
+  [[nodiscard]] double exit_rate(StateId id) const;
+
+  /// Structural sanity checks: at least one transient and one absorbing
+  /// state, and every transient state can reach an absorbing state.
+  /// Returns an empty string when valid, else a description of the defect.
+  [[nodiscard]] std::string validate() const;
+
+ private:
+  std::vector<State> states_;
+  std::vector<Transition> transitions_;
+};
+
+}  // namespace nsrel::ctmc

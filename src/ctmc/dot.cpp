@@ -1,0 +1,47 @@
+#include "ctmc/dot.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "util/format.hpp"
+
+namespace nsrel::ctmc {
+
+namespace {
+std::string escape(const std::string& label) {
+  std::string escaped;
+  for (const char ch : label) {
+    if (ch == '"' || ch == '\\') escaped += '\\';
+    escaped += ch;
+  }
+  return escaped;
+}
+}  // namespace
+
+void write_dot(const Chain& chain, std::ostream& out,
+               const DotOptions& options) {
+  out << "digraph \"" << escape(options.graph_name) << "\" {\n";
+  if (options.left_to_right) out << "  rankdir=LR;\n";
+  out << "  node [shape=circle];\n";
+  for (StateId s = 0; s < chain.state_count(); ++s) {
+    const State& state = chain.state(s);
+    out << "  s" << s << " [label=\"" << escape(state.label) << "\"";
+    if (state.kind == StateKind::kAbsorbing) {
+      out << ", shape=doublecircle";
+    }
+    out << "];\n";
+  }
+  for (const Transition& t : chain.transitions()) {
+    out << "  s" << t.from << " -> s" << t.to << " [label=\""
+        << sci(t.rate, options.rate_digits) << "\"];\n";
+  }
+  out << "}\n";
+}
+
+std::string to_dot(const Chain& chain, const DotOptions& options) {
+  std::ostringstream out;
+  write_dot(chain, out, options);
+  return out.str();
+}
+
+}  // namespace nsrel::ctmc

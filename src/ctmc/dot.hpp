@@ -1,0 +1,33 @@
+// Graphviz DOT export for Markov chains: render the paper's figures
+// (and the recursive constructions beyond them) directly from the code
+// that the solvers consume, so the documentation can never drift from the
+// implementation. `dot -Tpdf` turns the output into Figure-5-style
+// diagrams.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "ctmc/chain.hpp"
+
+namespace nsrel::ctmc {
+
+struct DotOptions {
+  std::string graph_name = "chain";
+  /// Print rates in engineering notation with this many significant
+  /// digits.
+  int rate_digits = 3;
+  /// Left-to-right layout (the paper's figures read that way).
+  bool left_to_right = true;
+};
+
+/// Writes the chain as a DOT digraph: transient states as circles,
+/// absorbing states as double circles, edges labeled with rates.
+void write_dot(const Chain& chain, std::ostream& out,
+               const DotOptions& options = {});
+
+/// Convenience: DOT text as a string.
+[[nodiscard]] std::string to_dot(const Chain& chain,
+                                 const DotOptions& options = {});
+
+}  // namespace nsrel::ctmc

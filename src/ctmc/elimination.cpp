@@ -1,0 +1,137 @@
+#include "ctmc/elimination.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/math.hpp"
+
+namespace nsrel::ctmc {
+
+namespace {
+
+/// Core elimination on the embedded-jump form:
+///   m_i = c[i] + sum_j b[i][j] * m_j,   sum_j b[i][j] + ab[i] = 1.
+/// Eliminates every state except `initial` (order: last to first, skipping
+/// `initial`), then m_initial = c[initial] / ab[initial].
+double eliminate(std::vector<std::vector<double>> b, std::vector<double> ab,
+                 std::vector<double> c, std::size_t initial) {
+  const std::size_t n = b.size();
+  std::vector<bool> eliminated(n, false);
+
+  for (std::size_t step = n; step-- > 0;) {
+    const std::size_t s = step;
+    if (s == initial) continue;
+    // D_s = 1 - b[s][s], computed as a positive sum via the invariant.
+    double d = ab[s];
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j != s && !eliminated[j]) d += b[s][j];
+    }
+    NSREL_ASSERT(d > 0.0);
+    const double inv_d = 1.0 / d;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (eliminated[i] || i == s) continue;
+      const double weight = b[i][s] * inv_d;
+      if (weight == 0.0) continue;
+      c[i] += weight * c[s];
+      ab[i] += weight * ab[s];
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j != s && !eliminated[j]) b[i][j] += weight * b[s][j];
+      }
+      b[i][s] = 0.0;
+    }
+    eliminated[s] = true;
+  }
+  // Only the initial state remains: 1 - b[ii] = ab[i], so
+  // m = c / ab (both accumulated without any subtraction).
+  NSREL_ASSERT(ab[initial] > 0.0);
+  return c[initial] / ab[initial];
+}
+
+}  // namespace
+
+double EliminationSolver::mean_absorption_time_hours(const Chain& chain,
+                                                     StateId initial) {
+  NSREL_EXPECTS(chain.validate().empty());
+  NSREL_EXPECTS(initial < chain.state_count());
+  NSREL_EXPECTS(chain.state(initial).kind == StateKind::kTransient);
+
+  const auto transient = chain.transient_states();
+  const std::size_t n = transient.size();
+  std::vector<std::size_t> index(chain.state_count(), n);
+  for (std::size_t i = 0; i < n; ++i) index[transient[i]] = i;
+  NSREL_ASSERT(index[initial] < n);
+
+  // Exit rates and split into transient-jump vs absorption flows.
+  std::vector<double> exit(n, 0.0);
+  std::vector<std::vector<double>> rates(n, std::vector<double>(n, 0.0));
+  std::vector<double> absorb(n, 0.0);
+  for (const auto& t : chain.transitions()) {
+    const std::size_t from = index[t.from];
+    NSREL_ASSERT(from < n);
+    exit[from] += t.rate;
+    const std::size_t to = index[t.to];
+    if (to < n) {
+      rates[from][to] += t.rate;
+    } else {
+      absorb[from] += t.rate;
+    }
+  }
+
+  std::vector<std::vector<double>> b(n, std::vector<double>(n, 0.0));
+  std::vector<double> ab(n, 0.0);
+  std::vector<double> c(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    NSREL_ASSERT(exit[i] > 0.0);
+    const double inv_exit = 1.0 / exit[i];
+    c[i] = inv_exit;
+    ab[i] = absorb[i] * inv_exit;
+    for (std::size_t j = 0; j < n; ++j) b[i][j] = rates[i][j] * inv_exit;
+  }
+  return eliminate(std::move(b), std::move(ab), std::move(c),
+                   index[initial]);
+}
+
+double EliminationSolver::mean_absorption_time_hours(const linalg::Matrix& r,
+                                                     std::size_t initial) {
+  NSREL_EXPECTS(r.square());
+  const std::size_t n = r.rows();
+  // Absorption rate = row sum of R; the only subtraction in this path,
+  // on same-scale entries, clamped against round-off noise.
+  std::vector<double> absorption(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    KahanSum row_sum;
+    for (std::size_t j = 0; j < n; ++j) row_sum.add(r(i, j));
+    absorption[i] = std::max(0.0, row_sum.value());
+  }
+  return mean_absorption_time_hours(r, absorption, initial);
+}
+
+double EliminationSolver::mean_absorption_time_hours(
+    const linalg::Matrix& r, const std::vector<double>& absorption_rates,
+    std::size_t initial) {
+  NSREL_EXPECTS(r.square());
+  const std::size_t n = r.rows();
+  NSREL_EXPECTS(absorption_rates.size() == n);
+  NSREL_EXPECTS(initial < n);
+
+  std::vector<std::vector<double>> b(n, std::vector<double>(n, 0.0));
+  std::vector<double> ab(n, 0.0);
+  std::vector<double> c(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double exit = r(i, i);
+    NSREL_EXPECTS(exit > 0.0);
+    NSREL_EXPECTS(absorption_rates[i] >= 0.0);
+    const double inv_exit = 1.0 / exit;
+    c[i] = inv_exit;
+    ab[i] = absorption_rates[i] * inv_exit;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      NSREL_EXPECTS(r(i, j) <= 0.0);
+      b[i][j] = -r(i, j) * inv_exit;
+    }
+  }
+  return eliminate(std::move(b), std::move(ab), std::move(c), initial);
+}
+
+}  // namespace nsrel::ctmc

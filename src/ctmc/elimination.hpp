@@ -1,0 +1,49 @@
+// Cancellation-free mean-absorption-time solver (GTH-style state
+// elimination).
+//
+// Why: the LU route computes MTTDL ~ 1e19 hours from matrix entries of
+// order 1, which requires resolving cancellations beyond double precision
+// once the chain is reliable enough (observed as a NEGATIVE MTTDL at fault
+// tolerance 6). Grassmann-Taksar-Heyman elimination avoids subtraction
+// entirely: writing the mean-absorption-time system as
+//     m_i = c_i + sum_j b_ij m_j,   with  sum_j b_ij + ab_i = 1,
+// (b_ij = jump probabilities, ab_i = absorption probability, c_i = mean
+// hold time), eliminating a state divides by D_s = 1 - b_ss, and the
+// row-sum invariant lets D_s be computed as the POSITIVE SUM
+// sum_{j != s} b_sj + ab_s. Every update is add/multiply of non-negative
+// numbers, so the result is accurate to machine epsilon at ANY condition
+// number.
+#pragma once
+
+#include "ctmc/chain.hpp"
+#include "linalg/matrix.hpp"
+
+namespace nsrel::ctmc {
+
+class EliminationSolver {
+ public:
+  /// Mean time to absorption (hours) from `initial`, built directly from
+  /// the chain's transition rates (no subtractions anywhere).
+  /// Preconditions: chain.validate() passes; initial is transient.
+  [[nodiscard]] static double mean_absorption_time_hours(const Chain& chain,
+                                                         StateId initial);
+
+  /// Same, from an absorption matrix R = -Q_B (appendix form): row i's
+  /// absorption rate is its row sum. The subtraction needed to recover
+  /// those rates from R limits accuracy to ~eps * diag / absorption_rate —
+  /// fine for ordinary chains, NOT for ultra-reliable ones. Prefer the
+  /// overload below when the absorption rates are known analytically.
+  /// Precondition: r is square; `initial` indexes its rows.
+  [[nodiscard]] static double mean_absorption_time_hours(
+      const linalg::Matrix& r, std::size_t initial);
+
+  /// Fully cancellation-free variant: R's off-diagonals give jump rates,
+  /// diagonals give exit rates, and the caller supplies the exact
+  /// absorption rate of each state (no row-sum subtraction anywhere).
+  /// Preconditions: r square, absorption_rates.size() == r.rows().
+  [[nodiscard]] static double mean_absorption_time_hours(
+      const linalg::Matrix& r, const std::vector<double>& absorption_rates,
+      std::size_t initial);
+};
+
+}  // namespace nsrel::ctmc

@@ -1,0 +1,60 @@
+#include "ctmc/sensitivity.hpp"
+
+#include "linalg/lu.hpp"
+#include "util/assert.hpp"
+
+namespace nsrel::ctmc {
+
+double SensitivitySolver::mtta_derivative(const Chain& chain, StateId initial,
+                                          const TransitionSelector& selector) {
+  NSREL_EXPECTS(chain.validate().empty());
+  NSREL_EXPECTS(initial < chain.state_count());
+  NSREL_EXPECTS(chain.state(initial).kind == StateKind::kTransient);
+  NSREL_EXPECTS(selector != nullptr);
+
+  const auto transient = chain.transient_states();
+  const std::size_t n = transient.size();
+  std::vector<std::size_t> index(chain.state_count(), n);
+  for (std::size_t i = 0; i < n; ++i) index[transient[i]] = i;
+
+  const linalg::LuDecomposition lu(chain.absorption_matrix());
+  NSREL_EXPECTS(!lu.singular());
+
+  // m = R^{-1} 1 (mean absorption times), y = R^{-T} e_init.
+  const linalg::Vector m = lu.solve(linalg::Vector(n, 1.0));
+  linalg::Vector e_init(n, 0.0);
+  e_init[index[initial]] = 1.0;
+  const linalg::Vector y = lu.solve_transposed(e_init);
+
+  // dMTTA/dtheta = -y^T D m with D = dR/dtheta assembled on the fly.
+  double derivative = 0.0;
+  for (const auto& t : chain.transitions()) {
+    if (!selector(t)) continue;
+    const std::size_t from = index[t.from];
+    NSREL_ASSERT(from < n);
+    // Diagonal of R grows with the rate regardless of destination.
+    double contribution = y[from] * t.rate * m[from];
+    const std::size_t to = index[t.to];
+    if (to < n) contribution -= y[from] * t.rate * m[to];
+    derivative -= contribution;
+  }
+  return derivative;
+}
+
+double SensitivitySolver::mtta_elasticity(const Chain& chain, StateId initial,
+                                          const TransitionSelector& selector) {
+  const linalg::LuDecomposition lu(chain.absorption_matrix());
+  NSREL_EXPECTS(!lu.singular());
+  const auto transient = chain.transient_states();
+  std::size_t init_index = transient.size();
+  for (std::size_t i = 0; i < transient.size(); ++i) {
+    if (transient[i] == initial) init_index = i;
+  }
+  NSREL_EXPECTS(init_index < transient.size());
+  const linalg::Vector m = lu.solve(linalg::Vector(transient.size(), 1.0));
+  const double mtta = m[init_index];
+  NSREL_ASSERT(mtta != 0.0);
+  return mtta_derivative(chain, initial, selector) / mtta;
+}
+
+}  // namespace nsrel::ctmc

@@ -1,0 +1,39 @@
+// Analytic parameter sensitivities of the mean time to absorption.
+//
+// Section 7 of the paper explores sensitivity by sweeping one parameter
+// at a time. This solver gives the local view exactly: for a parameter
+// theta that multiplicatively scales a chosen subset S of transition
+// rates (e.g. "all drive-failure transitions" or "all repairs"),
+//     MTTA(theta) = <e_init, R(theta)^{-1} 1>,
+// and at theta = 1,
+//     dMTTA/dtheta = -y^T D m,
+// where R m = 1, R^T y = e_init, and D = dR/dtheta collects the selected
+// rates (+rate on the diagonal, -rate off-diagonal for transitions that
+// stay transient). The ELASTICITY (theta/MTTA)*dMTTA/dtheta is the
+// dimensionless "% change in MTTDL per % change in the rate" — scaling
+// every transition at once gives exactly -1 (pure time rescaling), a
+// property the tests pin down.
+#pragma once
+
+#include <functional>
+
+#include "ctmc/chain.hpp"
+
+namespace nsrel::ctmc {
+
+class SensitivitySolver {
+ public:
+  using TransitionSelector = std::function<bool(const Transition&)>;
+
+  /// d(MTTA)/d(theta) at theta = 1, where theta scales the rates of all
+  /// transitions matched by `selector`.
+  /// Preconditions: chain.validate() passes; initial is transient.
+  [[nodiscard]] static double mtta_derivative(
+      const Chain& chain, StateId initial, const TransitionSelector& selector);
+
+  /// Dimensionless elasticity: (theta / MTTA) * dMTTA/dtheta at theta=1.
+  [[nodiscard]] static double mtta_elasticity(
+      const Chain& chain, StateId initial, const TransitionSelector& selector);
+};
+
+}  // namespace nsrel::ctmc

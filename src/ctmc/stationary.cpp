@@ -1,0 +1,37 @@
+#include "ctmc/stationary.hpp"
+
+#include "linalg/lu.hpp"
+#include "util/assert.hpp"
+
+namespace nsrel::ctmc {
+
+std::vector<double> StationarySolver::distribution(const Chain& chain) {
+  NSREL_EXPECTS(chain.absorbing_count() == 0);
+  const std::size_t n = chain.state_count();
+  NSREL_EXPECTS(n > 0);
+
+  // pi Q = 0 with sum(pi) = 1: transpose to Q^T pi^T = 0 and replace the
+  // last equation by the normalization row.
+  linalg::Matrix a = chain.generator().transpose();
+  for (std::size_t j = 0; j < n; ++j) a(n - 1, j) = 1.0;
+  linalg::Vector b(n, 0.0);
+  b[n - 1] = 1.0;
+
+  const auto solution = linalg::solve(a, b);
+  NSREL_EXPECTS(solution.has_value());  // fails iff chain is reducible
+  for (const double p : *solution) NSREL_ENSURES(p > -1e-12);
+  return *solution;
+}
+
+double StationarySolver::occupancy(const Chain& chain,
+                                   const std::vector<StateId>& states) {
+  const std::vector<double> pi = distribution(chain);
+  double total = 0.0;
+  for (const StateId s : states) {
+    NSREL_EXPECTS(s < pi.size());
+    total += pi[s];
+  }
+  return total;
+}
+
+}  // namespace nsrel::ctmc

@@ -1,0 +1,27 @@
+// Stationary distribution of an irreducible CTMC (no absorbing states):
+// solve pi * Q = 0 with sum(pi) = 1.
+//
+// The reliability models in this library are absorbing, but their
+// "repairable" variants (data loss followed by restore from backup) are
+// irreducible; the availability example and several tests use this solver.
+#pragma once
+
+#include <vector>
+
+#include "ctmc/chain.hpp"
+
+namespace nsrel::ctmc {
+
+class StationarySolver {
+ public:
+  /// Stationary distribution over all states.
+  /// Preconditions: no absorbing states; the chain is irreducible (the
+  /// solve fails with a contract violation otherwise).
+  [[nodiscard]] static std::vector<double> distribution(const Chain& chain);
+
+  /// Long-run fraction of time spent in the given set of states.
+  [[nodiscard]] static double occupancy(const Chain& chain,
+                                        const std::vector<StateId>& states);
+};
+
+}  // namespace nsrel::ctmc

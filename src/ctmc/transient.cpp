@@ -1,0 +1,85 @@
+#include "ctmc/transient.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace nsrel::ctmc {
+
+TransientSolver::TransientSolver(const Chain& chain) : chain_(chain) {
+  NSREL_EXPECTS(chain.state_count() > 0);
+  const linalg::Matrix q = chain.generator();
+  const std::size_t n = q.rows();
+  for (std::size_t i = 0; i < n; ++i) {
+    lambda_ = std::max(lambda_, -q(i, i));
+  }
+  if (lambda_ == 0.0) lambda_ = 1.0;  // all-absorbing chain: P = I
+  p_ = linalg::Matrix::identity(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      p_(i, j) += q(i, j) / lambda_;
+    }
+  }
+}
+
+std::vector<double> TransientSolver::distribution_at(double t_hours,
+                                                     StateId initial,
+                                                     double tol) const {
+  NSREL_EXPECTS(t_hours >= 0.0);
+  NSREL_EXPECTS(initial < chain_.state_count());
+  NSREL_EXPECTS(tol > 0.0);
+  const std::size_t n = chain_.state_count();
+  std::vector<double> v(n, 0.0);
+  v[initial] = 1.0;
+  if (t_hours == 0.0) return v;
+
+  const double a = lambda_ * t_hours;
+  // Poisson(k; a) computed iteratively in linear space with underflow
+  // protection: start from the log of the k=0 term.
+  std::vector<double> result(n, 0.0);
+  double log_weight = -a;  // log Poisson(0; a)
+  double accumulated = 0.0;
+  // Iterate until the accumulated Poisson mass covers 1 - tol. Bound the
+  // loop generously: a + 12*sqrt(a) + 64 terms covers any practical tail.
+  const std::size_t max_terms =
+      static_cast<std::size_t>(a + 12.0 * std::sqrt(a) + 64.0);
+  for (std::size_t k = 0; k <= max_terms; ++k) {
+    if (k > 0) {
+      log_weight += std::log(a / static_cast<double>(k));
+      // v <- v * P (row vector times matrix).
+      std::vector<double> next(n, 0.0);
+      for (std::size_t i = 0; i < n; ++i) {
+        const double vi = v[i];
+        if (vi == 0.0) continue;
+        for (std::size_t j = 0; j < n; ++j) next[j] += vi * p_(i, j);
+      }
+      v = std::move(next);
+    }
+    const double weight = std::exp(log_weight);
+    if (weight > 0.0) {
+      for (std::size_t i = 0; i < n; ++i) result[i] += weight * v[i];
+      accumulated += weight;
+      if (1.0 - accumulated < tol) break;
+    }
+  }
+  return result;
+}
+
+double TransientSolver::survival(double t_hours, StateId initial,
+                                 double tol) const {
+  const std::vector<double> dist = distribution_at(t_hours, initial, tol);
+  double transient_mass = 0.0;
+  for (const StateId s : chain_.transient_states()) transient_mass += dist[s];
+  return transient_mass;
+}
+
+std::vector<double> TransientSolver::survival_curve(
+    const std::vector<double>& times_hours, StateId initial,
+    double tol) const {
+  std::vector<double> curve;
+  curve.reserve(times_hours.size());
+  for (const double t : times_hours) curve.push_back(survival(t, initial, tol));
+  return curve;
+}
+
+}  // namespace nsrel::ctmc

@@ -1,0 +1,244 @@
+#include "erasure/evenodd.hpp"
+
+#include "util/assert.hpp"
+
+namespace nsrel::erasure {
+
+namespace {
+
+void xor_into(Shard& acc, const Shard& x, std::size_t acc_off,
+              std::size_t x_off, std::size_t len) {
+  for (std::size_t i = 0; i < len; ++i) acc[acc_off + i] ^= x[x_off + i];
+}
+
+}  // namespace
+
+bool is_small_prime(int n) {
+  if (n < 2) return false;
+  for (int f = 2; f * f <= n; ++f) {
+    if (n % f == 0) return false;
+  }
+  return true;
+}
+
+EvenOddCode::EvenOddCode(int prime) : p_(prime) {
+  NSREL_EXPECTS(prime >= 3);
+  NSREL_EXPECTS(is_small_prime(prime));
+}
+
+std::vector<Shard> EvenOddCode::encode(const std::vector<Shard>& data) const {
+  NSREL_EXPECTS(static_cast<int>(data.size()) == p_);
+  NSREL_EXPECTS(!data.front().empty());
+  const std::size_t column_size = data.front().size();
+  NSREL_EXPECTS(column_size % static_cast<std::size_t>(rows()) == 0);
+  for (const Shard& column : data) NSREL_EXPECTS(column.size() == column_size);
+  const std::size_t cell = column_size / static_cast<std::size_t>(rows());
+
+  const auto p = static_cast<std::size_t>(p_);
+  // Cell (i, j) lives at offset i*cell in column j; row p-1 is imaginary 0.
+  Shard row_parity(column_size, 0);
+  Shard diag_parity(column_size, 0);  // Q before the S adjustment
+  Shard s(cell, 0);                   // the missing-diagonal XOR
+
+  for (std::size_t j = 0; j < p; ++j) {
+    for (std::size_t i = 0; i + 1 < p; ++i) {
+      xor_into(row_parity, data[j], i * cell, i * cell, cell);
+      const std::size_t d = (i + j) % p;
+      if (d == p - 1) {
+        xor_into(s, data[j], 0, i * cell, cell);
+      } else {
+        xor_into(diag_parity, data[j], d * cell, i * cell, cell);
+      }
+    }
+  }
+  // Q[d] = S ^ diag_d for every stored diagonal.
+  for (std::size_t d = 0; d + 1 < p; ++d) {
+    xor_into(diag_parity, s, d * cell, 0, cell);
+  }
+  return {std::move(row_parity), std::move(diag_parity)};
+}
+
+bool EvenOddCode::recoverable(const std::vector<bool>& present) const {
+  NSREL_EXPECTS(static_cast<int>(present.size()) == total_columns());
+  int missing = 0;
+  for (const bool ok : present) {
+    if (!ok) ++missing;
+  }
+  return missing <= 2;
+}
+
+std::vector<Shard> EvenOddCode::reconstruct(
+    const std::vector<Shard>& columns, const std::vector<bool>& present) const {
+  NSREL_EXPECTS(static_cast<int>(columns.size()) == total_columns());
+  NSREL_EXPECTS(recoverable(present));
+
+  const auto p = static_cast<std::size_t>(p_);
+  // Determine the column size from any survivor.
+  std::size_t column_size = 0;
+  for (std::size_t j = 0; j < columns.size(); ++j) {
+    if (present[j]) {
+      column_size = columns[j].size();
+      break;
+    }
+  }
+  NSREL_EXPECTS(column_size > 0);
+  NSREL_EXPECTS(column_size % static_cast<std::size_t>(rows()) == 0);
+  const std::size_t cell = column_size / static_cast<std::size_t>(rows());
+
+  std::vector<Shard> result = columns;
+  std::vector<int> missing;
+  for (int j = 0; j < total_columns(); ++j) {
+    if (!present[static_cast<std::size_t>(j)]) {
+      missing.push_back(j);
+      result[static_cast<std::size_t>(j)].assign(column_size, 0);
+    } else {
+      NSREL_EXPECTS(columns[static_cast<std::size_t>(j)].size() == column_size);
+    }
+  }
+
+  const int p_col = p_;      // row-parity column index
+  const int q_col = p_ + 1;  // diagonal-parity column index
+
+  const auto reencode_parity = [&] {
+    const std::vector<Shard> data(result.begin(),
+                                  result.begin() + static_cast<long>(p));
+    auto parity = encode(data);
+    result[static_cast<std::size_t>(p_col)] = std::move(parity[0]);
+    result[static_cast<std::size_t>(q_col)] = std::move(parity[1]);
+  };
+
+  /// Rebuild one data column from row parity (P and all other data known).
+  const auto rebuild_from_rows = [&](int col) {
+    Shard& target = result[static_cast<std::size_t>(col)];
+    target.assign(column_size, 0);
+    for (std::size_t i = 0; i + 1 < p; ++i) {
+      xor_into(target, result[static_cast<std::size_t>(p_col)], i * cell,
+               i * cell, cell);
+      for (std::size_t j = 0; j < p; ++j) {
+        if (static_cast<int>(j) == col) continue;
+        xor_into(target, result[j], i * cell, i * cell, cell);
+      }
+    }
+  };
+
+  /// Rebuild one data column from diagonal parity (Q and other data known).
+  const auto rebuild_from_diagonals = [&](int col) {
+    const auto jc = static_cast<std::size_t>(col);
+    // Recover S from the diagonal that misses column `col`:
+    // d* = (p-1 + col) mod p. If d* == p-1 that diagonal IS the
+    // S-diagonal and S equals its surviving XOR; otherwise
+    // S = Q[d*] ^ (surviving XOR on d*).
+    const std::size_t d_star = (p - 1 + jc) % p;
+    Shard s(cell, 0);
+    if (d_star != p - 1) {
+      xor_into(s, result[static_cast<std::size_t>(q_col)], 0, d_star * cell,
+               cell);
+    }
+    for (std::size_t j = 0; j < p; ++j) {
+      if (j == jc) continue;
+      const std::size_t i = (d_star + p - j) % p;
+      if (i == p - 1) continue;  // imaginary row
+      xor_into(s, result[j], 0, i * cell, cell);
+    }
+    // Each other diagonal d contains exactly one cell of column `col` at
+    // row (d - col) mod p: cell = diag_total ^ surviving, with
+    // diag_total = (d == p-1 ? S : Q[d] ^ S).
+    Shard& target = result[jc];
+    target.assign(column_size, 0);
+    for (std::size_t d = 0; d < p; ++d) {
+      if (d == d_star) continue;
+      const std::size_t row = (d + p - jc) % p;
+      NSREL_ASSERT(row != p - 1);
+      xor_into(target, s, row * cell, 0, cell);
+      if (d != p - 1) {
+        xor_into(target, result[static_cast<std::size_t>(q_col)], row * cell,
+                 d * cell, cell);
+      }
+      for (std::size_t j = 0; j < p; ++j) {
+        if (j == jc) continue;
+        const std::size_t i = (d + p - j) % p;
+        if (i == p - 1) continue;
+        xor_into(target, result[j], row * cell, i * cell, cell);
+      }
+    }
+  };
+
+  /// The zig-zag chase for two missing data columns r < s.
+  const auto rebuild_pair = [&](int r_col_i, int s_col_i) {
+    const auto r = static_cast<std::size_t>(r_col_i);
+    const auto sc = static_cast<std::size_t>(s_col_i);
+    // S = XOR of all P cells and all Q cells.
+    Shard s(cell, 0);
+    for (std::size_t i = 0; i + 1 < p; ++i) {
+      xor_into(s, result[static_cast<std::size_t>(p_col)], 0, i * cell, cell);
+      xor_into(s, result[static_cast<std::size_t>(q_col)], 0, i * cell, cell);
+    }
+    // Row syndromes S0[u] = P[u] ^ surviving row XOR.
+    Shard s0(column_size, 0);
+    for (std::size_t u = 0; u + 1 < p; ++u) {
+      xor_into(s0, result[static_cast<std::size_t>(p_col)], u * cell,
+               u * cell, cell);
+      for (std::size_t j = 0; j < p; ++j) {
+        if (j == r || j == sc) continue;
+        xor_into(s0, result[j], u * cell, u * cell, cell);
+      }
+    }
+    // Diagonal syndromes S1[d] = diag_total ^ surviving, d in 0..p-1.
+    Shard s1(p * cell, 0);
+    for (std::size_t d = 0; d < p; ++d) {
+      xor_into(s1, s, d * cell, 0, cell);
+      if (d != p - 1) {
+        xor_into(s1, result[static_cast<std::size_t>(q_col)], d * cell,
+                 d * cell, cell);
+      }
+      for (std::size_t j = 0; j < p; ++j) {
+        if (j == r || j == sc) continue;
+        const std::size_t i = (d + p - j) % p;
+        if (i == p - 1) continue;
+        xor_into(s1, result[j], d * cell, i * cell, cell);
+      }
+    }
+    // Chase: start at the row of column s whose diagonal partner in
+    // column r is the imaginary row, then alternate diagonal/row steps.
+    Shard& col_r = result[r];
+    Shard& col_s = result[sc];
+    col_r.assign(column_size, 0);
+    col_s.assign(column_size, 0);
+    const std::size_t gap = sc - r;
+    std::size_t row = (p - 1 + p - gap) % p;
+    while (row != p - 1) {
+      const std::size_t d = (row + sc) % p;
+      const std::size_t partner = (row + gap) % p;  // row of col r on d
+      // col_s[row] = S1[d] ^ col_r[partner] (zero when partner imaginary).
+      xor_into(col_s, s1, row * cell, d * cell, cell);
+      if (partner != p - 1) {
+        xor_into(col_s, col_r, row * cell, partner * cell, cell);
+      }
+      // col_r[row] = S0[row] ^ col_s[row].
+      xor_into(col_r, s0, row * cell, row * cell, cell);
+      xor_into(col_r, col_s, row * cell, row * cell, cell);
+      row = (row + p - gap) % p;
+    }
+  };
+
+  const bool p_missing = !present[static_cast<std::size_t>(p_col)];
+  const bool q_missing = !present[static_cast<std::size_t>(q_col)];
+  std::vector<int> missing_data;
+  for (const int j : missing) {
+    if (j < p_col) missing_data.push_back(j);
+  }
+
+  if (missing_data.size() == 2) {
+    rebuild_pair(missing_data[0], missing_data[1]);
+  } else if (missing_data.size() == 1) {
+    if (p_missing) {
+      rebuild_from_diagonals(missing_data[0]);
+    } else {
+      rebuild_from_rows(missing_data[0]);
+    }
+  }
+  if (p_missing || q_missing) reencode_parity();
+  return result;
+}
+
+}  // namespace nsrel::erasure

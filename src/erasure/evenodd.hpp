@@ -1,0 +1,56 @@
+// EVENODD: the classic XOR-only double-erasure code (Blaum, Brady, Bruck,
+// Menon 1995) — the kind of code the paper's era used for RAID 6 inside a
+// node, where GF(256) multiply tables were considered too expensive for
+// controller hardware.
+//
+// Layout: a (p-1) x (p+2) array for prime p. Columns 0..p-1 hold data,
+// column p holds row parity (P) and column p+1 holds diagonal parity (Q).
+// With the imaginary all-zero row p-1, Q[d] = S ^ (XOR of cells on
+// diagonal (row + col) mod p == d), where S is the XOR of the "missing"
+// diagonal d = p-1. Any TWO column erasures are recoverable with XOR
+// alone; the two-data-column case uses the zig-zag chase along diagonals
+// starting from the imaginary row.
+//
+// Each column is a flat byte buffer of (p-1) equal-size cells.
+#pragma once
+
+#include <vector>
+
+#include "erasure/reed_solomon.hpp"  // for the Shard alias
+
+namespace nsrel::erasure {
+
+class EvenOddCode {
+ public:
+  /// Code over a prime p >= 3: p data columns + P + Q.
+  /// Throws if p is not prime or < 3.
+  explicit EvenOddCode(int prime);
+
+  [[nodiscard]] int prime() const { return p_; }
+  [[nodiscard]] int data_columns() const { return p_; }
+  [[nodiscard]] int total_columns() const { return p_ + 2; }
+
+  /// Cells per column (= p-1).
+  [[nodiscard]] int rows() const { return p_ - 1; }
+
+  /// Computes {P, Q} for p data columns of equal size divisible by p-1.
+  [[nodiscard]] std::vector<Shard> encode(
+      const std::vector<Shard>& data) const;
+
+  /// True when at most 2 of the p+2 columns are missing.
+  [[nodiscard]] bool recoverable(const std::vector<bool>& present) const;
+
+  /// Reconstructs all p+2 columns from any >= p surviving ones.
+  /// columns[i] is ignored when !present[i]. Handles every erasure case:
+  /// {}, {any 1}, {data,data}, {data,P}, {data,Q}, {P,Q}.
+  [[nodiscard]] std::vector<Shard> reconstruct(
+      const std::vector<Shard>& columns, const std::vector<bool>& present) const;
+
+ private:
+  int p_;
+};
+
+/// Primality test for small n (used by the constructor and tests).
+[[nodiscard]] bool is_small_prime(int n);
+
+}  // namespace nsrel::erasure

@@ -1,0 +1,61 @@
+#include "erasure/gf256.hpp"
+
+#include "util/assert.hpp"
+
+namespace nsrel::erasure {
+
+GF256::Tables::Tables() {
+  // Generator 0x03 is primitive for 0x11B; fill exp/log by repeated
+  // multiplication by 3 (= x + 1): t*3 = t ^ (t<<1) with reduction.
+  unsigned value = 1;
+  for (unsigned i = 0; i < 255; ++i) {
+    exp[i] = static_cast<Element>(value);
+    log[value] = i;
+    const unsigned doubled = value << 1;
+    value = (doubled ^ value) & 0x1FF;     // multiply by 3 before reduction
+    if (value & 0x100) value ^= 0x11B;
+  }
+  // Duplicate the table so mul can skip the mod-255 of summed logs.
+  for (unsigned i = 255; i < 512; ++i) exp[i] = exp[i - 255];
+  log[0] = 0;  // never read; defensive zero
+}
+
+const GF256::Tables& GF256::tables() {
+  static const Tables instance;
+  return instance;
+}
+
+GF256::Element GF256::mul(Element a, Element b) {
+  if (a == 0 || b == 0) return 0;
+  const Tables& t = tables();
+  return t.exp[t.log[a] + t.log[b]];
+}
+
+GF256::Element GF256::div(Element a, Element b) {
+  NSREL_EXPECTS(b != 0);
+  if (a == 0) return 0;
+  const Tables& t = tables();
+  return t.exp[t.log[a] + 255 - t.log[b]];
+}
+
+GF256::Element GF256::inv(Element a) {
+  NSREL_EXPECTS(a != 0);
+  const Tables& t = tables();
+  return t.exp[255 - t.log[a]];
+}
+
+GF256::Element GF256::pow(Element a, unsigned power) {
+  if (power == 0) return 1;
+  if (a == 0) return 0;
+  const Tables& t = tables();
+  return t.exp[(t.log[a] * power) % 255];
+}
+
+GF256::Element GF256::exp(unsigned power) { return tables().exp[power % 255]; }
+
+unsigned GF256::log(Element a) {
+  NSREL_EXPECTS(a != 0);
+  return tables().log[a];
+}
+
+}  // namespace nsrel::erasure

@@ -1,0 +1,160 @@
+#include "erasure/rdp.hpp"
+
+#include "erasure/evenodd.hpp"  // is_small_prime
+#include "util/assert.hpp"
+
+namespace nsrel::erasure {
+
+namespace {
+void xor_into(Shard& acc, const Shard& x, std::size_t acc_off,
+              std::size_t x_off, std::size_t len) {
+  for (std::size_t i = 0; i < len; ++i) acc[acc_off + i] ^= x[x_off + i];
+}
+}  // namespace
+
+RdpCode::RdpCode(int prime) : p_(prime) {
+  NSREL_EXPECTS(prime >= 3);
+  NSREL_EXPECTS(is_small_prime(prime));
+}
+
+std::vector<Shard> RdpCode::encode(const std::vector<Shard>& data) const {
+  NSREL_EXPECTS(static_cast<int>(data.size()) == data_columns());
+  NSREL_EXPECTS(!data.front().empty());
+  const std::size_t column_size = data.front().size();
+  NSREL_EXPECTS(column_size % static_cast<std::size_t>(rows()) == 0);
+  for (const Shard& column : data) NSREL_EXPECTS(column.size() == column_size);
+  const std::size_t cell = column_size / static_cast<std::size_t>(rows());
+  const auto p = static_cast<std::size_t>(p_);
+
+  // P[i] = XOR of the data row.
+  Shard row_parity(column_size, 0);
+  for (std::size_t j = 0; j + 1 < p; ++j) {
+    for (std::size_t i = 0; i + 1 < p; ++i) {
+      xor_into(row_parity, data[j], i * cell, i * cell, cell);
+    }
+  }
+  // Q[d] = XOR over cells with (i + j) mod p == d, columns 0..p-1
+  // (data AND row parity), for the stored diagonals d = 0..p-2.
+  Shard diag_parity(column_size, 0);
+  for (std::size_t j = 0; j < p; ++j) {
+    const Shard& column = (j + 1 < p) ? data[j] : row_parity;
+    for (std::size_t i = 0; i + 1 < p; ++i) {
+      const std::size_t d = (i + j) % p;
+      if (d == p - 1) continue;  // the missing diagonal is not stored
+      xor_into(diag_parity, column, d * cell, i * cell, cell);
+    }
+  }
+  return {std::move(row_parity), std::move(diag_parity)};
+}
+
+bool RdpCode::recoverable(const std::vector<bool>& present) const {
+  NSREL_EXPECTS(static_cast<int>(present.size()) == total_columns());
+  int missing = 0;
+  for (const bool ok : present) {
+    if (!ok) ++missing;
+  }
+  return missing <= 2;
+}
+
+std::vector<Shard> RdpCode::reconstruct(
+    const std::vector<Shard>& columns, const std::vector<bool>& present) const {
+  NSREL_EXPECTS(static_cast<int>(columns.size()) == total_columns());
+  NSREL_EXPECTS(recoverable(present));
+  const auto p = static_cast<std::size_t>(p_);
+
+  std::size_t column_size = 0;
+  for (std::size_t j = 0; j < columns.size(); ++j) {
+    if (present[j]) {
+      column_size = columns[j].size();
+      break;
+    }
+  }
+  NSREL_EXPECTS(column_size > 0);
+  NSREL_EXPECTS(column_size % static_cast<std::size_t>(rows()) == 0);
+  const std::size_t cell = column_size / static_cast<std::size_t>(rows());
+
+  std::vector<Shard> result = columns;
+  // unknown[j][i]: cell (i, j) still unsolved. Q's "rows" are diagonals.
+  std::vector<std::vector<bool>> unknown(
+      p + 1, std::vector<bool>(static_cast<std::size_t>(rows()), false));
+  for (std::size_t j = 0; j < p + 1; ++j) {
+    if (!present[j]) {
+      result[j].assign(column_size, 0);
+      unknown[j].assign(static_cast<std::size_t>(rows()), true);
+    } else {
+      NSREL_EXPECTS(columns[j].size() == column_size);
+    }
+  }
+
+  // Constraint propagation: rows (columns 0..p-1), then stored diagonals
+  // (columns 0..p-1 plus the Q cell), until fixpoint.
+  const std::size_t q_col = p;
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    // Row constraints: XOR of cells (i, 0..p-1) == 0.
+    for (std::size_t i = 0; i + 1 < p; ++i) {
+      std::size_t unknowns = 0;
+      std::size_t target = 0;
+      for (std::size_t j = 0; j < p; ++j) {
+        if (unknown[j][i]) {
+          ++unknowns;
+          target = j;
+        }
+      }
+      if (unknowns != 1) continue;
+      Shard& cell_owner = result[target];
+      for (std::size_t off = 0; off < cell; ++off) {
+        cell_owner[i * cell + off] = 0;
+      }
+      for (std::size_t j = 0; j < p; ++j) {
+        if (j == target) continue;
+        xor_into(cell_owner, result[j], i * cell, i * cell, cell);
+      }
+      unknown[target][i] = false;
+      progressed = true;
+    }
+    // Diagonal constraints: for stored d, XOR of member cells and Q[d]==0.
+    for (std::size_t d = 0; d + 1 < p; ++d) {
+      std::size_t unknowns = 0;
+      std::size_t target_col = 0;
+      std::size_t target_row = 0;
+      const auto visit = [&](std::size_t j, std::size_t i) {
+        if (unknown[j][i]) {
+          ++unknowns;
+          target_col = j;
+          target_row = i;
+        }
+      };
+      for (std::size_t j = 0; j < p; ++j) {
+        const std::size_t i = (d + p - j) % p;
+        if (i + 1 < p) visit(j, i);
+      }
+      visit(q_col, d);
+      if (unknowns != 1) continue;
+      Shard& owner = result[target_col];
+      for (std::size_t off = 0; off < cell; ++off) {
+        owner[target_row * cell + off] = 0;
+      }
+      for (std::size_t j = 0; j < p; ++j) {
+        const std::size_t i = (d + p - j) % p;
+        if (i + 1 >= p || (j == target_col && i == target_row)) continue;
+        xor_into(owner, result[j], target_row * cell, i * cell, cell);
+      }
+      if (q_col != target_col) {
+        xor_into(owner, result[q_col], target_row * cell, d * cell, cell);
+      } else {
+        NSREL_ASSERT(target_row == d);
+      }
+      unknown[target_col][target_row] = false;
+      progressed = true;
+    }
+  }
+  // MDS for <= 2 erasures: the fixpoint must have solved everything.
+  for (const auto& column : unknown) {
+    for (const bool still_unknown : column) NSREL_ASSERT(!still_unknown);
+  }
+  return result;
+}
+
+}  // namespace nsrel::erasure

@@ -1,0 +1,50 @@
+// RDP — Row-Diagonal Parity (Corbett et al., FAST 2004): the second
+// canonical XOR-only double-erasure code, used by production RAID-6
+// implementations contemporary with the paper.
+//
+// Layout for prime p: a (p-1) x (p+1) array of data+P columns plus a Q
+// column. Columns 0..p-2 hold data, column p-1 holds row parity P, and Q
+// holds diagonal parity. Unlike EVENODD, RDP's diagonals RUN THROUGH the
+// row-parity column: diagonal d = (i + j) mod p over columns j = 0..p-1,
+// with the "missing" diagonal p-1 never stored. Each stored diagonal
+// misses exactly one column, which is what makes the recovery chains
+// terminate.
+//
+// Reconstruction here is by constraint propagation: rows (including P)
+// and stored diagonals (including their Q cell) are XOR constraints;
+// repeatedly solve any constraint with exactly one unknown cell. For any
+// <= 2 missing columns this reaches a fixpoint with everything solved
+// (RDP is MDS for two erasures) — and the implementation asserts it.
+#pragma once
+
+#include <vector>
+
+#include "erasure/reed_solomon.hpp"  // Shard alias
+
+namespace nsrel::erasure {
+
+class RdpCode {
+ public:
+  /// Code over a prime p >= 3: p-1 data columns + P + Q.
+  explicit RdpCode(int prime);
+
+  [[nodiscard]] int prime() const { return p_; }
+  [[nodiscard]] int data_columns() const { return p_ - 1; }
+  [[nodiscard]] int total_columns() const { return p_ + 1; }
+  [[nodiscard]] int rows() const { return p_ - 1; }
+
+  /// Computes {P, Q} for p-1 data columns of equal size divisible by p-1.
+  [[nodiscard]] std::vector<Shard> encode(
+      const std::vector<Shard>& data) const;
+
+  [[nodiscard]] bool recoverable(const std::vector<bool>& present) const;
+
+  /// Reconstructs all p+1 columns from any <= 2 erasures.
+  [[nodiscard]] std::vector<Shard> reconstruct(
+      const std::vector<Shard>& columns, const std::vector<bool>& present) const;
+
+ private:
+  int p_;
+};
+
+}  // namespace nsrel::erasure

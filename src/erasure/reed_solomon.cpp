@@ -1,0 +1,159 @@
+#include "erasure/reed_solomon.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace nsrel::erasure {
+
+namespace {
+using Element = GF256::Element;
+using GfMatrix = std::vector<std::vector<Element>>;
+
+/// y = y + scalar * x over GF(256), vectorized over shard bytes.
+void axpy(Shard& y, Element scalar, const Shard& x) {
+  NSREL_ASSERT(y.size() == x.size());
+  if (scalar == 0) return;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    y[i] = GF256::add(y[i], GF256::mul(scalar, x[i]));
+  }
+}
+}  // namespace
+
+ReedSolomonCode::ReedSolomonCode(int data_shards, int parity_shards)
+    : data_shards_(data_shards), parity_shards_(parity_shards) {
+  NSREL_EXPECTS(data_shards_ >= 1);
+  NSREL_EXPECTS(parity_shards_ >= 1);
+  NSREL_EXPECTS(data_shards_ + parity_shards_ <= 256);
+  // Cauchy matrix c[i][j] = 1 / (x_i + y_j) with x_i = i + k, y_j = j
+  // (distinct by construction since i + k >= k > j).
+  parity_rows_.resize(static_cast<std::size_t>(parity_shards_));
+  for (int i = 0; i < parity_shards_; ++i) {
+    auto& row = parity_rows_[static_cast<std::size_t>(i)];
+    row.resize(static_cast<std::size_t>(data_shards_));
+    for (int j = 0; j < data_shards_; ++j) {
+      const Element x = static_cast<Element>(i + data_shards_);
+      const Element y = static_cast<Element>(j);
+      row[static_cast<std::size_t>(j)] = GF256::inv(GF256::add(x, y));
+    }
+  }
+}
+
+std::vector<Shard> ReedSolomonCode::encode(
+    const std::vector<Shard>& data) const {
+  NSREL_EXPECTS(static_cast<int>(data.size()) == data_shards_);
+  NSREL_EXPECTS(!data.empty());
+  const std::size_t shard_size = data.front().size();
+  for (const Shard& shard : data) NSREL_EXPECTS(shard.size() == shard_size);
+
+  std::vector<Shard> parity(static_cast<std::size_t>(parity_shards_),
+                            Shard(shard_size, 0));
+  for (int i = 0; i < parity_shards_; ++i) {
+    for (int j = 0; j < data_shards_; ++j) {
+      axpy(parity[static_cast<std::size_t>(i)],
+           parity_rows_[static_cast<std::size_t>(i)]
+                       [static_cast<std::size_t>(j)],
+           data[static_cast<std::size_t>(j)]);
+    }
+  }
+  return parity;
+}
+
+bool ReedSolomonCode::recoverable(const std::vector<bool>& present) const {
+  NSREL_EXPECTS(static_cast<int>(present.size()) == total_shards());
+  const auto available = std::count(present.begin(), present.end(), true);
+  return available >= data_shards_;
+}
+
+GfMatrix ReedSolomonCode::generator() const {
+  GfMatrix g(static_cast<std::size_t>(total_shards()),
+             std::vector<Element>(static_cast<std::size_t>(data_shards_), 0));
+  for (int i = 0; i < data_shards_; ++i) {
+    g[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)] = 1;
+  }
+  for (int i = 0; i < parity_shards_; ++i) {
+    g[static_cast<std::size_t>(data_shards_ + i)] =
+        parity_rows_[static_cast<std::size_t>(i)];
+  }
+  return g;
+}
+
+std::vector<Shard> ReedSolomonCode::reconstruct(
+    const std::vector<Shard>& shards, const std::vector<bool>& present) const {
+  NSREL_EXPECTS(static_cast<int>(shards.size()) == total_shards());
+  NSREL_EXPECTS(recoverable(present));
+
+  // Pick the first k available shards and the matching generator rows.
+  std::vector<int> chosen;
+  for (int i = 0; i < total_shards() && static_cast<int>(chosen.size()) <
+                                            data_shards_; ++i) {
+    if (present[static_cast<std::size_t>(i)]) chosen.push_back(i);
+  }
+  const GfMatrix g = generator();
+  GfMatrix sub(static_cast<std::size_t>(data_shards_));
+  for (int row = 0; row < data_shards_; ++row) {
+    sub[static_cast<std::size_t>(row)] =
+        g[static_cast<std::size_t>(chosen[static_cast<std::size_t>(row)])];
+  }
+  const GfMatrix inverse = gf_invert(std::move(sub));
+  NSREL_ASSERT(!inverse.empty());  // MDS: every square submatrix invertible
+
+  const std::size_t shard_size =
+      shards[static_cast<std::size_t>(chosen.front())].size();
+  for (const int idx : chosen) {
+    NSREL_EXPECTS(shards[static_cast<std::size_t>(idx)].size() == shard_size);
+  }
+
+  // data = inverse * survivors.
+  std::vector<Shard> data(static_cast<std::size_t>(data_shards_),
+                          Shard(shard_size, 0));
+  for (int i = 0; i < data_shards_; ++i) {
+    for (int j = 0; j < data_shards_; ++j) {
+      axpy(data[static_cast<std::size_t>(i)],
+           inverse[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)],
+           shards[static_cast<std::size_t>(chosen[static_cast<std::size_t>(j)])]);
+    }
+  }
+
+  // Re-encode parity and assemble the full shard list.
+  std::vector<Shard> result = data;
+  std::vector<Shard> parity = encode(data);
+  result.insert(result.end(), std::make_move_iterator(parity.begin()),
+                std::make_move_iterator(parity.end()));
+  return result;
+}
+
+GfMatrix gf_invert(GfMatrix m) {
+  const std::size_t n = m.size();
+  for (const auto& row : m) NSREL_EXPECTS(row.size() == n);
+
+  GfMatrix inverse(n, std::vector<Element>(n, 0));
+  for (std::size_t i = 0; i < n; ++i) inverse[i][i] = 1;
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Find a pivot (any nonzero entry works in a field).
+    std::size_t pivot = col;
+    while (pivot < n && m[pivot][col] == 0) ++pivot;
+    if (pivot == n) return {};  // singular
+    std::swap(m[pivot], m[col]);
+    std::swap(inverse[pivot], inverse[col]);
+
+    const Element inv_pivot = GF256::inv(m[col][col]);
+    for (std::size_t j = 0; j < n; ++j) {
+      m[col][j] = GF256::mul(m[col][j], inv_pivot);
+      inverse[col][j] = GF256::mul(inverse[col][j], inv_pivot);
+    }
+    for (std::size_t row = 0; row < n; ++row) {
+      if (row == col || m[row][col] == 0) continue;
+      const Element factor = m[row][col];
+      for (std::size_t j = 0; j < n; ++j) {
+        m[row][j] = GF256::sub(m[row][j], GF256::mul(factor, m[col][j]));
+        inverse[row][j] =
+            GF256::sub(inverse[row][j], GF256::mul(factor, inverse[col][j]));
+      }
+    }
+  }
+  return inverse;
+}
+
+}  // namespace nsrel::erasure

@@ -1,0 +1,58 @@
+// LU decomposition with partial pivoting, and the solve/determinant/inverse
+// operations the CTMC solvers need.
+//
+// The generator submatrices Q_B arising from the paper's models are
+// strictly diagonally dominant after negation in the regimes of interest
+// (repair rates dwarf failure rates), so partial pivoting is ample.
+#pragma once
+
+#include <optional>
+
+#include "linalg/matrix.hpp"
+
+namespace nsrel::linalg {
+
+/// Factorization A = P * L * U held in packed form.
+class LuDecomposition {
+ public:
+  /// Factors `a`. Check `singular()` before using solve/inverse.
+  explicit LuDecomposition(Matrix a);
+
+  [[nodiscard]] bool singular() const { return singular_; }
+
+  /// det(A). Zero when singular.
+  [[nodiscard]] double determinant() const;
+
+  /// Solves A x = b. Requires !singular() and b.size() == n.
+  [[nodiscard]] Vector solve(const Vector& b) const;
+
+  /// Solves A X = B column-by-column. Requires !singular().
+  [[nodiscard]] Matrix solve(const Matrix& b) const;
+
+  /// Solves x^T A = b^T, i.e. A^T x = b. Requires !singular().
+  [[nodiscard]] Vector solve_transposed(const Vector& b) const;
+
+  /// A^{-1}. Requires !singular().
+  [[nodiscard]] Matrix inverse() const;
+
+  /// Crude reciprocal condition estimate: 1 / (||A||_inf * ||A^{-1}||_inf).
+  [[nodiscard]] double rcond_estimate() const;
+
+ private:
+  Matrix lu_;                     // L below diag (unit), U on/above diag
+  std::vector<std::size_t> piv_;  // row permutation
+  int pivot_sign_ = 1;
+  bool singular_ = false;
+  double original_inf_norm_ = 0.0;
+};
+
+/// Convenience: solve A x = b in one call; nullopt when A is singular.
+[[nodiscard]] std::optional<Vector> solve(const Matrix& a, const Vector& b);
+
+/// Convenience: det(A).
+[[nodiscard]] double determinant(const Matrix& a);
+
+/// Convenience: A^{-1}; nullopt when singular.
+[[nodiscard]] std::optional<Matrix> inverse(const Matrix& a);
+
+}  // namespace nsrel::linalg

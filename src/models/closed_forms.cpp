@@ -1,0 +1,63 @@
+#include "models/closed_forms.hpp"
+
+#include "util/assert.hpp"
+
+namespace nsrel::models {
+
+namespace {
+struct Unpacked {
+  double n, r, d, lambda_n, lambda_d, mu_n, mu_d, c_her;
+};
+
+Unpacked unpack(const NoInternalRaidParams& p) {
+  return Unpacked{static_cast<double>(p.node_set_size),
+                  static_cast<double>(p.redundancy_set_size),
+                  static_cast<double>(p.drives_per_node),
+                  p.node_failure.value(),
+                  p.drive_failure.value(),
+                  p.node_rebuild.value(),
+                  p.drive_rebuild.value(),
+                  p.capacity.value() * p.her_per_byte};
+}
+}  // namespace
+
+Hours nir_ft1_printed(const NoInternalRaidParams& p) {
+  NSREL_EXPECTS(p.fault_tolerance == 1);
+  const auto [n, r, d, lambda_n, lambda_d, mu_n, mu_d, c_her] = unpack(p);
+  const double h = (r - 1.0) * c_her;
+  const double numerator = mu_d * mu_n;
+  const double denominator =
+      n * (n - 1.0) * (lambda_n + d * lambda_d) *
+          (mu_d * lambda_n + d * mu_n * lambda_d) +
+      n * d * h * mu_d * mu_n * (lambda_d + lambda_n);
+  return Hours(numerator / denominator);
+}
+
+Hours nir_ft2_printed(const NoInternalRaidParams& p) {
+  NSREL_EXPECTS(p.fault_tolerance == 2);
+  const auto [n, r, d, lambda_n, lambda_d, mu_n, mu_d, c_her] = unpack(p);
+  const double mixed = mu_d * lambda_n + d * mu_n * lambda_d;
+  const double mixed_unit = mu_d * lambda_n + mu_n * lambda_d;
+  const double numerator = mu_d * mu_d * mu_n * mu_n;
+  const double denominator =
+      n * (n - 1.0) * (n - 2.0) * (lambda_n + d * lambda_d) * mixed * mixed +
+      n * (r - 1.0) * (r - 2.0) * c_her * d * mu_d * mu_n *
+          (lambda_d + lambda_n) * mixed_unit;
+  return Hours(numerator / denominator);
+}
+
+Hours nir_ft3_printed(const NoInternalRaidParams& p) {
+  NSREL_EXPECTS(p.fault_tolerance == 3);
+  const auto [n, r, d, lambda_n, lambda_d, mu_n, mu_d, c_her] = unpack(p);
+  const double mixed = mu_d * lambda_n + d * mu_n * lambda_d;
+  const double mixed_unit = mu_d * lambda_n + mu_n * lambda_d;
+  const double numerator = mu_d * mu_d * mu_d * mu_n * mu_n * mu_n;
+  const double denominator =
+      n * (n - 1.0) * (n - 2.0) * (n - 3.0) * (lambda_n + d * lambda_d) *
+          mixed * mixed * mixed +
+      n * (r - 1.0) * (r - 2.0) * (r - 3.0) * c_her * d * mu_d * mu_n *
+          (lambda_d + lambda_n) * mixed_unit * mixed_unit;
+  return Hours(numerator / denominator);
+}
+
+}  // namespace nsrel::models

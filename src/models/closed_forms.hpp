@@ -1,0 +1,25 @@
+// The paper's printed closed-form MTTDL approximations for the
+// no-internal-RAID configurations, exactly as they appear in section 4.3
+// (fault tolerance 1) and Figure 12 (fault tolerances 2 and 3).
+//
+// These are intentionally transcribed literally — including their algebraic
+// shape — so the test suite can verify that the appendix's general theorem
+// (NoInternalRaidModel::mttdl_closed_form) reduces to them for k = 1, 2, 3,
+// which is the consistency argument the paper itself makes.
+#pragma once
+
+#include "models/no_internal_raid.hpp"
+#include "util/units.hpp"
+
+namespace nsrel::models {
+
+/// Section 4.3: MTTDL_{NIR,NFT1}. Requires fault_tolerance == 1.
+[[nodiscard]] Hours nir_ft1_printed(const NoInternalRaidParams& p);
+
+/// Figure 12, top: MTTDL_{NIR,NFT2}. Requires fault_tolerance == 2.
+[[nodiscard]] Hours nir_ft2_printed(const NoInternalRaidParams& p);
+
+/// Figure 12, bottom: MTTDL_{NIR,NFT3}. Requires fault_tolerance == 3.
+[[nodiscard]] Hours nir_ft3_printed(const NoInternalRaidParams& p);
+
+}  // namespace nsrel::models

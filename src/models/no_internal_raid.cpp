@@ -1,0 +1,316 @@
+#include "models/no_internal_raid.hpp"
+
+#include <cmath>
+#include <map>
+#include <span>
+#include <string>
+
+#include "ctmc/absorbing.hpp"
+#include "ctmc/elimination.hpp"
+#include "util/assert.hpp"
+#include "util/math.hpp"
+
+namespace nsrel::models {
+
+namespace {
+
+using combinat::FailureKind;
+using combinat::FailureWord;
+
+std::string word_label(const FailureWord& word, int fault_tolerance) {
+  std::string label;
+  for (const FailureKind kind : word) {
+    label += (kind == FailureKind::kNode) ? 'N' : 'd';
+  }
+  label.append(
+      static_cast<std::size_t>(fault_tolerance) - word.size(), '0');
+  return label.empty() ? "0" : label;
+}
+
+/// Recursive chain builder. Adds the subtree rooted at `prefix` (root
+/// first, then the N-subtree, then the d-subtree — the appendix's block
+/// order) and returns the subtree root id. Failure and absorbing edges
+/// are added during the walk; repair edges are added afterwards by
+/// `add_repairs`, because the concurrent policy connects states across
+/// subtrees (removing a MIDDLE failure from the word).
+class ChainBuilder {
+ public:
+  ChainBuilder(ctmc::Chain& chain, ctmc::StateId loss,
+               const NoInternalRaidParams& p, const combinat::HParams& hp)
+      : chain_(chain), loss_(loss), params_(p), h_params_(hp) {}
+
+  void add_repairs() {
+    const double mu_n = params_.node_rebuild.value();
+    const double mu_d = params_.drive_rebuild.value();
+    for (const auto& [word, id] : ids_) {
+      if (word.empty()) continue;
+      if (params_.repair_policy == RepairPolicy::kSingle) {
+        FailureWord parent(word.begin(), word.end() - 1);
+        chain_.add_transition(
+            id, ids_.at(parent),
+            word.back() == FailureKind::kNode ? mu_n : mu_d);
+      } else {
+        for (std::size_t i = 0; i < word.size(); ++i) {
+          FailureWord reduced = word;
+          reduced.erase(reduced.begin() + static_cast<long>(i));
+          chain_.add_transition(
+              id, ids_.at(reduced),
+              word[i] == FailureKind::kNode ? mu_n : mu_d);
+        }
+      }
+    }
+  }
+
+  ctmc::StateId build(FailureWord& prefix) {
+    const int depth = static_cast<int>(prefix.size());
+    const int k = params_.fault_tolerance;
+    const double n_eff =
+        static_cast<double>(params_.node_set_size - depth);
+    const double lambda_n = params_.node_failure.value();
+    const double d_lambda_d = static_cast<double>(params_.drives_per_node) *
+                              params_.drive_failure.value();
+
+    const ctmc::StateId root = chain_.add_state(word_label(prefix, k));
+    ids_.emplace(prefix, root);
+
+    if (depth == k) {
+      // Fully degraded: any further failure in the node set loses data.
+      chain_.add_transition(root, loss_, n_eff * (lambda_n + d_lambda_d));
+      return root;
+    }
+
+    double rate_n = n_eff * lambda_n;
+    double rate_d = n_eff * d_lambda_d;
+    if (depth == k - 1) {
+      // The next failure makes some redundancy sets critical: pre-sample
+      // whether the ensuing rebuild will hit a hard error (h_alpha terms).
+      // Saturate the paper's linear hard-error probabilities (h_N can
+      // exceed 1 at fault tolerance 1 with baseline parameters).
+      prefix.push_back(FailureKind::kNode);
+      const double h_n =
+          saturated_probability(combinat::h_for_word(h_params_, prefix));
+      prefix.back() = FailureKind::kDrive;
+      const double h_d =
+          saturated_probability(combinat::h_for_word(h_params_, prefix));
+      prefix.pop_back();
+      const double loss_rate = n_eff * (lambda_n * h_n + d_lambda_d * h_d);
+      if (loss_rate > 0.0) chain_.add_transition(root, loss_, loss_rate);
+      rate_n *= 1.0 - h_n;
+      rate_d *= 1.0 - h_d;
+    }
+
+    prefix.push_back(FailureKind::kNode);
+    const ctmc::StateId child_n = build(prefix);
+    prefix.pop_back();
+    chain_.add_transition(root, child_n, rate_n);
+
+    prefix.push_back(FailureKind::kDrive);
+    const ctmc::StateId child_d = build(prefix);
+    prefix.pop_back();
+    chain_.add_transition(root, child_d, rate_d);
+    return root;
+  }
+
+ private:
+  ctmc::Chain& chain_;
+  ctmc::StateId loss_;
+  const NoInternalRaidParams& params_;
+  const combinat::HParams& h_params_;
+  std::map<FailureWord, ctmc::StateId> ids_;
+};
+
+/// Appendix block recursion for R^(k). `h` spans the 2^k h_alpha values
+/// for this subtree, in combinat::h_set order.
+linalg::Matrix build_absorption(int k, double n_eff,
+                                const NoInternalRaidParams& p,
+                                std::span<const double> h) {
+  NSREL_ASSERT(h.size() == (std::size_t{1} << k));
+  const double lambda_n = p.node_failure.value();
+  const double d_lambda_d =
+      static_cast<double>(p.drives_per_node) * p.drive_failure.value();
+  const double mu_n = p.node_rebuild.value();
+  const double mu_d = p.drive_rebuild.value();
+
+  if (k == 1) {
+    // Same saturation as ChainBuilder so the two constructions agree.
+    const double h_n = saturated_probability(h[0]);
+    const double h_d = saturated_probability(h[1]);
+    const double exhausted = (n_eff - 1.0) * (lambda_n + d_lambda_d);
+    return linalg::Matrix{
+        {n_eff * (lambda_n + d_lambda_d), -n_eff * lambda_n * (1.0 - h_n),
+         -n_eff * d_lambda_d * (1.0 - h_d)},
+        {-mu_n, mu_n + exhausted, 0.0},
+        {-mu_d, 0.0, mu_d + exhausted}};
+  }
+
+  const std::size_t half = h.size() / 2;
+  // R_x^(k) = R^(k-1)(N-1, h_x . h^(k-1)) + mu_x * U  (appendix A.4).
+  linalg::Matrix r_n = build_absorption(k - 1, n_eff - 1.0, p, h.first(half));
+  r_n(0, 0) += mu_n;
+  linalg::Matrix r_d = build_absorption(k - 1, n_eff - 1.0, p, h.last(half));
+  r_d(0, 0) += mu_d;
+
+  const std::size_t sub = r_n.rows();
+  const std::size_t dim = 2 * sub + 1;
+  linalg::Matrix r(dim, dim);
+  r(0, 0) = n_eff * (lambda_n + d_lambda_d);  // r^(k): no direct absorption
+  r(0, 1) = -n_eff * lambda_n;                // -r_N
+  r(0, 1 + sub) = -n_eff * d_lambda_d;        // -r_d
+  r(1, 0) = -mu_n;                            // -mu_N vector head
+  r(1 + sub, 0) = -mu_d;                      // -mu_d vector head
+  for (std::size_t i = 0; i < sub; ++i) {
+    for (std::size_t j = 0; j < sub; ++j) {
+      r(1 + i, 1 + j) = r_n(i, j);
+      r(1 + sub + i, 1 + sub + j) = r_d(i, j);
+    }
+  }
+  return r;
+}
+
+/// Absorption rates per state, in the same recursive state order as
+/// build_absorption. Only the bottom two levels absorb: depth k-1 states
+/// via the pre-sampled hard-error flow, depth k states via any further
+/// failure.
+void append_absorption_rates(int k, double n_eff,
+                             const NoInternalRaidParams& p,
+                             std::span<const double> h,
+                             std::vector<double>& out) {
+  const double lambda_n = p.node_failure.value();
+  const double d_lambda_d =
+      static_cast<double>(p.drives_per_node) * p.drive_failure.value();
+  if (k == 1) {
+    const double h_n = saturated_probability(h[0]);
+    const double h_d = saturated_probability(h[1]);
+    out.push_back(n_eff * (lambda_n * h_n + d_lambda_d * h_d));
+    out.push_back((n_eff - 1.0) * (lambda_n + d_lambda_d));
+    out.push_back((n_eff - 1.0) * (lambda_n + d_lambda_d));
+    return;
+  }
+  out.push_back(0.0);  // the root of a k>1 block never absorbs directly
+  const std::size_t half = h.size() / 2;
+  append_absorption_rates(k - 1, n_eff - 1.0, p, h.first(half), out);
+  append_absorption_rates(k - 1, n_eff - 1.0, p, h.last(half), out);
+}
+
+}  // namespace
+
+NoInternalRaidModel::NoInternalRaidModel(const NoInternalRaidParams& params)
+    : params_(params) {
+  NSREL_EXPECTS(params_.fault_tolerance >= 1);
+  NSREL_EXPECTS(params_.fault_tolerance <= 16);
+  NSREL_EXPECTS(params_.node_set_size > params_.fault_tolerance);
+  NSREL_EXPECTS(params_.redundancy_set_size > params_.fault_tolerance);
+  NSREL_EXPECTS(params_.redundancy_set_size <= params_.node_set_size);
+  NSREL_EXPECTS(params_.drives_per_node >= 1);
+  NSREL_EXPECTS(params_.node_failure.value() > 0.0);
+  NSREL_EXPECTS(params_.drive_failure.value() > 0.0);
+  NSREL_EXPECTS(params_.node_rebuild.value() > 0.0);
+  NSREL_EXPECTS(params_.drive_rebuild.value() > 0.0);
+  NSREL_EXPECTS(params_.capacity.value() > 0.0);
+  NSREL_EXPECTS(params_.her_per_byte >= 0.0);
+}
+
+combinat::HParams NoInternalRaidModel::h_params() const {
+  combinat::HParams hp;
+  hp.node_set_size = params_.node_set_size;
+  hp.redundancy_set_size = params_.redundancy_set_size;
+  hp.drives_per_node = params_.drives_per_node;
+  hp.fault_tolerance = params_.fault_tolerance;
+  hp.capacity_bytes = params_.capacity.value();
+  hp.her_per_byte = params_.her_per_byte;
+  return hp;
+}
+
+ctmc::Chain NoInternalRaidModel::chain() const {
+  ctmc::Chain c;
+  const ctmc::StateId loss = c.add_state("A", ctmc::StateKind::kAbsorbing);
+  const combinat::HParams hp = h_params();
+  ChainBuilder builder(c, loss, params_, hp);
+  FailureWord prefix;
+  const ctmc::StateId root = builder.build(prefix);
+  builder.add_repairs();
+  NSREL_ENSURES(root == root_state());
+  NSREL_ENSURES(c.state_count() ==
+                (std::size_t{2} << params_.fault_tolerance));
+  NSREL_ENSURES(c.validate().empty());
+  return c;
+}
+
+linalg::Matrix NoInternalRaidModel::absorption_matrix_recursive() const {
+  NSREL_EXPECTS(params_.repair_policy == RepairPolicy::kSingle);
+  const std::vector<double> h = combinat::h_set(h_params());
+  return build_absorption(params_.fault_tolerance,
+                          static_cast<double>(params_.node_set_size), params_,
+                          h);
+}
+
+Hours NoInternalRaidModel::mttdl_exact() const {
+  return Hours(ctmc::AbsorbingSolver::mttdl_hours(chain(), root_state()));
+}
+
+Hours NoInternalRaidModel::mttdl_recursive_matrix() const {
+  // The appendix's block structure encodes single (LIFO) repair.
+  NSREL_EXPECTS(params_.repair_policy == RepairPolicy::kSingle);
+  // MTTDL = <1,0,...,0> R^{-1} <1,...,1>^t (appendix A.2), evaluated via
+  // cancellation-free elimination: the naive LU evaluation loses all
+  // precision (and can go negative) once MTTDL/mu exceeds ~1/epsilon,
+  // which happens at fault tolerance ~6 with baseline rates.
+  const linalg::Matrix r = absorption_matrix_recursive();
+  return Hours(ctmc::EliminationSolver::mean_absorption_time_hours(
+      r, absorption_rates_recursive(), 0));
+}
+
+std::vector<double> NoInternalRaidModel::absorption_rates_recursive() const {
+  const std::vector<double> h = combinat::h_set(h_params());
+  std::vector<double> rates;
+  rates.reserve((std::size_t{2} << params_.fault_tolerance) - 1);
+  append_absorption_rates(params_.fault_tolerance,
+                          static_cast<double>(params_.node_set_size), params_,
+                          h, rates);
+  NSREL_ENSURES(rates.size() ==
+                (std::size_t{2} << params_.fault_tolerance) - 1);
+  return rates;
+}
+
+double l_recursion(int k, const std::vector<double>& h_values, double lambda_n,
+                   double d_lambda_d, double mu_n, double mu_d) {
+  NSREL_EXPECTS(k >= 1);
+  NSREL_EXPECTS(h_values.size() == (std::size_t{1} << k));
+  if (k == 1) return h_values[0] * lambda_n + h_values[1] * d_lambda_d;
+  const std::size_t half = h_values.size() / 2;
+  const std::vector<double> first(h_values.begin(),
+                                  h_values.begin() + static_cast<long>(half));
+  const std::vector<double> second(h_values.begin() + static_cast<long>(half),
+                                   h_values.end());
+  const double l_first =
+      l_recursion(k - 1, first, lambda_n, d_lambda_d, mu_n, mu_d);
+  const double l_second =
+      l_recursion(k - 1, second, lambda_n, d_lambda_d, mu_n, mu_d);
+  return mu_d * l_first * lambda_n + mu_n * l_second * d_lambda_d;
+}
+
+Hours NoInternalRaidModel::mttdl_closed_form() const {
+  // Appendix Figure A1:
+  //   MTTDL ~= (mu_N mu_d)^k /
+  //     ( N(N-1)...(N-k+1) [ (N-k)(lambda_N + d lambda_d) L(mu_d, mu_N)^k
+  //                          + (mu_N mu_d) L_k(h^(k)) ] )
+  const int k = params_.fault_tolerance;
+  const double n = params_.node_set_size;
+  const double lambda_n = params_.node_failure.value();
+  const double d_lambda_d = static_cast<double>(params_.drives_per_node) *
+                            params_.drive_failure.value();
+  const double mu_n = params_.node_rebuild.value();
+  const double mu_d = params_.drive_rebuild.value();
+
+  const std::vector<double> h = combinat::h_set(h_params());
+  const double l_k = l_recursion(k, h, lambda_n, d_lambda_d, mu_n, mu_d);
+  const double l_mu = mu_d * lambda_n + mu_n * d_lambda_d;  // L(mu_d, mu_N)
+  const double bracket =
+      (n - k) * (lambda_n + d_lambda_d) * std::pow(l_mu, k) + mu_n * mu_d * l_k;
+  const double denominator =
+      falling_factorial(params_.node_set_size, k) * bracket;
+  NSREL_ASSERT(denominator > 0.0);
+  return Hours(std::pow(mu_n * mu_d, k) / denominator);
+}
+
+}  // namespace nsrel::models

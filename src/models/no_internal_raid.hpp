@@ -1,0 +1,97 @@
+// Node-level models for nodes WITHOUT internal RAID (paper section 4.3,
+// Figures 8, 9, 10, and the appendix's recursive construction for
+// arbitrary node fault tolerance k).
+//
+// Without internal RAID, drive failures and node failures are distinct
+// degraded states, so the chain is a binary tree of failure words over
+// {N, d}: the state "Nd0" means a node failure followed by a drive failure
+// with one more failure tolerated. Each state at depth j < k fails further
+// at rate (N-j)(lambda_N + d lambda_d) split by failure type; the last
+// tolerated transition pre-samples whether the in-progress critical
+// rebuild will encounter a hard error (the h_alpha parameters of section
+// 5.2.2); full-depth states absorb at rate (N-k)(lambda_N + d lambda_d);
+// repairs undo the most recent failure at mu_N or mu_d.
+//
+// Two independent constructions are provided: a labeled `ctmc::Chain`
+// (transition-level, also consumed by the Monte-Carlo simulator) and the
+// appendix's block-recursive absorption matrix R^(k). Tests assert they
+// produce identical matrices.
+#pragma once
+
+#include "combinat/critical_sets.hpp"
+#include "ctmc/chain.hpp"
+#include "linalg/matrix.hpp"
+#include "models/internal_raid.hpp"  // RepairPolicy
+#include "util/units.hpp"
+
+namespace nsrel::models {
+
+struct NoInternalRaidParams {
+  int node_set_size = 64;       ///< N
+  int redundancy_set_size = 8;  ///< R
+  int fault_tolerance = 2;      ///< k across nodes
+  int drives_per_node = 12;     ///< d
+  PerHour node_failure{0.0};    ///< lambda_N
+  PerHour drive_failure{0.0};   ///< lambda_d
+  PerHour node_rebuild{0.0};    ///< mu_N
+  PerHour drive_rebuild{0.0};   ///< mu_d (distributed drive rebuild)
+  Bytes capacity = gigabytes(300.0);  ///< C per drive
+  double her_per_byte = 8e-14;        ///< HER, errors per byte read
+  /// kSingle repairs only the most recent failure (the paper's chains);
+  /// kConcurrent repairs every outstanding failure at its own rate (the
+  /// recursive matrix path and the closed forms assume kSingle).
+  RepairPolicy repair_policy = RepairPolicy::kSingle;
+};
+
+class NoInternalRaidModel {
+ public:
+  /// Preconditions: k >= 1, k < R <= N, N > k, d >= 1, rates > 0,
+  /// fault_tolerance <= 16 (chain size 2^(k+1)-1 states).
+  explicit NoInternalRaidModel(const NoInternalRaidParams& params);
+
+  [[nodiscard]] const NoInternalRaidParams& params() const { return params_; }
+
+  /// h-parameter family for this configuration (section 5.2.2).
+  [[nodiscard]] combinat::HParams h_params() const;
+
+  /// The exact chain. State 0 is the absorbing data-loss state "A"; the
+  /// fully-operational root follows at state 1 (see root_state()).
+  [[nodiscard]] ctmc::Chain chain() const;
+
+  /// Id of the fully-operational root state within chain().
+  [[nodiscard]] static ctmc::StateId root_state() { return 1; }
+
+  /// The appendix's absorption matrix R^(k), built by the block recursion
+  /// (dimension 2^(k+1)-1), ordered root, N-subtree, d-subtree.
+  [[nodiscard]] linalg::Matrix absorption_matrix_recursive() const;
+
+  /// Exact per-state absorption rates in the same state order (nonzero
+  /// only at the bottom two levels of the recursion) — supplied to the
+  /// elimination solver so no row-sum subtraction is ever needed.
+  [[nodiscard]] std::vector<double> absorption_rates_recursive() const;
+
+  /// MTTDL by numerically solving the exact chain.
+  [[nodiscard]] Hours mttdl_exact() const;
+
+  /// MTTDL = <1,0,...,0> R^{-1} <1,...,1>^t on the block-recursive matrix
+  /// (appendix equation A.2) — an independent numerical path.
+  [[nodiscard]] Hours mttdl_recursive_matrix() const;
+
+  /// The paper's closed-form approximation. For k = 1, 2, 3 this equals
+  /// the printed formulas (section 4.3 and Figure 12); for larger k it is
+  /// the appendix theorem's general form with the L_k recursion.
+  [[nodiscard]] Hours mttdl_closed_form() const;
+
+ private:
+  NoInternalRaidParams params_;
+};
+
+/// The appendix's L_k recursion: L(x,y) = x*lambda_N + y*d*lambda_d,
+/// L_1(H) = L(H[0], H[1]),
+/// L_k(H) = L(mu_d * L_{k-1}(first half), mu_N * L_{k-1}(second half)).
+/// `h_values` must have size 2^k, ordered as combinat::h_set.
+[[nodiscard]] double l_recursion(int k, const std::vector<double>& h_values,
+                                 double lambda_n, double d_lambda_d,
+                                 double mu_n, double mu_d);
+
+}  // namespace nsrel::models

@@ -1,0 +1,183 @@
+#include "placement/layout.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+#include "util/math.hpp"
+
+namespace nsrel::placement {
+
+RotatingPlacement::RotatingPlacement(const PlacementParams& params)
+    : params_(params) {
+  NSREL_EXPECTS(params_.redundancy_set_size >= 1);
+  NSREL_EXPECTS(params_.redundancy_set_size <= params_.node_set_size);
+}
+
+std::vector<int> RotatingPlacement::nodes_for_stripe(
+    std::uint64_t stripe) const {
+  const auto n = static_cast<std::uint64_t>(params_.node_set_size);
+  std::vector<int> nodes;
+  nodes.reserve(static_cast<std::size_t>(params_.redundancy_set_size));
+  for (int i = 0; i < params_.redundancy_set_size; ++i) {
+    nodes.push_back(
+        static_cast<int>((stripe + static_cast<std::uint64_t>(i)) % n));
+  }
+  return nodes;
+}
+
+bool RotatingPlacement::stripe_uses_node(std::uint64_t stripe,
+                                         int node) const {
+  NSREL_EXPECTS(node >= 0 && node < params_.node_set_size);
+  const auto n = static_cast<std::uint64_t>(params_.node_set_size);
+  const auto start = stripe % n;
+  const auto offset = (static_cast<std::uint64_t>(node) + n - start) % n;
+  return offset < static_cast<std::uint64_t>(params_.redundancy_set_size);
+}
+
+std::vector<std::uint64_t> RotatingPlacement::participation(
+    std::uint64_t window) const {
+  std::vector<std::uint64_t> counts(
+      static_cast<std::size_t>(params_.node_set_size), 0);
+  for (std::uint64_t s = 0; s < window; ++s) {
+    for (const int node : nodes_for_stripe(s)) {
+      ++counts[static_cast<std::size_t>(node)];
+    }
+  }
+  return counts;
+}
+
+std::uint64_t RotatingPlacement::critical_stripes(
+    std::uint64_t window, const std::vector<int>& failed_nodes) const {
+  std::uint64_t count = 0;
+  for (std::uint64_t s = 0; s < window; ++s) {
+    const bool all_present = std::all_of(
+        failed_nodes.begin(), failed_nodes.end(),
+        [&](int node) { return stripe_uses_node(s, node); });
+    if (all_present) ++count;
+  }
+  return count;
+}
+
+namespace {
+void enumerate_recursive(int node_set_size, int redundancy_set_size,
+                         int next, std::vector<int>& current,
+                         std::vector<std::vector<int>>& out) {
+  if (static_cast<int>(current.size()) == redundancy_set_size) {
+    out.push_back(current);
+    return;
+  }
+  const int remaining = redundancy_set_size - static_cast<int>(current.size());
+  for (int node = next; node <= node_set_size - remaining; ++node) {
+    current.push_back(node);
+    enumerate_recursive(node_set_size, redundancy_set_size, node + 1, current,
+                        out);
+    current.pop_back();
+  }
+}
+}  // namespace
+
+std::vector<std::vector<int>> enumerate_redundancy_sets(
+    int node_set_size, int redundancy_set_size) {
+  NSREL_EXPECTS(redundancy_set_size >= 1);
+  NSREL_EXPECTS(redundancy_set_size <= node_set_size);
+  NSREL_EXPECTS(binomial(node_set_size, redundancy_set_size) <=
+                static_cast<double>(1 << 20));
+  std::vector<std::vector<int>> out;
+  std::vector<int> current;
+  enumerate_recursive(node_set_size, redundancy_set_size, 0, current, out);
+  return out;
+}
+
+SpareLedger::SpareLedger(int nodes, double per_node_raw_bytes,
+                         double initial_utilization)
+    : surviving_(nodes),
+      per_node_raw_(per_node_raw_bytes),
+      data_bytes_(static_cast<double>(nodes) * per_node_raw_bytes *
+                  initial_utilization) {
+  NSREL_EXPECTS(nodes >= 2);
+  NSREL_EXPECTS(per_node_raw_bytes > 0.0);
+  NSREL_EXPECTS(initial_utilization > 0.0 && initial_utilization <= 1.0);
+}
+
+double SpareLedger::utilization() const {
+  return data_bytes_ / (static_cast<double>(surviving_) * per_node_raw_);
+}
+
+double SpareLedger::spare_bytes() const {
+  return static_cast<double>(surviving_) * per_node_raw_ - data_bytes_;
+}
+
+bool SpareLedger::can_absorb_failure() const {
+  // After losing a node, the survivors must still hold all the data.
+  return surviving_ >= 2 &&
+         static_cast<double>(surviving_ - 1) * per_node_raw_ >= data_bytes_;
+}
+
+void SpareLedger::fail_node() {
+  NSREL_EXPECTS(can_absorb_failure());
+  --surviving_;
+}
+
+int SpareLedger::failures_absorbable() const {
+  // Largest f with (surviving - f) * per_node_raw >= data.
+  const double nodes_needed = data_bytes_ / per_node_raw_;
+  const int min_nodes = static_cast<int>(std::ceil(nodes_needed - 1e-12));
+  return std::max(0, surviving_ - std::max(min_nodes, 1));
+}
+
+ProvisioningPlanner::ProvisioningPlanner(const Params& params)
+    : params_(params) {
+  NSREL_EXPECTS(params_.nodes >= 1);
+  NSREL_EXPECTS(params_.drives_per_node >= 1);
+  NSREL_EXPECTS(params_.node_failures_per_hour >= 0.0);
+  NSREL_EXPECTS(params_.drive_failures_per_hour >= 0.0);
+  NSREL_EXPECTS(params_.service_life_hours > 0.0);
+}
+
+double ProvisioningPlanner::expected_node_equivalents_lost() const {
+  const double nodes = static_cast<double>(params_.nodes);
+  const double drives =
+      nodes * static_cast<double>(params_.drives_per_node);
+  // A dead node removes a full node of capacity; a dead drive removes
+  // 1/d of one (fail-in-place: neither is replaced).
+  const double node_events = nodes * params_.node_failures_per_hour *
+                             params_.service_life_hours;
+  const double drive_events = drives * params_.drive_failures_per_hour *
+                              params_.service_life_hours /
+                              static_cast<double>(params_.drives_per_node);
+  return node_events + drive_events;
+}
+
+double ProvisioningPlanner::survival_probability(int spare_nodes) const {
+  NSREL_EXPECTS(spare_nodes >= 0);
+  // Poisson CDF at spare_nodes with the combined node-equivalent rate.
+  // (Drive failures arrive in 1/d quanta; treating them as fractional
+  // contributions to a single Poisson stream slightly over-weights their
+  // variance — conservative.)
+  const double mean = expected_node_equivalents_lost();
+  double term = std::exp(-mean);
+  double cdf = term;
+  for (int k = 1; k <= spare_nodes; ++k) {
+    term *= mean / static_cast<double>(k);
+    cdf += term;
+  }
+  return std::min(cdf, 1.0);
+}
+
+int ProvisioningPlanner::spares_needed(double target) const {
+  NSREL_EXPECTS(target > 0.0 && target < 1.0);
+  for (int spares = 0; spares <= params_.nodes; ++spares) {
+    if (survival_probability(spares) >= target) return spares;
+  }
+  throw ContractViolation(
+      "provisioning target unreachable within the node set");
+}
+
+double ProvisioningPlanner::max_initial_utilization(double target) const {
+  const int spares = spares_needed(target);
+  return static_cast<double>(params_.nodes - spares) /
+         static_cast<double>(params_.nodes);
+}
+
+}  // namespace nsrel::placement

@@ -1,0 +1,125 @@
+// Data placement over the node set (paper section 4.1).
+//
+// Each data object is one stripe whose R blocks land on R distinct nodes
+// (its redundancy set). Even distribution means every node participates in
+// the same share of redundancy sets — the property that makes the failure
+// domain the whole node set and drives the k2/k3 critical-fraction math.
+// `RotatingPlacement` is a concrete even layout; `enumerate_redundancy_sets`
+// supports exhaustive small-system tests of the combinatorial identities.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace nsrel::placement {
+
+struct PlacementParams {
+  int node_set_size = 64;       ///< N
+  int redundancy_set_size = 8;  ///< R
+};
+
+/// Round-robin rotated placement: stripe s occupies nodes
+/// (s, s+1, ..., s+R-1) mod N. Over any window of N consecutive stripes
+/// every node appears in exactly R of them, so data (and therefore spare
+/// consumption and rebuild work) is evenly distributed.
+class RotatingPlacement {
+ public:
+  /// Preconditions: 1 <= R <= N.
+  explicit RotatingPlacement(const PlacementParams& params);
+
+  [[nodiscard]] const PlacementParams& params() const { return params_; }
+
+  /// The R node ids holding stripe `stripe`, in shard-index order.
+  [[nodiscard]] std::vector<int> nodes_for_stripe(std::uint64_t stripe) const;
+
+  /// True if `node` holds a shard of `stripe`.
+  [[nodiscard]] bool stripe_uses_node(std::uint64_t stripe, int node) const;
+
+  /// Of `window` consecutive stripes starting at 0, how many does each node
+  /// participate in? (Even distribution check.)
+  [[nodiscard]] std::vector<std::uint64_t> participation(
+      std::uint64_t window) const;
+
+  /// Stripes among [0, window) that are critical — i.e. contain ALL of the
+  /// given failed nodes. Empirical counterpart of combinat's critical
+  /// fractions.
+  [[nodiscard]] std::uint64_t critical_stripes(
+      std::uint64_t window, const std::vector<int>& failed_nodes) const;
+
+ private:
+  PlacementParams params_;
+};
+
+/// All C(N, R) node subsets of size R, each sorted ascending. Guarded to
+/// small systems (C(N, R) <= 2^20) — exhaustive-test use only.
+[[nodiscard]] std::vector<std::vector<int>> enumerate_redundancy_sets(
+    int node_set_size, int redundancy_set_size);
+
+/// Fail-in-place spare-capacity ledger (paper section 3): the node set is
+/// over-provisioned; failures consume spare capacity until the pool can no
+/// longer hold a node's worth of rebuilt data.
+class SpareLedger {
+ public:
+  /// Preconditions: nodes >= 2, per-node raw > 0, 0 < utilization <= 1.
+  SpareLedger(int nodes, double per_node_raw_bytes, double initial_utilization);
+
+  [[nodiscard]] int surviving_nodes() const { return surviving_; }
+  [[nodiscard]] double utilization() const;
+  [[nodiscard]] double spare_bytes() const;
+
+  /// True if losing one more node still leaves room to rebuild its data
+  /// onto the survivors.
+  [[nodiscard]] bool can_absorb_failure() const;
+
+  /// Records a node failure and the redistribution of its data onto the
+  /// survivors. Precondition: can_absorb_failure().
+  void fail_node();
+
+  /// Number of additional node failures the current spare pool can absorb.
+  [[nodiscard]] int failures_absorbable() const;
+
+ private:
+  int surviving_;
+  double per_node_raw_;
+  double data_bytes_;  // total user data (constant across failures)
+};
+
+/// Fail-in-place provisioning (paper section 3): "the over-provisioned
+/// storage capacity is either sufficient to deal with expected failures
+/// over the operational life of the installation, or spare nodes are
+/// added at appropriate times." This planner answers: given node/drive
+/// failure rates and a service life, what initial utilization keeps the
+/// probability of running out of spare capacity below a target?
+class ProvisioningPlanner {
+ public:
+  struct Params {
+    int nodes = 64;
+    int drives_per_node = 12;
+    double node_failures_per_hour = 1.0 / 400'000.0;   ///< per node
+    double drive_failures_per_hour = 1.0 / 300'000.0;  ///< per drive
+    double service_life_hours = 5.0 * 24.0 * 365.25;
+  };
+
+  explicit ProvisioningPlanner(const Params& params);
+
+  /// Expected whole-node-equivalents of capacity lost over the service
+  /// life: node failures plus drive failures weighted by 1/d.
+  [[nodiscard]] double expected_node_equivalents_lost() const;
+
+  /// Probability that at most `spare_nodes` node-equivalents are lost
+  /// over the life (Poisson tail on the combined failure stream).
+  [[nodiscard]] double survival_probability(int spare_nodes) const;
+
+  /// Smallest number of spare node-equivalents with survival probability
+  /// at least `target` (0 < target < 1).
+  [[nodiscard]] int spares_needed(double target) const;
+
+  /// Maximum initial utilization that leaves spares_needed(target) free:
+  /// (nodes - spares) / nodes.
+  [[nodiscard]] double max_initial_utilization(double target) const;
+
+ private:
+  Params params_;
+};
+
+}  // namespace nsrel::placement

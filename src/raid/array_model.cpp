@@ -1,0 +1,126 @@
+#include "raid/array_model.hpp"
+
+#include <cmath>
+#include <string>
+
+#include "ctmc/absorbing.hpp"
+#include "util/assert.hpp"
+#include "util/math.hpp"
+
+namespace nsrel::raid {
+
+GeneralArrayModel::GeneralArrayModel(ArrayParams params, int fault_tolerance)
+    : params_(params), fault_tolerance_(fault_tolerance) {
+  NSREL_EXPECTS(fault_tolerance_ >= 1);
+  NSREL_EXPECTS(params_.drives > fault_tolerance_);
+  NSREL_EXPECTS(params_.drive_mttf.value() > 0.0);
+  NSREL_EXPECTS(params_.restripe_rate.value() > 0.0);
+  NSREL_EXPECTS(params_.capacity.value() > 0.0);
+  NSREL_EXPECTS(params_.her_per_byte >= 0.0);
+}
+
+double GeneralArrayModel::critical_hard_error_probability() const {
+  // Rebuilding with m drives gone reads the d - m survivors.
+  return static_cast<double>(params_.drives - fault_tolerance_) *
+         params_.capacity.value() * params_.her_per_byte;
+}
+
+ctmc::Chain GeneralArrayModel::chain() const {
+  const int d = params_.drives;
+  const int m = fault_tolerance_;
+  const double lambda = rate_of(params_.drive_mttf).value();
+  const double mu = params_.restripe_rate.value();
+  const double h = critical_hard_error_probability();
+
+  const double h_sat = saturated_probability(h);
+
+  ctmc::Chain c;
+  std::vector<ctmc::StateId> degraded(static_cast<std::size_t>(m) + 1);
+  for (int i = 0; i <= m; ++i) {
+    degraded[static_cast<std::size_t>(i)] =
+        c.add_state(std::to_string(i) + "_failed");
+  }
+  const ctmc::StateId loss =
+      c.add_state("data_loss", ctmc::StateKind::kAbsorbing);
+
+  for (int i = 0; i < m; ++i) {
+    const double rate = static_cast<double>(d - i) * lambda;
+    const auto from = degraded[static_cast<std::size_t>(i)];
+    const auto to = degraded[static_cast<std::size_t>(i) + 1];
+    if (i == m - 1) {
+      // The failure that makes the array critical: pre-sample whether the
+      // ensuing re-stripe will hit a hard error (paper's state semantics:
+      // state m is "will not experience an uncorrectable error").
+      c.add_transition(from, to, rate * (1.0 - h_sat));
+      if (h_sat > 0.0) c.add_transition(from, loss, rate * h_sat);
+    } else {
+      c.add_transition(from, to, rate);
+    }
+  }
+  // A failure beyond tolerance loses data.
+  c.add_transition(degraded[static_cast<std::size_t>(m)], loss,
+                   static_cast<double>(d - m) * lambda);
+  // Re-stripes restore one level of redundancy at a time.
+  for (int i = 1; i <= m; ++i) {
+    c.add_transition(degraded[static_cast<std::size_t>(i)],
+                     degraded[static_cast<std::size_t>(i) - 1], mu);
+  }
+  NSREL_ENSURES(c.validate().empty());
+  return c;
+}
+
+Hours GeneralArrayModel::mttdl_exact() const {
+  return Hours(ctmc::AbsorbingSolver::mttdl_hours(chain()));
+}
+
+Hours GeneralArrayModel::mttdl_closed_form() const {
+  const int m = fault_tolerance_;
+  const double lambda = rate_of(params_.drive_mttf).value();
+  const double mu = params_.restripe_rate.value();
+  const double c_her = params_.capacity.value() * params_.her_per_byte;
+  // d (d-1) ... (d-m): m+1 factors.
+  const double ff = falling_factorial(params_.drives, m + 1);
+  const double mu_pow_m = std::pow(mu, m);
+  const double lambda_pow_m = std::pow(lambda, m);
+  const double denominator =
+      ff * lambda_pow_m * lambda + ff * lambda_pow_m * mu * c_her;
+  NSREL_ASSERT(denominator > 0.0);
+  return Hours(mu_pow_m / denominator);
+}
+
+ArrayRates GeneralArrayModel::rates() const {
+  const int m = fault_tolerance_;
+  const double lambda = rate_of(params_.drive_mttf).value();
+  const double mu = params_.restripe_rate.value();
+  const double c_her = params_.capacity.value() * params_.her_per_byte;
+  const double ff = falling_factorial(params_.drives, m + 1);
+  ArrayRates r;
+  // lambda_D = d...(d-m) lambda^{m+1} / mu^m  (drive-loss path)
+  r.array_failure = PerHour(ff * std::pow(lambda, m + 1) / std::pow(mu, m));
+  // lambda_S = d...(d-m) lambda^m C HER / mu^{m-1}  (hard-error path)
+  r.sector_error =
+      PerHour(ff * std::pow(lambda, m) * c_her / std::pow(mu, m - 1));
+  return r;
+}
+
+GeneralArrayModel raid5(const ArrayParams& params) {
+  return GeneralArrayModel(params, 1);
+}
+
+GeneralArrayModel raid6(const ArrayParams& params) {
+  return GeneralArrayModel(params, 2);
+}
+
+Hours raid5_mttdl_full(const ArrayParams& params) {
+  const GeneralArrayModel model(params, 1);
+  const double d = params.drives;
+  const double lambda = rate_of(params.drive_mttf).value();
+  const double mu = params.restripe_rate.value();
+  const double h = model.critical_hard_error_probability();
+  const double numerator = (2.0 * d - 1.0 - d * h) * lambda + mu;
+  const double denominator =
+      d * (d - 1.0) * lambda * lambda + d * lambda * mu * h;
+  return Hours(numerator / denominator);
+}
+
+}  // namespace nsrel::raid

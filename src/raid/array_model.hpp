@@ -1,0 +1,82 @@
+// Internal RAID array reliability models (paper Figures 1 and 4).
+//
+// Under fail-in-place, a drive failure triggers a re-stripe that removes
+// the failed drive and restores redundancy, so the repair rate mu_d in
+// these chains is the re-stripe rate, not a spare-rebuild rate. An array
+// "fails" when drive failures exceed the RAID scheme's tolerance, or when
+// an uncorrectable (hard) read error strikes during a critical re-stripe.
+//
+// The models export two rates consumed by the hierarchical node-level
+// models of section 4.2:
+//   lambda_D: rate of array failure (drive-loss path), and
+//   lambda_S: rate of a sector (hard) error during a critical re-stripe.
+//
+// `GeneralArrayModel` generalizes both figures to an m-fault-tolerant
+// array: states 0..m count failed drives, state m+1 absorbs. The hard
+// error probability h_m = (d-m) * C * HER applies on the transition into
+// the critical state (h = (d-1)*C*HER for RAID 5, (d-2)*C*HER for RAID 6,
+// matching section 4).
+#pragma once
+
+#include "ctmc/chain.hpp"
+#include "util/units.hpp"
+
+namespace nsrel::raid {
+
+struct ArrayParams {
+  int drives = 12;                 ///< d
+  Hours drive_mttf{300'000.0};     ///< 1 / lambda_d
+  PerHour restripe_rate{0.0};      ///< mu_d (from rebuild::RebuildPlanner)
+  Bytes capacity = gigabytes(300.0);  ///< C per drive
+  double her_per_byte = 8e-14;        ///< HER, errors per byte read
+};
+
+/// Rates exported to the node-level models.
+struct ArrayRates {
+  PerHour array_failure;  ///< lambda_D
+  PerHour sector_error;   ///< lambda_S
+};
+
+class GeneralArrayModel {
+ public:
+  /// An array tolerating `fault_tolerance` drive failures (1 = RAID 5,
+  /// 2 = RAID 6). Preconditions: 1 <= fault_tolerance < drives;
+  /// restripe_rate > 0; drive_mttf > 0.
+  GeneralArrayModel(ArrayParams params, int fault_tolerance);
+
+  [[nodiscard]] const ArrayParams& params() const { return params_; }
+  [[nodiscard]] int fault_tolerance() const { return fault_tolerance_; }
+
+  /// Probability of a hard error during the critical re-stripe:
+  /// (d - m) * C * HER.
+  [[nodiscard]] double critical_hard_error_probability() const;
+
+  /// The exact absorbing chain (Figure 1 for m=1, Figure 4 for m=2).
+  [[nodiscard]] ctmc::Chain chain() const;
+
+  /// MTTDL from numerically solving the exact chain.
+  [[nodiscard]] Hours mttdl_exact() const;
+
+  /// The paper's closed-form approximation:
+  ///   mu_d^m / (d...(d-m) lambda_d^{m+1} + d...(d-m) lambda_d^m mu_d C HER)
+  [[nodiscard]] Hours mttdl_closed_form() const;
+
+  /// lambda_D and lambda_S (section 4.2's exports).
+  [[nodiscard]] ArrayRates rates() const;
+
+ private:
+  ArrayParams params_;
+  int fault_tolerance_;
+};
+
+/// Figure 1: RAID 5 (fault tolerance 1).
+[[nodiscard]] GeneralArrayModel raid5(const ArrayParams& params);
+
+/// Figure 4: RAID 6 (fault tolerance 2).
+[[nodiscard]] GeneralArrayModel raid6(const ArrayParams& params);
+
+/// RAID 5 MTTDL including the lower-order terms the paper prints before
+/// approximating: ((2d-1-dh) lambda + mu) / (d(d-1)lambda^2 + d lambda mu h).
+[[nodiscard]] Hours raid5_mttdl_full(const ArrayParams& params);
+
+}  // namespace nsrel::raid

@@ -1,0 +1,44 @@
+#include "rebuild/degraded.hpp"
+
+#include "util/assert.hpp"
+
+namespace nsrel::rebuild {
+
+DegradedModel::DegradedModel(const DegradedParams& params) : params_(params) {
+  NSREL_EXPECTS(params_.node_mttf.value() > 0.0);
+}
+
+DegradedImpact DegradedModel::impact() const {
+  const RebuildParams& r = params_.rebuild;
+  const RebuildPlanner planner(r);
+  const RebuildRates rates = planner.rates();
+
+  DegradedImpact result;
+  result.foreground_share = 1.0 - r.rebuild_bandwidth_fraction;
+
+  // With one node of N down, 1/N of logical reads hit a lost shard and
+  // cost R-t survivor reads instead of 1.
+  const double n = static_cast<double>(r.node_set_size);
+  const double inputs =
+      static_cast<double>(r.redundancy_set_size - r.fault_tolerance);
+  result.read_amplification = 1.0 + (inputs - 1.0) / n;
+
+  // Long-run rebuilding fraction: N node-failure streams each binding a
+  // node-rebuild window, plus N*d drive streams binding drive-rebuild
+  // windows (both << 1, so the independent-window sum is accurate).
+  const double node_rate = n / params_.node_mttf.value();
+  const double drive_rate =
+      n * static_cast<double>(r.drives_per_node) / r.drive.mttf.value();
+  result.rebuilding_fraction =
+      node_rate * to_hours(rates.node_rebuild_time).value() +
+      drive_rate * to_hours(rates.drive_rebuild_time).value();
+  NSREL_ASSERT(result.rebuilding_fraction < 1.0);
+
+  const double degraded_throughput =
+      result.foreground_share / result.read_amplification;
+  result.throughput_efficiency =
+      1.0 - result.rebuilding_fraction * (1.0 - degraded_throughput);
+  return result;
+}
+
+}  // namespace nsrel::rebuild

@@ -1,0 +1,54 @@
+// Degraded-mode performance: what rebuilds cost the foreground workload.
+//
+// The paper reserves a fixed fraction of drive and link bandwidth for
+// rebuild (10% at baseline) and asks only how fast the rebuild finishes.
+// Operators also ask the complementary questions this module answers:
+//
+//  * How much foreground throughput remains while a rebuild runs
+//    (1 - bandwidth fraction, plus the read amplification of degraded
+//    reads: a read hitting a lost shard must fetch R-t survivor shards
+//    and decode instead of one direct read)?
+//  * What fraction of calendar time is the system rebuilding at all
+//    (failure rates x rebuild durations)?
+//  * Combining both: the expected long-run throughput efficiency, the
+//    number the capacity planner should de-rate by.
+#pragma once
+
+#include "rebuild/planner.hpp"
+#include "util/units.hpp"
+
+namespace nsrel::rebuild {
+
+struct DegradedParams {
+  RebuildParams rebuild;       ///< geometry + hardware (section 6)
+  Hours node_mttf{400'000.0};  ///< lambda_N^-1
+  /// Fraction of reads that touch a lost shard while one node of N is
+  /// down: 1/N of the data was on it (even distribution).
+  /// Reads to lost shards cost (R-t) survivor reads plus decode.
+};
+
+struct DegradedImpact {
+  /// Foreground bandwidth share while a rebuild runs.
+  double foreground_share = 0.0;
+  /// Mean I/O amplification of reads during a single-node-down window:
+  /// 1 + (R-t-1)/N extra reads per logical read.
+  double read_amplification = 0.0;
+  /// Long-run fraction of time at least one rebuild is in flight
+  /// (node + drive failure streams x their rebuild durations; <<1).
+  double rebuilding_fraction = 0.0;
+  /// Long-run expected throughput relative to a failure-free system:
+  /// 1 - rebuilding_fraction * (1 - foreground_share/read_amplification).
+  double throughput_efficiency = 0.0;
+};
+
+class DegradedModel {
+ public:
+  explicit DegradedModel(const DegradedParams& params);
+
+  [[nodiscard]] DegradedImpact impact() const;
+
+ private:
+  DegradedParams params_;
+};
+
+}  // namespace nsrel::rebuild

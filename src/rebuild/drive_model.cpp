@@ -1,0 +1,39 @@
+#include "rebuild/drive_model.hpp"
+
+#include "util/assert.hpp"
+
+namespace nsrel::rebuild {
+
+DriveModel::DriveModel(const DriveParams& params) : params_(params) {
+  NSREL_EXPECTS(params_.max_iops > 0.0);
+  NSREL_EXPECTS(params_.sustained_rate.value() > 0.0);
+  NSREL_EXPECTS(params_.capacity.value() > 0.0);
+  NSREL_EXPECTS(params_.mttf.value() > 0.0);
+  NSREL_EXPECTS(params_.her_per_byte >= 0.0);
+}
+
+Seconds DriveModel::command_time(Bytes command_size) const {
+  NSREL_EXPECTS(command_size.value() > 0.0);
+  const double seek_s = 1.0 / params_.max_iops;
+  const double transfer_s =
+      command_size.value() / params_.sustained_rate.value();
+  return Seconds(seek_s + transfer_s);
+}
+
+BytesPerSecond DriveModel::effective_rate(Bytes command_size) const {
+  return BytesPerSecond(command_size.value() /
+                        command_time(command_size).value());
+}
+
+double DriveModel::efficiency(Bytes command_size) const {
+  return effective_rate(command_size).value() / params_.sustained_rate.value();
+}
+
+PerHour DriveModel::failure_rate() const { return rate_of(params_.mttf); }
+
+double DriveModel::hard_error_probability(Bytes amount) const {
+  NSREL_EXPECTS(amount.value() >= 0.0);
+  return amount.value() * params_.her_per_byte;
+}
+
+}  // namespace nsrel::rebuild

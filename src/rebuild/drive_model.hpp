@@ -1,0 +1,55 @@
+// Disk drive service model.
+//
+// The paper characterizes a drive by its maximum I/O operation rate
+// (seek/rotation bound) and its sustained transfer rate. For a rebuild or
+// re-stripe issuing commands of size B, each command costs
+// 1/IOPS + B/transfer_rate, so the effective streaming rate is
+//     eff(B) = B / (1/IOPS + B / transfer_rate),
+// which saturates toward the sustained rate as B grows. This is the
+// mechanism behind Figure 16's strong sensitivity to rebuild block size.
+#pragma once
+
+#include "util/units.hpp"
+
+namespace nsrel::rebuild {
+
+struct DriveParams {
+  double max_iops = 150.0;  ///< I/O operations per second (paper: 150)
+  BytesPerSecond sustained_rate =
+      megabytes_per_second(40.0);             ///< paper: 40 MB/s average
+  Bytes capacity = gigabytes(300.0);          ///< paper: 300 GB
+  Hours mttf = Hours(300'000.0);              ///< paper: 300,000 h
+  double her_per_byte = 8e-14;                ///< 1 sector per 1e14 bits read
+};
+
+class DriveModel {
+ public:
+  /// Preconditions: max_iops > 0, sustained_rate > 0, capacity > 0,
+  /// mttf > 0, her_per_byte >= 0.
+  explicit DriveModel(const DriveParams& params);
+
+  [[nodiscard]] const DriveParams& params() const { return params_; }
+
+  /// Effective throughput when streaming commands of the given size.
+  [[nodiscard]] BytesPerSecond effective_rate(Bytes command_size) const;
+
+  /// Per-command service time: seek/rotation cost plus transfer.
+  [[nodiscard]] Seconds command_time(Bytes command_size) const;
+
+  /// Fraction of the sustained rate achieved at this command size, in
+  /// (0, 1); ~0.33 at 128 KiB with the baseline drive.
+  [[nodiscard]] double efficiency(Bytes command_size) const;
+
+  /// Drive failure rate (1 / MTTF).
+  [[nodiscard]] PerHour failure_rate() const;
+
+  /// Probability of at least one uncorrectable (hard) error when reading
+  /// the given amount of data: amount * HER (the paper's linear model;
+  /// valid while amount * HER << 1).
+  [[nodiscard]] double hard_error_probability(Bytes amount) const;
+
+ private:
+  DriveParams params_;
+};
+
+}  // namespace nsrel::rebuild

@@ -1,0 +1,17 @@
+#include "rebuild/link_model.hpp"
+
+#include "util/assert.hpp"
+
+namespace nsrel::rebuild {
+
+LinkModel::LinkModel(const LinkParams& params) : params_(params) {
+  NSREL_EXPECTS(params_.raw_speed.value() > 0.0);
+  NSREL_EXPECTS(params_.efficiency > 0.0 && params_.efficiency <= 1.0);
+}
+
+BytesPerSecond LinkModel::sustained() const {
+  return BytesPerSecond(to_bytes_per_second(params_.raw_speed).value() *
+                        params_.efficiency);
+}
+
+}  // namespace nsrel::rebuild

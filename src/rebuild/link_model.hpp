@@ -1,0 +1,36 @@
+// Node interconnect model.
+//
+// The paper's bricks are cubes wired to neighbors on all six faces; what
+// the reliability model needs is the aggregate sustained rate at which
+// data can move in and out of one node. The paper quotes "10 Gbps
+// (800 MB/s sustained)", i.e. a protocol efficiency of 64% over the raw
+// signalling rate; we keep that efficiency as a parameter so link-speed
+// sweeps (Figure 17) scale the same way the paper's do.
+#pragma once
+
+#include "util/units.hpp"
+
+namespace nsrel::rebuild {
+
+struct LinkParams {
+  BitsPerSecond raw_speed = gigabits_per_second(10.0);  ///< paper baseline
+  /// Sustained-bytes-per-raw-bit efficiency; 0.64 reproduces the paper's
+  /// 10 Gb/s -> 800 MB/s.
+  double efficiency = 0.64;
+};
+
+class LinkModel {
+ public:
+  /// Preconditions: raw_speed > 0, 0 < efficiency <= 1.
+  explicit LinkModel(const LinkParams& params);
+
+  [[nodiscard]] const LinkParams& params() const { return params_; }
+
+  /// Aggregate sustained node bandwidth in bytes/second.
+  [[nodiscard]] BytesPerSecond sustained() const;
+
+ private:
+  LinkParams params_;
+};
+
+}  // namespace nsrel::rebuild

@@ -1,0 +1,104 @@
+#include "rebuild/planner.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace nsrel::rebuild {
+
+RebuildPlanner::RebuildPlanner(const RebuildParams& params)
+    : params_(params), drive_(params.drive), link_(params.link) {
+  NSREL_EXPECTS(params_.node_set_size >= 2);
+  NSREL_EXPECTS(params_.fault_tolerance >= 1);
+  NSREL_EXPECTS(params_.redundancy_set_size > params_.fault_tolerance);
+  NSREL_EXPECTS(params_.redundancy_set_size <= params_.node_set_size);
+  NSREL_EXPECTS(params_.drives_per_node >= 1);
+  NSREL_EXPECTS(params_.capacity_utilization > 0.0 &&
+                params_.capacity_utilization <= 1.0);
+  NSREL_EXPECTS(params_.rebuild_bandwidth_fraction > 0.0 &&
+                params_.rebuild_bandwidth_fraction <= 1.0);
+  NSREL_EXPECTS(params_.rebuild_command.value() > 0.0);
+  NSREL_EXPECTS(params_.restripe_command.value() > 0.0);
+}
+
+Bytes RebuildPlanner::node_data() const {
+  return Bytes(static_cast<double>(params_.drives_per_node) *
+               params_.drive.capacity.value() * params_.capacity_utilization);
+}
+
+Bytes RebuildPlanner::drive_data() const {
+  return Bytes(params_.drive.capacity.value() * params_.capacity_utilization);
+}
+
+DataFlows RebuildPlanner::flows() const {
+  const double survivors = static_cast<double>(params_.node_set_size - 1);
+  const double inputs =
+      static_cast<double>(params_.redundancy_set_size - params_.fault_tolerance);
+  DataFlows f;
+  f.rebuilt_per_node = 1.0 / survivors;
+  f.received_per_node = inputs / survivors;
+  f.sourced_per_node = inputs / survivors;
+  f.node_network_inout = 2.0 * inputs / survivors;
+  f.node_disk_traffic = (inputs + 1.0) / survivors;
+  f.interconnect_total = inputs;
+  return f;
+}
+
+Seconds RebuildPlanner::node_disk_time() const {
+  const DataFlows f = flows();
+  const Bytes traffic(f.node_disk_traffic * node_data().value());
+  const BytesPerSecond node_disk_bw(
+      static_cast<double>(params_.drives_per_node) *
+      drive_.effective_rate(params_.rebuild_command).value() *
+      params_.rebuild_bandwidth_fraction);
+  return transfer_time(traffic, node_disk_bw);
+}
+
+Seconds RebuildPlanner::node_network_time() const {
+  const DataFlows f = flows();
+  const Bytes traffic(f.node_network_inout * node_data().value());
+  const BytesPerSecond rebuild_bw(link_.sustained().value() *
+                                  params_.rebuild_bandwidth_fraction);
+  return transfer_time(traffic, rebuild_bw);
+}
+
+RebuildRates RebuildPlanner::rates() const {
+  RebuildRates r;
+  const Seconds disk = node_disk_time();
+  const Seconds net = node_network_time();
+  r.node_bottleneck = disk >= net ? Bottleneck::kDisk : Bottleneck::kNetwork;
+  r.node_rebuild_time = std::max(disk, net);
+  r.node_rebuild_rate = rate_of(to_hours(r.node_rebuild_time));
+
+  // Distributed drive rebuild: identical flow pattern over the same
+  // aggregate resources, but only one drive's worth of data (1/d of a
+  // node's), so it completes d times faster.
+  r.drive_rebuild_time =
+      r.node_rebuild_time / static_cast<double>(params_.drives_per_node);
+  r.drive_rebuild_rate = rate_of(to_hours(r.drive_rebuild_time));
+
+  // Internal-RAID re-stripe: each surviving drive concurrently reads its
+  // live data and writes it re-striped (2 * C * u per drive) at the
+  // re-stripe command size; no network involvement.
+  const Bytes per_drive_traffic(2.0 * drive_data().value());
+  const BytesPerSecond restripe_bw(
+      drive_.effective_rate(params_.restripe_command).value() *
+      params_.rebuild_bandwidth_fraction);
+  r.restripe_time = transfer_time(per_drive_traffic, restripe_bw);
+  r.restripe_rate = rate_of(to_hours(r.restripe_time));
+  return r;
+}
+
+BitsPerSecond RebuildPlanner::link_speed_crossover() const {
+  // Network time equals disk time when
+  //   2(R-t) / (eff * link_raw/8) = (R-t+1) / (d * eff_rate(B))
+  // (the bandwidth-utilization fraction cancels). Solve for link_raw.
+  const DataFlows f = flows();
+  const double disk_bw = static_cast<double>(params_.drives_per_node) *
+                         drive_.effective_rate(params_.rebuild_command).value();
+  const double sustained_needed =
+      f.node_network_inout / f.node_disk_traffic * disk_bw;
+  return BitsPerSecond(sustained_needed * 8.0 / params_.link.efficiency);
+}
+
+}  // namespace nsrel::rebuild

@@ -1,0 +1,96 @@
+// Rebuild-rate model (paper section 5.1 plus the section-6 parameters).
+//
+// Fail-in-place with evenly distributed data means a failed node's data is
+// reconstructed cooperatively by the N-1 survivors into their spare
+// capacity. In units of one node's worth of data, the flows are:
+//
+//   rebuilt per surviving node                 1/(N-1)
+//   received per node (R-t inputs per stripe)  (R-t)/(N-1)
+//   sourced per node                           (R-t)/(N-1)
+//   in+out of each node over the network       2(R-t)/(N-1)
+//   to/from the disks of each node             (R-t+1)/(N-1)
+//   total on the interconnect                  R-t
+//
+// The rebuild time is the larger of the disk-side and network-side
+// transfer times, with only `rebuild_bandwidth_fraction` of each resource
+// devoted to rebuild (the paper's 10%). The same machinery gives the
+// internal-RAID re-stripe rate and the distributed drive rebuild rate for
+// the no-internal-RAID configurations.
+#pragma once
+
+#include "rebuild/drive_model.hpp"
+#include "rebuild/link_model.hpp"
+
+namespace nsrel::rebuild {
+
+struct RebuildParams {
+  int node_set_size = 64;        ///< N
+  int redundancy_set_size = 8;   ///< R
+  int fault_tolerance = 2;       ///< t (erasure code strength across nodes)
+  int drives_per_node = 12;      ///< d
+  DriveParams drive;
+  LinkParams link;
+  Bytes rebuild_command = kilobytes(128.0);   ///< paper: 128 KB
+  Bytes restripe_command = megabytes(1.0);    ///< paper: 1 MB
+  double capacity_utilization = 0.75;         ///< paper: 75%
+  double rebuild_bandwidth_fraction = 0.10;   ///< paper: 10%
+};
+
+/// Section 5.1's flow accounting, in units of one node's worth of data.
+struct DataFlows {
+  double rebuilt_per_node = 0.0;
+  double received_per_node = 0.0;
+  double sourced_per_node = 0.0;
+  double node_network_inout = 0.0;
+  double node_disk_traffic = 0.0;
+  double interconnect_total = 0.0;
+};
+
+enum class Bottleneck { kDisk, kNetwork };
+
+struct RebuildRates {
+  Seconds node_rebuild_time;   ///< time to reconstruct one failed node
+  Seconds drive_rebuild_time;  ///< distributed rebuild of one failed drive
+  Seconds restripe_time;       ///< internal-RAID array re-stripe
+  PerHour node_rebuild_rate;   ///< mu_N
+  PerHour drive_rebuild_rate;  ///< mu_d, no-internal-RAID configurations
+  PerHour restripe_rate;       ///< mu_d term of the array models (Figs 1, 4)
+  Bottleneck node_bottleneck = Bottleneck::kDisk;
+};
+
+class RebuildPlanner {
+ public:
+  /// Preconditions: N >= 2, 1 <= t < R <= N, d >= 1, fractions in (0, 1].
+  explicit RebuildPlanner(const RebuildParams& params);
+
+  [[nodiscard]] const RebuildParams& params() const { return params_; }
+
+  /// One node's worth of stored data: d * C * capacity_utilization.
+  [[nodiscard]] Bytes node_data() const;
+
+  /// One drive's worth of stored data: C * capacity_utilization.
+  [[nodiscard]] Bytes drive_data() const;
+
+  [[nodiscard]] DataFlows flows() const;
+
+  /// Disk-side time component of a node rebuild.
+  [[nodiscard]] Seconds node_disk_time() const;
+
+  /// Network-side time component of a node rebuild.
+  [[nodiscard]] Seconds node_network_time() const;
+
+  /// All effective rates (the quantities the Markov models consume).
+  [[nodiscard]] RebuildRates rates() const;
+
+  /// Raw link speed at which the node rebuild transitions from
+  /// network-bound to disk-bound (the paper observes ~3 Gb/s with baseline
+  /// parameters; Figure 17 is flat above this point).
+  [[nodiscard]] BitsPerSecond link_speed_crossover() const;
+
+ private:
+  RebuildParams params_;
+  DriveModel drive_;
+  LinkModel link_;
+};
+
+}  // namespace nsrel::rebuild

@@ -1,0 +1,37 @@
+// Fixed-width table and CSV emitters used by every bench binary: the
+// figures in the paper become printed series a reader can diff run-to-run.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace nsrel::report {
+
+class Table {
+ public:
+  /// Column headers define the width floor; cells widen columns as needed.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders with aligned columns, a header underline, and 2-space gutters.
+  void print(std::ostream& out) const;
+
+  /// Renders as CSV (quotes cells containing commas or quotes).
+  void print_csv(std::ostream& out) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Convenience header line for bench output: "== title ==".
+void print_section(std::ostream& out, const std::string& title);
+
+}  // namespace nsrel::report

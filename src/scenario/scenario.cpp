@@ -1,0 +1,170 @@
+#include "scenario/scenario.hpp"
+
+#include <cmath>
+#include <ostream>
+
+#include "report/table.hpp"
+#include "util/assert.hpp"
+#include "util/format.hpp"
+
+namespace nsrel::scenario {
+
+core::Configuration parse_configuration_token(const std::string& token) {
+  const auto dash = token.rfind("-ft");
+  if (dash == std::string::npos) {
+    throw ContractViolation("configuration token '" + token +
+                            "' is not of the form <scheme>-ft<K>");
+  }
+  const std::string scheme = token.substr(0, dash);
+  const std::string ft_text = token.substr(dash + 3);
+  core::Configuration configuration;
+  if (scheme == "none") {
+    configuration.internal = core::InternalScheme::kNone;
+  } else if (scheme == "raid5") {
+    configuration.internal = core::InternalScheme::kRaid5;
+  } else if (scheme == "raid6") {
+    configuration.internal = core::InternalScheme::kRaid6;
+  } else {
+    throw ContractViolation("unknown scheme '" + scheme +
+                            "' (use none|raid5|raid6)");
+  }
+  char* end = nullptr;
+  const long ft = std::strtol(ft_text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || ft_text.empty() || ft < 1) {
+    throw ContractViolation("bad fault tolerance in '" + token + "'");
+  }
+  configuration.node_fault_tolerance = static_cast<int>(ft);
+  return configuration;
+}
+
+Scenario parse_scenario(const std::string& text) {
+  const IniDocument doc = IniDocument::parse(text);
+  Scenario scenario;
+
+  // [system]: every key must be a known parameter name.
+  scenario.system = core::SystemConfig::baseline();
+  for (const auto& [key, value] : doc.section("system")) {
+    const double number = doc.get_double("system", key, 0.0);
+    if (!core::set_parameter(scenario.system, key, number)) {
+      throw ContractViolation("unknown system parameter '" + key + "'");
+    }
+  }
+  scenario.system.validate();
+
+  // [configurations].
+  const std::string list =
+      doc.get("configurations", "list", "none-ft2, raid5-ft2, none-ft3");
+  for (const std::string& token : split_list(list)) {
+    scenario.configurations.push_back(parse_configuration_token(token));
+  }
+  NSREL_ENSURES(!scenario.configurations.empty());
+
+  // [sweep] (optional).
+  if (doc.has_section("sweep")) {
+    Sweep sweep;
+    sweep.parameter = doc.get("sweep", "param", "");
+    if (sweep.parameter.empty()) {
+      throw ContractViolation("[sweep] requires 'param'");
+    }
+    core::SystemConfig probe = scenario.system;
+    if (!core::set_parameter(probe, sweep.parameter, 1.0)) {
+      throw ContractViolation("unknown sweep parameter '" + sweep.parameter +
+                              "'");
+    }
+    sweep.from = doc.get_double("sweep", "from", 0.0);
+    sweep.to = doc.get_double("sweep", "to", 0.0);
+    sweep.steps = static_cast<int>(doc.get_double("sweep", "steps", 5.0));
+    const std::string scale = doc.get("sweep", "scale", "log");
+    if (scale == "log") {
+      sweep.log_scale = true;
+    } else if (scale == "linear") {
+      sweep.log_scale = false;
+    } else {
+      throw ContractViolation("unknown sweep scale '" + scale + "'");
+    }
+    if (!(sweep.from > 0.0) || !(sweep.to > sweep.from) || sweep.steps < 2) {
+      throw ContractViolation("[sweep] requires 0 < from < to and steps >= 2");
+    }
+    scenario.sweep = sweep;
+  }
+
+  // [output].
+  const std::string format = doc.get("output", "format", "table");
+  if (format == "csv") {
+    scenario.csv = true;
+  } else if (format != "table") {
+    throw ContractViolation("unknown output format '" + format + "'");
+  }
+  scenario.target =
+      core::ReliabilityTarget{doc.get_double("output", "target", 2e-3)};
+  const std::string method = doc.get("output", "method", "exact");
+  if (method == "closed") {
+    scenario.method = core::Method::kClosedForm;
+  } else if (method != "exact") {
+    throw ContractViolation("unknown method '" + method + "'");
+  }
+
+  // Reject unexpected sections (likely typos).
+  for (const std::string& name : doc.section_names()) {
+    if (name != "system" && name != "configurations" && name != "sweep" &&
+        name != "output" && !name.empty()) {
+      throw ContractViolation("unknown section [" + name + "]");
+    }
+  }
+  return scenario;
+}
+
+void run_scenario(const Scenario& scenario, std::ostream& out) {
+  std::vector<std::string> headers;
+  headers.push_back(scenario.sweep ? scenario.sweep->parameter : "metric");
+  for (const auto& configuration : scenario.configurations) {
+    headers.push_back(core::name(configuration));
+  }
+  report::Table table(std::move(headers));
+
+  const auto evaluate = [&](const core::SystemConfig& system,
+                            const std::string& label) {
+    const core::Analyzer analyzer(system);
+    std::vector<std::string> row{label};
+    for (const auto& configuration : scenario.configurations) {
+      const double events =
+          analyzer.events_per_pb_year(configuration, scenario.method);
+      row.push_back(sci(events) +
+                    (!scenario.csv && scenario.target.met_by(events) ? " *"
+                                                                     : ""));
+    }
+    table.add_row(std::move(row));
+  };
+
+  if (scenario.sweep) {
+    const Sweep& sweep = *scenario.sweep;
+    for (int i = 0; i < sweep.steps; ++i) {
+      const double fraction =
+          static_cast<double>(i) / static_cast<double>(sweep.steps - 1);
+      const double x =
+          sweep.log_scale
+              ? sweep.from * std::pow(sweep.to / sweep.from, fraction)
+              : sweep.from + (sweep.to - sweep.from) * fraction;
+      core::SystemConfig system = scenario.system;
+      NSREL_ASSERT(core::set_parameter(system, sweep.parameter, x));
+      system.validate();
+      evaluate(system, sci(x, 4));
+    }
+  } else {
+    evaluate(scenario.system, "events/PB-yr");
+  }
+
+  if (scenario.csv) {
+    table.print_csv(out);
+  } else {
+    table.print(out);
+    out << "(* = meets " << sci(scenario.target.events_per_pb_year)
+        << " events/PB-yr)\n";
+  }
+}
+
+void run_scenario_text(const std::string& text, std::ostream& out) {
+  run_scenario(parse_scenario(text), out);
+}
+
+}  // namespace nsrel::scenario

@@ -1,0 +1,71 @@
+// Scenario files: declarative reliability studies.
+//
+// A scenario describes a system (overrides over the paper baseline), a
+// set of redundancy configurations, and optionally a one-parameter sweep,
+// then runs to a table or CSV. Example:
+//
+//   # my-study.scenario
+//   [system]
+//   n = 64
+//   drive-mttf = 300e3
+//   link-gbps = 10
+//
+//   [configurations]
+//   list = none-ft2, raid5-ft2, none-ft3
+//
+//   [sweep]              ; optional — without it, a single evaluation
+//   param = rebuild-kb
+//   from = 4
+//   to = 1024
+//   steps = 9
+//   scale = log          ; or linear
+//
+//   [output]
+//   format = table       ; or csv
+//   target = 2e-3
+//
+// Configuration tokens are `<scheme>-ft<K>` with scheme none|raid5|raid6.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/analyzer.hpp"
+#include "scenario/ini.hpp"
+
+namespace nsrel::scenario {
+
+struct Sweep {
+  std::string parameter;
+  double from = 0.0;
+  double to = 0.0;
+  int steps = 2;
+  bool log_scale = true;
+};
+
+struct Scenario {
+  core::SystemConfig system;
+  std::vector<core::Configuration> configurations;
+  std::optional<Sweep> sweep;
+  bool csv = false;
+  core::ReliabilityTarget target = core::ReliabilityTarget::paper();
+  core::Method method = core::Method::kExactChain;
+};
+
+/// Parses a configuration token like "raid5-ft2".
+[[nodiscard]] core::Configuration parse_configuration_token(
+    const std::string& token);
+
+/// Builds a Scenario from INI text; throws ContractViolation with context
+/// on unknown keys, bad parameter names, or invalid ranges.
+[[nodiscard]] Scenario parse_scenario(const std::string& text);
+
+/// Runs the scenario, writing the result table/CSV to `out`.
+void run_scenario(const Scenario& scenario, std::ostream& out);
+
+/// Convenience: parse + run.
+void run_scenario_text(const std::string& text, std::ostream& out);
+
+}  // namespace nsrel::scenario

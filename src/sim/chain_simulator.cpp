@@ -1,0 +1,55 @@
+#include "sim/chain_simulator.hpp"
+
+#include "util/assert.hpp"
+
+namespace nsrel::sim {
+
+ChainSimulator::ChainSimulator(const ctmc::Chain& chain, std::uint64_t seed)
+    : chain_(chain), rng_(seed) {
+  NSREL_EXPECTS(chain_.validate().empty());
+  outgoing_.resize(chain_.state_count());
+  for (const auto& t : chain_.transitions()) {
+    auto& out = outgoing_[t.from];
+    out.targets.push_back(t.to);
+    out.rates.push_back(t.rate);
+    out.total_rate += t.rate;
+  }
+}
+
+double ChainSimulator::sample_absorption_time(ctmc::StateId initial) {
+  NSREL_EXPECTS(initial < chain_.state_count());
+  NSREL_EXPECTS(chain_.state(initial).kind == ctmc::StateKind::kTransient);
+  double elapsed = 0.0;
+  ctmc::StateId current = initial;
+  while (chain_.state(current).kind == ctmc::StateKind::kTransient) {
+    const Outgoing& out = outgoing_[current];
+    NSREL_ASSERT(out.total_rate > 0.0);
+    elapsed += rng_.exponential(out.total_rate);
+    // Pick the next state proportionally to rates.
+    double pick = rng_.uniform() * out.total_rate;
+    std::size_t chosen = out.targets.size() - 1;
+    for (std::size_t i = 0; i < out.rates.size(); ++i) {
+      pick -= out.rates[i];
+      if (pick <= 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    current = out.targets[chosen];
+  }
+  return elapsed;
+}
+
+MttdlEstimate ChainSimulator::estimate(int trials, ctmc::StateId initial) {
+  NSREL_EXPECTS(trials >= 2);
+  double sum = 0.0;
+  double sum_squares = 0.0;
+  for (int i = 0; i < trials; ++i) {
+    const double t = sample_absorption_time(initial);
+    sum += t;
+    sum_squares += t * t;
+  }
+  return make_estimate(sum, sum_squares, trials);
+}
+
+}  // namespace nsrel::sim

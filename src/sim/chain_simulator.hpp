@@ -1,0 +1,39 @@
+// Trajectory sampler for any absorbing ctmc::Chain: an independent
+// numerical path to MTTDL that exercises none of the linear algebra, so it
+// cross-validates the AbsorbingSolver.
+#pragma once
+
+#include <cstdint>
+
+#include "ctmc/chain.hpp"
+#include "sim/estimate.hpp"
+#include "util/rng.hpp"
+
+namespace nsrel::sim {
+
+class ChainSimulator {
+ public:
+  /// Preconditions: chain.validate() passes. The chain must outlive the
+  /// simulator.
+  explicit ChainSimulator(const ctmc::Chain& chain,
+                          std::uint64_t seed = 0x5EEDULL);
+
+  /// One sampled time-to-absorption (hours) from the given transient state.
+  [[nodiscard]] double sample_absorption_time(ctmc::StateId initial);
+
+  /// Mean time to absorption over `trials` independent trajectories.
+  /// Precondition: trials >= 2.
+  [[nodiscard]] MttdlEstimate estimate(int trials, ctmc::StateId initial);
+
+ private:
+  struct Outgoing {
+    std::vector<ctmc::StateId> targets;
+    std::vector<double> rates;
+    double total_rate = 0.0;
+  };
+  const ctmc::Chain& chain_;
+  std::vector<Outgoing> outgoing_;  // indexed by full state id
+  Xoshiro256 rng_;
+};
+
+}  // namespace nsrel::sim

@@ -1,0 +1,24 @@
+#include "sim/estimate.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace nsrel::sim {
+
+MttdlEstimate make_estimate(double sum, double sum_squares, int trials) {
+  NSREL_EXPECTS(trials >= 2);
+  MttdlEstimate e;
+  e.trials = trials;
+  const double n = static_cast<double>(trials);
+  e.mean_hours = sum / n;
+  const double variance =
+      (sum_squares - n * e.mean_hours * e.mean_hours) / (n - 1.0);
+  e.stddev_hours = variance > 0.0 ? std::sqrt(variance) : 0.0;
+  e.stderr_hours = e.stddev_hours / std::sqrt(n);
+  e.ci95_low_hours = e.mean_hours - 1.96 * e.stderr_hours;
+  e.ci95_high_hours = e.mean_hours + 1.96 * e.stderr_hours;
+  return e;
+}
+
+}  // namespace nsrel::sim

@@ -1,0 +1,25 @@
+// Monte-Carlo estimate of a mean with a normal-approximation confidence
+// interval, shared by the chain and storage simulators.
+#pragma once
+
+namespace nsrel::sim {
+
+struct MttdlEstimate {
+  double mean_hours = 0.0;
+  double stddev_hours = 0.0;
+  double stderr_hours = 0.0;
+  double ci95_low_hours = 0.0;
+  double ci95_high_hours = 0.0;
+  int trials = 0;
+
+  /// True when `value` lies inside the 95% confidence interval.
+  [[nodiscard]] bool covers(double value) const {
+    return value >= ci95_low_hours && value <= ci95_high_hours;
+  }
+};
+
+/// Builds the estimate from accumulated first/second moments.
+[[nodiscard]] MttdlEstimate make_estimate(double sum, double sum_squares,
+                                          int trials);
+
+}  // namespace nsrel::sim

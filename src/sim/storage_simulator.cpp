@@ -1,0 +1,114 @@
+#include "sim/storage_simulator.hpp"
+
+#include "util/assert.hpp"
+#include "util/math.hpp"
+
+namespace nsrel::sim {
+
+namespace {
+using combinat::FailureKind;
+using combinat::FailureWord;
+
+MttdlEstimate run_trials(int trials, const auto& sample_one) {
+  NSREL_EXPECTS(trials >= 2);
+  double sum = 0.0;
+  double sum_squares = 0.0;
+  for (int i = 0; i < trials; ++i) {
+    const double t = sample_one();
+    sum += t;
+    sum_squares += t * t;
+  }
+  return make_estimate(sum, sum_squares, trials);
+}
+}  // namespace
+
+NirStorageSimulator::NirStorageSimulator(
+    const models::NoInternalRaidParams& params, std::uint64_t seed)
+    : params_(params), rng_(seed) {
+  // Reuse the model's parameter validation and h machinery.
+  h_params_ = models::NoInternalRaidModel(params).h_params();
+}
+
+double NirStorageSimulator::sample_time_to_data_loss() {
+  const int k = params_.fault_tolerance;
+  const double lambda_n = params_.node_failure.value();
+  const double d_lambda_d = static_cast<double>(params_.drives_per_node) *
+                            params_.drive_failure.value();
+  const double mu_n = params_.node_rebuild.value();
+  const double mu_d = params_.drive_rebuild.value();
+
+  FailureWord stack;  // outstanding failures, most recent last (LIFO repair)
+  double elapsed = 0.0;
+  for (;;) {
+    const int j = static_cast<int>(stack.size());
+    const double survivors = static_cast<double>(params_.node_set_size - j);
+    const double fail_n = survivors * lambda_n;
+    const double fail_d = survivors * d_lambda_d;
+    const double repair =
+        stack.empty() ? 0.0
+                      : (stack.back() == FailureKind::kNode ? mu_n : mu_d);
+    const double total = fail_n + fail_d + repair;
+    elapsed += rng_.exponential(total);
+
+    const double pick = rng_.uniform() * total;
+    if (pick < repair) {
+      stack.pop_back();
+      continue;
+    }
+    const FailureKind kind =
+        pick < repair + fail_n ? FailureKind::kNode : FailureKind::kDrive;
+    if (j == k) return elapsed;  // failure beyond tolerance
+    stack.push_back(kind);
+    if (j == k - 1) {
+      // System just went critical: does the rebuild hit a hard error?
+      // (saturated, matching the exact chain construction)
+      const double h =
+          saturated_probability(combinat::h_for_word(h_params_, stack));
+      if (rng_.bernoulli(h)) return elapsed;
+    }
+  }
+}
+
+MttdlEstimate NirStorageSimulator::estimate(int trials) {
+  return run_trials(trials, [this] { return sample_time_to_data_loss(); });
+}
+
+IrStorageSimulator::IrStorageSimulator(
+    const models::InternalRaidParams& params, std::uint64_t seed)
+    : params_(params),
+      critical_factor_(models::InternalRaidNodeModel(params).critical_factor()),
+      rng_(seed) {}
+
+double IrStorageSimulator::sample_time_to_data_loss() {
+  const int t = params_.fault_tolerance;
+  const double lam =
+      params_.node_failure.value() + params_.array_failure.value();
+  const double mu = params_.node_rebuild.value();
+  const double sector = critical_factor_ * params_.sector_error.value();
+
+  int failed = 0;
+  double elapsed = 0.0;
+  for (;;) {
+    const double survivors = static_cast<double>(params_.node_set_size - failed);
+    const double fail = survivors * lam;
+    const double sector_loss = failed == t ? survivors * sector : 0.0;
+    const double repair = failed > 0 ? mu : 0.0;
+    const double total = fail + sector_loss + repair;
+    elapsed += rng_.exponential(total);
+
+    const double pick = rng_.uniform() * total;
+    if (pick < repair) {
+      --failed;
+      continue;
+    }
+    if (pick < repair + sector_loss) return elapsed;  // hard error, critical
+    if (failed == t) return elapsed;                  // failure beyond FT
+    ++failed;
+  }
+}
+
+MttdlEstimate IrStorageSimulator::estimate(int trials) {
+  return run_trials(trials, [this] { return sample_time_to_data_loss(); });
+}
+
+}  // namespace nsrel::sim

@@ -1,0 +1,156 @@
+#include "sim/weibull_simulator.hpp"
+
+#include <limits>
+
+#include "util/assert.hpp"
+#include "util/math.hpp"
+
+namespace nsrel::sim {
+
+namespace {
+using combinat::FailureKind;
+using combinat::FailureWord;
+
+constexpr double kNever = std::numeric_limits<double>::infinity();
+
+MttdlEstimate run_trials(int trials, const auto& sample_one) {
+  NSREL_EXPECTS(trials >= 2);
+  double sum = 0.0;
+  double sum_squares = 0.0;
+  for (int i = 0; i < trials; ++i) {
+    const double t = sample_one();
+    sum += t;
+    sum_squares += t * t;
+  }
+  return make_estimate(sum, sum_squares, trials);
+}
+}  // namespace
+
+WeibullStorageSimulator::WeibullStorageSimulator(
+    const models::NoInternalRaidParams& params, const WeibullShapes& shapes,
+    std::uint64_t seed)
+    : params_(params),
+      h_params_(models::NoInternalRaidModel(params).h_params()),
+      node_life_(shapes.node_shape, 1.0 / params.node_failure.value()),
+      drive_life_(shapes.drive_shape, 1.0 / params.drive_failure.value()),
+      rng_(seed) {}
+
+double WeibullStorageSimulator::sample_time_to_data_loss() {
+  const auto n = static_cast<std::size_t>(params_.node_set_size);
+  const auto d = static_cast<std::size_t>(params_.drives_per_node);
+  const int k = params_.fault_tolerance;
+  const double mu_n = params_.node_rebuild.value();
+  const double mu_d = params_.drive_rebuild.value();
+
+  // Absolute next-failure times; kNever while the owning node is
+  // suspended (its remaining lifetimes are parked in `frozen_*`).
+  std::vector<double> node_clock(n);
+  std::vector<std::vector<double>> drive_clock(n, std::vector<double>(d));
+  std::vector<double> frozen_node(n, 0.0);
+  std::vector<std::vector<double>> frozen_drives(n, std::vector<double>(d));
+
+  for (std::size_t i = 0; i < n; ++i) {
+    node_clock[i] = node_life_.sample(rng_);
+    for (std::size_t j = 0; j < d; ++j) {
+      drive_clock[i][j] = drive_life_.sample(rng_);
+    }
+  }
+
+  struct OutstandingFailure {
+    FailureKind kind;
+    std::size_t node;
+    std::size_t drive;  // valid when kind == kDrive
+  };
+  std::vector<OutstandingFailure> stack;  // LIFO repair
+  FailureWord word;                       // kinds only, for h lookup
+  double now = 0.0;
+  double repair_done = kNever;  // for the current top of the stack
+
+  const auto suspend = [&](std::size_t node, bool node_failed,
+                           std::size_t failed_drive) {
+    frozen_node[node] = node_failed ? kNever : node_clock[node] - now;
+    node_clock[node] = kNever;
+    for (std::size_t j = 0; j < d; ++j) {
+      frozen_drives[node][j] = (node_failed || j == failed_drive)
+                                   ? kNever
+                                   : drive_clock[node][j] - now;
+      drive_clock[node][j] = kNever;
+    }
+  };
+  const auto resume = [&](const OutstandingFailure& failure) {
+    const std::size_t node = failure.node;
+    // The repaired component (and, after a node rebuild, its drives) is
+    // renewed; everything merely suspended resumes its frozen lifetime.
+    node_clock[node] = frozen_node[node] == kNever
+                           ? now + node_life_.sample(rng_)
+                           : now + frozen_node[node];
+    for (std::size_t j = 0; j < d; ++j) {
+      drive_clock[node][j] = frozen_drives[node][j] == kNever
+                                 ? now + drive_life_.sample(rng_)
+                                 : now + frozen_drives[node][j];
+    }
+  };
+
+  for (;;) {
+    // Next event: earliest component failure or the top repair.
+    double next_failure = kNever;
+    std::size_t failure_node = 0;
+    std::size_t failure_drive = 0;
+    bool failure_is_node = true;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (node_clock[i] < next_failure) {
+        next_failure = node_clock[i];
+        failure_node = i;
+        failure_is_node = true;
+      }
+      for (std::size_t j = 0; j < d; ++j) {
+        if (drive_clock[i][j] < next_failure) {
+          next_failure = drive_clock[i][j];
+          failure_node = i;
+          failure_drive = j;
+          failure_is_node = false;
+        }
+      }
+    }
+    NSREL_ASSERT(next_failure < kNever || repair_done < kNever);
+
+    if (repair_done <= next_failure) {
+      now = repair_done;
+      const OutstandingFailure finished = stack.back();
+      stack.pop_back();
+      word.pop_back();
+      resume(finished);
+      repair_done =
+          stack.empty()
+              ? kNever
+              : now + rng_.exponential(stack.back().kind == FailureKind::kNode
+                                           ? mu_n
+                                           : mu_d);
+      continue;
+    }
+
+    now = next_failure;
+    const int outstanding = static_cast<int>(stack.size());
+    if (outstanding == k) return now;  // failure beyond tolerance
+
+    const FailureKind kind =
+        failure_is_node ? FailureKind::kNode : FailureKind::kDrive;
+    word.push_back(kind);
+    if (outstanding == k - 1) {
+      const double h =
+          saturated_probability(combinat::h_for_word(h_params_, word));
+      if (rng_.bernoulli(h)) return now;  // hard error in critical rebuild
+    }
+    stack.push_back(OutstandingFailure{kind, failure_node, failure_drive});
+    suspend(failure_node, failure_is_node, failure_is_node ? d : failure_drive);
+    // New top of the LIFO queue: (re)start its repair.
+    repair_done = now + rng_.exponential(kind == FailureKind::kNode ? mu_n
+                                                                    : mu_d);
+  }
+}
+
+MttdlEstimate WeibullStorageSimulator::estimate(int trials) {
+  return run_trials(trials, [this] { return sample_time_to_data_loss(); });
+}
+
+}  // namespace nsrel::sim

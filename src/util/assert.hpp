@@ -1,0 +1,50 @@
+// Contract-checking macros in the style of the C++ Core Guidelines' GSL
+// Expects/Ensures. Violations throw `nsrel::ContractViolation` so that both
+// library users and the test suite can observe them deterministically
+// (EXPECT_THROW) instead of aborting the process.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace nsrel {
+
+/// Thrown when a precondition, postcondition or internal invariant fails.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line) {
+  throw ContractViolation(std::string(kind) + " failed: " + expr + " at " +
+                          file + ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace nsrel
+
+/// Precondition check: argument validation at public API boundaries.
+#define NSREL_EXPECTS(cond)                                              \
+  do {                                                                   \
+    if (!(cond))                                                         \
+      ::nsrel::detail::contract_fail("precondition", #cond, __FILE__,    \
+                                     __LINE__);                          \
+  } while (false)
+
+/// Postcondition / invariant check.
+#define NSREL_ENSURES(cond)                                              \
+  do {                                                                   \
+    if (!(cond))                                                         \
+      ::nsrel::detail::contract_fail("postcondition", #cond, __FILE__,   \
+                                     __LINE__);                          \
+  } while (false)
+
+/// Internal invariant that indicates a library bug if violated.
+#define NSREL_ASSERT(cond)                                               \
+  do {                                                                   \
+    if (!(cond))                                                         \
+      ::nsrel::detail::contract_fail("invariant", #cond, __FILE__,       \
+                                     __LINE__);                          \
+  } while (false)

@@ -1,0 +1,32 @@
+#include "util/distributions.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace nsrel {
+
+WeibullLifetime::WeibullLifetime(double shape, double mttf_hours)
+    : shape_(shape) {
+  NSREL_EXPECTS(shape > 0.0);
+  NSREL_EXPECTS(mttf_hours > 0.0);
+  scale_ = mttf_hours / std::tgamma(1.0 + 1.0 / shape);
+}
+
+double WeibullLifetime::mean_hours() const {
+  return scale_ * std::tgamma(1.0 + 1.0 / shape_);
+}
+
+double WeibullLifetime::sample(Xoshiro256& rng) const {
+  // Inverse CDF: t = scale * (-ln(1-u))^(1/shape).
+  const double u = rng.uniform();
+  return scale_ * std::pow(-std::log1p(-u), 1.0 / shape_);
+}
+
+double WeibullLifetime::hazard(double age_hours) const {
+  NSREL_EXPECTS(age_hours >= 0.0);
+  NSREL_EXPECTS(age_hours > 0.0 || shape_ >= 1.0);
+  return shape_ / scale_ * std::pow(age_hours / scale_, shape_ - 1.0);
+}
+
+}  // namespace nsrel

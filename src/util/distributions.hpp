@@ -1,0 +1,38 @@
+// Lifetime distributions for the non-Markovian simulator.
+//
+// The paper's Markov models assume exponentially distributed lifetimes
+// (constant hazard). Real drives show infant mortality (decreasing
+// hazard, Weibull shape < 1) and wearout (increasing hazard, shape > 1).
+// This module provides Weibull sampling parameterized by MTTF so the
+// simulator can hold the mean fixed while varying the hazard shape —
+// isolating exactly what the exponential assumption buys.
+#pragma once
+
+#include "util/rng.hpp"
+
+namespace nsrel {
+
+class WeibullLifetime {
+ public:
+  /// Weibull with the given shape whose MEAN equals mttf_hours:
+  /// scale = mttf / Gamma(1 + 1/shape). shape = 1 is the exponential.
+  /// Preconditions: shape > 0, mttf_hours > 0.
+  WeibullLifetime(double shape, double mttf_hours);
+
+  [[nodiscard]] double shape() const { return shape_; }
+  [[nodiscard]] double scale_hours() const { return scale_; }
+  [[nodiscard]] double mean_hours() const;
+
+  /// One sampled lifetime (hours), by inverse-CDF.
+  [[nodiscard]] double sample(Xoshiro256& rng) const;
+
+  /// Hazard rate at age t (hours): (shape/scale) * (t/scale)^(shape-1).
+  /// Requires t > 0 when shape < 1 (hazard diverges at 0).
+  [[nodiscard]] double hazard(double age_hours) const;
+
+ private:
+  double shape_;
+  double scale_;
+};
+
+}  // namespace nsrel

@@ -1,0 +1,23 @@
+// Number formatting for reports: engineering/scientific notation helpers
+// matching the magnitudes the paper plots (events per PB-year span ~1e-12
+// to ~1e+2 across figures).
+#pragma once
+
+#include <string>
+
+namespace nsrel {
+
+/// "1.23e-05" style scientific with the given significant digits (>= 1).
+[[nodiscard]] std::string sci(double v, int significant_digits = 3);
+
+/// Fixed-point with the given decimals.
+[[nodiscard]] std::string fixed(double v, int decimals = 2);
+
+/// Human-readable byte size: "300 GB", "128 KiB" (binary for sub-MB command
+/// sizes, decimal for drive capacities -- the paper mixes both).
+[[nodiscard]] std::string human_bytes(double bytes);
+
+/// Hours rendered with an adaptive unit: "39.5 h", "4.2e+07 h (4.8e+03 yr)".
+[[nodiscard]] std::string human_hours(double hours);
+
+}  // namespace nsrel

@@ -1,0 +1,53 @@
+#include "util/math.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace nsrel {
+
+double binomial(std::int64_t n, std::int64_t k) {
+  if (k < 0 || k > n || n < 0) return 0.0;
+  k = std::min(k, n - k);
+  double result = 1.0;
+  for (std::int64_t i = 1; i <= k; ++i) {
+    result *= static_cast<double>(n - k + i);
+    result /= static_cast<double>(i);
+  }
+  return result;
+}
+
+double log_binomial(std::int64_t n, std::int64_t k) {
+  NSREL_EXPECTS(n >= 0 && k >= 0 && k <= n);
+  return std::lgamma(static_cast<double>(n) + 1.0) -
+         std::lgamma(static_cast<double>(k) + 1.0) -
+         std::lgamma(static_cast<double>(n - k) + 1.0);
+}
+
+double falling_factorial(std::int64_t n, std::int64_t k) {
+  NSREL_EXPECTS(k >= 0);
+  double result = 1.0;
+  for (std::int64_t i = 0; i < k; ++i) result *= static_cast<double>(n - i);
+  return result;
+}
+
+bool approx_equal(double a, double b, double rel_tol) {
+  const double diff = std::abs(a - b);
+  const double scale = std::max(std::abs(a), std::abs(b));
+  return diff <= rel_tol * std::max(scale, 1e-300);
+}
+
+double saturated_probability(double expected_events) {
+  NSREL_EXPECTS(expected_events >= 0.0);
+  return -std::expm1(-expected_events);
+}
+
+void KahanSum::add(double x) {
+  const double y = x - compensation_;
+  const double t = sum_ + y;
+  compensation_ = (t - sum_) - y;
+  sum_ = t;
+}
+
+}  // namespace nsrel

@@ -1,0 +1,40 @@
+// Small numeric helpers shared across modules.
+#pragma once
+
+#include <cstdint>
+
+namespace nsrel {
+
+/// Exact binomial coefficient C(n, k) as a double. Uses the multiplicative
+/// formula, stable for the magnitudes this library needs (n up to a few
+/// thousand). Returns 0 for k < 0 or k > n.
+[[nodiscard]] double binomial(std::int64_t n, std::int64_t k);
+
+/// Natural log of C(n, k) via lgamma; defined for 0 <= k <= n.
+[[nodiscard]] double log_binomial(std::int64_t n, std::int64_t k);
+
+/// Falling factorial n * (n-1) * ... * (n-k+1). Returns 1 for k == 0.
+[[nodiscard]] double falling_factorial(std::int64_t n, std::int64_t k);
+
+/// True if |a - b| <= tol * max(|a|, |b|) (or both within tol of zero).
+[[nodiscard]] bool approx_equal(double a, double b, double rel_tol);
+
+/// Probability of at least one event when the expected event count is
+/// `expected_events` (Poisson): 1 - exp(-x). Equals x to first order, which
+/// is the paper's linear hard-error model; the saturated form keeps the
+/// exact Markov chains well-defined where the linear model exceeds 1
+/// (e.g. h_N ~ 2 at baseline fault tolerance 1). Requires x >= 0.
+[[nodiscard]] double saturated_probability(double expected_events);
+
+/// Kahan-compensated accumulator for long sums of similar-magnitude terms.
+class KahanSum {
+ public:
+  void add(double x);
+  [[nodiscard]] double value() const { return sum_; }
+
+ private:
+  double sum_ = 0.0;
+  double compensation_ = 0.0;
+};
+
+}  // namespace nsrel

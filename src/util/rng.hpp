@@ -1,0 +1,43 @@
+// Deterministic, fast PRNG for the Monte-Carlo simulator and property tests.
+//
+// xoshiro256++ (Blackman & Vigna): excellent statistical quality, trivially
+// seedable, and — unlike std::mt19937 — identical output across standard
+// library implementations, which keeps simulation tests reproducible.
+#pragma once
+
+#include <cstdint>
+
+namespace nsrel {
+
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four-word state from a single 64-bit seed via splitmix64.
+  explicit Xoshiro256(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  [[nodiscard]] static constexpr result_type min() { return 0; }
+  [[nodiscard]] static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()();
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform();
+
+  /// Uniform double in [0, 1) that is never exactly 0 (safe for log()).
+  [[nodiscard]] double uniform_positive();
+
+  /// Exponential variate with the given rate (> 0).
+  [[nodiscard]] double exponential(double rate);
+
+  /// Uniform integer in [0, n).
+  [[nodiscard]] std::uint64_t below(std::uint64_t n);
+
+  /// Bernoulli trial with success probability p in [0, 1].
+  [[nodiscard]] bool bernoulli(double p);
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace nsrel

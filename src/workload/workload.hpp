@@ -1,0 +1,56 @@
+// Synthetic client workloads for the brick store: the foreground traffic
+// whose degraded-mode amplification rebuild::DegradedModel prices
+// analytically. The generator produces chunk-aligned random-range reads
+// over a populated store with uniform or Zipf-skewed object popularity,
+// and the runner measures the empirical read amplification from the
+// store's I/O counters.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "brick/object_store.hpp"
+#include "util/rng.hpp"
+
+namespace nsrel::workload {
+
+/// Zipf(s) sampler over {0, ..., n-1} by inverse CDF on a precomputed
+/// table (n is small here: object catalogs). s = 0 is uniform.
+class ZipfSampler {
+ public:
+  /// Preconditions: n >= 1, exponent >= 0.
+  ZipfSampler(std::size_t n, double exponent);
+
+  [[nodiscard]] std::size_t sample(Xoshiro256& rng) const;
+
+  /// Probability mass of item k (exposed for tests).
+  [[nodiscard]] double probability(std::size_t k) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+struct WorkloadParams {
+  int operations = 1000;
+  double zipf_exponent = 0.0;     ///< 0 = uniform popularity
+  std::size_t read_bytes = 4096;  ///< logical size of each read
+  std::uint64_t seed = 0x10ADULL;
+};
+
+struct WorkloadResult {
+  brick::ObjectStore::IoStats io;     ///< counters for this run
+  double read_amplification = 0.0;    ///< physical/logical chunk reads
+  std::uint64_t degraded_reads = 0;   ///< ops that needed a decode
+  int operations = 0;
+};
+
+/// Runs random-range reads against the store over the given objects and
+/// returns the measured amplification. Resets the store's I/O counters.
+/// Preconditions: objects non-empty; every object at least read_bytes
+/// long.
+[[nodiscard]] WorkloadResult run_read_workload(
+    brick::ObjectStore& store, const std::vector<brick::ObjectId>& objects,
+    const std::vector<std::size_t>& object_sizes,
+    const WorkloadParams& params);
+
+}  // namespace nsrel::workload

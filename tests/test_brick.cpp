@@ -1,0 +1,224 @@
+// Tests for the brick substrate: drive/node storage semantics, the object
+// store's write/read/degraded-read/rebuild lifecycle, fail-in-place
+// capacity behaviour, and the correspondence between measured rebuild
+// traffic and section 5.1's flow model.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "brick/object_store.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace nsrel::brick {
+namespace {
+
+std::vector<std::uint8_t> random_bytes(std::size_t size, Xoshiro256& rng) {
+  std::vector<std::uint8_t> bytes(size);
+  for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.below(256));
+  return bytes;
+}
+
+StoreParams small_params() {
+  StoreParams p;
+  p.node_count = 12;
+  p.drives_per_node = 3;
+  p.drive_capacity = kilobytes(256.0);
+  p.redundancy_set_size = 6;
+  p.fault_tolerance = 2;
+  p.chunk_size = kilobytes(1.0);
+  return p;
+}
+
+TEST(Drive, PutGetDropAccounting) {
+  Drive drive{kilobytes(4.0)};
+  EXPECT_TRUE(drive.put(1, Chunk(1024, 0xAA)));
+  EXPECT_DOUBLE_EQ(drive.used_bytes(), 1024.0);
+  ASSERT_TRUE(drive.get(1).has_value());
+  EXPECT_EQ(drive.get(1)->at(0), 0xAA);
+  drive.drop(1);
+  EXPECT_DOUBLE_EQ(drive.used_bytes(), 0.0);
+  EXPECT_FALSE(drive.get(1).has_value());
+}
+
+TEST(Drive, RejectsWhenFullOrDead) {
+  Drive drive{Bytes(1000.0)};
+  EXPECT_FALSE(drive.put(1, Chunk(2000, 0)));  // too big
+  EXPECT_TRUE(drive.put(2, Chunk(800, 0)));
+  EXPECT_FALSE(drive.put(3, Chunk(300, 0)));  // would exceed
+  drive.fail();
+  EXPECT_FALSE(drive.alive());
+  EXPECT_FALSE(drive.get(2).has_value());  // fail-in-place: unreadable
+  EXPECT_FALSE(drive.put(4, Chunk(10, 0)));
+}
+
+TEST(Node, SpreadsChunksAcrossDrives) {
+  Node node(0, 3, Bytes(10000.0));
+  for (ChunkId id = 1; id <= 9; ++id) {
+    ASSERT_TRUE(node.put(id, Chunk(1000, 0)).has_value());
+  }
+  // Least-loaded placement: 3 chunks per drive.
+  for (int d = 0; d < 3; ++d) EXPECT_EQ(node.drive(d).chunk_count(), 3u);
+}
+
+TEST(Node, DriveFailureLosesOnlyThatDrive) {
+  Node node(0, 2, Bytes(10000.0));
+  const int d1 = *node.put(1, Chunk(100, 0x11));
+  const int d2 = *node.put(2, Chunk(100, 0x22));
+  ASSERT_NE(d1, d2);  // least-loaded alternates
+  node.fail_drive(d1);
+  EXPECT_FALSE(node.get(d1, 1).has_value());
+  EXPECT_TRUE(node.get(d2, 2).has_value());
+  EXPECT_TRUE(node.alive());
+}
+
+TEST(Node, NodeFailureLosesEverything) {
+  Node node(0, 2, Bytes(10000.0));
+  const int d = *node.put(1, Chunk(100, 0));
+  node.fail();
+  EXPECT_FALSE(node.get(d, 1).has_value());
+  EXPECT_DOUBLE_EQ(node.capacity_bytes(), 0.0);
+  EXPECT_FALSE(node.put(2, Chunk(100, 0)).has_value());
+}
+
+TEST(ObjectStore, WriteReadRoundTripVariousSizes) {
+  Xoshiro256 rng(41);
+  ObjectStore store(small_params());
+  // Exact multiples, sub-chunk, and padding cases.
+  for (const std::size_t size : {1ul, 100ul, 1024ul, 4096ul, 10000ul}) {
+    const auto bytes = random_bytes(size, rng);
+    const ObjectId id = store.write(bytes);
+    EXPECT_EQ(store.read(id), bytes) << size;
+  }
+  EXPECT_TRUE(store.fully_redundant());
+}
+
+TEST(ObjectStore, ReadsSurviveUpToTFailures) {
+  Xoshiro256 rng(42);
+  ObjectStore store(small_params());
+  const auto bytes = random_bytes(20000, rng);
+  const ObjectId id = store.write(bytes);
+  store.fail_node(0);
+  EXPECT_EQ(store.read(id), bytes);
+  store.fail_node(1);
+  EXPECT_EQ(store.read(id), bytes);  // t = 2: still fine
+  EXPECT_FALSE(store.fully_redundant());
+}
+
+TEST(ObjectStore, DriveFailureDegradesOnlySomeStripes) {
+  Xoshiro256 rng(43);
+  ObjectStore store(small_params());
+  const auto bytes = random_bytes(30000, rng);
+  const ObjectId id = store.write(bytes);
+  store.fail_drive(2, 0);
+  store.fail_drive(5, 1);
+  EXPECT_EQ(store.read(id), bytes);
+}
+
+TEST(ObjectStore, BeyondToleranceThrowsDataLoss) {
+  Xoshiro256 rng(44);
+  StoreParams p = small_params();
+  p.node_count = 6;
+  p.redundancy_set_size = 6;  // every stripe touches every node
+  ObjectStore store(p);
+  const ObjectId id = store.write(random_bytes(5000, rng));
+  store.fail_node(0);
+  store.fail_node(1);
+  store.fail_node(2);  // 3 > t = 2
+  EXPECT_THROW((void)store.read(id), DataLossError);
+  EXPECT_THROW((void)store.rebuild(), DataLossError);
+}
+
+TEST(ObjectStore, RebuildRestoresFullRedundancy) {
+  Xoshiro256 rng(45);
+  ObjectStore store(small_params());
+  const auto bytes = random_bytes(40000, rng);
+  const ObjectId id = store.write(bytes);
+  store.fail_node(3);
+  store.fail_drive(7, 2);
+  ASSERT_FALSE(store.fully_redundant());
+
+  const RebuildReport report = store.rebuild();
+  EXPECT_GT(report.shards_rebuilt, 0u);
+  EXPECT_TRUE(store.fully_redundant());
+  EXPECT_EQ(store.read(id), bytes);
+
+  // The rebuilt system tolerates t FRESH failures again.
+  store.fail_node(8);
+  store.fail_node(9);
+  EXPECT_EQ(store.read(id), bytes);
+}
+
+TEST(ObjectStore, RebuildNeverPlacesTwoShardsOfAStripeOnOneNode) {
+  Xoshiro256 rng(46);
+  ObjectStore store(small_params());
+  const ObjectId id = store.write(random_bytes(50000, rng));
+  store.fail_node(0);
+  store.fail_node(1);
+  (void)store.rebuild();
+  // Verified indirectly: after rebuilding, ANY further t failures must be
+  // survivable, which requires shard-per-node distinctness.
+  store.fail_node(2);
+  store.fail_node(3);
+  EXPECT_NO_THROW((void)store.read(id));
+}
+
+TEST(ObjectStore, RebuildTrafficMatchesSection51Flows) {
+  // Section 5.1: rebuilding one node's worth of data reads R-t survivor
+  // chunks per lost chunk, spread evenly over the survivors, and writes
+  // the reconstructed chunks onto survivors' spare space.
+  Xoshiro256 rng(47);
+  StoreParams p = small_params();
+  p.node_count = 16;
+  ObjectStore store(p);
+  (void)store.write(random_bytes(200000, rng));
+  store.fail_node(5);
+  const RebuildReport report = store.rebuild();
+
+  const double total_sourced = std::accumulate(
+      report.sourced_bytes.begin(), report.sourced_bytes.end(), 0.0,
+      [](double acc, const auto& kv) { return acc + kv.second; });
+  // Total sourced = (R - t) * reconstructed chunks (per section 5.1,
+  // "total data received by all the N-1 nodes = R - t node's worth").
+  EXPECT_NEAR(total_sourced,
+              (p.redundancy_set_size - p.fault_tolerance) *
+                  report.bytes_reconstructed,
+              1e-9);
+  // The failed node neither sources nor receives.
+  EXPECT_EQ(report.sourced_bytes.count(5), 0u);
+  EXPECT_EQ(report.received_bytes.count(5), 0u);
+  // Received spreads over many survivors (even distribution of spare use).
+  EXPECT_GT(report.received_bytes.size(), 4u);
+}
+
+TEST(ObjectStore, WritesFailCleanlyWhenTooFewLiveNodes) {
+  Xoshiro256 rng(48);
+  StoreParams p = small_params();
+  p.node_count = 7;
+  p.redundancy_set_size = 6;
+  ObjectStore store(p);
+  store.fail_node(0);
+  store.fail_node(1);  // 5 live < R = 6
+  EXPECT_THROW((void)store.write(random_bytes(1000, rng)),
+               ContractViolation);
+}
+
+TEST(ObjectStore, UserBytesAccounting) {
+  Xoshiro256 rng(49);
+  ObjectStore store(small_params());
+  (void)store.write(random_bytes(1234, rng));
+  (void)store.write(random_bytes(4321, rng));
+  EXPECT_DOUBLE_EQ(store.user_bytes(), 1234.0 + 4321.0);
+}
+
+TEST(ObjectStore, ValidatesParams) {
+  StoreParams p = small_params();
+  p.fault_tolerance = 6;  // t >= R
+  EXPECT_THROW(ObjectStore{p}, ContractViolation);
+  p = small_params();
+  p.redundancy_set_size = 20;  // R > N
+  EXPECT_THROW(ObjectStore{p}, ContractViolation);
+}
+
+}  // namespace
+}  // namespace nsrel::brick

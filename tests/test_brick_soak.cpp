@@ -1,0 +1,110 @@
+// Failure-injection soak test: a long randomized lifecycle of writes,
+// node/drive failures (never exceeding the code's tolerance between
+// rebuilds), rebuilds, and reads — asserting after every step that no
+// stored object is ever lost or corrupted and that rebuilds always return
+// the system to full redundancy.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "brick/object_store.hpp"
+#include "util/rng.hpp"
+
+namespace nsrel::brick {
+namespace {
+
+class SoakTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SoakTest, RandomLifecycleNeverLosesData) {
+  Xoshiro256 rng(GetParam());
+  StoreParams params;
+  params.node_count = 14;
+  params.drives_per_node = 3;
+  params.drive_capacity = kilobytes(512.0);
+  params.redundancy_set_size = 7;
+  params.fault_tolerance = 3;
+  params.chunk_size = kilobytes(1.0);
+  ObjectStore store(params);
+
+  std::map<ObjectId, std::vector<std::uint8_t>> ground_truth;
+  int outstanding_failures = 0;
+  // Fail-in-place: nothing ever revives, so cap cumulative deaths the way
+  // an over-provisioned deployment would (keep >= R live nodes with slack
+  // for placement, and most drives alive for capacity).
+  int dead_nodes = 0;
+  int dead_drives = 0;
+  // Leave slack beyond R: rebuild targets must sit OUTSIDE each degraded
+  // stripe's surviving set, so at least R + t usable nodes must remain.
+  const int max_dead_nodes = params.node_count - params.redundancy_set_size -
+                             params.fault_tolerance;
+  const int max_dead_drives = params.node_count;  // 1/3 of all drives
+  std::vector<bool> node_dead(static_cast<std::size_t>(params.node_count),
+                              false);
+
+  const auto verify_all = [&] {
+    for (const auto& [id, bytes] : ground_truth) {
+      ASSERT_EQ(store.read(id), bytes) << "object " << id;
+    }
+  };
+
+  for (int step = 0; step < 120; ++step) {
+    const double action = rng.uniform();
+    if (action < 0.40) {
+      // Write a random object (sized to keep capacity comfortable).
+      const std::size_t size = 200 + rng.below(6000);
+      std::vector<std::uint8_t> bytes(size);
+      for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.below(256));
+      const ObjectId id = store.write(bytes);
+      ground_truth.emplace(id, std::move(bytes));
+    } else if (action < 0.65 &&
+               outstanding_failures < params.fault_tolerance) {
+      // Inject a failure while staying within tolerance.
+      if (rng.bernoulli(0.5) && dead_nodes < max_dead_nodes) {
+        // Node failure: pick a live node.
+        int victim = -1;
+        for (int attempt = 0; attempt < 50 && victim < 0; ++attempt) {
+          const int candidate =
+              static_cast<int>(rng.below(
+                  static_cast<std::uint64_t>(params.node_count)));
+          if (!node_dead[static_cast<std::size_t>(candidate)]) {
+            victim = candidate;
+          }
+        }
+        if (victim >= 0) {
+          store.fail_node(victim);
+          node_dead[static_cast<std::size_t>(victim)] = true;
+          ++outstanding_failures;
+          ++dead_nodes;
+        }
+      } else if (dead_drives < max_dead_drives) {
+        const int victim = static_cast<int>(
+            rng.below(static_cast<std::uint64_t>(params.node_count)));
+        if (!node_dead[static_cast<std::size_t>(victim)]) {
+          store.fail_drive(
+              victim, static_cast<int>(rng.below(
+                          static_cast<std::uint64_t>(params.drives_per_node))));
+          ++outstanding_failures;
+          ++dead_drives;
+        }
+      }
+    } else if (action < 0.80) {
+      // Rebuild everything lost so far.
+      ASSERT_NO_THROW((void)store.rebuild());
+      EXPECT_TRUE(store.fully_redundant());
+      outstanding_failures = 0;
+    } else {
+      verify_all();
+    }
+  }
+  // Final: rebuild and verify byte-exactness of every object ever written.
+  (void)store.rebuild();
+  EXPECT_TRUE(store.fully_redundant());
+  verify_all();
+  EXPECT_GT(ground_truth.size(), 10u);  // the soak actually wrote things
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SoakTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+}  // namespace
+}  // namespace nsrel::brick

@@ -1,0 +1,213 @@
+// Tests for the nsrel command-line tool: argument parsing, config
+// mapping, and every command driven end-to-end against string streams.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cli/args.hpp"
+#include "cli/commands.hpp"
+#include "util/assert.hpp"
+
+namespace nsrel::cli {
+namespace {
+
+Args make_args(std::initializer_list<const char*> tokens) {
+  return Args(std::vector<std::string>(tokens.begin(), tokens.end()));
+}
+
+TEST(Args, ParsesCommandAndFlags) {
+  const Args args = make_args({"analyze", "--n", "32", "--scheme", "none"});
+  EXPECT_EQ(args.command(), "analyze");
+  EXPECT_TRUE(args.has("n"));
+  EXPECT_EQ(args.get_int("n", 64), 32);
+  EXPECT_EQ(args.get_string("scheme", "raid5"), "none");
+  EXPECT_EQ(args.get_int("ft", 2), 2);  // fallback
+}
+
+TEST(Args, EmptyCommandLine) {
+  const Args args = make_args({});
+  EXPECT_TRUE(args.command().empty());
+}
+
+TEST(Args, RejectsFlagWithoutValue) {
+  EXPECT_THROW(make_args({"analyze", "--n"}), ContractViolation);
+}
+
+TEST(Args, RejectsStrayPositional) {
+  EXPECT_THROW(make_args({"analyze", "oops"}), ContractViolation);
+}
+
+TEST(Args, RejectsMalformedNumbers) {
+  const Args args = make_args({"analyze", "--n", "abc", "--x", "3.5"});
+  EXPECT_THROW((void)args.get_double("n", 0.0), ContractViolation);
+  EXPECT_THROW((void)args.get_int("x", 0), ContractViolation);  // non-integer
+}
+
+TEST(Args, TracksUnusedFlags) {
+  const Args args = make_args({"analyze", "--n", "32", "--typo", "1"});
+  (void)args.get_int("n", 64);
+  const auto unused = args.unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(ConfigFromArgs, MapsFlagsOntoBaseline) {
+  const Args args = make_args({"analyze", "--n", "32", "--drive-mttf", "1e5",
+                               "--her-exp", "15", "--link-gbps", "5"});
+  const core::SystemConfig config = config_from_args(args);
+  EXPECT_EQ(config.node_set_size, 32);
+  EXPECT_DOUBLE_EQ(config.drive.mttf.value(), 1e5);
+  EXPECT_NEAR(config.drive.her_per_byte, 8e-15, 1e-25);
+  EXPECT_DOUBLE_EQ(config.link.raw_speed.value(), 5e9);
+  // Untouched fields keep the paper baseline.
+  EXPECT_EQ(config.drives_per_node, 12);
+  EXPECT_DOUBLE_EQ(config.capacity_utilization, 0.75);
+}
+
+TEST(ConfigFromArgs, InvalidValuesAreRejected) {
+  const Args args = make_args({"analyze", "--util", "1.5"});
+  EXPECT_THROW((void)config_from_args(args), ContractViolation);
+}
+
+TEST(ConfigurationFromArgs, SchemesAndFt) {
+  EXPECT_EQ(configuration_from_args(make_args({"x", "--scheme", "none"}))
+                .internal,
+            core::InternalScheme::kNone);
+  EXPECT_EQ(configuration_from_args(make_args({"x", "--scheme", "raid6",
+                                               "--ft", "3"}))
+                .node_fault_tolerance,
+            3);
+  EXPECT_THROW(
+      (void)configuration_from_args(make_args({"x", "--scheme", "raid7"})),
+      ContractViolation);
+}
+
+struct CommandResult {
+  int exit_code;
+  std::string out;
+  std::string err;
+};
+
+CommandResult run(std::initializer_list<const char*> tokens) {
+  std::ostringstream out;
+  std::ostringstream err;
+  const int code = dispatch(make_args(tokens), out, err);
+  return {code, out.str(), err.str()};
+}
+
+TEST(Dispatch, HelpAndUnknown) {
+  const auto help = run({"help"});
+  EXPECT_EQ(help.exit_code, 0);
+  EXPECT_NE(help.out.find("usage:"), std::string::npos);
+  const auto empty = run({});
+  EXPECT_EQ(empty.exit_code, 2);
+  const auto unknown = run({"frobnicate"});
+  EXPECT_EQ(unknown.exit_code, 2);
+  EXPECT_NE(unknown.err.find("unknown command"), std::string::npos);
+}
+
+TEST(Dispatch, AnalyzeBaselineRaid5Ft2MeetsTarget) {
+  const auto result = run({"analyze"});
+  EXPECT_EQ(result.exit_code, 0) << result.err;
+  EXPECT_NE(result.out.find("FT2, Internal RAID 5"), std::string::npos);
+  EXPECT_NE(result.out.find("(met)"), std::string::npos);
+  EXPECT_NE(result.out.find("disk-bound"), std::string::npos);
+}
+
+TEST(Dispatch, AnalyzeNirFt1MissesTarget) {
+  const auto result = run({"analyze", "--scheme", "none", "--ft", "1"});
+  EXPECT_EQ(result.exit_code, 0) << result.err;
+  EXPECT_NE(result.out.find("MISSED"), std::string::npos);
+}
+
+TEST(Dispatch, AnalyzeClosedFormMethod) {
+  const auto result = run({"analyze", "--method", "closed"});
+  EXPECT_EQ(result.exit_code, 0) << result.err;
+}
+
+TEST(Dispatch, AnalyzeRejectsTypos) {
+  const auto result = run({"analyze", "--nodes", "32"});
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.err.find("--nodes"), std::string::npos);
+}
+
+TEST(Dispatch, CompareListsAllNine) {
+  const auto result = run({"compare"});
+  EXPECT_EQ(result.exit_code, 0) << result.err;
+  for (const char* label :
+       {"FT1, No Internal RAID", "FT2, Internal RAID 5",
+        "FT3, Internal RAID 6"}) {
+    EXPECT_NE(result.out.find(label), std::string::npos) << label;
+  }
+}
+
+TEST(Dispatch, RebuildDecomposition) {
+  const auto result = run({"rebuild"});
+  EXPECT_EQ(result.exit_code, 0) << result.err;
+  EXPECT_NE(result.out.find("link crossover"), std::string::npos);
+  EXPECT_NE(result.out.find("disk-bound"), std::string::npos);
+}
+
+TEST(Dispatch, SweepTableAndCsv) {
+  const auto table = run({"sweep", "--param", "drive-mttf", "--from", "1e5",
+                          "--to", "7.5e5", "--steps", "3"});
+  EXPECT_EQ(table.exit_code, 0) << table.err;
+  EXPECT_NE(table.out.find("drive-mttf"), std::string::npos);
+
+  const auto csv = run({"sweep", "--param", "link-gbps", "--from", "1",
+                        "--to", "10", "--steps", "3", "--csv", "1"});
+  EXPECT_EQ(csv.exit_code, 0) << csv.err;
+  EXPECT_NE(csv.out.find("link-gbps,MTTDL (h),events/PB-yr"),
+            std::string::npos);
+}
+
+TEST(Dispatch, SweepRejectsUnknownParam) {
+  const auto result = run({"sweep", "--param", "wombats"});
+  EXPECT_EQ(result.exit_code, 2);
+}
+
+TEST(Dispatch, AvailabilityBothFamilies) {
+  const auto nir = run({"availability", "--scheme", "none", "--ft", "2",
+                        "--restore-hours", "24"});
+  EXPECT_EQ(nir.exit_code, 0) << nir.err;
+  EXPECT_NE(nir.out.find("availability:"), std::string::npos);
+  const auto ir = run({"availability", "--scheme", "raid5", "--ft", "2"});
+  EXPECT_EQ(ir.exit_code, 0) << ir.err;
+}
+
+TEST(Dispatch, ChainEmitsDot) {
+  const auto nir = run({"chain", "--scheme", "none", "--ft", "2"});
+  EXPECT_EQ(nir.exit_code, 0) << nir.err;
+  EXPECT_NE(nir.out.find("digraph"), std::string::npos);
+  EXPECT_NE(nir.out.find("doublecircle"), std::string::npos);
+  // FT2-NIR has 7 transient states + "A": 8 node declarations.
+  EXPECT_NE(nir.out.find("label=\"Nd\""), std::string::npos);
+  const auto ir = run({"chain", "--scheme", "raid5", "--ft", "3"});
+  EXPECT_EQ(ir.exit_code, 0) << ir.err;
+  EXPECT_NE(ir.out.find("label=\"2_nodes_lost\""), std::string::npos);
+}
+
+TEST(Dispatch, ScenarioCommandRequiresFile) {
+  const auto missing = run({"scenario"});
+  EXPECT_EQ(missing.exit_code, 2);
+  const auto unreadable = run({"scenario", "--file", "/no/such/file"});
+  EXPECT_EQ(unreadable.exit_code, 2);
+  EXPECT_NE(unreadable.err.find("cannot open"), std::string::npos);
+}
+
+TEST(Dispatch, ProvisionPlansSpares) {
+  const auto result = run({"provision", "--years", "5", "--confidence",
+                           "0.95"});
+  EXPECT_EQ(result.exit_code, 0) << result.err;
+  EXPECT_NE(result.out.find("node-equivalents"), std::string::npos);
+  EXPECT_NE(result.out.find("max initial utilization"), std::string::npos);
+}
+
+TEST(Dispatch, ErrorsAreReportedNotThrown) {
+  const auto result = run({"analyze", "--scheme", "raid9"});
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.err.find("error:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nsrel::cli

@@ -1,0 +1,98 @@
+// Consistency tests among the paper's printed formulas: the appendix's
+// general theorem must reduce to the section-4.3 / Figure-12 closed forms
+// for k = 1, 2, 3 — the reduction the paper asserts ("easily seen to be
+// special cases").
+#include <gtest/gtest.h>
+
+#include "models/closed_forms.hpp"
+#include "models/no_internal_raid.hpp"
+#include "util/assert.hpp"
+
+namespace nsrel::models {
+namespace {
+
+NoInternalRaidParams params(int k, int n = 64, int r = 8, int d = 12) {
+  NoInternalRaidParams p;
+  p.node_set_size = n;
+  p.redundancy_set_size = r;
+  p.fault_tolerance = k;
+  p.drives_per_node = d;
+  p.node_failure = PerHour(1.0 / 400'000.0);
+  p.drive_failure = PerHour(1.0 / 300'000.0);
+  p.node_rebuild = PerHour(0.19);
+  p.drive_rebuild = PerHour(2.28);
+  p.capacity = gigabytes(300.0);
+  p.her_per_byte = 8e-14;
+  return p;
+}
+
+TEST(ClosedForms, TheoremReducesToFt1PrintedFormula) {
+  const NoInternalRaidParams p = params(1);
+  const double theorem = NoInternalRaidModel(p).mttdl_closed_form().value();
+  const double printed = nir_ft1_printed(p).value();
+  EXPECT_NEAR(theorem, printed, 1e-12 * printed);
+}
+
+TEST(ClosedForms, TheoremReducesToFt2PrintedFormula) {
+  const NoInternalRaidParams p = params(2);
+  const double theorem = NoInternalRaidModel(p).mttdl_closed_form().value();
+  const double printed = nir_ft2_printed(p).value();
+  EXPECT_NEAR(theorem, printed, 1e-12 * printed);
+}
+
+TEST(ClosedForms, TheoremReducesToFt3PrintedFormula) {
+  const NoInternalRaidParams p = params(3);
+  const double theorem = NoInternalRaidModel(p).mttdl_closed_form().value();
+  const double printed = nir_ft3_printed(p).value();
+  EXPECT_NEAR(theorem, printed, 1e-12 * printed);
+}
+
+class ReductionSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(ReductionSweep, TheoremMatchesPrintedFormulasEverywhere) {
+  const auto [n, r, d] = GetParam();
+  for (int k = 1; k <= 3; ++k) {
+    if (r <= k) continue;
+    const NoInternalRaidParams p = params(k, n, r, d);
+    const double theorem = NoInternalRaidModel(p).mttdl_closed_form().value();
+    const double printed = k == 1   ? nir_ft1_printed(p).value()
+                           : k == 2 ? nir_ft2_printed(p).value()
+                                    : nir_ft3_printed(p).value();
+    EXPECT_NEAR(theorem, printed, 1e-11 * printed)
+        << "k=" << k << " n=" << n << " r=" << r << " d=" << d;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ReductionSweep,
+    ::testing::Combine(::testing::Values(16, 64, 256),
+                       ::testing::Values(4, 8, 16),
+                       ::testing::Values(1, 8, 12, 32)));
+
+TEST(ClosedForms, PrintedFormulasValidateFaultTolerance) {
+  EXPECT_THROW((void)nir_ft1_printed(params(2)), ContractViolation);
+  EXPECT_THROW((void)nir_ft2_printed(params(3)), ContractViolation);
+  EXPECT_THROW((void)nir_ft3_printed(params(1)), ContractViolation);
+}
+
+TEST(ClosedForms, HigherToleranceAlwaysWins) {
+  const double ft1 = nir_ft1_printed(params(1)).value();
+  const double ft2 = nir_ft2_printed(params(2)).value();
+  const double ft3 = nir_ft3_printed(params(3)).value();
+  EXPECT_LT(ft1, ft2);
+  EXPECT_LT(ft2, ft3);
+}
+
+TEST(ClosedForms, Ft2DenominatorTermsBothMatter) {
+  // At baseline the hard-error term dominates the FT2 denominator; with
+  // HER = 0 only the failure term remains, so MTTDL improves markedly.
+  NoInternalRaidParams p = params(2);
+  const double with_her = nir_ft2_printed(p).value();
+  p.her_per_byte = 0.0;
+  const double without_her = nir_ft2_printed(p).value();
+  EXPECT_GT(without_her, 2.0 * with_her);
+}
+
+}  // namespace
+}  // namespace nsrel::models

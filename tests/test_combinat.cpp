@@ -1,0 +1,208 @@
+// Tests for the critical-redundancy-set combinatorics of section 5.2,
+// including cross-checks against exhaustive enumeration via the placement
+// module.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "combinat/critical_sets.hpp"
+#include "placement/layout.hpp"
+#include "util/assert.hpp"
+#include "util/math.hpp"
+
+namespace nsrel::combinat {
+namespace {
+
+TEST(CriticalSets, RedundancySetCountMatchesBinomial) {
+  EXPECT_DOUBLE_EQ(redundancy_set_count(64, 8), binomial(64, 8));
+  EXPECT_DOUBLE_EQ(sets_per_node(64, 8), binomial(63, 7));
+}
+
+TEST(CriticalSets, K2MatchesPaperFormula) {
+  // k2 = (R-1)/(N-1)
+  EXPECT_DOUBLE_EQ(k2(64, 8), 7.0 / 63.0);
+  EXPECT_DOUBLE_EQ(k2(10, 4), 3.0 / 9.0);
+}
+
+TEST(CriticalSets, K3MatchesPaperFormula) {
+  // k3 = (R-1)(R-2)/((N-1)(N-2))
+  EXPECT_DOUBLE_EQ(k3(64, 8), (7.0 * 6.0) / (63.0 * 62.0));
+  EXPECT_DOUBLE_EQ(k3(10, 4), (3.0 * 2.0) / (9.0 * 8.0));
+}
+
+TEST(CriticalSets, CriticalFractionReducesToBinomialRatio) {
+  for (int n = 6; n <= 20; ++n) {
+    for (int r = 4; r <= n; ++r) {
+      for (int j = 2; j <= 4 && j <= r; ++j) {
+        const double expected = binomial(n - j, r - j) / binomial(n - 1, r - 1);
+        EXPECT_NEAR(critical_fraction(n, r, j), expected, 1e-12 * expected)
+            << "n=" << n << " r=" << r << " j=" << j;
+      }
+    }
+  }
+}
+
+TEST(CriticalSets, CriticalFractionAgainstExhaustiveEnumeration) {
+  // Count directly over all C(N, R) subsets: of the sets containing failed
+  // node 0, what fraction also contains failed nodes 1..j-1?
+  const int n = 9;
+  const int r = 5;
+  const auto sets = placement::enumerate_redundancy_sets(n, r);
+  for (int j = 2; j <= 4; ++j) {
+    int containing_first = 0;
+    int containing_all = 0;
+    for (const auto& set : sets) {
+      const auto has = [&](int node) {
+        return std::find(set.begin(), set.end(), node) != set.end();
+      };
+      if (!has(0)) continue;
+      ++containing_first;
+      bool all = true;
+      for (int f = 1; f < j; ++f) all = all && has(f);
+      if (all) ++containing_all;
+    }
+    const double empirical =
+        static_cast<double>(containing_all) / containing_first;
+    EXPECT_NEAR(critical_fraction(n, r, j), empirical, 1e-12) << "j=" << j;
+  }
+}
+
+TEST(CriticalSets, CriticalFractionPreconditions) {
+  EXPECT_THROW((void)critical_fraction(10, 4, 1), ContractViolation);
+  EXPECT_THROW((void)critical_fraction(10, 4, 5), ContractViolation);
+  EXPECT_THROW((void)critical_fraction(3, 4, 2), ContractViolation);
+}
+
+HParams baseline_h(int fault_tolerance) {
+  HParams p;
+  p.node_set_size = 64;
+  p.redundancy_set_size = 8;
+  p.drives_per_node = 12;
+  p.fault_tolerance = fault_tolerance;
+  p.capacity_bytes = 3e11;
+  p.her_per_byte = 8e-14;
+  return p;
+}
+
+TEST(HParams, BaseFt1MatchesPaper) {
+  // FT1: h = (R-1) * C * HER.
+  const HParams p = baseline_h(1);
+  EXPECT_DOUBLE_EQ(h_base(p), 7.0 * 3e11 * 8e-14);
+}
+
+TEST(HParams, BaseFt2MatchesPaper) {
+  // FT2: h = (R-1)(R-2)/(N-1) * C * HER.
+  const HParams p = baseline_h(2);
+  EXPECT_DOUBLE_EQ(h_base(p), 7.0 * 6.0 / 63.0 * 3e11 * 8e-14);
+}
+
+TEST(HParams, BaseFt3MatchesPaper) {
+  // FT3: h = (R-1)(R-2)(R-3)/((N-1)(N-2)) * C * HER.
+  const HParams p = baseline_h(3);
+  EXPECT_DOUBLE_EQ(h_base(p), 7.0 * 6.0 * 5.0 / (63.0 * 62.0) * 3e11 * 8e-14);
+}
+
+TEST(HParams, Ft2WordTableMatchesPaper) {
+  // h_NN = d*h, h_Nd = h_dN = h, h_dd = h/d (section 5.2.2).
+  const HParams p = baseline_h(2);
+  const double h = h_base(p);
+  using K = FailureKind;
+  EXPECT_DOUBLE_EQ(h_for_word(p, {K::kNode, K::kNode}), 12.0 * h);
+  EXPECT_DOUBLE_EQ(h_for_word(p, {K::kNode, K::kDrive}), h);
+  EXPECT_DOUBLE_EQ(h_for_word(p, {K::kDrive, K::kNode}), h);
+  EXPECT_DOUBLE_EQ(h_for_word(p, {K::kDrive, K::kDrive}), h / 12.0);
+}
+
+TEST(HParams, Ft3WordTableMatchesPaper) {
+  const HParams p = baseline_h(3);
+  const double h = h_base(p);
+  using K = FailureKind;
+  EXPECT_DOUBLE_EQ(h_for_word(p, {K::kNode, K::kNode, K::kNode}), 12.0 * h);
+  EXPECT_DOUBLE_EQ(h_for_word(p, {K::kNode, K::kNode, K::kDrive}), h);
+  EXPECT_DOUBLE_EQ(h_for_word(p, {K::kDrive, K::kNode, K::kNode}), h);
+  EXPECT_DOUBLE_EQ(h_for_word(p, {K::kNode, K::kDrive, K::kDrive}), h / 12.0);
+  EXPECT_DOUBLE_EQ(h_for_word(p, {K::kDrive, K::kDrive, K::kDrive}),
+                   h / 144.0);
+}
+
+TEST(HParams, Ft1WordValuesMatchSection43) {
+  // h_N = d*(R-1)*C*HER, h_d = (R-1)*C*HER.
+  const HParams p = baseline_h(1);
+  using K = FailureKind;
+  EXPECT_DOUBLE_EQ(h_for_word(p, {K::kNode}), 12.0 * 7.0 * 3e11 * 8e-14);
+  EXPECT_DOUBLE_EQ(h_for_word(p, {K::kDrive}), 7.0 * 3e11 * 8e-14);
+}
+
+TEST(HParams, WordLengthMustMatchFaultTolerance) {
+  const HParams p = baseline_h(2);
+  EXPECT_THROW((void)h_for_word(p, {FailureKind::kNode}), ContractViolation);
+}
+
+TEST(EnumerateWords, CountAndOrder) {
+  const auto words = enumerate_words(2);
+  ASSERT_EQ(words.size(), 4u);
+  using K = FailureKind;
+  EXPECT_EQ(words[0], (FailureWord{K::kNode, K::kNode}));
+  EXPECT_EQ(words[1], (FailureWord{K::kNode, K::kDrive}));
+  EXPECT_EQ(words[2], (FailureWord{K::kDrive, K::kNode}));
+  EXPECT_EQ(words[3], (FailureWord{K::kDrive, K::kDrive}));
+}
+
+TEST(EnumerateWords, NPrefixedBeforeDPrefixedRecursively) {
+  // The appendix's order: h^(k) = h_N . h^(k-1) ++ h_d . h^(k-1).
+  const auto words = enumerate_words(3);
+  ASSERT_EQ(words.size(), 8u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(words[i][0], FailureKind::kNode);
+    EXPECT_EQ(words[i + 4][0], FailureKind::kDrive);
+  }
+  // Within each half, the tails repeat the length-2 enumeration.
+  const auto tails = enumerate_words(2);
+  for (std::size_t i = 0; i < 4; ++i) {
+    const FailureWord tail_n(words[i].begin() + 1, words[i].end());
+    EXPECT_EQ(tail_n, tails[i]);
+  }
+}
+
+TEST(HSet, MatchesWordwiseEvaluation) {
+  const HParams p = baseline_h(3);
+  const auto values = h_set(p);
+  const auto words = enumerate_words(3);
+  ASSERT_EQ(values.size(), words.size());
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    EXPECT_DOUBLE_EQ(values[i], h_for_word(p, words[i]));
+  }
+}
+
+TEST(HSet, LinearValuesExceedOneOnlyAtFt1) {
+  // The paper's linear hard-error model produces h_N = d(R-1)C*HER ~ 2 at
+  // baseline fault tolerance 1 — not a valid probability, which is why the
+  // exact chains saturate it (util::saturated_probability). From FT2 on,
+  // the critical-fraction discount keeps every h_alpha below 1.
+  const auto ft1 = h_set(baseline_h(1));
+  EXPECT_GT(ft1.front(), 1.0);  // h_N = 2.016
+  EXPECT_LT(ft1.back(), 1.0);   // h_d = 0.168
+  for (int k = 2; k <= 4; ++k) {
+    for (const double v : h_set(baseline_h(k))) {
+      EXPECT_GT(v, 0.0);
+      EXPECT_LT(v, 1.0) << "k=" << k;
+    }
+  }
+}
+
+TEST(HSet, SaturationPreservesSmallValuesAndCapsLargeOnes) {
+  for (const double v : h_set(baseline_h(2))) {
+    const double saturated = saturated_probability(v);
+    EXPECT_GT(saturated, 0.0);
+    EXPECT_LT(saturated, 1.0);
+    EXPECT_LE(saturated, v);
+    if (v < 0.01) {
+      EXPECT_NEAR(saturated, v, 0.01 * v);
+    }
+  }
+  EXPECT_LT(saturated_probability(2.016), 1.0);
+  EXPECT_NEAR(saturated_probability(2.016), 0.8668, 1e-3);
+}
+
+}  // namespace
+}  // namespace nsrel::combinat

@@ -1,0 +1,162 @@
+// Tests for the EVENODD double-erasure code: parity identities and
+// EXHAUSTIVE recovery of every 0-, 1- and 2-column erasure pattern for
+// several primes and cell sizes.
+#include <gtest/gtest.h>
+
+#include "erasure/evenodd.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace nsrel::erasure {
+namespace {
+
+std::vector<Shard> random_columns(int count, std::size_t size,
+                                  Xoshiro256& rng) {
+  std::vector<Shard> columns(static_cast<std::size_t>(count), Shard(size));
+  for (auto& column : columns) {
+    for (auto& byte : column) byte = static_cast<std::uint8_t>(rng.below(256));
+  }
+  return columns;
+}
+
+TEST(EvenOdd, PrimalityHelper) {
+  EXPECT_TRUE(is_small_prime(2));
+  EXPECT_TRUE(is_small_prime(3));
+  EXPECT_TRUE(is_small_prime(17));
+  EXPECT_FALSE(is_small_prime(1));
+  EXPECT_FALSE(is_small_prime(9));
+  EXPECT_FALSE(is_small_prime(15));
+}
+
+TEST(EvenOdd, ConstructorRequiresPrime) {
+  EXPECT_NO_THROW(EvenOddCode(5));
+  EXPECT_THROW(EvenOddCode(4), ContractViolation);
+  EXPECT_THROW(EvenOddCode(9), ContractViolation);
+  EXPECT_THROW(EvenOddCode(2), ContractViolation);
+}
+
+TEST(EvenOdd, RowParityIsXorOfDataRows) {
+  Xoshiro256 rng(21);
+  const EvenOddCode code(5);
+  const std::size_t cell = 8;
+  const auto data = random_columns(5, 4 * cell, rng);
+  const auto parity = code.encode(data);
+  ASSERT_EQ(parity.size(), 2u);
+  // Row parity: P[i] = XOR_j data[j][i].
+  for (std::size_t i = 0; i < 4 * cell; ++i) {
+    std::uint8_t expected = 0;
+    for (const auto& column : data) expected ^= column[i];
+    EXPECT_EQ(parity[0][i], expected) << i;
+  }
+}
+
+TEST(EvenOdd, DiagonalParityDefinition) {
+  // Check Q against a direct evaluation of the definition with 1-byte
+  // cells: Q[d] = S ^ XOR of cells on diagonal (i+j) mod p == d.
+  Xoshiro256 rng(22);
+  const int p = 5;
+  const EvenOddCode code(p);
+  const auto data = random_columns(p, static_cast<std::size_t>(p - 1), rng);
+  const auto parity = code.encode(data);
+  std::uint8_t s = 0;
+  for (int j = 0; j < p; ++j) {
+    for (int i = 0; i < p - 1; ++i) {
+      if ((i + j) % p == p - 1) {
+        s ^= data[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)];
+      }
+    }
+  }
+  for (int d = 0; d < p - 1; ++d) {
+    std::uint8_t expected = s;
+    for (int j = 0; j < p; ++j) {
+      for (int i = 0; i < p - 1; ++i) {
+        if ((i + j) % p == d) {
+          expected ^=
+              data[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)];
+        }
+      }
+    }
+    EXPECT_EQ(parity[1][static_cast<std::size_t>(d)], expected) << "d=" << d;
+  }
+}
+
+class EvenOddExhaustive : public ::testing::TestWithParam<int> {};
+
+TEST_P(EvenOddExhaustive, EverySingleAndDoubleErasureRecovers) {
+  const int p = GetParam();
+  Xoshiro256 rng(static_cast<std::uint64_t>(p));
+  const EvenOddCode code(p);
+  const std::size_t cell = 4;
+  const auto data =
+      random_columns(p, static_cast<std::size_t>(p - 1) * cell, rng);
+  auto columns = data;
+  auto parity = code.encode(data);
+  columns.insert(columns.end(), parity.begin(), parity.end());
+  const int total = p + 2;
+
+  const auto check_pattern = [&](const std::vector<int>& erased) {
+    std::vector<bool> present(static_cast<std::size_t>(total), true);
+    auto damaged = columns;
+    for (const int e : erased) {
+      present[static_cast<std::size_t>(e)] = false;
+      damaged[static_cast<std::size_t>(e)].assign(
+          static_cast<std::size_t>(p - 1) * cell, 0xAB);
+    }
+    ASSERT_TRUE(code.recoverable(present));
+    const auto rebuilt = code.reconstruct(damaged, present);
+    EXPECT_EQ(rebuilt, columns)
+        << "p=" << p << " erased={"
+        << (erased.empty() ? -1 : erased[0]) << ","
+        << (erased.size() > 1 ? erased[1] : -1) << "}";
+  };
+
+  check_pattern({});
+  for (int a = 0; a < total; ++a) {
+    check_pattern({a});
+    for (int b = a + 1; b < total; ++b) check_pattern({a, b});
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Primes, EvenOddExhaustive,
+                         ::testing::Values(3, 5, 7, 11, 13));
+
+TEST(EvenOdd, ThreeErasuresRejected) {
+  const EvenOddCode code(5);
+  std::vector<bool> present(7, true);
+  present[0] = present[1] = present[2] = false;
+  EXPECT_FALSE(code.recoverable(present));
+  const std::vector<Shard> columns(7, Shard(4 * 4, 0));
+  EXPECT_THROW((void)code.reconstruct(columns, present), ContractViolation);
+}
+
+TEST(EvenOdd, RejectsMalformedColumns) {
+  const EvenOddCode code(5);
+  // Column size not divisible by p-1.
+  EXPECT_THROW((void)code.encode(std::vector<Shard>(5, Shard(7, 0))),
+               ContractViolation);
+  // Wrong column count.
+  EXPECT_THROW((void)code.encode(std::vector<Shard>(4, Shard(8, 0))),
+               ContractViolation);
+}
+
+TEST(EvenOdd, LargeCellsAndPrime17) {
+  // One big random case with realistic sector-size cells.
+  Xoshiro256 rng(99);
+  const int p = 17;
+  const EvenOddCode code(p);
+  const std::size_t cell = 512;
+  const auto data =
+      random_columns(p, static_cast<std::size_t>(p - 1) * cell, rng);
+  auto columns = data;
+  auto parity = code.encode(data);
+  columns.insert(columns.end(), parity.begin(), parity.end());
+  std::vector<bool> present(static_cast<std::size_t>(p + 2), true);
+  present[3] = present[11] = false;
+  auto damaged = columns;
+  damaged[3].assign(damaged[3].size(), 0);
+  damaged[11].assign(damaged[11].size(), 0);
+  EXPECT_EQ(code.reconstruct(damaged, present), columns);
+}
+
+}  // namespace
+}  // namespace nsrel::erasure

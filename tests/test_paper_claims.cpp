@@ -1,0 +1,284 @@
+// End-to-end checks of the paper's qualitative claims (the "shape" of every
+// figure), using the full Analyzer at the section-6 baseline. These are the
+// assertions EXPERIMENTS.md reports against.
+#include <gtest/gtest.h>
+
+#include "core/analyzer.hpp"
+#include "rebuild/planner.hpp"
+
+namespace nsrel::core {
+namespace {
+
+const ReliabilityTarget kTarget = ReliabilityTarget::paper();
+
+Analyzer baseline_analyzer() { return Analyzer(SystemConfig::baseline()); }
+
+// --- Figure 13: baseline comparison, observations 1-3 ---
+
+TEST(Figure13, Observation1_FaultTolerance1MissesTarget) {
+  const Analyzer analyzer = baseline_analyzer();
+  for (const InternalScheme scheme :
+       {InternalScheme::kNone, InternalScheme::kRaid5,
+        InternalScheme::kRaid6}) {
+    const double events = analyzer.events_per_pb_year({scheme, 1});
+    EXPECT_FALSE(kTarget.met_by(events)) << scheme_name(scheme);
+  }
+  // Without internal RAID the miss is catastrophic (hard errors during
+  // single-failure rebuilds); with internal RAID, node failures alone
+  // still put FT1 several-fold above the target.
+  EXPECT_GT(analyzer.events_per_pb_year({InternalScheme::kNone, 1}),
+            100.0 * kTarget.events_per_pb_year);
+  EXPECT_GT(analyzer.events_per_pb_year({InternalScheme::kRaid5, 1}),
+            2.0 * kTarget.events_per_pb_year);
+}
+
+TEST(Figure13, Observation2_Raid6NoBetterThanRaid5AtFt2Plus) {
+  const Analyzer analyzer = baseline_analyzer();
+  for (int ft = 2; ft <= 3; ++ft) {
+    const double raid5 =
+        analyzer.events_per_pb_year({InternalScheme::kRaid5, ft});
+    const double raid6 =
+        analyzer.events_per_pb_year({InternalScheme::kRaid6, ft});
+    // "No significant difference": within ~2x of each other, not orders.
+    EXPECT_GT(raid6 / raid5, 0.5) << "ft=" << ft;
+    EXPECT_LT(raid6 / raid5, 2.0) << "ft=" << ft;
+  }
+}
+
+TEST(Figure13, Observation3_Ft3InternalRaidExceedsTargetByFiveOrders) {
+  const Analyzer analyzer = baseline_analyzer();
+  const double events =
+      analyzer.events_per_pb_year({InternalScheme::kRaid5, 3});
+  const double headroom = kTarget.events_per_pb_year / events;
+  EXPECT_GT(headroom, 1e4);  // at least 4-5 orders of magnitude
+}
+
+TEST(Figure13, SurvivingConfigurationsMeetOrNearTarget) {
+  // Section 8's conclusion: FT2+IR5 and FT3+NIR meet the requirement at
+  // baseline (rebuild block 128 KB >= 64 KB).
+  const Analyzer analyzer = baseline_analyzer();
+  EXPECT_TRUE(kTarget.met_by(
+      analyzer.events_per_pb_year({InternalScheme::kRaid5, 2})));
+  EXPECT_TRUE(kTarget.met_by(
+      analyzer.events_per_pb_year({InternalScheme::kNone, 3})));
+}
+
+TEST(Figure13, InternalRaidBeatsNoRaidAtEqualNodeFaultTolerance) {
+  const Analyzer analyzer = baseline_analyzer();
+  for (int ft = 1; ft <= 3; ++ft) {
+    EXPECT_LT(analyzer.events_per_pb_year({InternalScheme::kRaid5, ft}),
+              analyzer.events_per_pb_year({InternalScheme::kNone, ft}))
+        << "ft=" << ft;
+  }
+}
+
+// --- Figure 14/15: MTTF sensitivities ---
+
+TEST(Figure14, Ft2NirMissesTargetAtLowNodeMttf) {
+  SystemConfig config = SystemConfig::baseline();
+  config.node_mttf = Hours(100'000.0);
+  const Analyzer analyzer{config};
+  // "does not meet the target at all for low node MTTF" across the drive
+  // MTTF range.
+  for (const double drive_mttf : {100'000.0, 300'000.0, 750'000.0}) {
+    SystemConfig c = config;
+    c.drive.mttf = Hours(drive_mttf);
+    EXPECT_FALSE(kTarget.met_by(
+        Analyzer{c}.events_per_pb_year({InternalScheme::kNone, 2})))
+        << drive_mttf;
+  }
+}
+
+TEST(Figure14, Ft2InternalRaidInsensitiveToDriveMttfAtLowNodeMttf) {
+  // "FT 2, Internal RAID 5 appears to be relatively insensitive to drive
+  // MTTF, especially for low node MTTF".
+  SystemConfig low = SystemConfig::baseline();
+  low.node_mttf = Hours(100'000.0);
+  low.drive.mttf = Hours(100'000.0);
+  SystemConfig high = low;
+  high.drive.mttf = Hours(750'000.0);
+  const double worst =
+      Analyzer{low}.events_per_pb_year({InternalScheme::kRaid5, 2});
+  const double best =
+      Analyzer{high}.events_per_pb_year({InternalScheme::kRaid5, 2});
+  EXPECT_LT(worst / best, 5.0);  // < one order of magnitude across the range
+}
+
+TEST(Figure14, Ft3NirIsSensitiveToDriveMttf) {
+  // Without internal RAID, drive failures dominate: the drive-MTTF sweep
+  // moves FT3-NIR by orders of magnitude.
+  SystemConfig bad = SystemConfig::baseline();
+  bad.drive.mttf = Hours(100'000.0);
+  SystemConfig good = SystemConfig::baseline();
+  good.drive.mttf = Hours(750'000.0);
+  const double worst =
+      Analyzer{bad}.events_per_pb_year({InternalScheme::kNone, 3});
+  const double best =
+      Analyzer{good}.events_per_pb_year({InternalScheme::kNone, 3});
+  EXPECT_GT(worst / best, 30.0);
+}
+
+TEST(Figure15, Ft2InternalRaidMostSensitiveToNodeMttf) {
+  // "FT 2, Internal RAID 5 shows the most sensitivity to node MTTF".
+  const auto span = [](InternalScheme scheme, int ft) {
+    SystemConfig low = SystemConfig::baseline();
+    low.node_mttf = Hours(100'000.0);
+    SystemConfig high = SystemConfig::baseline();
+    high.node_mttf = Hours(1'000'000.0);
+    return Analyzer{low}.events_per_pb_year({scheme, ft}) /
+           Analyzer{high}.events_per_pb_year({scheme, ft});
+  };
+  const double ir5_span = span(InternalScheme::kRaid5, 2);
+  const double nir2_span = span(InternalScheme::kNone, 2);
+  const double nir3_span = span(InternalScheme::kNone, 3);
+  EXPECT_GT(ir5_span, nir2_span);
+  EXPECT_GT(ir5_span, nir3_span);
+  EXPECT_GT(ir5_span, 10.0);  // strongly node-MTTF-bound
+}
+
+// --- Figure 16: rebuild block size ---
+
+TEST(Figure16, LargerRebuildBlocksImproveReliability) {
+  double previous = 1e300;
+  for (const double kb : {4.0, 16.0, 64.0, 256.0, 1024.0}) {
+    SystemConfig c = SystemConfig::baseline();
+    c.rebuild_command = kilobytes(kb);
+    const double events =
+        Analyzer{c}.events_per_pb_year({InternalScheme::kNone, 3});
+    EXPECT_LT(events, previous) << kb;
+    previous = events;
+  }
+}
+
+TEST(Figure16, SurvivorsMeetTargetAt64KbAndAbove) {
+  // "The other two configurations meet the target if the rebuild block
+  // size is 64 KB or larger."
+  for (const double kb : {64.0, 128.0, 256.0, 1024.0}) {
+    SystemConfig c = SystemConfig::baseline();
+    c.rebuild_command = kilobytes(kb);
+    const Analyzer analyzer{c};
+    EXPECT_TRUE(kTarget.met_by(
+        analyzer.events_per_pb_year({InternalScheme::kRaid5, 2})))
+        << kb;
+    EXPECT_TRUE(kTarget.met_by(
+        analyzer.events_per_pb_year({InternalScheme::kNone, 3})))
+        << kb;
+  }
+}
+
+TEST(Figure16, TinyBlocksBreakEvenTheStrongConfigurations) {
+  SystemConfig c = SystemConfig::baseline();
+  c.rebuild_command = kilobytes(4.0);
+  c.restripe_command = kilobytes(4.0);
+  const Analyzer analyzer{c};
+  EXPECT_FALSE(kTarget.met_by(
+      analyzer.events_per_pb_year({InternalScheme::kNone, 3})));
+}
+
+// --- Figure 17: link speed ---
+
+TEST(Figure17, NoDifferenceBetween5And10Gbps) {
+  SystemConfig five = SystemConfig::baseline();
+  five.link.raw_speed = gigabits_per_second(5.0);
+  SystemConfig ten = SystemConfig::baseline();
+  ten.link.raw_speed = gigabits_per_second(10.0);
+  for (const auto& config : sensitivity_configurations()) {
+    EXPECT_DOUBLE_EQ(Analyzer{five}.events_per_pb_year(config),
+                     Analyzer{ten}.events_per_pb_year(config))
+        << name(config);
+  }
+}
+
+TEST(Figure17, OneGbpsIsWorseThanFive) {
+  SystemConfig one = SystemConfig::baseline();
+  one.link.raw_speed = gigabits_per_second(1.0);
+  SystemConfig five = SystemConfig::baseline();
+  five.link.raw_speed = gigabits_per_second(5.0);
+  for (const auto& config : sensitivity_configurations()) {
+    EXPECT_GT(Analyzer{one}.events_per_pb_year(config),
+              2.0 * Analyzer{five}.events_per_pb_year(config))
+        << name(config);
+  }
+}
+
+// --- Figures 18-20: configurable size parameters ---
+
+TEST(Figure18, NodeSetSizeHasLimitedEffectOnInternalRaid) {
+  // "FT 2, No Internal RAID shows some sensitivity to the node set size,
+  // but the other two configurations are relatively insensitive to it."
+  const auto events_at = [](int n, const Configuration& config) {
+    SystemConfig c = SystemConfig::baseline();
+    c.node_set_size = n;
+    return Analyzer{c}.events_per_pb_year(config);
+  };
+  for (const auto& config : {Configuration{InternalScheme::kRaid5, 2},
+                             Configuration{InternalScheme::kNone, 3}}) {
+    const double at_16 = events_at(16, config);
+    const double at_128 = events_at(128, config);
+    const double span = std::max(at_16, at_128) / std::min(at_16, at_128);
+    EXPECT_LT(span, 10.0) << name(config);  // less than one order
+  }
+}
+
+TEST(Figure19, LargerRedundancySetsAreLessReliable) {
+  // "all configurations appear to become less reliable as the redundancy
+  // set size increases, with about an order of magnitude difference
+  // between the extremes."
+  for (const auto& config : sensitivity_configurations()) {
+    SystemConfig small = SystemConfig::baseline();
+    small.redundancy_set_size = 6;
+    SystemConfig large = SystemConfig::baseline();
+    large.redundancy_set_size = 16;
+    const double at_small = Analyzer{small}.events_per_pb_year(config);
+    const double at_large = Analyzer{large}.events_per_pb_year(config);
+    EXPECT_GT(at_large, at_small) << name(config);
+    EXPECT_LT(at_large / at_small, 100.0) << name(config);  // ~1 order
+  }
+}
+
+TEST(Figure20, DrivesPerNodeHasLittleEffect) {
+  // Normalized reliability barely moves with d: the cancellation effect
+  // the paper describes (more drives per node -> fewer nodes per PB).
+  for (const auto& config : sensitivity_configurations()) {
+    double lo = 1e300;
+    double hi = 0.0;
+    for (const int d : {6, 9, 12, 18, 24}) {
+      SystemConfig c = SystemConfig::baseline();
+      c.drives_per_node = d;
+      const double events = Analyzer{c}.events_per_pb_year(config);
+      lo = std::min(lo, events);
+      hi = std::max(hi, events);
+    }
+    EXPECT_LT(hi / lo, 30.0) << name(config);
+  }
+}
+
+// --- Section 8 discussion ---
+
+TEST(Section8, BalancedProtectionArgument) {
+  // "increasing the protection for one without correspondingly increasing
+  // it for the other does not result in an overall increase in
+  // reliability": with internal RAID 5 at FT2, upgrading the internal
+  // scheme to RAID 6 moves events/PB-yr by <2x, while adding a node fault
+  // tolerance level moves it by >100x.
+  const Analyzer analyzer = baseline_analyzer();
+  const double base = analyzer.events_per_pb_year({InternalScheme::kRaid5, 2});
+  const double deeper_internal =
+      analyzer.events_per_pb_year({InternalScheme::kRaid6, 2});
+  const double deeper_node =
+      analyzer.events_per_pb_year({InternalScheme::kRaid5, 3});
+  EXPECT_GT(deeper_internal / base, 0.5);
+  EXPECT_LT(deeper_internal / base, 2.0);
+  EXPECT_LT(deeper_node / base, 0.01);
+}
+
+TEST(Section8, RebuildConstrainedByDrivesAboveThreeGbps) {
+  const rebuild::RebuildPlanner planner =
+      baseline_analyzer().planner(2);
+  const double crossover_gbps = planner.link_speed_crossover().value() / 1e9;
+  EXPECT_GT(crossover_gbps, 2.0);
+  EXPECT_LT(crossover_gbps, 4.5);
+}
+
+}  // namespace
+}  // namespace nsrel::core

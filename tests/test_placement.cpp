@@ -1,0 +1,209 @@
+// Tests for placement: even distribution, critical-stripe counting against
+// the combinatorial fractions, redundancy-set enumeration, and the
+// fail-in-place spare ledger.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "combinat/critical_sets.hpp"
+#include "placement/layout.hpp"
+#include "util/assert.hpp"
+#include "util/math.hpp"
+
+namespace nsrel::placement {
+namespace {
+
+TEST(RotatingPlacement, StripeNodesAreDistinctAndInRange) {
+  const RotatingPlacement layout({64, 8});
+  for (std::uint64_t s = 0; s < 200; ++s) {
+    const auto nodes = layout.nodes_for_stripe(s);
+    ASSERT_EQ(nodes.size(), 8u);
+    std::vector<bool> seen(64, false);
+    for (const int n : nodes) {
+      ASSERT_GE(n, 0);
+      ASSERT_LT(n, 64);
+      EXPECT_FALSE(seen[static_cast<std::size_t>(n)]) << "stripe " << s;
+      seen[static_cast<std::size_t>(n)] = true;
+    }
+  }
+}
+
+TEST(RotatingPlacement, StripeUsesNodeAgreesWithEnumeration) {
+  const RotatingPlacement layout({10, 4});
+  for (std::uint64_t s = 0; s < 30; ++s) {
+    const auto nodes = layout.nodes_for_stripe(s);
+    for (int n = 0; n < 10; ++n) {
+      const bool listed =
+          std::find(nodes.begin(), nodes.end(), n) != nodes.end();
+      EXPECT_EQ(layout.stripe_uses_node(s, n), listed)
+          << "s=" << s << " n=" << n;
+    }
+  }
+}
+
+TEST(RotatingPlacement, EvenParticipationOverFullWindow) {
+  // Over N consecutive stripes each node appears exactly R times: the even
+  // distribution assumption of section 4.1.
+  const RotatingPlacement layout({64, 8});
+  const auto counts = layout.participation(64);
+  for (const auto c : counts) EXPECT_EQ(c, 8u);
+}
+
+TEST(RotatingPlacement, CriticalFractionMatchesCombinatoricsForAdjacent) {
+  // With rotation, the fraction of one failed node's stripes that are
+  // critical depends on the failed nodes' separation; adjacent nodes share
+  // R-1 of each's R stripes. This validates stripe_uses_node's geometry.
+  const int n = 16;
+  const int r = 4;
+  const RotatingPlacement layout({n, r});
+  const auto window = static_cast<std::uint64_t>(n);
+  // Node 0 participates in r stripes; adjacent failed pair {0, 1} shares
+  // r-1 stripes.
+  EXPECT_EQ(layout.critical_stripes(window, {0}), static_cast<std::uint64_t>(r));
+  EXPECT_EQ(layout.critical_stripes(window, {0, 1}),
+            static_cast<std::uint64_t>(r - 1));
+  // A pair farther apart than r shares nothing.
+  EXPECT_EQ(layout.critical_stripes(window, {0, 8}), 0u);
+}
+
+TEST(EnumerateRedundancySets, CountMatchesBinomial) {
+  const auto sets = enumerate_redundancy_sets(10, 4);
+  EXPECT_EQ(sets.size(), static_cast<std::size_t>(binomial(10, 4)));
+  // Every set sorted, distinct, in range.
+  for (const auto& set : sets) {
+    ASSERT_EQ(set.size(), 4u);
+    EXPECT_TRUE(std::is_sorted(set.begin(), set.end()));
+    EXPECT_GE(set.front(), 0);
+    EXPECT_LT(set.back(), 10);
+  }
+}
+
+TEST(EnumerateRedundancySets, PerNodeParticipationMatchesSection41) {
+  // Each node is part of C(N-1, R-1) redundancy sets.
+  const int n = 9;
+  const int r = 3;
+  const auto sets = enumerate_redundancy_sets(n, r);
+  std::vector<int> counts(static_cast<std::size_t>(n), 0);
+  for (const auto& set : sets) {
+    for (const int node : set) ++counts[static_cast<std::size_t>(node)];
+  }
+  for (const int c : counts) {
+    EXPECT_EQ(c, static_cast<int>(binomial(n - 1, r - 1)));
+  }
+}
+
+TEST(EnumerateRedundancySets, GuardsAgainstCombinatorialExplosion) {
+  EXPECT_THROW((void)enumerate_redundancy_sets(64, 8), ContractViolation);
+}
+
+TEST(SpareLedger, InitialStateMatchesInputs) {
+  const SpareLedger ledger(64, 3.6e12, 0.75);  // 12 x 300 GB per node
+  EXPECT_EQ(ledger.surviving_nodes(), 64);
+  EXPECT_DOUBLE_EQ(ledger.utilization(), 0.75);
+  EXPECT_DOUBLE_EQ(ledger.spare_bytes(), 64.0 * 3.6e12 * 0.25);
+}
+
+TEST(SpareLedger, FailureRaisesUtilization) {
+  SpareLedger ledger(64, 3.6e12, 0.75);
+  ledger.fail_node();
+  EXPECT_EQ(ledger.surviving_nodes(), 63);
+  EXPECT_NEAR(ledger.utilization(), 0.75 * 64.0 / 63.0, 1e-12);
+}
+
+TEST(SpareLedger, AbsorbableFailureCount) {
+  // 75% utilization: data needs ceil(0.75*64)=48 nodes; 16 failures OK.
+  SpareLedger ledger(64, 1.0, 0.75);
+  EXPECT_EQ(ledger.failures_absorbable(), 16);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_TRUE(ledger.can_absorb_failure()) << i;
+    ledger.fail_node();
+  }
+  EXPECT_FALSE(ledger.can_absorb_failure());
+  EXPECT_EQ(ledger.failures_absorbable(), 0);
+  EXPECT_THROW(ledger.fail_node(), ContractViolation);
+}
+
+TEST(SpareLedger, FullUtilizationAbsorbsNothing) {
+  const SpareLedger ledger(10, 1.0, 1.0);
+  EXPECT_FALSE(ledger.can_absorb_failure());
+  EXPECT_EQ(ledger.failures_absorbable(), 0);
+}
+
+ProvisioningPlanner::Params baseline_provisioning() {
+  return ProvisioningPlanner::Params{};  // 64 nodes, 5-year life
+}
+
+TEST(Provisioning, ExpectedLossMatchesHandComputation) {
+  const ProvisioningPlanner planner(baseline_provisioning());
+  // 64 * 43830h/400kh node-equivalents + 768 * 43830/300k / 12.
+  const double life = 5.0 * 24.0 * 365.25;
+  const double expected =
+      64.0 * life / 400'000.0 + 768.0 * life / 300'000.0 / 12.0;
+  EXPECT_NEAR(planner.expected_node_equivalents_lost(), expected,
+              1e-9 * expected);
+  // ~16.4 node-equivalents over 5 years at baseline.
+  EXPECT_NEAR(planner.expected_node_equivalents_lost(), 16.4, 0.5);
+}
+
+TEST(Provisioning, SurvivalProbabilityIsMonotoneCdf) {
+  const ProvisioningPlanner planner(baseline_provisioning());
+  double previous = 0.0;
+  for (int spares = 0; spares <= 40; spares += 5) {
+    const double p = planner.survival_probability(spares);
+    EXPECT_GE(p, previous);
+    EXPECT_LE(p, 1.0);
+    previous = p;
+  }
+  EXPECT_LT(planner.survival_probability(10), 0.1);  // well below the mean
+  EXPECT_GT(planner.survival_probability(30), 0.99);
+}
+
+TEST(Provisioning, SparesNeededBracketsTheMean) {
+  const ProvisioningPlanner planner(baseline_provisioning());
+  const int spares = planner.spares_needed(0.95);
+  // A 95% target needs the mean (~16.4) plus ~1.65 sigma (~6.7).
+  EXPECT_GE(spares, 17);
+  EXPECT_LE(spares, 26);
+  EXPECT_GE(planner.survival_probability(spares), 0.95);
+  EXPECT_LT(planner.survival_probability(spares - 1), 0.95);
+}
+
+TEST(Provisioning, PaperUtilizationIsRoughlyAFiveYearBudget) {
+  // The paper's 75% utilization leaves 16 spare nodes of 64 — right at
+  // the expected 5-year loss, i.e. ~50% confidence without re-sparing.
+  const ProvisioningPlanner planner(baseline_provisioning());
+  const double util_95 = planner.max_initial_utilization(0.95);
+  const double util_50 = planner.max_initial_utilization(0.50);
+  EXPECT_LT(util_95, 0.75);
+  EXPECT_NEAR(util_50, 0.75, 0.03);
+}
+
+TEST(Provisioning, BetterHardwareAllowsHigherUtilization) {
+  ProvisioningPlanner::Params good = baseline_provisioning();
+  good.node_failures_per_hour = 1.0 / 1'000'000.0;
+  good.drive_failures_per_hour = 1.0 / 750'000.0;
+  const ProvisioningPlanner better{good};
+  const ProvisioningPlanner base{baseline_provisioning()};
+  EXPECT_GT(better.max_initial_utilization(0.95),
+            base.max_initial_utilization(0.95));
+}
+
+TEST(Provisioning, ValidatesInputs) {
+  ProvisioningPlanner::Params bad = baseline_provisioning();
+  bad.service_life_hours = 0.0;
+  EXPECT_THROW(ProvisioningPlanner{bad}, ContractViolation);
+  const ProvisioningPlanner planner(baseline_provisioning());
+  EXPECT_THROW((void)planner.spares_needed(0.0), ContractViolation);
+  EXPECT_THROW((void)planner.spares_needed(1.0), ContractViolation);
+  EXPECT_THROW((void)planner.survival_probability(-1), ContractViolation);
+}
+
+TEST(SpareLedger, RejectsInvalidInputs) {
+  EXPECT_THROW(SpareLedger(1, 1.0, 0.5), ContractViolation);
+  EXPECT_THROW(SpareLedger(4, 0.0, 0.5), ContractViolation);
+  EXPECT_THROW(SpareLedger(4, 1.0, 0.0), ContractViolation);
+  EXPECT_THROW(SpareLedger(4, 1.0, 1.5), ContractViolation);
+}
+
+}  // namespace
+}  // namespace nsrel::placement

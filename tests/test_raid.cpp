@@ -1,0 +1,187 @@
+// Tests for the internal RAID array models (Figures 1 and 4): chain
+// structure, exact-vs-closed-form agreement, and the lambda_D / lambda_S
+// exports used by the hierarchical node models.
+#include <gtest/gtest.h>
+
+#include "ctmc/absorbing.hpp"
+#include "raid/array_model.hpp"
+#include "util/assert.hpp"
+#include "util/math.hpp"
+
+namespace nsrel::raid {
+namespace {
+
+ArrayParams baseline() {
+  ArrayParams p;
+  p.drives = 12;
+  p.drive_mttf = Hours(300'000.0);
+  p.restripe_rate = PerHour(1.0 / 39.2);  // ~ the baseline re-stripe rate
+  p.capacity = gigabytes(300.0);
+  p.her_per_byte = 8e-14;
+  return p;
+}
+
+ArrayParams no_her() {
+  ArrayParams p = baseline();
+  p.her_per_byte = 0.0;
+  return p;
+}
+
+TEST(Raid5, ChainHasThreeStatesPlusLoss) {
+  const auto model = raid5(baseline());
+  const auto chain = model.chain();
+  EXPECT_EQ(chain.state_count(), 3u);
+  EXPECT_EQ(chain.transient_count(), 2u);
+  EXPECT_EQ(chain.absorbing_count(), 1u);
+}
+
+TEST(Raid5, CriticalHardErrorProbabilityMatchesPaper) {
+  // h = (d-1) * C * HER = 11 * 0.024 = 0.264.
+  const auto model = raid5(baseline());
+  EXPECT_DOUBLE_EQ(model.critical_hard_error_probability(), 11.0 * 0.024);
+}
+
+TEST(Raid5, FullClosedFormIsExactWithoutHer) {
+  // With HER = 0 the printed pre-approximation formula solves the chain
+  // exactly: ((2d-1)lambda + mu) / (d(d-1)lambda^2).
+  const ArrayParams p = no_her();
+  const auto model = raid5(p);
+  const double exact = model.mttdl_exact().value();
+  const double full = raid5_mttdl_full(p).value();
+  EXPECT_NEAR(exact, full, 1e-9 * exact);
+}
+
+TEST(Raid5, FullClosedFormTracksExactWithSmallHer) {
+  // With a tiny HER the linear and saturated hard-error models coincide.
+  ArrayParams p = baseline();
+  p.her_per_byte = 1e-18;
+  const auto model = raid5(p);
+  EXPECT_NEAR(model.mttdl_exact().value(), raid5_mttdl_full(p).value(),
+              1e-6 * model.mttdl_exact().value());
+}
+
+TEST(Raid5, ApproximationWithinTolerance) {
+  // The paper's approximation drops lambda-order terms AND keeps the
+  // linear hard-error model, while the exact chain saturates h = 0.264 to
+  // 0.232 — a known ~12% divergence at baseline HER.
+  const auto model = raid5(baseline());
+  const double exact = model.mttdl_exact().value();
+  const double closed = model.mttdl_closed_form().value();
+  EXPECT_NEAR(closed, exact, 0.15 * exact);
+}
+
+TEST(Raid5, RatesMatchPaperFormulas) {
+  const ArrayParams p = baseline();
+  const auto rates = raid5(p).rates();
+  const double lambda = 1.0 / 300'000.0;
+  const double mu = p.restripe_rate.value();
+  EXPECT_NEAR(rates.array_failure.value(), 132.0 * lambda * lambda / mu,
+              1e-15);
+  EXPECT_NEAR(rates.sector_error.value(), 132.0 * lambda * 0.024, 1e-15);
+}
+
+TEST(Raid6, ChainHasFourStatesPlusLoss) {
+  const auto model = raid6(baseline());
+  const auto chain = model.chain();
+  EXPECT_EQ(chain.state_count(), 4u);
+  EXPECT_EQ(chain.transient_count(), 3u);
+}
+
+TEST(Raid6, CriticalHardErrorProbability) {
+  // Rebuilding with two drives gone reads d-2 survivors.
+  const auto model = raid6(baseline());
+  EXPECT_DOUBLE_EQ(model.critical_hard_error_probability(), 10.0 * 0.024);
+}
+
+TEST(Raid6, RatesMatchPaperFormulas) {
+  const ArrayParams p = baseline();
+  const auto rates = raid6(p).rates();
+  const double lambda = 1.0 / 300'000.0;
+  const double mu = p.restripe_rate.value();
+  const double ff = 12.0 * 11.0 * 10.0;
+  EXPECT_NEAR(rates.array_failure.value(),
+              ff * lambda * lambda * lambda / (mu * mu), 1e-20);
+  EXPECT_NEAR(rates.sector_error.value(), ff * lambda * lambda * 0.024 / mu,
+              1e-18);
+}
+
+TEST(Raid6, ApproximationWithinTolerance) {
+  // Same linear-vs-saturated divergence as RAID 5 (h = 0.24 here).
+  const auto model = raid6(baseline());
+  const double exact = model.mttdl_exact().value();
+  const double closed = model.mttdl_closed_form().value();
+  EXPECT_NEAR(closed, exact, 0.15 * exact);
+}
+
+TEST(Raid6, FarMoreReliableThanRaid5) {
+  // In isolation RAID 6 beats RAID 5 by orders of magnitude — the paper's
+  // point is that this advantage vanishes at the NODE level, not here.
+  const double r5 = raid5(baseline()).mttdl_exact().value();
+  const double r6 = raid6(baseline()).mttdl_exact().value();
+  EXPECT_GT(r6, 100.0 * r5);
+}
+
+TEST(GeneralArray, ClosedFormMatchesExactAcrossTolerances) {
+  for (int m = 1; m <= 4; ++m) {
+    ArrayParams p = no_her();
+    p.drives = 16;
+    const GeneralArrayModel model(p, m);
+    const double exact = model.mttdl_exact().value();
+    const double closed = model.mttdl_closed_form().value();
+    // Approximation error grows with m but stays small while mu >> d*lambda.
+    EXPECT_NEAR(closed, exact, 0.02 * exact) << "m=" << m;
+  }
+}
+
+TEST(GeneralArray, MttdlGrowsWithFaultTolerance) {
+  double previous = 0.0;
+  for (int m = 1; m <= 4; ++m) {
+    const GeneralArrayModel model(no_her(), m);
+    const double mttdl = model.mttdl_exact().value();
+    EXPECT_GT(mttdl, previous) << "m=" << m;
+    previous = mttdl;
+  }
+}
+
+TEST(GeneralArray, MttdlFallsWithMoreDrives) {
+  double previous = 1e300;
+  for (int d = 6; d <= 24; d += 6) {
+    ArrayParams p = baseline();
+    p.drives = d;
+    const double mttdl = GeneralArrayModel(p, 1).mttdl_exact().value();
+    EXPECT_LT(mttdl, previous) << "d=" << d;
+    previous = mttdl;
+  }
+}
+
+TEST(GeneralArray, FasterRestripeImprovesMttdl) {
+  ArrayParams slow = baseline();
+  slow.restripe_rate = PerHour(0.01);
+  ArrayParams fast = baseline();
+  fast.restripe_rate = PerHour(1.0);
+  EXPECT_GT(GeneralArrayModel(fast, 1).mttdl_exact().value(),
+            GeneralArrayModel(slow, 1).mttdl_exact().value());
+}
+
+TEST(GeneralArray, RejectsInvalidParameters) {
+  EXPECT_THROW(GeneralArrayModel(baseline(), 0), ContractViolation);
+  EXPECT_THROW(GeneralArrayModel(baseline(), 12), ContractViolation);
+  ArrayParams p = baseline();
+  p.restripe_rate = PerHour(0.0);
+  EXPECT_THROW(GeneralArrayModel(p, 1), ContractViolation);
+}
+
+TEST(GeneralArray, AbsorptionProbabilitySplitsFailureAndSectorPaths) {
+  // With HER = 0, all absorption flows through the drive-failure path;
+  // turning HER on shifts probability mass to the hard-error path.
+  const auto analysis_no_her =
+      ctmc::AbsorbingSolver::analyze(raid5(no_her()).chain());
+  EXPECT_NEAR(analysis_no_her.absorption_probability[0], 1.0, 1e-9);
+  const double mttdl_no_her =
+      analysis_no_her.mean_time_to_absorption_hours;
+  const double mttdl_with_her = raid5(baseline()).mttdl_exact().value();
+  EXPECT_LT(mttdl_with_her, mttdl_no_her);
+}
+
+}  // namespace
+}  // namespace nsrel::raid

@@ -1,0 +1,149 @@
+// Tests for the RDP code: parity definitions, exhaustive single/double
+// erasure recovery across primes, and cross-checks against EVENODD on the
+// shared row-parity component.
+#include <gtest/gtest.h>
+
+#include "erasure/evenodd.hpp"
+#include "erasure/rdp.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace nsrel::erasure {
+namespace {
+
+std::vector<Shard> random_columns(int count, std::size_t size,
+                                  Xoshiro256& rng) {
+  std::vector<Shard> columns(static_cast<std::size_t>(count), Shard(size));
+  for (auto& column : columns) {
+    for (auto& byte : column) byte = static_cast<std::uint8_t>(rng.below(256));
+  }
+  return columns;
+}
+
+TEST(Rdp, ShapeAndConstruction) {
+  const RdpCode code(5);
+  EXPECT_EQ(code.data_columns(), 4);
+  EXPECT_EQ(code.total_columns(), 6);
+  EXPECT_EQ(code.rows(), 4);
+  EXPECT_THROW(RdpCode(6), ContractViolation);
+  EXPECT_THROW(RdpCode(2), ContractViolation);
+}
+
+TEST(Rdp, RowParityMatchesDefinition) {
+  Xoshiro256 rng(31);
+  const int p = 5;
+  const RdpCode code(p);
+  const std::size_t cell = 8;
+  const auto data =
+      random_columns(p - 1, static_cast<std::size_t>(p - 1) * cell, rng);
+  const auto parity = code.encode(data);
+  ASSERT_EQ(parity.size(), 2u);
+  for (std::size_t i = 0; i < static_cast<std::size_t>(p - 1) * cell; ++i) {
+    std::uint8_t expected = 0;
+    for (const auto& column : data) expected ^= column[i];
+    EXPECT_EQ(parity[0][i], expected);
+  }
+}
+
+TEST(Rdp, DiagonalParityCoversRowParityColumn) {
+  // With 1-byte cells, verify Q[d] against the definition including P.
+  Xoshiro256 rng(32);
+  const int p = 5;
+  const RdpCode code(p);
+  const auto data =
+      random_columns(p - 1, static_cast<std::size_t>(p - 1), rng);
+  const auto parity = code.encode(data);
+  for (int d = 0; d < p - 1; ++d) {
+    std::uint8_t expected = 0;
+    for (int j = 0; j < p; ++j) {
+      const int i = (d + p - j) % p;
+      if (i >= p - 1) continue;
+      const Shard& column =
+          j < p - 1 ? data[static_cast<std::size_t>(j)] : parity[0];
+      expected ^= column[static_cast<std::size_t>(i)];
+    }
+    EXPECT_EQ(parity[1][static_cast<std::size_t>(d)], expected) << "d=" << d;
+  }
+}
+
+class RdpExhaustive : public ::testing::TestWithParam<int> {};
+
+TEST_P(RdpExhaustive, EverySingleAndDoubleErasureRecovers) {
+  const int p = GetParam();
+  Xoshiro256 rng(static_cast<std::uint64_t>(100 + p));
+  const RdpCode code(p);
+  const std::size_t cell = 4;
+  const auto data =
+      random_columns(p - 1, static_cast<std::size_t>(p - 1) * cell, rng);
+  auto columns = data;
+  auto parity = code.encode(data);
+  columns.insert(columns.end(), parity.begin(), parity.end());
+  const int total = p + 1;
+
+  const auto check_pattern = [&](const std::vector<int>& erased) {
+    std::vector<bool> present(static_cast<std::size_t>(total), true);
+    auto damaged = columns;
+    for (const int e : erased) {
+      present[static_cast<std::size_t>(e)] = false;
+      damaged[static_cast<std::size_t>(e)].assign(
+          static_cast<std::size_t>(p - 1) * cell, 0xCD);
+    }
+    const auto rebuilt = code.reconstruct(damaged, present);
+    EXPECT_EQ(rebuilt, columns)
+        << "p=" << p << " erased={" << (erased.empty() ? -1 : erased[0])
+        << "," << (erased.size() > 1 ? erased[1] : -1) << "}";
+  };
+
+  check_pattern({});
+  for (int a = 0; a < total; ++a) {
+    check_pattern({a});
+    for (int b = a + 1; b < total; ++b) check_pattern({a, b});
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Primes, RdpExhaustive,
+                         ::testing::Values(3, 5, 7, 11, 13));
+
+TEST(Rdp, ThreeErasuresRejected) {
+  const RdpCode code(5);
+  std::vector<bool> present(6, true);
+  present[0] = present[2] = present[5] = false;
+  EXPECT_FALSE(code.recoverable(present));
+  const std::vector<Shard> columns(6, Shard(16, 0));
+  EXPECT_THROW((void)code.reconstruct(columns, present), ContractViolation);
+}
+
+TEST(Rdp, RowParityAgreesWithEvenOddOnSameData) {
+  // Both codes define P as the XOR of the data row; with EVENODD's extra
+  // zero-padded column the two P columns must agree.
+  Xoshiro256 rng(33);
+  const int p = 5;
+  const std::size_t column_size = static_cast<std::size_t>(p - 1) * 4;
+  auto rdp_data = random_columns(p - 1, column_size, rng);
+  auto evenodd_data = rdp_data;
+  evenodd_data.push_back(Shard(column_size, 0));  // pad to p columns
+  const auto rdp_parity = RdpCode(p).encode(rdp_data);
+  const auto evenodd_parity = EvenOddCode(p).encode(evenodd_data);
+  EXPECT_EQ(rdp_parity[0], evenodd_parity[0]);
+}
+
+TEST(Rdp, LargeCellsPrime17) {
+  Xoshiro256 rng(34);
+  const int p = 17;
+  const RdpCode code(p);
+  const std::size_t cell = 512;
+  const auto data =
+      random_columns(p - 1, static_cast<std::size_t>(p - 1) * cell, rng);
+  auto columns = data;
+  auto parity = code.encode(data);
+  columns.insert(columns.end(), parity.begin(), parity.end());
+  std::vector<bool> present(static_cast<std::size_t>(p + 1), true);
+  present[5] = present[16] = false;  // one data + P
+  auto damaged = columns;
+  damaged[5].assign(damaged[5].size(), 0);
+  damaged[16].assign(damaged[16].size(), 0);
+  EXPECT_EQ(code.reconstruct(damaged, present), columns);
+}
+
+}  // namespace
+}  // namespace nsrel::erasure

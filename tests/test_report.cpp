@@ -1,0 +1,70 @@
+// Tests for the table/CSV report emitters.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "report/table.hpp"
+#include "util/assert.hpp"
+
+namespace nsrel::report {
+namespace {
+
+TEST(Table, AlignsColumnsToWidestCell) {
+  Table t({"name", "v"});
+  t.add_row({"a", "1.5"});
+  t.add_row({"long-name", "2"});
+  const std::string rendered = t.to_string();
+  // Each data line starts at the same column for field 2.
+  std::istringstream in(rendered);
+  std::string header, underline, row1, row2;
+  std::getline(in, header);
+  std::getline(in, underline);
+  std::getline(in, row1);
+  std::getline(in, row2);
+  EXPECT_EQ(header.find('v'), row1.find("1.5"));
+  EXPECT_EQ(row1.find("1.5"), row2.find('2'));
+  EXPECT_EQ(underline.find_first_not_of('-'), std::string::npos);
+}
+
+TEST(Table, RowArityIsChecked) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ContractViolation);
+  EXPECT_THROW(Table({}), ContractViolation);
+}
+
+TEST(Table, RowCount) {
+  Table t({"a"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.add_row({"x"});
+  t.add_row({"y"});
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  Table t({"name", "note"});
+  t.add_row({"plain", "with,comma"});
+  t.add_row({"quote\"inside", "ok"});
+  std::ostringstream out;
+  t.print_csv(out);
+  const std::string csv = out.str();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"quote\"\"inside\""), std::string::npos);
+  EXPECT_NE(csv.find("name,note\n"), std::string::npos);
+}
+
+TEST(Table, CsvRowStructure) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream out;
+  t.print_csv(out);
+  EXPECT_EQ(out.str(), "a,b\n1,2\n");
+}
+
+TEST(Section, HeaderShape) {
+  std::ostringstream out;
+  print_section(out, "Figure 13");
+  EXPECT_EQ(out.str(), "\n== Figure 13 ==\n");
+}
+
+}  // namespace
+}  // namespace nsrel::report

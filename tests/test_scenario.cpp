@@ -1,0 +1,189 @@
+// Tests for the scenario module: INI parsing (syntax + errors), scenario
+// schema validation, and end-to-end runs to table and CSV.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "scenario/ini.hpp"
+#include "scenario/scenario.hpp"
+#include "util/assert.hpp"
+
+namespace nsrel::scenario {
+namespace {
+
+TEST(Ini, ParsesSectionsKeysCommentsAndBlanks) {
+  const IniDocument doc = IniDocument::parse(R"(
+# leading comment
+top = 1
+
+[system]
+n = 64          ; trailing comment
+drive-mttf = 3e5
+
+[empty]
+)");
+  EXPECT_TRUE(doc.has("", "top"));
+  EXPECT_EQ(doc.get("system", "n", ""), "64");
+  EXPECT_DOUBLE_EQ(doc.get_double("system", "drive-mttf", 0.0), 3e5);
+  EXPECT_TRUE(doc.has_section("empty"));
+  EXPECT_FALSE(doc.has_section("missing"));
+  EXPECT_EQ(doc.get("missing", "x", "fallback"), "fallback");
+}
+
+TEST(Ini, TrimAndSplit) {
+  EXPECT_EQ(trim("  a b  "), "a b");
+  EXPECT_EQ(trim("\t\n"), "");
+  const auto pieces = split_list(" a, b ,, c ");
+  ASSERT_EQ(pieces.size(), 3u);
+  EXPECT_EQ(pieces[0], "a");
+  EXPECT_EQ(pieces[1], "b");
+  EXPECT_EQ(pieces[2], "c");
+}
+
+TEST(Ini, ErrorsCarryLineNumbers) {
+  try {
+    (void)IniDocument::parse("ok = 1\nbroken line\n");
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Ini, RejectsMalformedInput) {
+  EXPECT_THROW((void)IniDocument::parse("[unterminated\n"), ContractViolation);
+  EXPECT_THROW((void)IniDocument::parse("[]\n"), ContractViolation);
+  EXPECT_THROW((void)IniDocument::parse("= value\n"), ContractViolation);
+  EXPECT_THROW((void)IniDocument::parse("a = 1\na = 2\n"), ContractViolation);
+  const IniDocument doc = IniDocument::parse("[s]\nx = notanumber\n");
+  EXPECT_THROW((void)doc.get_double("s", "x", 0.0), ContractViolation);
+}
+
+TEST(ConfigurationToken, ParsesAllSchemes) {
+  EXPECT_EQ(parse_configuration_token("none-ft3").internal,
+            core::InternalScheme::kNone);
+  EXPECT_EQ(parse_configuration_token("raid5-ft2").internal,
+            core::InternalScheme::kRaid5);
+  const auto r6 = parse_configuration_token("raid6-ft1");
+  EXPECT_EQ(r6.internal, core::InternalScheme::kRaid6);
+  EXPECT_EQ(r6.node_fault_tolerance, 1);
+}
+
+TEST(ConfigurationToken, RejectsGarbage) {
+  EXPECT_THROW((void)parse_configuration_token("raid5"), ContractViolation);
+  EXPECT_THROW((void)parse_configuration_token("raid7-ft2"),
+               ContractViolation);
+  EXPECT_THROW((void)parse_configuration_token("raid5-ftx"),
+               ContractViolation);
+  EXPECT_THROW((void)parse_configuration_token("raid5-ft0"),
+               ContractViolation);
+}
+
+TEST(Scenario, DefaultsWhenSectionsAbsent) {
+  const Scenario scenario = parse_scenario("");
+  EXPECT_EQ(scenario.configurations.size(), 3u);  // the sensitivity trio
+  EXPECT_FALSE(scenario.sweep.has_value());
+  EXPECT_FALSE(scenario.csv);
+  EXPECT_DOUBLE_EQ(scenario.target.events_per_pb_year, 2e-3);
+}
+
+TEST(Scenario, SystemOverridesApply) {
+  const Scenario scenario = parse_scenario(R"(
+[system]
+n = 32
+link-gbps = 5
+)");
+  EXPECT_EQ(scenario.system.node_set_size, 32);
+  EXPECT_DOUBLE_EQ(scenario.system.link.raw_speed.value(), 5e9);
+  EXPECT_EQ(scenario.system.drives_per_node, 12);  // baseline retained
+}
+
+TEST(Scenario, RejectsUnknownKeysAndSections) {
+  EXPECT_THROW((void)parse_scenario("[system]\nwombats = 3\n"),
+               ContractViolation);
+  EXPECT_THROW((void)parse_scenario("[mystery]\nx = 1\n"), ContractViolation);
+  EXPECT_THROW((void)parse_scenario("[sweep]\nparam = wombats\nfrom = 1\nto "
+                                    "= 2\n"),
+               ContractViolation);
+  EXPECT_THROW((void)parse_scenario("[sweep]\nparam = n\nfrom = 5\nto = 2\n"),
+               ContractViolation);
+  EXPECT_THROW((void)parse_scenario("[output]\nformat = json\n"),
+               ContractViolation);
+}
+
+TEST(Scenario, SingleEvaluationRun) {
+  std::ostringstream out;
+  run_scenario_text(R"(
+[configurations]
+list = raid5-ft2
+)",
+                    out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("FT2, Internal RAID 5"), std::string::npos);
+  EXPECT_NE(text.find("*"), std::string::npos);  // meets target at baseline
+}
+
+TEST(Scenario, SweepRunTableShape) {
+  std::ostringstream out;
+  run_scenario_text(R"(
+[configurations]
+list = none-ft3
+[sweep]
+param = link-gbps
+from = 1
+to = 10
+steps = 4
+scale = log
+)",
+                    out);
+  const std::string text = out.str();
+  // Header + underline + 4 rows + footnote.
+  int lines = 0;
+  for (const char ch : text) {
+    if (ch == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 7);
+}
+
+TEST(Scenario, CsvOutput) {
+  std::ostringstream out;
+  run_scenario_text(R"(
+[configurations]
+list = none-ft2, raid5-ft2
+[sweep]
+param = drive-mttf
+from = 1e5
+to = 7.5e5
+steps = 3
+scale = linear
+[output]
+format = csv
+)",
+                    out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("drive-mttf,"), std::string::npos);
+  // CSV: no asterisks, 4 lines (header + 3 rows).
+  EXPECT_EQ(text.find('*'), std::string::npos);
+}
+
+TEST(Scenario, LinearAndLogSpacingDiffer) {
+  const Scenario log_s = parse_scenario(
+      "[sweep]\nparam = n\nfrom = 16\nto = 256\nsteps = 3\nscale = log\n");
+  const Scenario lin_s = parse_scenario(
+      "[sweep]\nparam = n\nfrom = 16\nto = 256\nsteps = 3\nscale = linear\n");
+  EXPECT_TRUE(log_s.sweep->log_scale);
+  EXPECT_FALSE(lin_s.sweep->log_scale);
+}
+
+TEST(Scenario, RepositoryScenarioFilesParse) {
+  // Keep the shipped example files valid.
+  for (const char* text : {
+           // mirror of scenarios/baseline.scenario structure
+           "[configurations]\nlist = none-ft1, raid5-ft2\n[output]\nformat "
+           "= table\n",
+       }) {
+    EXPECT_NO_THROW((void)parse_scenario(text));
+  }
+}
+
+}  // namespace
+}  // namespace nsrel::scenario

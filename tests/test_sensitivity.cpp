@@ -1,0 +1,119 @@
+// Tests for the analytic MTTA sensitivity solver: exact identities
+// (time-rescaling elasticity = -1), agreement with central finite
+// differences, and the paper's section-7 directions at baseline.
+#include <gtest/gtest.h>
+
+#include "core/analyzer.hpp"
+#include "ctmc/absorbing.hpp"
+#include "ctmc/sensitivity.hpp"
+#include "models/no_internal_raid.hpp"
+#include "util/assert.hpp"
+
+namespace nsrel::ctmc {
+namespace {
+
+Chain repairable_pair(double lambda, double mu) {
+  Chain c;
+  const StateId s0 = c.add_state("ok");
+  const StateId s1 = c.add_state("deg");
+  const StateId s2 = c.add_state("loss", StateKind::kAbsorbing);
+  c.add_transition(s0, s1, 2.0 * lambda);
+  c.add_transition(s1, s0, mu);
+  c.add_transition(s1, s2, lambda);
+  return c;
+}
+
+/// Rebuilds the chain with matched transitions scaled by `theta` and
+/// returns its MTTA — the reference for finite differences.
+double mtta_scaled(const Chain& chain, StateId initial,
+                   const SensitivitySolver::TransitionSelector& selector,
+                   double theta) {
+  Chain scaled;
+  for (StateId s = 0; s < chain.state_count(); ++s) {
+    scaled.add_state(chain.state(s).label, chain.state(s).kind);
+  }
+  for (const auto& t : chain.transitions()) {
+    scaled.add_transition(t.from, t.to,
+                          selector(t) ? t.rate * theta : t.rate);
+  }
+  return AbsorbingSolver::mttdl_hours(scaled, initial);
+}
+
+double finite_difference(const Chain& chain, StateId initial,
+                         const SensitivitySolver::TransitionSelector& s) {
+  const double h = 1e-6;
+  return (mtta_scaled(chain, initial, s, 1.0 + h) -
+          mtta_scaled(chain, initial, s, 1.0 - h)) /
+         (2.0 * h);
+}
+
+TEST(Sensitivity, ScalingEverythingGivesElasticityMinusOne) {
+  // MTTA(theta * all rates) = MTTA / theta exactly.
+  const Chain c = repairable_pair(0.01, 5.0);
+  const auto all = [](const Transition&) { return true; };
+  EXPECT_NEAR(SensitivitySolver::mtta_elasticity(c, 0, all), -1.0, 1e-10);
+}
+
+TEST(Sensitivity, DerivativeMatchesFiniteDifference) {
+  const Chain c = repairable_pair(0.02, 3.0);
+  const auto failures = [](const Transition& t) { return t.rate < 1.0; };
+  const auto repairs = [](const Transition& t) { return t.rate >= 1.0; };
+  const double fd_failures = finite_difference(c, 0, failures);
+  const double fd_repairs = finite_difference(c, 0, repairs);
+  EXPECT_NEAR(SensitivitySolver::mtta_derivative(c, 0, failures), fd_failures,
+              1e-4 * std::abs(fd_failures));
+  EXPECT_NEAR(SensitivitySolver::mtta_derivative(c, 0, repairs), fd_repairs,
+              1e-4 * std::abs(fd_repairs));
+}
+
+TEST(Sensitivity, SignsAreIntuitive) {
+  const Chain c = repairable_pair(0.02, 3.0);
+  // Faster failures -> shorter life; faster repairs -> longer life.
+  const auto failures = [](const Transition& t) { return t.rate < 1.0; };
+  const auto repairs = [](const Transition& t) { return t.rate >= 1.0; };
+  EXPECT_LT(SensitivitySolver::mtta_derivative(c, 0, failures), 0.0);
+  EXPECT_GT(SensitivitySolver::mtta_derivative(c, 0, repairs), 0.0);
+}
+
+TEST(Sensitivity, ElasticitiesDecomposeAcrossDisjointGroups) {
+  // Sum of elasticities over a partition of all transitions = -1
+  // (Euler's theorem: MTTA is homogeneous of degree -1 in the rates).
+  const Chain c = repairable_pair(0.05, 2.0);
+  const auto failures = [](const Transition& t) { return t.rate < 1.0; };
+  const auto repairs = [](const Transition& t) { return t.rate >= 1.0; };
+  const double sum = SensitivitySolver::mtta_elasticity(c, 0, failures) +
+                     SensitivitySolver::mtta_elasticity(c, 0, repairs);
+  EXPECT_NEAR(sum, -1.0, 1e-9);
+}
+
+TEST(Sensitivity, NirBaselineRepairElasticityNearFaultTolerance) {
+  // MTTDL ~ mu^k in the closed form, so the repair elasticity at FT2
+  // should be close to +2 (slightly below: mu also appears in h terms'
+  // denominators only through the flows, not the chain).
+  models::NoInternalRaidParams p;
+  p.node_set_size = 16;
+  p.redundancy_set_size = 8;
+  p.fault_tolerance = 2;
+  p.drives_per_node = 4;
+  p.node_failure = PerHour(1e-5);
+  p.drive_failure = PerHour(1e-5);
+  p.node_rebuild = PerHour(0.5);
+  p.drive_rebuild = PerHour(2.0);
+  p.capacity = gigabytes(300.0);
+  p.her_per_byte = 0.0;  // isolate the failure path
+  const models::NoInternalRaidModel model(p);
+  const auto chain = model.chain();
+  const auto repairs = [](const Transition& t) { return t.rate >= 0.4; };
+  const double elasticity = SensitivitySolver::mtta_elasticity(
+      chain, models::NoInternalRaidModel::root_state(), repairs);
+  EXPECT_NEAR(elasticity, 2.0, 0.1);
+}
+
+TEST(Sensitivity, ValidatesInputs) {
+  const Chain c = repairable_pair(0.01, 1.0);
+  EXPECT_THROW((void)SensitivitySolver::mtta_derivative(c, 2, nullptr),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace nsrel::ctmc

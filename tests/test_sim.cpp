@@ -1,0 +1,173 @@
+// Statistical validation: Monte-Carlo simulators vs the analytic solvers.
+// Simulations run at accelerated failure rates (see storage_simulator.hpp)
+// so each trajectory has a manageable number of events; agreement there
+// validates the transition structure at any rate ratio.
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "ctmc/absorbing.hpp"
+#include "models/internal_raid.hpp"
+#include "models/no_internal_raid.hpp"
+#include "sim/chain_simulator.hpp"
+#include "sim/estimate.hpp"
+#include "sim/storage_simulator.hpp"
+#include "util/assert.hpp"
+
+namespace nsrel::sim {
+namespace {
+
+// Accelerated parameters: lambda/mu ~ 1e-2, so trajectories absorb after
+// ~1e2-1e4 events and 4000 trials finish in well under a second.
+models::NoInternalRaidParams accelerated_nir(int fault_tolerance) {
+  models::NoInternalRaidParams p;
+  p.node_set_size = 8;
+  p.redundancy_set_size = 4;
+  p.fault_tolerance = fault_tolerance;
+  p.drives_per_node = 3;
+  p.node_failure = PerHour(0.002);
+  p.drive_failure = PerHour(0.003);
+  p.node_rebuild = PerHour(1.0);
+  p.drive_rebuild = PerHour(3.0);
+  p.capacity = gigabytes(300.0);
+  p.her_per_byte = 8e-14;
+  return p;
+}
+
+models::InternalRaidParams accelerated_ir(int fault_tolerance) {
+  models::InternalRaidParams p;
+  p.node_set_size = 8;
+  p.redundancy_set_size = 4;
+  p.fault_tolerance = fault_tolerance;
+  p.node_failure = PerHour(0.004);
+  p.node_rebuild = PerHour(1.0);
+  p.array_failure = PerHour(0.001);
+  p.sector_error = PerHour(0.0005);
+  return p;
+}
+
+TEST(Estimate, MomentsAndInterval) {
+  // Two observations 1 and 3: mean 2, sample stddev sqrt(2).
+  const MttdlEstimate e = make_estimate(4.0, 10.0, 2);
+  EXPECT_DOUBLE_EQ(e.mean_hours, 2.0);
+  EXPECT_NEAR(e.stddev_hours, std::sqrt(2.0), 1e-12);
+  EXPECT_TRUE(e.covers(2.0));
+  EXPECT_FALSE(e.covers(100.0));
+  EXPECT_THROW((void)make_estimate(1.0, 1.0, 1), ContractViolation);
+}
+
+TEST(ChainSimulator, SingleExponentialMatchesAnalytic) {
+  ctmc::Chain c;
+  const auto up = c.add_state("up");
+  const auto down = c.add_state("down", ctmc::StateKind::kAbsorbing);
+  c.add_transition(up, down, 2.0);
+  ChainSimulator simulator(c, 101);
+  const MttdlEstimate e = simulator.estimate(20000, up);
+  // Analytic MTTA = 0.5; allow 4 sigma.
+  EXPECT_NEAR(e.mean_hours, 0.5, 4.0 * e.stderr_hours);
+}
+
+TEST(ChainSimulator, RepairableChainMatchesSolver) {
+  ctmc::Chain c;
+  const auto s0 = c.add_state("ok");
+  const auto s1 = c.add_state("deg");
+  const auto s2 = c.add_state("loss", ctmc::StateKind::kAbsorbing);
+  c.add_transition(s0, s1, 0.2);
+  c.add_transition(s1, s0, 1.0);
+  c.add_transition(s1, s2, 0.1);
+  const double analytic = ctmc::AbsorbingSolver::mttdl_hours(c, s0);
+  ChainSimulator simulator(c, 202);
+  const MttdlEstimate e = simulator.estimate(8000, s0);
+  EXPECT_NEAR(e.mean_hours, analytic, 4.0 * e.stderr_hours);
+}
+
+TEST(ChainSimulator, DeterministicForFixedSeed) {
+  ctmc::Chain c;
+  const auto s0 = c.add_state("ok");
+  const auto s1 = c.add_state("loss", ctmc::StateKind::kAbsorbing);
+  c.add_transition(s0, s1, 1.0);
+  ChainSimulator a(c, 7);
+  ChainSimulator b(c, 7);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(a.sample_absorption_time(s0),
+                     b.sample_absorption_time(s0));
+  }
+}
+
+TEST(ChainSimulator, RejectsAbsorbingStart) {
+  ctmc::Chain c;
+  c.add_state("ok");
+  const auto loss = c.add_state("loss", ctmc::StateKind::kAbsorbing);
+  c.add_transition(0, loss, 1.0);
+  ChainSimulator simulator(c, 1);
+  EXPECT_THROW((void)simulator.sample_absorption_time(loss),
+               ContractViolation);
+}
+
+class NirSimVsModel : public ::testing::TestWithParam<int> {};
+
+TEST_P(NirSimVsModel, StorageSimulatorMatchesExactChain) {
+  const int k = GetParam();
+  const auto params = accelerated_nir(k);
+  const models::NoInternalRaidModel model(params);
+  const double analytic = model.mttdl_exact().value();
+  NirStorageSimulator simulator(params, 303 + static_cast<std::uint64_t>(k));
+  const MttdlEstimate e = simulator.estimate(4000);
+  // 5-sigma band: generous enough for a statistical test that must never
+  // flake, tight enough to catch any structural error in the chain.
+  EXPECT_NEAR(e.mean_hours, analytic, 5.0 * e.stderr_hours)
+      << "k=" << k << " analytic=" << analytic << " sim=" << e.mean_hours;
+}
+
+INSTANTIATE_TEST_SUITE_P(FaultTolerances, NirSimVsModel,
+                         ::testing::Values(1, 2, 3));
+
+class IrSimVsModel : public ::testing::TestWithParam<int> {};
+
+TEST_P(IrSimVsModel, StorageSimulatorMatchesExactChain) {
+  const int t = GetParam();
+  const auto params = accelerated_ir(t);
+  const models::InternalRaidNodeModel model(params);
+  const double analytic = model.mttdl_exact().value();
+  IrStorageSimulator simulator(params, 404 + static_cast<std::uint64_t>(t));
+  const MttdlEstimate e = simulator.estimate(4000);
+  EXPECT_NEAR(e.mean_hours, analytic, 5.0 * e.stderr_hours)
+      << "t=" << t << " analytic=" << analytic << " sim=" << e.mean_hours;
+}
+
+INSTANTIATE_TEST_SUITE_P(FaultTolerances, IrSimVsModel,
+                         ::testing::Values(1, 2, 3));
+
+TEST(StorageSimulator, ChainSimulatorAgreesWithStorageSimulator) {
+  // Close the triangle: storage-level simulation vs chain-level simulation
+  // of the recursively built chain vs the solver (covered above).
+  const auto params = accelerated_nir(2);
+  const models::NoInternalRaidModel model(params);
+  const auto chain = model.chain();
+  ChainSimulator chain_sim(chain, 505);
+  const MttdlEstimate via_chain =
+      chain_sim.estimate(4000, models::NoInternalRaidModel::root_state());
+  NirStorageSimulator storage_sim(params, 606);
+  const MttdlEstimate via_storage = storage_sim.estimate(4000);
+  const double combined_stderr = std::sqrt(
+      via_chain.stderr_hours * via_chain.stderr_hours +
+      via_storage.stderr_hours * via_storage.stderr_hours);
+  EXPECT_NEAR(via_chain.mean_hours, via_storage.mean_hours,
+              5.0 * combined_stderr);
+}
+
+TEST(StorageSimulator, HardErrorsShortenLife) {
+  // Crank HER so h_alpha saturates: simulated MTTDL must drop well below
+  // the HER-free configuration.
+  auto noisy = accelerated_nir(2);
+  noisy.her_per_byte = 3e-12;  // h ~ 0.9 at these R, N
+  auto clean = accelerated_nir(2);
+  clean.her_per_byte = 0.0;
+  NirStorageSimulator noisy_sim(noisy, 707);
+  NirStorageSimulator clean_sim(clean, 808);
+  EXPECT_LT(noisy_sim.estimate(2000).mean_hours,
+            0.7 * clean_sim.estimate(2000).mean_hours);
+}
+
+}  // namespace
+}  // namespace nsrel::sim

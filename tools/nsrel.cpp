@@ -1,0 +1,9 @@
+// `nsrel`: command-line front end to the reliability models. See
+// `nsrel help` or src/cli/commands.hpp for the command set.
+#include <iostream>
+
+#include "cli/commands.hpp"
+
+int main(int argc, char** argv) {
+  return nsrel::cli::dispatch(argc, argv, std::cout, std::cerr);
+}
