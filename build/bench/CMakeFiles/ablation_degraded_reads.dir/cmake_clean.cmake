@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_degraded_reads.dir/ablation_degraded_reads.cpp.o"
+  "CMakeFiles/ablation_degraded_reads.dir/ablation_degraded_reads.cpp.o.d"
+  "ablation_degraded_reads"
+  "ablation_degraded_reads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_degraded_reads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_degraded_reads.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_elasticities.dir/ablation_elasticities.cpp.o"
+  "CMakeFiles/ablation_elasticities.dir/ablation_elasticities.cpp.o.d"
+  "ablation_elasticities"
+  "ablation_elasticities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_elasticities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

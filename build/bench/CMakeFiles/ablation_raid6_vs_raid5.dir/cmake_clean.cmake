@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_raid6_vs_raid5.dir/ablation_raid6_vs_raid5.cpp.o"
+  "CMakeFiles/ablation_raid6_vs_raid5.dir/ablation_raid6_vs_raid5.cpp.o.d"
+  "ablation_raid6_vs_raid5"
+  "ablation_raid6_vs_raid5.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_raid6_vs_raid5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

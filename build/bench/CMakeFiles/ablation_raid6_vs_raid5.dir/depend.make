@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_raid6_vs_raid5.
+# This may be replaced when dependencies are built.

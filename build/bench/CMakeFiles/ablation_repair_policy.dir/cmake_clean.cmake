@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_repair_policy.dir/ablation_repair_policy.cpp.o"
+  "CMakeFiles/ablation_repair_policy.dir/ablation_repair_policy.cpp.o.d"
+  "ablation_repair_policy"
+  "ablation_repair_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_repair_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_weibull.dir/ablation_weibull.cpp.o"
+  "CMakeFiles/ablation_weibull.dir/ablation_weibull.cpp.o.d"
+  "ablation_weibull"
+  "ablation_weibull.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_weibull.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig14_drive_mttf.cpp" "bench/CMakeFiles/fig14_drive_mttf.dir/fig14_drive_mttf.cpp.o" "gcc" "bench/CMakeFiles/fig14_drive_mttf.dir/fig14_drive_mttf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/nsrel_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cli/CMakeFiles/nsrel_cli.dir/DependInfo.cmake"
+  "/root/repo/build/src/scenario/CMakeFiles/nsrel_scenario.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/nsrel_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rebuild/CMakeFiles/nsrel_rebuild.dir/DependInfo.cmake"
+  "/root/repo/build/src/raid/CMakeFiles/nsrel_raid.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/nsrel_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/combinat/CMakeFiles/nsrel_combinat.dir/DependInfo.cmake"
+  "/root/repo/build/src/ctmc/CMakeFiles/nsrel_ctmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/nsrel_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/nsrel_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/nsrel_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/brick/CMakeFiles/nsrel_brick.dir/DependInfo.cmake"
+  "/root/repo/build/src/erasure/CMakeFiles/nsrel_erasure.dir/DependInfo.cmake"
+  "/root/repo/build/src/placement/CMakeFiles/nsrel_placement.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nsrel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_drive_mttf.dir/fig14_drive_mttf.cpp.o"
+  "CMakeFiles/fig14_drive_mttf.dir/fig14_drive_mttf.cpp.o.d"
+  "fig14_drive_mttf"
+  "fig14_drive_mttf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_drive_mttf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_node_mttf.dir/fig15_node_mttf.cpp.o"
+  "CMakeFiles/fig15_node_mttf.dir/fig15_node_mttf.cpp.o.d"
+  "fig15_node_mttf"
+  "fig15_node_mttf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_node_mttf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_rebuild_block.dir/fig16_rebuild_block.cpp.o"
+  "CMakeFiles/fig16_rebuild_block.dir/fig16_rebuild_block.cpp.o.d"
+  "fig16_rebuild_block"
+  "fig16_rebuild_block.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_rebuild_block.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig16_rebuild_block.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_link_speed.dir/fig17_link_speed.cpp.o"
+  "CMakeFiles/fig17_link_speed.dir/fig17_link_speed.cpp.o.d"
+  "fig17_link_speed"
+  "fig17_link_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_link_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_redundancy_set_size.dir/fig19_redundancy_set_size.cpp.o"
+  "CMakeFiles/fig19_redundancy_set_size.dir/fig19_redundancy_set_size.cpp.o.d"
+  "fig19_redundancy_set_size"
+  "fig19_redundancy_set_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_redundancy_set_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_drives_per_node.dir/fig20_drives_per_node.cpp.o"
+  "CMakeFiles/fig20_drives_per_node.dir/fig20_drives_per_node.cpp.o.d"
+  "fig20_drives_per_node"
+  "fig20_drives_per_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_drives_per_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

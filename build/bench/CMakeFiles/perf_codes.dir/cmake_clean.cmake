@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_codes.dir/perf_codes.cpp.o"
+  "CMakeFiles/perf_codes.dir/perf_codes.cpp.o.d"
+  "perf_codes"
+  "perf_codes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_codes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_solvers.dir/perf_solvers.cpp.o"
+  "CMakeFiles/perf_solvers.dir/perf_solvers.cpp.o.d"
+  "perf_solvers"
+  "perf_solvers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_solvers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/brick_demo.dir/brick_demo.cpp.o"
+  "CMakeFiles/brick_demo.dir/brick_demo.cpp.o.d"
+  "brick_demo"
+  "brick_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/brick_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

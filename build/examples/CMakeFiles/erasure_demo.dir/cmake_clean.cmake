@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erasure_demo.dir/erasure_demo.cpp.o"
+  "CMakeFiles/erasure_demo.dir/erasure_demo.cpp.o.d"
+  "erasure_demo"
+  "erasure_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erasure_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_vs_model.dir/sim_vs_model.cpp.o"
+  "CMakeFiles/sim_vs_model.dir/sim_vs_model.cpp.o.d"
+  "sim_vs_model"
+  "sim_vs_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_vs_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("linalg")
+subdirs("combinat")
+subdirs("ctmc")
+subdirs("rebuild")
+subdirs("raid")
+subdirs("models")
+subdirs("core")
+subdirs("erasure")
+subdirs("brick")
+subdirs("workload")
+subdirs("placement")
+subdirs("sim")
+subdirs("report")
+subdirs("scenario")
+subdirs("cli")

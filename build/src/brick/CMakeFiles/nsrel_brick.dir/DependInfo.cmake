@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/brick/node.cpp" "src/brick/CMakeFiles/nsrel_brick.dir/node.cpp.o" "gcc" "src/brick/CMakeFiles/nsrel_brick.dir/node.cpp.o.d"
+  "/root/repo/src/brick/object_store.cpp" "src/brick/CMakeFiles/nsrel_brick.dir/object_store.cpp.o" "gcc" "src/brick/CMakeFiles/nsrel_brick.dir/object_store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/erasure/CMakeFiles/nsrel_erasure.dir/DependInfo.cmake"
+  "/root/repo/build/src/placement/CMakeFiles/nsrel_placement.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nsrel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nsrel_brick.dir/node.cpp.o"
+  "CMakeFiles/nsrel_brick.dir/node.cpp.o.d"
+  "CMakeFiles/nsrel_brick.dir/object_store.cpp.o"
+  "CMakeFiles/nsrel_brick.dir/object_store.cpp.o.d"
+  "libnsrel_brick.a"
+  "libnsrel_brick.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nsrel_brick.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

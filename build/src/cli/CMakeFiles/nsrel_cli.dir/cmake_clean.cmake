@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nsrel_cli.dir/args.cpp.o"
+  "CMakeFiles/nsrel_cli.dir/args.cpp.o.d"
+  "CMakeFiles/nsrel_cli.dir/commands.cpp.o"
+  "CMakeFiles/nsrel_cli.dir/commands.cpp.o.d"
+  "libnsrel_cli.a"
+  "libnsrel_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nsrel_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

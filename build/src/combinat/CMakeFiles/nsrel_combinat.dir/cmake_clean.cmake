@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nsrel_combinat.dir/critical_sets.cpp.o"
+  "CMakeFiles/nsrel_combinat.dir/critical_sets.cpp.o.d"
+  "libnsrel_combinat.a"
+  "libnsrel_combinat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nsrel_combinat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analyzer.cpp" "src/core/CMakeFiles/nsrel_core.dir/analyzer.cpp.o" "gcc" "src/core/CMakeFiles/nsrel_core.dir/analyzer.cpp.o.d"
+  "/root/repo/src/core/configuration.cpp" "src/core/CMakeFiles/nsrel_core.dir/configuration.cpp.o" "gcc" "src/core/CMakeFiles/nsrel_core.dir/configuration.cpp.o.d"
+  "/root/repo/src/core/scrubbing.cpp" "src/core/CMakeFiles/nsrel_core.dir/scrubbing.cpp.o" "gcc" "src/core/CMakeFiles/nsrel_core.dir/scrubbing.cpp.o.d"
+  "/root/repo/src/core/system_config.cpp" "src/core/CMakeFiles/nsrel_core.dir/system_config.cpp.o" "gcc" "src/core/CMakeFiles/nsrel_core.dir/system_config.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/models/CMakeFiles/nsrel_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/raid/CMakeFiles/nsrel_raid.dir/DependInfo.cmake"
+  "/root/repo/build/src/rebuild/CMakeFiles/nsrel_rebuild.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nsrel_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/combinat/CMakeFiles/nsrel_combinat.dir/DependInfo.cmake"
+  "/root/repo/build/src/ctmc/CMakeFiles/nsrel_ctmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/nsrel_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

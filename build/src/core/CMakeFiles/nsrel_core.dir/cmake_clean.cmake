@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nsrel_core.dir/analyzer.cpp.o"
+  "CMakeFiles/nsrel_core.dir/analyzer.cpp.o.d"
+  "CMakeFiles/nsrel_core.dir/configuration.cpp.o"
+  "CMakeFiles/nsrel_core.dir/configuration.cpp.o.d"
+  "CMakeFiles/nsrel_core.dir/scrubbing.cpp.o"
+  "CMakeFiles/nsrel_core.dir/scrubbing.cpp.o.d"
+  "CMakeFiles/nsrel_core.dir/system_config.cpp.o"
+  "CMakeFiles/nsrel_core.dir/system_config.cpp.o.d"
+  "libnsrel_core.a"
+  "libnsrel_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nsrel_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

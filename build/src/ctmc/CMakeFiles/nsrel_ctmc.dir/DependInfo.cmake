@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ctmc/absorbing.cpp" "src/ctmc/CMakeFiles/nsrel_ctmc.dir/absorbing.cpp.o" "gcc" "src/ctmc/CMakeFiles/nsrel_ctmc.dir/absorbing.cpp.o.d"
+  "/root/repo/src/ctmc/chain.cpp" "src/ctmc/CMakeFiles/nsrel_ctmc.dir/chain.cpp.o" "gcc" "src/ctmc/CMakeFiles/nsrel_ctmc.dir/chain.cpp.o.d"
+  "/root/repo/src/ctmc/dot.cpp" "src/ctmc/CMakeFiles/nsrel_ctmc.dir/dot.cpp.o" "gcc" "src/ctmc/CMakeFiles/nsrel_ctmc.dir/dot.cpp.o.d"
+  "/root/repo/src/ctmc/elimination.cpp" "src/ctmc/CMakeFiles/nsrel_ctmc.dir/elimination.cpp.o" "gcc" "src/ctmc/CMakeFiles/nsrel_ctmc.dir/elimination.cpp.o.d"
+  "/root/repo/src/ctmc/sensitivity.cpp" "src/ctmc/CMakeFiles/nsrel_ctmc.dir/sensitivity.cpp.o" "gcc" "src/ctmc/CMakeFiles/nsrel_ctmc.dir/sensitivity.cpp.o.d"
+  "/root/repo/src/ctmc/stationary.cpp" "src/ctmc/CMakeFiles/nsrel_ctmc.dir/stationary.cpp.o" "gcc" "src/ctmc/CMakeFiles/nsrel_ctmc.dir/stationary.cpp.o.d"
+  "/root/repo/src/ctmc/transient.cpp" "src/ctmc/CMakeFiles/nsrel_ctmc.dir/transient.cpp.o" "gcc" "src/ctmc/CMakeFiles/nsrel_ctmc.dir/transient.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/nsrel_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nsrel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nsrel_ctmc.dir/absorbing.cpp.o"
+  "CMakeFiles/nsrel_ctmc.dir/absorbing.cpp.o.d"
+  "CMakeFiles/nsrel_ctmc.dir/chain.cpp.o"
+  "CMakeFiles/nsrel_ctmc.dir/chain.cpp.o.d"
+  "CMakeFiles/nsrel_ctmc.dir/dot.cpp.o"
+  "CMakeFiles/nsrel_ctmc.dir/dot.cpp.o.d"
+  "CMakeFiles/nsrel_ctmc.dir/elimination.cpp.o"
+  "CMakeFiles/nsrel_ctmc.dir/elimination.cpp.o.d"
+  "CMakeFiles/nsrel_ctmc.dir/sensitivity.cpp.o"
+  "CMakeFiles/nsrel_ctmc.dir/sensitivity.cpp.o.d"
+  "CMakeFiles/nsrel_ctmc.dir/stationary.cpp.o"
+  "CMakeFiles/nsrel_ctmc.dir/stationary.cpp.o.d"
+  "CMakeFiles/nsrel_ctmc.dir/transient.cpp.o"
+  "CMakeFiles/nsrel_ctmc.dir/transient.cpp.o.d"
+  "libnsrel_ctmc.a"
+  "libnsrel_ctmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nsrel_ctmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

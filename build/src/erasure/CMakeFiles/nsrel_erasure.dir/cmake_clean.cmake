@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nsrel_erasure.dir/evenodd.cpp.o"
+  "CMakeFiles/nsrel_erasure.dir/evenodd.cpp.o.d"
+  "CMakeFiles/nsrel_erasure.dir/gf256.cpp.o"
+  "CMakeFiles/nsrel_erasure.dir/gf256.cpp.o.d"
+  "CMakeFiles/nsrel_erasure.dir/rdp.cpp.o"
+  "CMakeFiles/nsrel_erasure.dir/rdp.cpp.o.d"
+  "CMakeFiles/nsrel_erasure.dir/reed_solomon.cpp.o"
+  "CMakeFiles/nsrel_erasure.dir/reed_solomon.cpp.o.d"
+  "libnsrel_erasure.a"
+  "libnsrel_erasure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nsrel_erasure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nsrel_linalg.dir/lu.cpp.o"
+  "CMakeFiles/nsrel_linalg.dir/lu.cpp.o.d"
+  "CMakeFiles/nsrel_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/nsrel_linalg.dir/matrix.cpp.o.d"
+  "libnsrel_linalg.a"
+  "libnsrel_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nsrel_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

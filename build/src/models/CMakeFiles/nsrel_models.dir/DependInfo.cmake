@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/availability.cpp" "src/models/CMakeFiles/nsrel_models.dir/availability.cpp.o" "gcc" "src/models/CMakeFiles/nsrel_models.dir/availability.cpp.o.d"
+  "/root/repo/src/models/closed_forms.cpp" "src/models/CMakeFiles/nsrel_models.dir/closed_forms.cpp.o" "gcc" "src/models/CMakeFiles/nsrel_models.dir/closed_forms.cpp.o.d"
+  "/root/repo/src/models/internal_raid.cpp" "src/models/CMakeFiles/nsrel_models.dir/internal_raid.cpp.o" "gcc" "src/models/CMakeFiles/nsrel_models.dir/internal_raid.cpp.o.d"
+  "/root/repo/src/models/no_internal_raid.cpp" "src/models/CMakeFiles/nsrel_models.dir/no_internal_raid.cpp.o" "gcc" "src/models/CMakeFiles/nsrel_models.dir/no_internal_raid.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ctmc/CMakeFiles/nsrel_ctmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/combinat/CMakeFiles/nsrel_combinat.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/nsrel_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nsrel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nsrel_models.dir/availability.cpp.o"
+  "CMakeFiles/nsrel_models.dir/availability.cpp.o.d"
+  "CMakeFiles/nsrel_models.dir/closed_forms.cpp.o"
+  "CMakeFiles/nsrel_models.dir/closed_forms.cpp.o.d"
+  "CMakeFiles/nsrel_models.dir/internal_raid.cpp.o"
+  "CMakeFiles/nsrel_models.dir/internal_raid.cpp.o.d"
+  "CMakeFiles/nsrel_models.dir/no_internal_raid.cpp.o"
+  "CMakeFiles/nsrel_models.dir/no_internal_raid.cpp.o.d"
+  "libnsrel_models.a"
+  "libnsrel_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nsrel_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nsrel_placement.dir/layout.cpp.o"
+  "CMakeFiles/nsrel_placement.dir/layout.cpp.o.d"
+  "libnsrel_placement.a"
+  "libnsrel_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nsrel_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

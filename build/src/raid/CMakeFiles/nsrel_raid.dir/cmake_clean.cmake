@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nsrel_raid.dir/array_model.cpp.o"
+  "CMakeFiles/nsrel_raid.dir/array_model.cpp.o.d"
+  "libnsrel_raid.a"
+  "libnsrel_raid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nsrel_raid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rebuild/degraded.cpp" "src/rebuild/CMakeFiles/nsrel_rebuild.dir/degraded.cpp.o" "gcc" "src/rebuild/CMakeFiles/nsrel_rebuild.dir/degraded.cpp.o.d"
+  "/root/repo/src/rebuild/drive_model.cpp" "src/rebuild/CMakeFiles/nsrel_rebuild.dir/drive_model.cpp.o" "gcc" "src/rebuild/CMakeFiles/nsrel_rebuild.dir/drive_model.cpp.o.d"
+  "/root/repo/src/rebuild/link_model.cpp" "src/rebuild/CMakeFiles/nsrel_rebuild.dir/link_model.cpp.o" "gcc" "src/rebuild/CMakeFiles/nsrel_rebuild.dir/link_model.cpp.o.d"
+  "/root/repo/src/rebuild/planner.cpp" "src/rebuild/CMakeFiles/nsrel_rebuild.dir/planner.cpp.o" "gcc" "src/rebuild/CMakeFiles/nsrel_rebuild.dir/planner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/nsrel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nsrel_rebuild.dir/degraded.cpp.o"
+  "CMakeFiles/nsrel_rebuild.dir/degraded.cpp.o.d"
+  "CMakeFiles/nsrel_rebuild.dir/drive_model.cpp.o"
+  "CMakeFiles/nsrel_rebuild.dir/drive_model.cpp.o.d"
+  "CMakeFiles/nsrel_rebuild.dir/link_model.cpp.o"
+  "CMakeFiles/nsrel_rebuild.dir/link_model.cpp.o.d"
+  "CMakeFiles/nsrel_rebuild.dir/planner.cpp.o"
+  "CMakeFiles/nsrel_rebuild.dir/planner.cpp.o.d"
+  "libnsrel_rebuild.a"
+  "libnsrel_rebuild.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nsrel_rebuild.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnsrel_rebuild.a"
+)

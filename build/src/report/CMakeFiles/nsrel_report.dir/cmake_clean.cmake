@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nsrel_report.dir/table.cpp.o"
+  "CMakeFiles/nsrel_report.dir/table.cpp.o.d"
+  "libnsrel_report.a"
+  "libnsrel_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nsrel_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

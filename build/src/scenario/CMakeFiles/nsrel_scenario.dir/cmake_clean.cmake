@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nsrel_scenario.dir/ini.cpp.o"
+  "CMakeFiles/nsrel_scenario.dir/ini.cpp.o.d"
+  "CMakeFiles/nsrel_scenario.dir/scenario.cpp.o"
+  "CMakeFiles/nsrel_scenario.dir/scenario.cpp.o.d"
+  "libnsrel_scenario.a"
+  "libnsrel_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nsrel_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/chain_simulator.cpp" "src/sim/CMakeFiles/nsrel_sim.dir/chain_simulator.cpp.o" "gcc" "src/sim/CMakeFiles/nsrel_sim.dir/chain_simulator.cpp.o.d"
+  "/root/repo/src/sim/estimate.cpp" "src/sim/CMakeFiles/nsrel_sim.dir/estimate.cpp.o" "gcc" "src/sim/CMakeFiles/nsrel_sim.dir/estimate.cpp.o.d"
+  "/root/repo/src/sim/storage_simulator.cpp" "src/sim/CMakeFiles/nsrel_sim.dir/storage_simulator.cpp.o" "gcc" "src/sim/CMakeFiles/nsrel_sim.dir/storage_simulator.cpp.o.d"
+  "/root/repo/src/sim/weibull_simulator.cpp" "src/sim/CMakeFiles/nsrel_sim.dir/weibull_simulator.cpp.o" "gcc" "src/sim/CMakeFiles/nsrel_sim.dir/weibull_simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/models/CMakeFiles/nsrel_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/ctmc/CMakeFiles/nsrel_ctmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/combinat/CMakeFiles/nsrel_combinat.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nsrel_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/nsrel_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

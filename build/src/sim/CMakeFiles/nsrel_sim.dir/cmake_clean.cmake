@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nsrel_sim.dir/chain_simulator.cpp.o"
+  "CMakeFiles/nsrel_sim.dir/chain_simulator.cpp.o.d"
+  "CMakeFiles/nsrel_sim.dir/estimate.cpp.o"
+  "CMakeFiles/nsrel_sim.dir/estimate.cpp.o.d"
+  "CMakeFiles/nsrel_sim.dir/storage_simulator.cpp.o"
+  "CMakeFiles/nsrel_sim.dir/storage_simulator.cpp.o.d"
+  "CMakeFiles/nsrel_sim.dir/weibull_simulator.cpp.o"
+  "CMakeFiles/nsrel_sim.dir/weibull_simulator.cpp.o.d"
+  "libnsrel_sim.a"
+  "libnsrel_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nsrel_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nsrel_util.dir/distributions.cpp.o"
+  "CMakeFiles/nsrel_util.dir/distributions.cpp.o.d"
+  "CMakeFiles/nsrel_util.dir/format.cpp.o"
+  "CMakeFiles/nsrel_util.dir/format.cpp.o.d"
+  "CMakeFiles/nsrel_util.dir/math.cpp.o"
+  "CMakeFiles/nsrel_util.dir/math.cpp.o.d"
+  "CMakeFiles/nsrel_util.dir/rng.cpp.o"
+  "CMakeFiles/nsrel_util.dir/rng.cpp.o.d"
+  "libnsrel_util.a"
+  "libnsrel_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nsrel_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

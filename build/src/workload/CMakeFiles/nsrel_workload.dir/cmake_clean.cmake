@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nsrel_workload.dir/workload.cpp.o"
+  "CMakeFiles/nsrel_workload.dir/workload.cpp.o.d"
+  "libnsrel_workload.a"
+  "libnsrel_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nsrel_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

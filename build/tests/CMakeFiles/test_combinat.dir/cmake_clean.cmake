@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_combinat.dir/test_combinat.cpp.o"
+  "CMakeFiles/test_combinat.dir/test_combinat.cpp.o.d"
+  "test_combinat"
+  "test_combinat.pdb"
+  "test_combinat[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_combinat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

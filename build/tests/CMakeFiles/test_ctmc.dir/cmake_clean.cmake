@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ctmc.dir/test_ctmc.cpp.o"
+  "CMakeFiles/test_ctmc.dir/test_ctmc.cpp.o.d"
+  "test_ctmc"
+  "test_ctmc.pdb"
+  "test_ctmc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ctmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ctmc_properties.dir/test_ctmc_properties.cpp.o"
+  "CMakeFiles/test_ctmc_properties.dir/test_ctmc_properties.cpp.o.d"
+  "test_ctmc_properties"
+  "test_ctmc_properties.pdb"
+  "test_ctmc_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ctmc_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

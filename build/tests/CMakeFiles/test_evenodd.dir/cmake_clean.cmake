@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_evenodd.dir/test_evenodd.cpp.o"
+  "CMakeFiles/test_evenodd.dir/test_evenodd.cpp.o.d"
+  "test_evenodd"
+  "test_evenodd.pdb"
+  "test_evenodd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_evenodd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_models_internal_raid.dir/test_models_internal_raid.cpp.o"
+  "CMakeFiles/test_models_internal_raid.dir/test_models_internal_raid.cpp.o.d"
+  "test_models_internal_raid"
+  "test_models_internal_raid.pdb"
+  "test_models_internal_raid[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_models_internal_raid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

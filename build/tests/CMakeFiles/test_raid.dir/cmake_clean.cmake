@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_raid.dir/test_raid.cpp.o"
+  "CMakeFiles/test_raid.dir/test_raid.cpp.o.d"
+  "test_raid"
+  "test_raid.pdb"
+  "test_raid[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_raid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

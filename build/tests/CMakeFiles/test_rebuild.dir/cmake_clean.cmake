@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rebuild.dir/test_rebuild.cpp.o"
+  "CMakeFiles/test_rebuild.dir/test_rebuild.cpp.o.d"
+  "test_rebuild"
+  "test_rebuild.pdb"
+  "test_rebuild[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rebuild.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scrubbing.dir/test_scrubbing.cpp.o"
+  "CMakeFiles/test_scrubbing.dir/test_scrubbing.cpp.o.d"
+  "test_scrubbing"
+  "test_scrubbing.pdb"
+  "test_scrubbing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scrubbing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_weibull.dir/test_weibull.cpp.o"
+  "CMakeFiles/test_weibull.dir/test_weibull.cpp.o.d"
+  "test_weibull"
+  "test_weibull.pdb"
+  "test_weibull[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_weibull.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

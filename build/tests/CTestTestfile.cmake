@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_linalg[1]_include.cmake")
+include("/root/repo/build/tests/test_combinat[1]_include.cmake")
+include("/root/repo/build/tests/test_ctmc[1]_include.cmake")
+include("/root/repo/build/tests/test_ctmc_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_rebuild[1]_include.cmake")
+include("/root/repo/build/tests/test_raid[1]_include.cmake")
+include("/root/repo/build/tests/test_models_internal_raid[1]_include.cmake")
+include("/root/repo/build/tests/test_models_no_internal_raid[1]_include.cmake")
+include("/root/repo/build/tests/test_closed_forms[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_erasure[1]_include.cmake")
+include("/root/repo/build/tests/test_evenodd[1]_include.cmake")
+include("/root/repo/build/tests/test_rdp[1]_include.cmake")
+include("/root/repo/build/tests/test_brick[1]_include.cmake")
+include("/root/repo/build/tests/test_brick_soak[1]_include.cmake")
+include("/root/repo/build/tests/test_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_placement[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_weibull[1]_include.cmake")
+include("/root/repo/build/tests/test_report[1]_include.cmake")
+include("/root/repo/build/tests/test_cli[1]_include.cmake")
+include("/root/repo/build/tests/test_scenario[1]_include.cmake")
+include("/root/repo/build/tests/test_sensitivity[1]_include.cmake")
+include("/root/repo/build/tests/test_availability[1]_include.cmake")
+include("/root/repo/build/tests/test_scrubbing[1]_include.cmake")
+include("/root/repo/build/tests/test_paper_claims[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nsrel_tool.dir/nsrel.cpp.o"
+  "CMakeFiles/nsrel_tool.dir/nsrel.cpp.o.d"
+  "nsrel"
+  "nsrel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nsrel_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
