@@ -1,11 +1,13 @@
 // Microbenchmarks (google-benchmark) for the numeric machinery: LU solves,
-// chain construction, the recursive no-internal-RAID solve as k grows, and
-// the closed forms — quantifying the cost of exact vs approximate paths.
+// chain construction, the recursive no-internal-RAID solve as k grows, the
+// closed forms — quantifying the cost of exact vs approximate paths — and
+// the parallel Monte-Carlo engine's scaling across worker counts.
 #include <benchmark/benchmark.h>
 
 #include "ctmc/absorbing.hpp"
 #include "linalg/lu.hpp"
 #include "models/no_internal_raid.hpp"
+#include "sim/storage_simulator.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -86,6 +88,58 @@ void BM_AbsorbingFullAnalysis(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AbsorbingFullAnalysis)->DenseRange(1, 6);
+
+// Accelerated rates (as in tests/test_sim.cpp): trajectories absorb after
+// ~1e2-1e4 events so a trial batch is a realistic validation workload.
+models::NoInternalRaidParams accelerated_nir(int k) {
+  models::NoInternalRaidParams p;
+  p.node_set_size = 8;
+  p.redundancy_set_size = 4;
+  p.fault_tolerance = k;
+  p.drives_per_node = 3;
+  p.node_failure = PerHour(0.002);
+  p.drive_failure = PerHour(0.003);
+  p.node_rebuild = PerHour(1.0);
+  p.drive_rebuild = PerHour(3.0);
+  p.capacity = gigabytes(300.0);
+  p.her_per_byte = 8e-14;
+  return p;
+}
+
+// Wall-clock scaling of the parallel Monte-Carlo engine with the worker
+// count (results are bit-identical across the arg range by construction).
+void BM_NirSimEstimateJobs(benchmark::State& state) {
+  const sim::NirStorageSimulator simulator(accelerated_nir(2), 1);
+  sim::ParallelOptions options;
+  options.jobs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulator.estimate(4000, options).mean_hours);
+  }
+}
+BENCHMARK(BM_NirSimEstimateJobs)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Adaptive stopping: how much work a ±5% CI actually needs.
+void BM_NirSimAdaptiveCi(benchmark::State& state) {
+  const sim::NirStorageSimulator simulator(accelerated_nir(2), 1);
+  sim::ParallelOptions options;
+  options.jobs = static_cast<int>(state.range(0));
+  options.ci_target = 0.05;
+  options.max_trials = 100000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulator.estimate(1024, options).trials);
+  }
+}
+BENCHMARK(BM_NirSimAdaptiveCi)
+    ->Arg(1)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

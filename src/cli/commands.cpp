@@ -3,15 +3,12 @@
 #include <cmath>
 #include <ostream>
 
-#include "ctmc/dot.hpp"
-#include "models/availability.hpp"
-#include "placement/layout.hpp"
-#include "models/no_internal_raid.hpp"
-#include "models/internal_raid.hpp"
 #include <fstream>
 #include <sstream>
 
-#include "raid/array_model.hpp"
+#include "ctmc/dot.hpp"
+#include "models/availability.hpp"
+#include "placement/layout.hpp"
 #include "report/table.hpp"
 #include "scenario/scenario.hpp"
 #include "util/assert.hpp"
@@ -36,6 +33,10 @@ commands:
                 (--restore-hours, default 168)
   scenario      run a declarative scenario file (--file path); see
                 scenarios/*.scenario for the format
+  simulate      parallel Monte-Carlo MTTDL estimate vs the analytic model
+                (--trials, --seed, --jobs, --ci-target, --chunk,
+                --max-trials); use accelerated --node-mttf/--drive-mttf
+                so trajectories stay short
   chain         emit the configuration's Markov chain as Graphviz DOT
                 (pipe into `dot -Tpdf` for a Figure-5-style diagram)
   provision     fail-in-place spare planning: utilization that survives
@@ -59,6 +60,14 @@ system flags (defaults = the paper's section-6 baseline):
 
 sweep parameters (--param): drive-mttf | node-mttf | rebuild-kb |
   link-gbps | n | r | d
+
+simulate flags:
+  --trials 4000   Monte-Carlo trials   --seed 24141     RNG seed
+  --jobs 1        worker threads (0 = all cores; never changes results)
+  --ci-target 0   adaptive stop at this relative 95% CI half-width
+                  (e.g. 0.05 = ±5%; 0 = run exactly --trials)
+  --chunk 256     trials per RNG stream chunk
+  --max-trials 1000000  adaptive-mode trial cap
 )";
 
 core::Method method_from_args(const Args& args) {
@@ -216,39 +225,11 @@ int run_availability(const Args& args, std::ostream& out, std::ostream& err) {
   if (const int rc = check_unused(args, err); rc != 0) return rc;
 
   const core::Analyzer analyzer(sys);
-  const auto detail = analyzer.analyze(configuration);
-  // Availability needs the underlying chain; rebuild it from the same
-  // parameters the analyzer used.
-  ctmc::Chain chain;
-  ctmc::StateId healthy = 0;
-  if (configuration.internal == core::InternalScheme::kNone) {
-    models::NoInternalRaidParams p;
-    p.node_set_size = sys.node_set_size;
-    p.redundancy_set_size = sys.redundancy_set_size;
-    p.fault_tolerance = configuration.node_fault_tolerance;
-    p.drives_per_node = sys.drives_per_node;
-    p.node_failure = rate_of(sys.node_mttf);
-    p.drive_failure = rate_of(sys.drive.mttf);
-    p.node_rebuild = detail.rebuild.node_rebuild_rate;
-    p.drive_rebuild = detail.rebuild.drive_rebuild_rate;
-    p.capacity = sys.drive.capacity;
-    p.her_per_byte = sys.drive.her_per_byte;
-    chain = models::NoInternalRaidModel(p).chain();
-    healthy = models::NoInternalRaidModel::root_state();
-  } else {
-    models::InternalRaidParams p;
-    p.node_set_size = sys.node_set_size;
-    p.redundancy_set_size = sys.redundancy_set_size;
-    p.fault_tolerance = configuration.node_fault_tolerance;
-    p.node_failure = rate_of(sys.node_mttf);
-    p.node_rebuild = detail.rebuild.node_rebuild_rate;
-    p.array_failure = detail.array_failure_rate;
-    p.sector_error = detail.sector_error_rate;
-    chain = models::InternalRaidNodeModel(p).chain();
-    healthy = 0;
-  }
-  const auto result =
-      models::AvailabilityModel::analyze(chain, healthy, Hours(restore_hours));
+  // Availability needs the underlying chain; the analyzer rebuilds it
+  // from the same parameters analyze() uses.
+  const auto built = analyzer.build_chain(configuration);
+  const auto result = models::AvailabilityModel::analyze(
+      built.chain, built.healthy, Hours(restore_hours));
   out << "configuration:       " << core::name(configuration) << "\n"
       << "MTTDL:               " << human_hours(result.mttdl.value()) << "\n"
       << "restore time:        " << fixed(restore_hours, 1) << " h\n"
@@ -267,35 +248,41 @@ int run_chain(const Args& args, std::ostream& out, std::ostream& err) {
   if (const int rc = check_unused(args, err); rc != 0) return rc;
 
   const core::Analyzer analyzer(sys);
-  const auto detail = analyzer.analyze(configuration);
-  ctmc::Chain chain;
-  if (configuration.internal == core::InternalScheme::kNone) {
-    models::NoInternalRaidParams p;
-    p.node_set_size = sys.node_set_size;
-    p.redundancy_set_size = sys.redundancy_set_size;
-    p.fault_tolerance = configuration.node_fault_tolerance;
-    p.drives_per_node = sys.drives_per_node;
-    p.node_failure = rate_of(sys.node_mttf);
-    p.drive_failure = rate_of(sys.drive.mttf);
-    p.node_rebuild = detail.rebuild.node_rebuild_rate;
-    p.drive_rebuild = detail.rebuild.drive_rebuild_rate;
-    p.capacity = sys.drive.capacity;
-    p.her_per_byte = sys.drive.her_per_byte;
-    chain = models::NoInternalRaidModel(p).chain();
-  } else {
-    models::InternalRaidParams p;
-    p.node_set_size = sys.node_set_size;
-    p.redundancy_set_size = sys.redundancy_set_size;
-    p.fault_tolerance = configuration.node_fault_tolerance;
-    p.node_failure = rate_of(sys.node_mttf);
-    p.node_rebuild = detail.rebuild.node_rebuild_rate;
-    p.array_failure = detail.array_failure_rate;
-    p.sector_error = detail.sector_error_rate;
-    chain = models::InternalRaidNodeModel(p).chain();
-  }
   ctmc::DotOptions options;
   options.graph_name = core::name(configuration);
-  ctmc::write_dot(chain, out, options);
+  ctmc::write_dot(analyzer.build_chain(configuration).chain, out, options);
+  return 0;
+}
+
+int run_simulate(const Args& args, std::ostream& out, std::ostream& err) {
+  const core::Analyzer analyzer(config_from_args(args));
+  const core::Configuration configuration = configuration_from_args(args);
+  const int trials = args.get_int("trials", 4000);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 24141));
+  sim::ParallelOptions options;
+  options.jobs = args.get_int("jobs", 1);
+  options.ci_target = args.get_double("ci-target", 0.0);
+  options.chunk_trials = args.get_int("chunk", 256);
+  options.max_trials = args.get_int("max-trials", options.max_trials);
+  if (const int rc = check_unused(args, err); rc != 0) return rc;
+  NSREL_EXPECTS(trials >= 2);
+  NSREL_EXPECTS(options.jobs >= 0);
+
+  const double analytic = analyzer.mttdl(configuration).value();
+  const auto estimate =
+      analyzer.simulate_mttdl(configuration, trials, seed, options);
+  out << "configuration:     " << core::name(configuration) << "\n"
+      << "trials:            " << estimate.trials << " (jobs "
+      << options.jobs << ", chunk " << options.chunk_trials << ", seed "
+      << seed << ")\n"
+      << "simulated MTTDL:   " << sci(estimate.mean_hours) << " h\n"
+      << "95% CI:            [" << sci(estimate.ci95_low_hours) << ", "
+      << sci(estimate.ci95_high_hours) << "] h (±"
+      << fixed(estimate.relative_half_width() * 100.0, 2) << "%)\n"
+      << "analytic MTTDL:    " << sci(analytic) << " h ("
+      << (estimate.covers(analytic) ? "inside" : "OUTSIDE") << " the CI)\n"
+      << "sim/analytic:      " << fixed(estimate.mean_hours / analytic, 3)
+      << "\n";
   return 0;
 }
 
@@ -402,6 +389,7 @@ int dispatch(const Args& args, std::ostream& out, std::ostream& err) {
     if (command == "sweep") return run_sweep(args, out, err);
     if (command == "availability") return run_availability(args, out, err);
     if (command == "scenario") return run_scenario_command(args, out, err);
+    if (command == "simulate") return run_simulate(args, out, err);
     if (command == "chain") return run_chain(args, out, err);
     if (command == "provision") return run_provision(args, out, err);
     err << "unknown command '" << command << "' (try: nsrel help)\n";

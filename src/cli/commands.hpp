@@ -7,6 +7,8 @@
 //   rebuild       rebuild-rate decomposition (section 5.1)
 //   sweep         one-parameter sensitivity sweep, table or CSV
 //   availability  steady-state availability with a restore tier
+//   simulate      parallel Monte-Carlo MTTDL estimate vs the analytic
+//                 model (--trials --seed --jobs --ci-target --chunk)
 //   help          usage
 //
 // Shared flags (every command): --n --r --d --node-mttf --drive-mttf

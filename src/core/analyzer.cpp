@@ -1,8 +1,7 @@
 #include "core/analyzer.hpp"
 
-#include "models/internal_raid.hpp"
-#include "models/no_internal_raid.hpp"
 #include "raid/array_model.hpp"
+#include "sim/storage_simulator.hpp"
 #include "util/assert.hpp"
 
 namespace nsrel::core {
@@ -43,6 +42,71 @@ Bytes Analyzer::logical_capacity(const Configuration& configuration) const {
   return Bytes(raw * config_.capacity_utilization * code_rate(configuration));
 }
 
+models::NoInternalRaidParams Analyzer::nir_params(
+    const Configuration& configuration) const {
+  NSREL_EXPECTS(configuration.internal == InternalScheme::kNone);
+  const rebuild::RebuildRates rates =
+      planner(configuration.node_fault_tolerance).rates();
+  models::NoInternalRaidParams p;
+  p.node_set_size = config_.node_set_size;
+  p.redundancy_set_size = config_.redundancy_set_size;
+  p.fault_tolerance = configuration.node_fault_tolerance;
+  p.drives_per_node = config_.drives_per_node;
+  p.node_failure = rate_of(config_.node_mttf);
+  p.drive_failure = rate_of(config_.drive.mttf);
+  p.node_rebuild = rates.node_rebuild_rate;
+  p.drive_rebuild = rates.drive_rebuild_rate;
+  p.capacity = config_.drive.capacity;
+  p.her_per_byte = config_.drive.her_per_byte;
+  return p;
+}
+
+models::InternalRaidParams Analyzer::ir_params(
+    const Configuration& configuration) const {
+  NSREL_EXPECTS(configuration.internal != InternalScheme::kNone);
+  const rebuild::RebuildRates rates =
+      planner(configuration.node_fault_tolerance).rates();
+  raid::ArrayParams array;
+  array.drives = config_.drives_per_node;
+  array.drive_mttf = config_.drive.mttf;
+  array.restripe_rate = rates.restripe_rate;
+  array.capacity = config_.drive.capacity;
+  array.her_per_byte = config_.drive.her_per_byte;
+  const raid::GeneralArrayModel array_model(
+      array, internal_fault_tolerance(configuration.internal));
+  const raid::ArrayRates array_rates = array_model.rates();
+
+  models::InternalRaidParams p;
+  p.node_set_size = config_.node_set_size;
+  p.redundancy_set_size = config_.redundancy_set_size;
+  p.fault_tolerance = configuration.node_fault_tolerance;
+  p.node_failure = rate_of(config_.node_mttf);
+  p.node_rebuild = rates.node_rebuild_rate;
+  p.array_failure = array_rates.array_failure;
+  p.sector_error = array_rates.sector_error;
+  return p;
+}
+
+Analyzer::BuiltChain Analyzer::build_chain(
+    const Configuration& configuration) const {
+  if (configuration.internal == InternalScheme::kNone) {
+    return {models::NoInternalRaidModel(nir_params(configuration)).chain(),
+            models::NoInternalRaidModel::root_state()};
+  }
+  return {models::InternalRaidNodeModel(ir_params(configuration)).chain(), 0};
+}
+
+sim::MttdlEstimate Analyzer::simulate_mttdl(
+    const Configuration& configuration, int trials, std::uint64_t seed,
+    const sim::ParallelOptions& options) const {
+  if (configuration.internal == InternalScheme::kNone) {
+    return sim::NirStorageSimulator(nir_params(configuration), seed)
+        .estimate(trials, options);
+  }
+  return sim::IrStorageSimulator(ir_params(configuration), seed)
+      .estimate(trials, options);
+}
+
 AnalysisResult Analyzer::analyze(const Configuration& configuration,
                                  Method method) const {
   NSREL_EXPECTS(configuration.node_fault_tolerance >= 1);
@@ -57,41 +121,13 @@ AnalysisResult Analyzer::analyze(const Configuration& configuration,
   result.rebuild = plan.rates();
 
   if (configuration.internal == InternalScheme::kNone) {
-    models::NoInternalRaidParams p;
-    p.node_set_size = config_.node_set_size;
-    p.redundancy_set_size = config_.redundancy_set_size;
-    p.fault_tolerance = configuration.node_fault_tolerance;
-    p.drives_per_node = config_.drives_per_node;
-    p.node_failure = rate_of(config_.node_mttf);
-    p.drive_failure = rate_of(config_.drive.mttf);
-    p.node_rebuild = result.rebuild.node_rebuild_rate;
-    p.drive_rebuild = result.rebuild.drive_rebuild_rate;
-    p.capacity = config_.drive.capacity;
-    p.her_per_byte = config_.drive.her_per_byte;
-    const models::NoInternalRaidModel model(p);
+    const models::NoInternalRaidModel model(nir_params(configuration));
     result.mttdl = method == Method::kExactChain ? model.mttdl_exact()
                                                  : model.mttdl_closed_form();
   } else {
-    raid::ArrayParams array;
-    array.drives = config_.drives_per_node;
-    array.drive_mttf = config_.drive.mttf;
-    array.restripe_rate = result.rebuild.restripe_rate;
-    array.capacity = config_.drive.capacity;
-    array.her_per_byte = config_.drive.her_per_byte;
-    const raid::GeneralArrayModel array_model(
-        array, internal_fault_tolerance(configuration.internal));
-    const raid::ArrayRates array_rates = array_model.rates();
-    result.array_failure_rate = array_rates.array_failure;
-    result.sector_error_rate = array_rates.sector_error;
-
-    models::InternalRaidParams p;
-    p.node_set_size = config_.node_set_size;
-    p.redundancy_set_size = config_.redundancy_set_size;
-    p.fault_tolerance = configuration.node_fault_tolerance;
-    p.node_failure = rate_of(config_.node_mttf);
-    p.node_rebuild = result.rebuild.node_rebuild_rate;
-    p.array_failure = array_rates.array_failure;
-    p.sector_error = array_rates.sector_error;
+    const models::InternalRaidParams p = ir_params(configuration);
+    result.array_failure_rate = p.array_failure;
+    result.sector_error_rate = p.sector_error;
     const models::InternalRaidNodeModel model(p);
     result.mttdl = method == Method::kExactChain ? model.mttdl_exact()
                                                  : model.mttdl_closed_form();

@@ -3,9 +3,16 @@
 // expected data-loss events per PB-year.
 #pragma once
 
+#include <cstdint>
+
 #include "core/configuration.hpp"
 #include "core/system_config.hpp"
+#include "ctmc/chain.hpp"
+#include "models/internal_raid.hpp"
+#include "models/no_internal_raid.hpp"
 #include "rebuild/planner.hpp"
+#include "sim/estimate.hpp"
+#include "sim/parallel.hpp"
 #include "util/units.hpp"
 
 namespace nsrel::core {
@@ -55,6 +62,33 @@ class Analyzer {
   /// The rebuild planner for a given node fault tolerance (exposed for
   /// benches that decompose rebuild times).
   [[nodiscard]] rebuild::RebuildPlanner planner(int node_fault_tolerance) const;
+
+  /// Markov-model parameters for a configuration, with rebuild rates from
+  /// the planner — the exact inputs analyze() feeds the models, exposed so
+  /// simulators and chain consumers stay in lock-step with the analysis.
+  /// Preconditions: nir_params requires internal == kNone, ir_params the
+  /// opposite.
+  [[nodiscard]] models::NoInternalRaidParams nir_params(
+      const Configuration& configuration) const;
+  [[nodiscard]] models::InternalRaidParams ir_params(
+      const Configuration& configuration) const;
+
+  /// The configuration's Markov chain plus its healthy (initial) state.
+  struct BuiltChain {
+    ctmc::Chain chain;
+    ctmc::StateId healthy = 0;
+  };
+  [[nodiscard]] BuiltChain build_chain(const Configuration& configuration) const;
+
+  /// Monte-Carlo MTTDL estimate from the family's storage simulator,
+  /// routed through the parallel engine. Deterministic for a fixed
+  /// (seed, trials, options.chunk_trials) at any options.jobs. At the
+  /// paper's baseline rates a single trajectory is ~1e8 events — pass an
+  /// accelerated SystemConfig (small MTTFs) for tractable runs.
+  [[nodiscard]] sim::MttdlEstimate simulate_mttdl(
+      const Configuration& configuration, int trials,
+      std::uint64_t seed = 0x5EEDULL,
+      const sim::ParallelOptions& options = {}) const;
 
  private:
   SystemConfig config_;

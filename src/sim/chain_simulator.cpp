@@ -5,7 +5,7 @@
 namespace nsrel::sim {
 
 ChainSimulator::ChainSimulator(const ctmc::Chain& chain, std::uint64_t seed)
-    : chain_(chain), rng_(seed) {
+    : chain_(chain), seed_(seed), rng_(seed) {
   NSREL_EXPECTS(chain_.validate().empty());
   outgoing_.resize(chain_.state_count());
   for (const auto& t : chain_.transitions()) {
@@ -17,6 +17,11 @@ ChainSimulator::ChainSimulator(const ctmc::Chain& chain, std::uint64_t seed)
 }
 
 double ChainSimulator::sample_absorption_time(ctmc::StateId initial) {
+  return sample_absorption_time(initial, rng_);
+}
+
+double ChainSimulator::sample_absorption_time(ctmc::StateId initial,
+                                              Xoshiro256& rng) const {
   NSREL_EXPECTS(initial < chain_.state_count());
   NSREL_EXPECTS(chain_.state(initial).kind == ctmc::StateKind::kTransient);
   double elapsed = 0.0;
@@ -24,9 +29,9 @@ double ChainSimulator::sample_absorption_time(ctmc::StateId initial) {
   while (chain_.state(current).kind == ctmc::StateKind::kTransient) {
     const Outgoing& out = outgoing_[current];
     NSREL_ASSERT(out.total_rate > 0.0);
-    elapsed += rng_.exponential(out.total_rate);
+    elapsed += rng.exponential(out.total_rate);
     // Pick the next state proportionally to rates.
-    double pick = rng_.uniform() * out.total_rate;
+    double pick = rng.uniform() * out.total_rate;
     std::size_t chosen = out.targets.size() - 1;
     for (std::size_t i = 0; i < out.rates.size(); ++i) {
       pick -= out.rates[i];
@@ -40,16 +45,13 @@ double ChainSimulator::sample_absorption_time(ctmc::StateId initial) {
   return elapsed;
 }
 
-MttdlEstimate ChainSimulator::estimate(int trials, ctmc::StateId initial) {
-  NSREL_EXPECTS(trials >= 2);
-  double sum = 0.0;
-  double sum_squares = 0.0;
-  for (int i = 0; i < trials; ++i) {
-    const double t = sample_absorption_time(initial);
-    sum += t;
-    sum_squares += t * t;
-  }
-  return make_estimate(sum, sum_squares, trials);
+MttdlEstimate ChainSimulator::estimate(int trials, ctmc::StateId initial,
+                                       const ParallelOptions& options) const {
+  return run_trials(
+      [this, initial](Xoshiro256& rng) {
+        return sample_absorption_time(initial, rng);
+      },
+      trials, seed_, options);
 }
 
 }  // namespace nsrel::sim

@@ -1,12 +1,15 @@
 // Trajectory sampler for any absorbing ctmc::Chain: an independent
 // numerical path to MTTDL that exercises none of the linear algebra, so it
-// cross-validates the AbsorbingSolver.
+// cross-validates the AbsorbingSolver. estimate() routes through the
+// shared parallel engine (sim/parallel.hpp) and is bit-identical for a
+// fixed seed regardless of options.jobs.
 #pragma once
 
 #include <cstdint>
 
 #include "ctmc/chain.hpp"
 #include "sim/estimate.hpp"
+#include "sim/parallel.hpp"
 #include "util/rng.hpp"
 
 namespace nsrel::sim {
@@ -18,12 +21,20 @@ class ChainSimulator {
   explicit ChainSimulator(const ctmc::Chain& chain,
                           std::uint64_t seed = 0x5EEDULL);
 
-  /// One sampled time-to-absorption (hours) from the given transient state.
+  /// One sampled time-to-absorption (hours) from the given transient
+  /// state, drawn from the simulator's own stream (serial use).
   [[nodiscard]] double sample_absorption_time(ctmc::StateId initial);
+
+  /// Same, from a caller-supplied stream (thread-safe: the transition
+  /// table is read-only).
+  [[nodiscard]] double sample_absorption_time(ctmc::StateId initial,
+                                              Xoshiro256& rng) const;
 
   /// Mean time to absorption over `trials` independent trajectories.
   /// Precondition: trials >= 2.
-  [[nodiscard]] MttdlEstimate estimate(int trials, ctmc::StateId initial);
+  [[nodiscard]] MttdlEstimate estimate(
+      int trials, ctmc::StateId initial,
+      const ParallelOptions& options = {}) const;
 
  private:
   struct Outgoing {
@@ -33,6 +44,7 @@ class ChainSimulator {
   };
   const ctmc::Chain& chain_;
   std::vector<Outgoing> outgoing_;  // indexed by full state id
+  std::uint64_t seed_;
   Xoshiro256 rng_;
 };
 

@@ -1,24 +1,83 @@
 #include "sim/estimate.hpp"
 
 #include <cmath>
+#include <limits>
 
 #include "util/assert.hpp"
 
 namespace nsrel::sim {
 
-MttdlEstimate make_estimate(double sum, double sum_squares, int trials) {
-  NSREL_EXPECTS(trials >= 2);
+namespace {
+
+MttdlEstimate from_mean_variance(double mean, double variance, int trials) {
   MttdlEstimate e;
   e.trials = trials;
-  const double n = static_cast<double>(trials);
-  e.mean_hours = sum / n;
-  const double variance =
-      (sum_squares - n * e.mean_hours * e.mean_hours) / (n - 1.0);
+  e.mean_hours = mean;
   e.stddev_hours = variance > 0.0 ? std::sqrt(variance) : 0.0;
-  e.stderr_hours = e.stddev_hours / std::sqrt(n);
+  e.stderr_hours = e.stddev_hours / std::sqrt(static_cast<double>(trials));
   e.ci95_low_hours = e.mean_hours - 1.96 * e.stderr_hours;
   e.ci95_high_hours = e.mean_hours + 1.96 * e.stderr_hours;
   return e;
+}
+
+}  // namespace
+
+double MttdlEstimate::relative_half_width() const {
+  if (mean_hours <= 0.0) return std::numeric_limits<double>::infinity();
+  return 1.96 * stderr_hours / mean_hours;
+}
+
+void MomentAccumulator::add(double value) {
+  ++count;
+  const double delta = value - mean;
+  mean += delta / static_cast<double>(count);
+  m2 += delta * (value - mean);
+}
+
+MomentAccumulator MomentAccumulator::merge(const MomentAccumulator& a,
+                                           const MomentAccumulator& b) {
+  if (a.count == 0) return b;
+  if (b.count == 0) return a;
+  MomentAccumulator out;
+  out.count = a.count + b.count;
+  const double na = static_cast<double>(a.count);
+  const double nb = static_cast<double>(b.count);
+  const double n = static_cast<double>(out.count);
+  const double delta = b.mean - a.mean;
+  out.mean = a.mean + delta * (nb / n);
+  out.m2 = a.m2 + b.m2 + delta * delta * (na * nb / n);
+  return out;
+}
+
+MomentAccumulator merge_pairwise(std::vector<MomentAccumulator> parts) {
+  if (parts.empty()) return {};
+  // Repeatedly combine adjacent pairs: the reduction tree depends only on
+  // parts.size(), so the result is identical no matter how many threads
+  // filled the vector.
+  while (parts.size() > 1) {
+    std::size_t out = 0;
+    for (std::size_t i = 0; i + 1 < parts.size(); i += 2) {
+      parts[out++] = MomentAccumulator::merge(parts[i], parts[i + 1]);
+    }
+    if (parts.size() % 2 == 1) parts[out++] = parts.back();
+    parts.resize(out);
+  }
+  return parts.front();
+}
+
+MttdlEstimate make_estimate(const MomentAccumulator& acc) {
+  NSREL_EXPECTS(acc.count >= 2);
+  const double n = static_cast<double>(acc.count);
+  return from_mean_variance(acc.mean, acc.m2 / (n - 1.0),
+                            static_cast<int>(acc.count));
+}
+
+MttdlEstimate make_estimate(double sum, double sum_squares, int trials) {
+  NSREL_EXPECTS(trials >= 2);
+  const double n = static_cast<double>(trials);
+  const double mean = sum / n;
+  const double variance = (sum_squares - n * mean * mean) / (n - 1.0);
+  return from_mean_variance(mean, variance, trials);
 }
 
 }  // namespace nsrel::sim

@@ -1,6 +1,9 @@
 // Monte-Carlo estimate of a mean with a normal-approximation confidence
-// interval, shared by the chain and storage simulators.
+// interval, shared by the chain and storage simulators, plus the
+// streaming moment accumulator the parallel engine merges across chunks.
 #pragma once
+
+#include <vector>
 
 namespace nsrel::sim {
 
@@ -16,9 +19,44 @@ struct MttdlEstimate {
   [[nodiscard]] bool covers(double value) const {
     return value >= ci95_low_hours && value <= ci95_high_hours;
   }
+
+  /// Half-width of the 95% CI relative to the mean (the adaptive
+  /// stopping criterion). Infinity until the mean is positive.
+  [[nodiscard]] double relative_half_width() const;
 };
 
-/// Builds the estimate from accumulated first/second moments.
+/// Streaming first/second central moments (Welford's algorithm), with
+/// Chan et al.'s pairwise combine so per-chunk accumulators computed on
+/// different threads merge into exactly the same result regardless of
+/// which thread produced which chunk. The default-constructed value is
+/// the identity for `merge`.
+struct MomentAccumulator {
+  long long count = 0;
+  double mean = 0.0;
+  double m2 = 0.0;  ///< sum of squared deviations from the running mean
+
+  /// Folds one observation in (Welford update).
+  void add(double value);
+
+  /// Chan/Welford parallel combine; exact identity when either side is
+  /// empty, and (count, mean, m2) depend only on the two inputs — never
+  /// on thread scheduling.
+  [[nodiscard]] static MomentAccumulator merge(const MomentAccumulator& a,
+                                               const MomentAccumulator& b);
+};
+
+/// Merges per-chunk accumulators with a balanced pairwise (tree) combine
+/// in index order: deterministic for a given vector, and numerically
+/// better-conditioned than a left fold when chunk counts are large.
+[[nodiscard]] MomentAccumulator merge_pairwise(
+    std::vector<MomentAccumulator> parts);
+
+/// Builds the estimate from a merged accumulator. Precondition:
+/// acc.count >= 2.
+[[nodiscard]] MttdlEstimate make_estimate(const MomentAccumulator& acc);
+
+/// Builds the estimate from accumulated first/second raw moments (the
+/// historical serial path; kept for callers that already have sums).
 [[nodiscard]] MttdlEstimate make_estimate(double sum, double sum_squares,
                                           int trials);
 

@@ -1,0 +1,131 @@
+#include "sim/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <future>
+#include <optional>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/thread_pool.hpp"
+
+namespace nsrel::sim {
+
+namespace {
+
+/// Samples one whole chunk into a fresh accumulator. Depends only on
+/// (seed, chunk index, chunk trial count) — never on the calling thread.
+MomentAccumulator sample_chunk(const TrialSampler& sample_one,
+                               std::uint64_t seed, std::uint64_t chunk,
+                               int chunk_trials) {
+  Xoshiro256 rng(stream_seed(seed, chunk));
+  MomentAccumulator acc;
+  for (int i = 0; i < chunk_trials; ++i) acc.add(sample_one(rng));
+  return acc;
+}
+
+/// Fills accumulators[first..first+count) — one slot per chunk — using
+/// the pool (or inline when it is null). Workers claim chunk indices
+/// from an atomic counter and write disjoint slots, so the contents of
+/// `accumulators` are schedule-independent.
+void run_wave(const TrialSampler& sample_one, std::uint64_t seed,
+              std::size_t first, std::size_t count, int chunk_trials,
+              std::vector<MomentAccumulator>& accumulators,
+              ThreadPool* pool) {
+  if (pool == nullptr || count == 1) {
+    for (std::size_t c = first; c < first + count; ++c) {
+      accumulators[c] = sample_chunk(sample_one, seed, c, chunk_trials);
+    }
+    return;
+  }
+  std::atomic<std::size_t> next{first};
+  const std::size_t limit = first + count;
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t c = next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= limit) return;
+      accumulators[c] = sample_chunk(sample_one, seed, c, chunk_trials);
+    }
+  };
+  const std::size_t lanes =
+      std::min<std::size_t>(static_cast<std::size_t>(pool->thread_count()),
+                            count);
+  std::vector<std::future<void>> done;
+  done.reserve(lanes);
+  for (std::size_t i = 0; i < lanes; ++i) done.push_back(pool->submit(worker));
+  for (auto& f : done) f.get();
+}
+
+}  // namespace
+
+MttdlEstimate run_trials(const TrialSampler& sample_one, int trials,
+                         std::uint64_t seed, const ParallelOptions& options) {
+  NSREL_EXPECTS(trials >= 2);
+  NSREL_EXPECTS(options.chunk_trials >= 1);
+  NSREL_EXPECTS(options.jobs >= 0);
+  NSREL_EXPECTS(options.ci_target >= 0.0);
+
+  const int jobs =
+      options.jobs == 0 ? ThreadPool::hardware_threads() : options.jobs;
+  const bool adaptive = options.ci_target > 0.0;
+  NSREL_EXPECTS(!adaptive || options.max_trials >= trials);
+
+  const int chunk = options.chunk_trials;
+  // In fixed mode the last chunk is ragged so exactly `trials` run; in
+  // adaptive mode every chunk is full so later waves extend the same
+  // stream layout (chunk c's contents are identical either way up to
+  // the ragged tail, which adaptive mode never produces).
+  const std::size_t wave_chunks =
+      (static_cast<std::size_t>(trials) + static_cast<std::size_t>(chunk) - 1) /
+      static_cast<std::size_t>(chunk);
+  const std::size_t max_chunks =
+      adaptive ? (static_cast<std::size_t>(options.max_trials) +
+                  static_cast<std::size_t>(chunk) - 1) /
+                     static_cast<std::size_t>(chunk)
+               : wave_chunks;
+
+  std::optional<ThreadPool> pool_storage;
+  if (jobs > 1) pool_storage.emplace(jobs);
+  ThreadPool* pool = pool_storage ? &*pool_storage : nullptr;
+
+  std::vector<MomentAccumulator> accumulators;
+  std::size_t chunks_done = 0;
+  MttdlEstimate estimate;
+  for (;;) {
+    std::size_t count = std::min(wave_chunks, max_chunks - chunks_done);
+    NSREL_ASSERT(count > 0);
+    accumulators.resize(chunks_done + count);
+    if (!adaptive) {
+      // Ragged tail: all chunks full except possibly the last.
+      for (std::size_t c = chunks_done; c < chunks_done + count; ++c) {
+        const std::size_t begin = c * static_cast<std::size_t>(chunk);
+        const int size = static_cast<int>(
+            std::min<std::size_t>(static_cast<std::size_t>(chunk),
+                                  static_cast<std::size_t>(trials) - begin));
+        if (size == chunk) continue;
+        // Run the ragged chunk inline (it is unique and tiny).
+        accumulators[c] = sample_chunk(sample_one, seed, c, size);
+      }
+      const std::size_t full =
+          static_cast<std::size_t>(trials) % static_cast<std::size_t>(chunk) ==
+                  0
+              ? count
+              : count - 1;
+      if (full > 0) {
+        run_wave(sample_one, seed, chunks_done, full, chunk, accumulators,
+                 pool);
+      }
+    } else {
+      run_wave(sample_one, seed, chunks_done, count, chunk, accumulators,
+               pool);
+    }
+    chunks_done += count;
+
+    estimate = make_estimate(merge_pairwise(accumulators));
+    if (!adaptive) return estimate;
+    if (estimate.relative_half_width() <= options.ci_target) return estimate;
+    if (chunks_done >= max_chunks) return estimate;
+  }
+}
+
+}  // namespace nsrel::sim

@@ -8,28 +8,20 @@ namespace nsrel::sim {
 namespace {
 using combinat::FailureKind;
 using combinat::FailureWord;
-
-MttdlEstimate run_trials(int trials, const auto& sample_one) {
-  NSREL_EXPECTS(trials >= 2);
-  double sum = 0.0;
-  double sum_squares = 0.0;
-  for (int i = 0; i < trials; ++i) {
-    const double t = sample_one();
-    sum += t;
-    sum_squares += t * t;
-  }
-  return make_estimate(sum, sum_squares, trials);
-}
 }  // namespace
 
 NirStorageSimulator::NirStorageSimulator(
     const models::NoInternalRaidParams& params, std::uint64_t seed)
-    : params_(params), rng_(seed) {
+    : params_(params), seed_(seed), rng_(seed) {
   // Reuse the model's parameter validation and h machinery.
   h_params_ = models::NoInternalRaidModel(params).h_params();
 }
 
 double NirStorageSimulator::sample_time_to_data_loss() {
+  return sample_time_to_data_loss(rng_);
+}
+
+double NirStorageSimulator::sample_time_to_data_loss(Xoshiro256& rng) const {
   const int k = params_.fault_tolerance;
   const double lambda_n = params_.node_failure.value();
   const double d_lambda_d = static_cast<double>(params_.drives_per_node) *
@@ -48,9 +40,9 @@ double NirStorageSimulator::sample_time_to_data_loss() {
         stack.empty() ? 0.0
                       : (stack.back() == FailureKind::kNode ? mu_n : mu_d);
     const double total = fail_n + fail_d + repair;
-    elapsed += rng_.exponential(total);
+    elapsed += rng.exponential(total);
 
-    const double pick = rng_.uniform() * total;
+    const double pick = rng.uniform() * total;
     if (pick < repair) {
       stack.pop_back();
       continue;
@@ -64,22 +56,30 @@ double NirStorageSimulator::sample_time_to_data_loss() {
       // (saturated, matching the exact chain construction)
       const double h =
           saturated_probability(combinat::h_for_word(h_params_, stack));
-      if (rng_.bernoulli(h)) return elapsed;
+      if (rng.bernoulli(h)) return elapsed;
     }
   }
 }
 
-MttdlEstimate NirStorageSimulator::estimate(int trials) {
-  return run_trials(trials, [this] { return sample_time_to_data_loss(); });
+MttdlEstimate NirStorageSimulator::estimate(
+    int trials, const ParallelOptions& options) const {
+  return run_trials(
+      [this](Xoshiro256& rng) { return sample_time_to_data_loss(rng); },
+      trials, seed_, options);
 }
 
 IrStorageSimulator::IrStorageSimulator(
     const models::InternalRaidParams& params, std::uint64_t seed)
     : params_(params),
       critical_factor_(models::InternalRaidNodeModel(params).critical_factor()),
+      seed_(seed),
       rng_(seed) {}
 
 double IrStorageSimulator::sample_time_to_data_loss() {
+  return sample_time_to_data_loss(rng_);
+}
+
+double IrStorageSimulator::sample_time_to_data_loss(Xoshiro256& rng) const {
   const int t = params_.fault_tolerance;
   const double lam =
       params_.node_failure.value() + params_.array_failure.value();
@@ -94,9 +94,9 @@ double IrStorageSimulator::sample_time_to_data_loss() {
     const double sector_loss = failed == t ? survivors * sector : 0.0;
     const double repair = failed > 0 ? mu : 0.0;
     const double total = fail + sector_loss + repair;
-    elapsed += rng_.exponential(total);
+    elapsed += rng.exponential(total);
 
-    const double pick = rng_.uniform() * total;
+    const double pick = rng.uniform() * total;
     if (pick < repair) {
       --failed;
       continue;
@@ -107,8 +107,11 @@ double IrStorageSimulator::sample_time_to_data_loss() {
   }
 }
 
-MttdlEstimate IrStorageSimulator::estimate(int trials) {
-  return run_trials(trials, [this] { return sample_time_to_data_loss(); });
+MttdlEstimate IrStorageSimulator::estimate(
+    int trials, const ParallelOptions& options) const {
+  return run_trials(
+      [this](Xoshiro256& rng) { return sample_time_to_data_loss(rng); },
+      trials, seed_, options);
 }
 
 }  // namespace nsrel::sim

@@ -11,6 +11,9 @@
 // contains ~1e8 failure/repair cycles, so validation runs use accelerated
 // failure rates (the chains are exact at any rate ratio; agreement at
 // accelerated rates validates the structure).
+//
+// estimate() routes through the shared parallel engine (sim/parallel.hpp):
+// results are bit-identical for a fixed seed regardless of options.jobs.
 #pragma once
 
 #include <cstdint>
@@ -18,6 +21,7 @@
 #include "models/internal_raid.hpp"
 #include "models/no_internal_raid.hpp"
 #include "sim/estimate.hpp"
+#include "sim/parallel.hpp"
 #include "util/rng.hpp"
 
 namespace nsrel::sim {
@@ -29,12 +33,19 @@ class NirStorageSimulator {
   explicit NirStorageSimulator(const models::NoInternalRaidParams& params,
                                std::uint64_t seed = 0x5EEDULL);
 
+  /// One trajectory from the simulator's own stream (serial use).
   [[nodiscard]] double sample_time_to_data_loss();
-  [[nodiscard]] MttdlEstimate estimate(int trials);
+  /// One trajectory from a caller-supplied stream (thread-safe: shared
+  /// state is read-only).
+  [[nodiscard]] double sample_time_to_data_loss(Xoshiro256& rng) const;
+
+  [[nodiscard]] MttdlEstimate estimate(
+      int trials, const ParallelOptions& options = {}) const;
 
  private:
   models::NoInternalRaidParams params_;
   combinat::HParams h_params_;
+  std::uint64_t seed_;
   Xoshiro256 rng_;
 };
 
@@ -47,11 +58,15 @@ class IrStorageSimulator {
                               std::uint64_t seed = 0x5EEDULL);
 
   [[nodiscard]] double sample_time_to_data_loss();
-  [[nodiscard]] MttdlEstimate estimate(int trials);
+  [[nodiscard]] double sample_time_to_data_loss(Xoshiro256& rng) const;
+
+  [[nodiscard]] MttdlEstimate estimate(
+      int trials, const ParallelOptions& options = {}) const;
 
  private:
   models::InternalRaidParams params_;
   double critical_factor_;
+  std::uint64_t seed_;
   Xoshiro256 rng_;
 };
 

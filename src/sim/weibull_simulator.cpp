@@ -12,18 +12,6 @@ using combinat::FailureKind;
 using combinat::FailureWord;
 
 constexpr double kNever = std::numeric_limits<double>::infinity();
-
-MttdlEstimate run_trials(int trials, const auto& sample_one) {
-  NSREL_EXPECTS(trials >= 2);
-  double sum = 0.0;
-  double sum_squares = 0.0;
-  for (int i = 0; i < trials; ++i) {
-    const double t = sample_one();
-    sum += t;
-    sum_squares += t * t;
-  }
-  return make_estimate(sum, sum_squares, trials);
-}
 }  // namespace
 
 WeibullStorageSimulator::WeibullStorageSimulator(
@@ -33,9 +21,15 @@ WeibullStorageSimulator::WeibullStorageSimulator(
       h_params_(models::NoInternalRaidModel(params).h_params()),
       node_life_(shapes.node_shape, 1.0 / params.node_failure.value()),
       drive_life_(shapes.drive_shape, 1.0 / params.drive_failure.value()),
+      seed_(seed),
       rng_(seed) {}
 
 double WeibullStorageSimulator::sample_time_to_data_loss() {
+  return sample_time_to_data_loss(rng_);
+}
+
+double WeibullStorageSimulator::sample_time_to_data_loss(
+    Xoshiro256& rng) const {
   const auto n = static_cast<std::size_t>(params_.node_set_size);
   const auto d = static_cast<std::size_t>(params_.drives_per_node);
   const int k = params_.fault_tolerance;
@@ -50,9 +44,9 @@ double WeibullStorageSimulator::sample_time_to_data_loss() {
   std::vector<std::vector<double>> frozen_drives(n, std::vector<double>(d));
 
   for (std::size_t i = 0; i < n; ++i) {
-    node_clock[i] = node_life_.sample(rng_);
+    node_clock[i] = node_life_.sample(rng);
     for (std::size_t j = 0; j < d; ++j) {
-      drive_clock[i][j] = drive_life_.sample(rng_);
+      drive_clock[i][j] = drive_life_.sample(rng);
     }
   }
 
@@ -82,11 +76,11 @@ double WeibullStorageSimulator::sample_time_to_data_loss() {
     // The repaired component (and, after a node rebuild, its drives) is
     // renewed; everything merely suspended resumes its frozen lifetime.
     node_clock[node] = frozen_node[node] == kNever
-                           ? now + node_life_.sample(rng_)
+                           ? now + node_life_.sample(rng)
                            : now + frozen_node[node];
     for (std::size_t j = 0; j < d; ++j) {
       drive_clock[node][j] = frozen_drives[node][j] == kNever
-                                 ? now + drive_life_.sample(rng_)
+                                 ? now + drive_life_.sample(rng)
                                  : now + frozen_drives[node][j];
     }
   };
@@ -123,7 +117,7 @@ double WeibullStorageSimulator::sample_time_to_data_loss() {
       repair_done =
           stack.empty()
               ? kNever
-              : now + rng_.exponential(stack.back().kind == FailureKind::kNode
+              : now + rng.exponential(stack.back().kind == FailureKind::kNode
                                            ? mu_n
                                            : mu_d);
       continue;
@@ -139,18 +133,21 @@ double WeibullStorageSimulator::sample_time_to_data_loss() {
     if (outstanding == k - 1) {
       const double h =
           saturated_probability(combinat::h_for_word(h_params_, word));
-      if (rng_.bernoulli(h)) return now;  // hard error in critical rebuild
+      if (rng.bernoulli(h)) return now;  // hard error in critical rebuild
     }
     stack.push_back(OutstandingFailure{kind, failure_node, failure_drive});
     suspend(failure_node, failure_is_node, failure_is_node ? d : failure_drive);
     // New top of the LIFO queue: (re)start its repair.
-    repair_done = now + rng_.exponential(kind == FailureKind::kNode ? mu_n
+    repair_done = now + rng.exponential(kind == FailureKind::kNode ? mu_n
                                                                     : mu_d);
   }
 }
 
-MttdlEstimate WeibullStorageSimulator::estimate(int trials) {
-  return run_trials(trials, [this] { return sample_time_to_data_loss(); });
+MttdlEstimate WeibullStorageSimulator::estimate(
+    int trials, const ParallelOptions& options) const {
+  return run_trials(
+      [this](Xoshiro256& rng) { return sample_time_to_data_loss(rng); },
+      trials, seed_, options);
 }
 
 }  // namespace nsrel::sim

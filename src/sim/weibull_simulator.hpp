@@ -21,6 +21,7 @@
 
 #include "models/no_internal_raid.hpp"
 #include "sim/estimate.hpp"
+#include "sim/parallel.hpp"
 #include "util/distributions.hpp"
 #include "util/rng.hpp"
 
@@ -39,14 +40,23 @@ class WeibullStorageSimulator {
                           const WeibullShapes& shapes,
                           std::uint64_t seed = 0x5EEDULL);
 
+  /// One trajectory from the simulator's own stream (serial use).
   [[nodiscard]] double sample_time_to_data_loss();
-  [[nodiscard]] MttdlEstimate estimate(int trials);
+  /// One trajectory from a caller-supplied stream (thread-safe: shared
+  /// state is read-only).
+  [[nodiscard]] double sample_time_to_data_loss(Xoshiro256& rng) const;
+
+  /// Routed through the shared parallel engine; bit-identical for a
+  /// fixed seed regardless of options.jobs.
+  [[nodiscard]] MttdlEstimate estimate(
+      int trials, const ParallelOptions& options = {}) const;
 
  private:
   models::NoInternalRaidParams params_;
   combinat::HParams h_params_;
   WeibullLifetime node_life_;
   WeibullLifetime drive_life_;
+  std::uint64_t seed_;
   Xoshiro256 rng_;
 };
 

@@ -10,6 +10,7 @@ namespace {
 constexpr std::uint64_t rotl(std::uint64_t x, int k) {
   return (x << k) | (x >> (64 - k));
 }
+}  // namespace
 
 std::uint64_t splitmix64(std::uint64_t& state) {
   state += 0x9E3779B97F4A7C15ULL;
@@ -18,7 +19,16 @@ std::uint64_t splitmix64(std::uint64_t& state) {
   z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
   return z ^ (z >> 31);
 }
-}  // namespace
+
+std::uint64_t stream_seed(std::uint64_t seed, std::uint64_t stream) {
+  // First decorrelate the base seed (users pass small integers), then
+  // fold the stream index in and mix again. The second splitmix64 call
+  // is a bijection of its pre-incremented state, so distinct streams map
+  // to distinct seeds for any fixed base seed.
+  std::uint64_t state = seed;
+  state = splitmix64(state) ^ stream;
+  return splitmix64(state);
+}
 
 Xoshiro256::Xoshiro256(std::uint64_t seed) {
   std::uint64_t sm = seed;

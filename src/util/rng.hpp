@@ -9,6 +9,20 @@
 
 namespace nsrel {
 
+/// One step of the splitmix64 generator: advances `state` by the golden
+/// gamma and returns a fully mixed 64-bit output. Exposed (rather than
+/// kept private to Xoshiro256 seeding) so seed-stream derivation and the
+/// property tests share the exact same mixer.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Derives the seed of an independent RNG stream from a base seed and a
+/// stream index, via two splitmix64 mixes. For a fixed base seed the map
+/// `stream -> stream_seed(seed, stream)` is injective (the final mix is a
+/// bijection applied to values that differ per stream), so distinct
+/// chunks of a Monte-Carlo run can never collide onto the same stream.
+[[nodiscard]] std::uint64_t stream_seed(std::uint64_t seed,
+                                        std::uint64_t stream);
+
 class Xoshiro256 {
  public:
   using result_type = std::uint64_t;

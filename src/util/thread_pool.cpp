@@ -1,0 +1,56 @@
+#include "util/thread_pool.hpp"
+
+#include "util/assert.hpp"
+
+namespace nsrel {
+
+ThreadPool::ThreadPool(int threads) {
+  NSREL_EXPECTS(threads >= 1);
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> job) {
+  std::packaged_task<void()> task(std::move(job));
+  std::future<void> result = task.get_future();
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    NSREL_EXPECTS(!stopping_);
+    queue_.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+  return result;
+}
+
+int ThreadPool::hardware_threads() {
+  const unsigned reported = std::thread::hardware_concurrency();
+  return reported == 0 ? 1 : static_cast<int>(reported);
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock,
+                           [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // exceptions land in the associated future
+  }
+}
+
+}  // namespace nsrel

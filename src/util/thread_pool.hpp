@@ -1,0 +1,55 @@
+// Small reusable fixed-size thread pool for CPU-bound fan-out work
+// (the parallel Monte-Carlo engine is the first client).
+//
+// Deliberately minimal: a fixed set of workers drains a FIFO queue of
+// type-erased jobs; submit() hands back a future so callers can join on
+// completion (and observe exceptions). No work stealing, no priorities —
+// clients that need deterministic results must make the *jobs* order-
+// independent (e.g. write to disjoint slots) rather than rely on any
+// scheduling property of this pool.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace nsrel {
+
+class ThreadPool {
+ public:
+  /// Starts `threads` workers. Precondition: threads >= 1.
+  explicit ThreadPool(int threads);
+
+  /// Drains outstanding jobs, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a job; the future resolves when it finishes (or rethrows
+  /// what the job threw).
+  std::future<void> submit(std::function<void()> job);
+
+  [[nodiscard]] int thread_count() const {
+    return static_cast<int>(workers_.size());
+  }
+
+  /// std::thread::hardware_concurrency() clamped to >= 1 (the standard
+  /// allows it to report 0 when unknown).
+  [[nodiscard]] static int hardware_threads();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  bool stopping_ = false;
+};
+
+}  // namespace nsrel

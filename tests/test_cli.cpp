@@ -187,6 +187,54 @@ TEST(Dispatch, ChainEmitsDot) {
   EXPECT_NE(ir.out.find("label=\"2_nodes_lost\""), std::string::npos);
 }
 
+// Accelerated system flags: short MTTFs keep trajectories to a handful
+// of events so the Monte-Carlo command finishes instantly.
+TEST(Dispatch, SimulateReportsEstimateAndAnalyticComparison) {
+  const auto result =
+      run({"simulate", "--scheme", "none", "--ft", "2", "--node-mttf", "500",
+           "--drive-mttf", "300", "--trials", "400", "--jobs", "2",
+           "--chunk", "64", "--seed", "5"});
+  EXPECT_EQ(result.exit_code, 0) << result.err;
+  EXPECT_NE(result.out.find("simulated MTTDL:"), std::string::npos);
+  EXPECT_NE(result.out.find("analytic MTTDL:"), std::string::npos);
+  EXPECT_NE(result.out.find("trials:            400"), std::string::npos);
+}
+
+TEST(Dispatch, SimulateIsJobsInvariant) {
+  const auto pick_estimate_lines = [](const std::string& text) {
+    // Everything from the simulated-MTTDL line onward is jobs-independent
+    // (the trials line above it prints the job count itself).
+    return text.substr(text.find("simulated MTTDL:"));
+  };
+  const auto serial =
+      run({"simulate", "--scheme", "raid5", "--ft", "2", "--node-mttf",
+           "500", "--drive-mttf", "300", "--trials", "400", "--jobs", "1",
+           "--seed", "5"});
+  const auto parallel =
+      run({"simulate", "--scheme", "raid5", "--ft", "2", "--node-mttf",
+           "500", "--drive-mttf", "300", "--trials", "400", "--jobs", "4",
+           "--seed", "5"});
+  EXPECT_EQ(serial.exit_code, 0) << serial.err;
+  EXPECT_EQ(parallel.exit_code, 0) << parallel.err;
+  EXPECT_EQ(pick_estimate_lines(serial.out),
+            pick_estimate_lines(parallel.out));
+}
+
+TEST(Dispatch, SimulateAdaptiveStopsAtCiTarget) {
+  const auto result =
+      run({"simulate", "--scheme", "none", "--ft", "1", "--node-mttf", "500",
+           "--drive-mttf", "300", "--trials", "256", "--ci-target", "0.1",
+           "--max-trials", "100000", "--jobs", "2", "--seed", "7"});
+  EXPECT_EQ(result.exit_code, 0) << result.err;
+  EXPECT_NE(result.out.find("95% CI:"), std::string::npos);
+}
+
+TEST(Dispatch, SimulateRejectsTypos) {
+  const auto result = run({"simulate", "--job", "2"});
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.err.find("--job"), std::string::npos);
+}
+
 TEST(Dispatch, ScenarioCommandRequiresFile) {
   const auto missing = run({"scenario"});
   EXPECT_EQ(missing.exit_code, 2);

@@ -138,6 +138,43 @@ TEST_P(IrSimVsModel, StorageSimulatorMatchesExactChain) {
 INSTANTIATE_TEST_SUITE_P(FaultTolerances, IrSimVsModel,
                          ::testing::Values(1, 2, 3));
 
+// Sim-vs-analytic coverage: the analytic MTTDL must lie inside the
+// simulator's 95% CI. Tighter than the 5-sigma band above — by
+// construction a random seed fails ~5% of the time, but the seeds are
+// fixed so these are deterministic regressions on the transition
+// structure AND the CI machinery (a CI computed too narrow or too wide
+// shows up here, not in the sigma-band tests). Runs through the parallel
+// engine at 2 jobs; DeterministicReplay (test_parallel_sim.cpp) pins
+// jobs-invariance, so the job count here is incidental.
+
+TEST_P(NirSimVsModel, AnalyticMttdlInsideSimulators95Ci) {
+  const int k = GetParam();
+  const auto params = accelerated_nir(k);
+  const double analytic =
+      models::NoInternalRaidModel(params).mttdl_exact().value();
+  NirStorageSimulator simulator(params, 909 + static_cast<std::uint64_t>(k));
+  ParallelOptions options;
+  options.jobs = 2;
+  const MttdlEstimate e = simulator.estimate(4000, options);
+  EXPECT_TRUE(e.covers(analytic))
+      << "k=" << k << " analytic=" << analytic << " CI=["
+      << e.ci95_low_hours << ", " << e.ci95_high_hours << "]";
+}
+
+TEST_P(IrSimVsModel, AnalyticMttdlInsideSimulators95Ci) {
+  const int t = GetParam();
+  const auto params = accelerated_ir(t);
+  const double analytic =
+      models::InternalRaidNodeModel(params).mttdl_exact().value();
+  IrStorageSimulator simulator(params, 1010 + static_cast<std::uint64_t>(t));
+  ParallelOptions options;
+  options.jobs = 2;
+  const MttdlEstimate e = simulator.estimate(4000, options);
+  EXPECT_TRUE(e.covers(analytic))
+      << "t=" << t << " analytic=" << analytic << " CI=["
+      << e.ci95_low_hours << ", " << e.ci95_high_hours << "]";
+}
+
 TEST(StorageSimulator, ChainSimulatorAgreesWithStorageSimulator) {
   // Close the triangle: storage-level simulation vs chain-level simulation
   // of the recursively built chain vs the solver (covered above).

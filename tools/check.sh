@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Sanitizer gate: builds the tree and runs ctest under ThreadSanitizer and
+# UndefinedBehaviorSanitizer (the thread pool and parallel Monte-Carlo
+# engine must stay clean under both).
+#
+# usage: tools/check.sh [-j N] [-R ctest-regex] [thread|undefined|address ...]
+#
+#   -j N           parallel build/test jobs        (default: nproc)
+#   -R regex       forward a test filter to ctest  (default: all tests)
+#   sanitizers...  which builds to run             (default: thread undefined)
+#
+# Each sanitizer gets its own build tree (build-tsan/, build-ubsan/,
+# build-asan/) so the default build/ stays untouched.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+jobs="$(nproc)"
+filter=()
+sanitizers=()
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    -j) jobs="$2"; shift 2 ;;
+    -R) filter=(-R "$2"); shift 2 ;;
+    thread|undefined|address) sanitizers+=("$1"); shift ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+if [[ ${#sanitizers[@]} -eq 0 ]]; then
+  sanitizers=(thread undefined)
+fi
+
+for sanitizer in "${sanitizers[@]}"; do
+  case "$sanitizer" in
+    thread)    dir=build-tsan ;;
+    undefined) dir=build-ubsan ;;
+    address)   dir=build-asan ;;
+  esac
+  echo "== ${sanitizer} sanitizer (${dir}) =="
+  cmake -B "$dir" -S . -DNSREL_SANITIZE="$sanitizer" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+  cmake --build "$dir" -j "$jobs"
+  ctest --test-dir "$dir" --output-on-failure -j "$jobs" "${filter[@]}"
+done
+echo "== all sanitizer runs passed =="
