@@ -64,14 +64,17 @@ int main() {
 
   // Re-stripe command size effect on the internal-RAID rates.
   std::cout << "\nre-stripe command size -> array rates (RAID 5):\n";
+  const engine::ResultSet swept = engine::evaluate(
+      engine::parameter_sweep(sys, "restripe-kb", {64.0, 256.0, 1024.0, 4096.0},
+                              {{core::InternalScheme::kRaid5, 2}},
+                              core::Method::kExactChain,
+                              [](double x) { return fixed(x, 0) + " KiB"; }),
+      bench::eval_options());
   report::Table restripe({"command", "re-stripe time", "lambda_D", "lambda_S"});
-  for (const double kib : {64.0, 256.0, 1024.0, 4096.0}) {
-    core::SystemConfig c = sys;
-    c.restripe_command = kilobytes(kib);
-    const auto result =
-        core::Analyzer(c).analyze({core::InternalScheme::kRaid5, 2});
+  for (std::size_t i = 0; i < swept.point_count(); ++i) {
+    const auto& result = swept.at(i, 0);
     restripe.add_row(
-        {fixed(kib, 0) + " KiB",
+        {swept.grid().points[i].label,
          fixed(to_hours(result.rebuild.restripe_time).value(), 1) + " h",
          sci(result.array_failure_rate.value()),
          sci(result.sector_error_rate.value())});

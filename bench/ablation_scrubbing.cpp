@@ -23,36 +23,41 @@ int main() {
 
   const std::vector<double> periods{30,   60,   120,  240,  480,
                                     720,  1440, 2920, 8766};
-  for (const double period : periods) {
+  const auto scrubbed_system = [&baseline](double period) {
     core::ScrubbingParams sp;
     sp.period = Hours(period);
-    const core::ScrubbingModel model(sp);
-    const auto effect = model.effect(baseline);
-    const core::SystemConfig scrubbed = model.apply(baseline);
-    const core::Analyzer analyzer(scrubbed);
-    std::vector<std::string> row{
-        fixed(period, 0) + " h", sci(effect.effective_her_per_byte),
-        fixed(100.0 * effect.rebuild_bandwidth_fraction, 2) + "%"};
-    for (const auto& c : configurations) {
-      const double events = analyzer.events_per_pb_year(c);
+    return core::ScrubbingModel(sp).apply(baseline);
+  };
+  const engine::ResultSet swept = engine::evaluate(
+      engine::custom_sweep("scrub period", periods, scrubbed_system,
+                           configurations),
+      bench::eval_options());
+  const engine::ResultSet unscrubbed = engine::evaluate(
+      engine::single_point(baseline, configurations), bench::eval_options());
+
+  const auto events_row = [&](const engine::ResultSet& results,
+                              std::size_t point,
+                              std::vector<std::string> row) {
+    for (std::size_t i = 0; i < results.configuration_count(); ++i) {
+      const double events = results.at(point, i).events_per_pb_year;
       row.push_back(sci(events) +
                     (bench::kTarget.met_by(events) ? " *" : ""));
     }
     table.add_row(std::move(row));
+  };
+  for (std::size_t p = 0; p < periods.size(); ++p) {
+    core::ScrubbingParams sp;
+    sp.period = Hours(periods[p]);
+    const auto effect = core::ScrubbingModel(sp).effect(baseline);
+    events_row(swept, p,
+               {fixed(periods[p], 0) + " h",
+                sci(effect.effective_her_per_byte),
+                fixed(100.0 * effect.rebuild_bandwidth_fraction, 2) + "%"});
   }
   // No scrubbing at all = the paper's baseline.
-  {
-    const core::Analyzer analyzer(baseline);
-    std::vector<std::string> row{"none (paper)",
-                                 sci(baseline.drive.her_per_byte),
-                                 fixed(100.0 * baseline.rebuild_bandwidth_fraction, 2) + "%"};
-    for (const auto& c : configurations) {
-      const double events = analyzer.events_per_pb_year(c);
-      row.push_back(sci(events) +
-                    (bench::kTarget.met_by(events) ? " *" : ""));
-    }
-    table.add_row(std::move(row));
-  }
+  events_row(unscrubbed, 0,
+             {"none (paper)", sci(baseline.drive.her_per_byte),
+              fixed(100.0 * baseline.rebuild_bandwidth_fraction, 2) + "%"});
   table.print(std::cout);
   std::cout << "(* = meets target; scrub pass ~2.6 h at 1 MiB commands.\n"
             << " The optimum sits where marginal latent-error gains equal\n"

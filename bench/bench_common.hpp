@@ -2,6 +2,11 @@
 // the series behind one paper figure: rows of (parameter value, events per
 // PB-year per configuration) so the shape — orderings, crossovers, where
 // the target line is crossed — can be compared with the paper directly.
+//
+// All sweeps run through engine::evaluate with a per-binary shared solve
+// cache: figures that revisit a configuration (e.g. both drive-MTTF
+// endpoints of figure 15) skip the repeated chain solves, and the fan-out
+// uses every core without changing a byte of output.
 #pragma once
 
 #include <functional>
@@ -10,12 +15,32 @@
 #include <vector>
 
 #include "core/analyzer.hpp"
+#include "core/solve_cache.hpp"
+#include "engine/engine.hpp"
+#include "engine/grid.hpp"
+#include "engine/render.hpp"
 #include "report/table.hpp"
 #include "util/format.hpp"
 
 namespace nsrel::bench {
 
 inline const core::ReliabilityTarget kTarget = core::ReliabilityTarget::paper();
+
+/// One solve cache per bench binary, shared by every print_sweep/evaluate
+/// call so repeated (model, method) pairs across a figure's sections are
+/// solved once.
+inline core::SolveCache& shared_cache() {
+  static core::SolveCache cache;
+  return cache;
+}
+
+/// Engine options every bench uses: all cores, shared cache.
+inline engine::EvalOptions eval_options() {
+  engine::EvalOptions options;
+  options.jobs = 0;  // all hardware threads; output is jobs-invariant
+  options.cache = &shared_cache();
+  return options;
+}
 
 /// Prints the standard preamble: figure id, what is swept, the target.
 inline void preamble(const std::string& figure, const std::string& what) {
@@ -24,27 +49,19 @@ inline void preamble(const std::string& figure, const std::string& what) {
             << " data loss events per PB-year\n";
 }
 
-/// One sweep row: evaluates every configuration on a SystemConfig produced
-/// by `make_config(x)` and renders events/PB-year (with a '*' marking
-/// values that meet the target).
+/// One sweep table: evaluates every configuration on the SystemConfigs
+/// produced by `make_config(x)` and renders events/PB-year (with a '*'
+/// marking values that meet the target).
 inline void print_sweep(
     const std::string& x_label, const std::vector<double>& xs,
     const std::function<std::string(double)>& format_x,
     const std::function<core::SystemConfig(double)>& make_config,
     const std::vector<core::Configuration>& configurations) {
-  std::vector<std::string> headers{x_label};
-  for (const auto& c : configurations) headers.push_back(core::name(c));
-  report::Table table(std::move(headers));
-  for (const double x : xs) {
-    std::vector<std::string> row{format_x(x)};
-    const core::Analyzer analyzer(make_config(x));
-    for (const auto& c : configurations) {
-      const double events = analyzer.events_per_pb_year(c);
-      row.push_back(sci(events) + (kTarget.met_by(events) ? " *" : ""));
-    }
-    table.add_row(std::move(row));
-  }
-  table.print(std::cout);
+  const engine::ResultSet results = engine::evaluate(
+      engine::custom_sweep(x_label, xs, make_config, configurations,
+                           core::Method::kExactChain, format_x),
+      eval_options());
+  engine::events_table(results, &kTarget).print(std::cout);
   std::cout << "(* = meets target)\n";
 }
 

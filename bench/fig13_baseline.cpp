@@ -11,27 +11,38 @@ int main() {
   using namespace nsrel;
   bench::preamble("Figure 13", "baseline comparison of 9 configurations");
 
-  const core::Analyzer analyzer(core::SystemConfig::baseline());
+  const std::vector<core::Configuration> configurations =
+      core::all_configurations();
+  const engine::ResultSet results = engine::evaluate(
+      engine::single_point(core::SystemConfig::baseline(), configurations),
+      bench::eval_options());
+
   report::Table table({"configuration", "MTTDL", "events/PB-yr", "vs target",
                        "meets"});
-  for (const auto& configuration : core::all_configurations()) {
-    const auto result = analyzer.analyze(configuration);
+  for (std::size_t i = 0; i < configurations.size(); ++i) {
+    const auto& result = results.at(0, i);
     const double ratio =
         result.events_per_pb_year / bench::kTarget.events_per_pb_year;
-    table.add_row({core::name(configuration),
+    table.add_row({core::name(configurations[i]),
                    human_hours(result.mttdl.value()),
                    sci(result.events_per_pb_year), sci(ratio) + "x",
                    bench::kTarget.met_by(result) ? "yes" : "NO"});
   }
   table.print(std::cout);
 
-  // The three observations, checked mechanically.
-  const double raid5_ft2 =
-      analyzer.events_per_pb_year({core::InternalScheme::kRaid5, 2});
-  const double raid6_ft2 =
-      analyzer.events_per_pb_year({core::InternalScheme::kRaid6, 2});
-  const double raid5_ft3 =
-      analyzer.events_per_pb_year({core::InternalScheme::kRaid5, 3});
+  // The three observations, checked mechanically from the same cells.
+  const auto events_of = [&](core::InternalScheme scheme, int ft) {
+    for (std::size_t i = 0; i < configurations.size(); ++i) {
+      if (configurations[i].internal == scheme &&
+          configurations[i].node_fault_tolerance == ft) {
+        return results.at(0, i).events_per_pb_year;
+      }
+    }
+    throw ContractViolation("configuration missing from all_configurations");
+  };
+  const double raid5_ft2 = events_of(core::InternalScheme::kRaid5, 2);
+  const double raid6_ft2 = events_of(core::InternalScheme::kRaid6, 2);
+  const double raid5_ft3 = events_of(core::InternalScheme::kRaid5, 3);
   std::cout << "\nobservation 2 check: RAID6/RAID5 events ratio at FT2 = "
             << fixed(raid6_ft2 / raid5_ft2, 3) << " (paper: ~1)\n"
             << "observation 3 check: FT3+IR5 headroom vs target = "

@@ -28,17 +28,25 @@ int main() {
         core::sensitivity_configurations());
   }
 
-  // Sensitivity spans, quantifying "most sensitive".
+  // Sensitivity spans, quantifying "most sensitive". A 2-point grid over
+  // the same cells the sweep above already solved — all cache hits.
+  const engine::ResultSet span = engine::evaluate(
+      engine::custom_sweep(
+          "node MTTF (h)", {100e3, 1000e3},
+          [](double x) {
+            core::SystemConfig c = core::SystemConfig::baseline();
+            c.drive.mttf = Hours(750e3);
+            c.node_mttf = Hours(x);
+            return c;
+          },
+          core::sensitivity_configurations()),
+      bench::eval_options());
   std::cout << "\nevents ratio (node MTTF 100k vs 1M, drive MTTF 750k):\n";
-  for (const auto& config : core::sensitivity_configurations()) {
-    core::SystemConfig low = core::SystemConfig::baseline();
-    low.drive.mttf = Hours(750e3);
-    low.node_mttf = Hours(100e3);
-    core::SystemConfig high = low;
-    high.node_mttf = Hours(1000e3);
-    const double ratio = core::Analyzer(low).events_per_pb_year(config) /
-                         core::Analyzer(high).events_per_pb_year(config);
-    std::cout << "  " << core::name(config) << ": " << sci(ratio) << "x\n";
+  for (std::size_t i = 0; i < span.configuration_count(); ++i) {
+    const double ratio = span.at(0, i).events_per_pb_year /
+                         span.at(1, i).events_per_pb_year;
+    std::cout << "  " << core::name(span.grid().configurations[i]) << ": "
+              << sci(ratio) << "x\n";
   }
   return 0;
 }

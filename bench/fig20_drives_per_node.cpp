@@ -21,15 +21,19 @@ int main() {
       core::sensitivity_configurations());
 
   // The cancellation, made explicit for FT2-NIR: per-system events rise
-  // with d while capacity rises too.
+  // with d while capacity rises too. Same cells the sweep solved above.
+  const engine::ResultSet cancellation = engine::evaluate(
+      engine::parameter_sweep(core::SystemConfig::baseline(), "d", drives,
+                              {{core::InternalScheme::kNone, 2}},
+                              core::Method::kExactChain,
+                              [](double x) { return fixed(x, 0); }),
+      bench::eval_options());
   std::cout << "\ncancellation detail (FT2, no internal RAID):\n";
   report::Table detail({"d", "events/system-yr", "logical PB", "events/PB-yr"});
-  for (const double x : drives) {
-    core::SystemConfig c = core::SystemConfig::baseline();
-    c.drives_per_node = static_cast<int>(x);
-    const auto result =
-        core::Analyzer(c).analyze({core::InternalScheme::kNone, 2});
-    detail.add_row({fixed(x, 0), sci(result.events_per_system_year),
+  for (std::size_t i = 0; i < cancellation.point_count(); ++i) {
+    const auto& result = cancellation.at(i, 0);
+    detail.add_row({cancellation.grid().points[i].label,
+                    sci(result.events_per_system_year),
                     fixed(result.logical_capacity.value() / 1e15, 4),
                     sci(result.events_per_pb_year)});
   }

@@ -12,6 +12,8 @@
 #include <optional>
 
 #include "core/analyzer.hpp"
+#include "engine/engine.hpp"
+#include "engine/grid.hpp"
 #include "report/table.hpp"
 #include "util/format.hpp"
 
@@ -37,19 +39,29 @@ int main(int argc, char** argv) {
             << " PB usable, target < " << sci(target.events_per_pb_year)
             << " events/PB-yr\n";
 
+  // The whole search space is one grid: R values x all 9 configurations,
+  // evaluated in parallel through the shared engine path.
+  const engine::ResultSet results = engine::evaluate(
+      engine::parameter_sweep(core::SystemConfig::baseline(), "r",
+                              {6, 8, 10, 12, 16}, core::all_configurations()),
+      engine::EvalOptions{.jobs = 0});
+
   std::vector<Candidate> passing;
-  for (const int r : {6, 8, 10, 12, 16}) {
-    core::SystemConfig config = core::SystemConfig::baseline();
-    config.redundancy_set_size = r;
-    const core::Analyzer analyzer(config);
-    for (const auto& configuration : core::all_configurations()) {
+  for (std::size_t p = 0; p < results.point_count(); ++p) {
+    const auto& point = results.grid().points[p];
+    const int r = point.system.redundancy_set_size;
+    const double raw_drives =
+        static_cast<double>(point.system.node_set_size) *
+        static_cast<double>(point.system.drives_per_node);
+    for (std::size_t i = 0; i < results.configuration_count(); ++i) {
+      const auto& configuration = results.grid().configurations[i];
       if (configuration.node_fault_tolerance >= r) continue;
-      const auto result = analyzer.analyze(configuration);
+      const auto& result = results.at(p, i);
       if (!target.met_by(result)) continue;
-      // Raw drives needed to present the usable capacity.
-      const double usable_per_drive = config.drive.capacity.value() *
-                                      config.capacity_utilization *
-                                      analyzer.code_rate(configuration);
+      // Raw drives needed to present the usable capacity: the engine's
+      // logical capacity already folds in utilization and code rate.
+      const double usable_per_drive =
+          result.logical_capacity.value() / raw_drives;
       Candidate c;
       c.configuration = configuration;
       c.redundancy_set_size = r;

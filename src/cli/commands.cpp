@@ -7,8 +7,12 @@
 #include <sstream>
 
 #include "ctmc/dot.hpp"
+#include "engine/engine.hpp"
+#include "engine/grid.hpp"
+#include "engine/render.hpp"
 #include "models/availability.hpp"
 #include "placement/layout.hpp"
+#include "report/json.hpp"
 #include "report/table.hpp"
 #include "scenario/scenario.hpp"
 #include "util/assert.hpp"
@@ -28,11 +32,11 @@ commands:
   compare       all 9 configurations against the reliability target
   rebuild       rebuild-rate decomposition (disk vs network, re-stripe)
   sweep         sensitivity sweep over one parameter (--param, --from,
-                --to, --steps, optional --csv 1)
+                --to, --steps)
   availability  steady-state availability given a restore tier
                 (--restore-hours, default 168)
-  scenario      run a declarative scenario file (--file path); see
-                scenarios/*.scenario for the format
+  scenario      run a declarative scenario file (--file path, optional
+                --jobs); see scenarios/*.scenario for the format
   simulate      parallel Monte-Carlo MTTDL estimate vs the analytic model
                 (--trials, --seed, --jobs, --ci-target, --chunk,
                 --max-trials); use accelerated --node-mttf/--drive-mttf
@@ -48,6 +52,11 @@ configuration flags:
   --ft K                      node fault tolerance       (default 2)
   --method exact|closed       solution path              (default exact)
 
+evaluation flags (analyze | compare | sweep; all three run through the
+parallel grid-evaluation engine — output never depends on --jobs):
+  --format table|csv|json     rendering                  (default table)
+  --jobs N                    worker threads, 0 = all cores (default 1)
+
 system flags (defaults = the paper's section-6 baseline):
   --n 64          node set size         --r 8            redundancy set size
   --d 12          drives per node       --node-mttf 4e5  hours
@@ -58,8 +67,10 @@ system flags (defaults = the paper's section-6 baseline):
   --util 0.75     capacity utilization  --bw-frac 0.10   rebuild bandwidth
   --target 2e-3   events/PB-year
 
-sweep parameters (--param): drive-mttf | node-mttf | rebuild-kb |
-  link-gbps | n | r | d
+sweep parameters (--param): any canonical system parameter — n | r | d |
+  node-mttf | drive-mttf | capacity-gb | her-exp | iops | xfer-mbps |
+  link-gbps | rebuild-kb | restripe-kb | util | bw-frac
+  (--csv 1 is kept as a deprecated alias for --format csv)
 
 simulate flags:
   --trials 4000   Monte-Carlo trials   --seed 24141     RNG seed
@@ -71,11 +82,26 @@ simulate flags:
 )";
 
 core::Method method_from_args(const Args& args) {
-  const std::string method = args.get_string("method", "exact");
-  if (method == "exact") return core::Method::kExactChain;
-  if (method == "closed") return core::Method::kClosedForm;
-  throw ContractViolation("unknown --method '" + method +
-                          "' (use exact|closed)");
+  return core::parse_method(args.get_string("method", "exact"));
+}
+
+/// Shared evaluation flags of analyze/compare/sweep. --csv 1 is the
+/// pre-engine spelling of --format csv, kept as an alias.
+struct EvalFlags {
+  engine::EvalOptions options;
+  report::OutputFormat format = report::OutputFormat::kTable;
+};
+
+EvalFlags eval_flags_from_args(const Args& args) {
+  EvalFlags flags;
+  flags.options.jobs = args.get_int("jobs", 1);
+  if (flags.options.jobs < 0) {
+    throw ContractViolation("--jobs must be >= 0 (0 = all cores)");
+  }
+  const bool legacy_csv = args.get_int("csv", 0) != 0;
+  flags.format = report::parse_output_format(
+      args.get_string("format", legacy_csv ? "csv" : "table"));
+  return flags;
 }
 
 int check_unused(const Args& args, std::ostream& err) {
@@ -88,13 +114,24 @@ int check_unused(const Args& args, std::ostream& err) {
 }
 
 int run_analyze(const Args& args, std::ostream& out, std::ostream& err) {
-  const core::Analyzer analyzer(config_from_args(args));
+  const core::SystemConfig system = config_from_args(args);
   const core::Configuration configuration = configuration_from_args(args);
   const core::Method method = method_from_args(args);
   const core::ReliabilityTarget target{args.get_double("target", 2e-3)};
+  const EvalFlags flags = eval_flags_from_args(args);
   if (const int rc = check_unused(args, err); rc != 0) return rc;
 
-  const auto result = analyzer.analyze(configuration, method);
+  const engine::ResultSet results = engine::evaluate(
+      engine::single_point(system, {configuration}, method), flags.options);
+  if (flags.format == report::OutputFormat::kJson) {
+    engine::write_json(results, out);
+    return 0;
+  }
+  if (flags.format == report::OutputFormat::kCsv) {
+    engine::compare_table(results, target).print_csv(out);
+    return 0;
+  }
+  const core::AnalysisResult& result = results.at(0, 0);
   out << "configuration:     " << core::name(configuration) << "\n"
       << "MTTDL:             " << human_hours(result.mttdl.value()) << "\n"
       << "events/system-yr:  " << sci(result.events_per_system_year) << "\n"
@@ -120,20 +157,26 @@ int run_analyze(const Args& args, std::ostream& out, std::ostream& err) {
 }
 
 int run_compare(const Args& args, std::ostream& out, std::ostream& err) {
-  const core::Analyzer analyzer(config_from_args(args));
+  const core::SystemConfig system = config_from_args(args);
   const core::Method method = method_from_args(args);
   const core::ReliabilityTarget target{args.get_double("target", 2e-3)};
+  const EvalFlags flags = eval_flags_from_args(args);
   if (const int rc = check_unused(args, err); rc != 0) return rc;
 
-  report::Table table({"configuration", "MTTDL", "events/PB-yr", "meets"});
-  for (const auto& configuration : core::all_configurations()) {
-    const auto result = analyzer.analyze(configuration, method);
-    table.add_row({core::name(configuration),
-                   human_hours(result.mttdl.value()),
-                   sci(result.events_per_pb_year),
-                   target.met_by(result) ? "yes" : "NO"});
+  const engine::ResultSet results = engine::evaluate(
+      engine::single_point(system, core::all_configurations(), method),
+      flags.options);
+  switch (flags.format) {
+    case report::OutputFormat::kTable:
+      engine::compare_table(results, target).print(out);
+      break;
+    case report::OutputFormat::kCsv:
+      engine::compare_table(results, target).print_csv(out);
+      break;
+    case report::OutputFormat::kJson:
+      engine::write_json(results, out);
+      break;
   }
-  table.print(out);
   return 0;
 }
 
@@ -173,47 +216,40 @@ int run_sweep(const Args& args, std::ostream& out, std::ostream& err) {
   const double from = args.get_double("from", 100e3);
   const double to = args.get_double("to", 750e3);
   const int steps = args.get_int("steps", 5);
-  const bool csv = args.get_int("csv", 0) != 0;
   const core::Configuration configuration = configuration_from_args(args);
   const core::Method method = method_from_args(args);
   const core::SystemConfig base = config_from_args(args);
+  const EvalFlags flags = eval_flags_from_args(args);
   if (const int rc = check_unused(args, err); rc != 0) return rc;
   NSREL_EXPECTS(steps >= 2);
   NSREL_EXPECTS(from > 0.0 && to > from);
 
-  report::Table table({param, "MTTDL (h)", "events/PB-yr"});
-  for (int i = 0; i < steps; ++i) {
-    // Log-spaced points: sensitivity plots in the paper span decades.
-    const double x =
-        from * std::pow(to / from, static_cast<double>(i) / (steps - 1));
-    core::SystemConfig config = base;
-    if (param == "drive-mttf") {
-      config.drive.mttf = Hours(x);
-    } else if (param == "node-mttf") {
-      config.node_mttf = Hours(x);
-    } else if (param == "rebuild-kb") {
-      config.rebuild_command = kilobytes(x);
-    } else if (param == "link-gbps") {
-      config.link.raw_speed = gigabits_per_second(x);
-    } else if (param == "n") {
-      config.node_set_size = static_cast<int>(x);
-    } else if (param == "r") {
-      config.redundancy_set_size = static_cast<int>(x);
-    } else if (param == "d") {
-      config.drives_per_node = static_cast<int>(x);
-    } else {
-      err << "unknown --param '" << param << "'\n";
-      return 2;
-    }
-    const auto result = core::Analyzer(config).analyze(configuration, method);
-    table.add_row({sci(x, 4), sci(result.mttdl.value()),
-                   sci(result.events_per_pb_year)});
+  // Probe the name before evaluating so a typo is a usage error (exit
+  // 2), not a ContractViolation from deep inside grid construction.
+  core::SystemConfig probe = base;
+  if (!core::set_parameter(probe, param, from)) {
+    err << "unknown --param '" << param << "'\n";
+    return 2;
   }
-  if (csv) {
-    table.print_csv(out);
-  } else {
-    out << core::name(configuration) << ", sweeping " << param << ":\n";
-    table.print(out);
+
+  // Log-spaced points: sensitivity plots in the paper span decades.
+  const engine::ResultSet results = engine::evaluate(
+      engine::parameter_sweep(base, param,
+                              engine::spaced_points(from, to, steps,
+                                                    /*log_scale=*/true),
+                              {configuration}, method),
+      flags.options);
+  switch (flags.format) {
+    case report::OutputFormat::kTable:
+      out << core::name(configuration) << ", sweeping " << param << ":\n";
+      engine::sweep_table(results).print(out);
+      break;
+    case report::OutputFormat::kCsv:
+      engine::sweep_table(results).print_csv(out);
+      break;
+    case report::OutputFormat::kJson:
+      engine::write_json(results, out);
+      break;
   }
   return 0;
 }
@@ -317,10 +353,15 @@ int run_provision(const Args& args, std::ostream& out, std::ostream& err) {
 int run_scenario_command(const Args& args, std::ostream& out,
                          std::ostream& err) {
   const std::string path = args.get_string("file", "");
+  const bool jobs_given = args.has("jobs");
+  const int jobs = jobs_given ? args.get_int("jobs", 1) : 1;
   if (const int rc = check_unused(args, err); rc != 0) return rc;
   if (path.empty()) {
     err << "scenario requires --file <path>\n";
     return 2;
+  }
+  if (jobs_given && jobs < 0) {
+    throw ContractViolation("--jobs must be >= 0 (0 = all cores)");
   }
   std::ifstream in(path);
   if (!in) {
@@ -329,7 +370,9 @@ int run_scenario_command(const Args& args, std::ostream& out,
   }
   std::ostringstream text;
   text << in.rdbuf();
-  scenario::run_scenario_text(text.str(), out);
+  scenario::Scenario scenario = scenario::parse_scenario(text.str());
+  if (jobs_given) scenario.jobs = jobs;  // command line beats [output] jobs
+  scenario::run_scenario(scenario, out);
   return 0;
 }
 

@@ -6,6 +6,69 @@
 
 namespace nsrel::core {
 
+namespace {
+
+/// Cache keys are the exact bytes of every input the chain solve depends
+/// on: a one-byte family/method tag followed by the model parameters.
+/// Bitwise-equal keys imply bitwise-equal solves.
+std::string nir_solve_key(const models::NoInternalRaidParams& p,
+                          Method method) {
+  std::string key;
+  key.reserve(2 + 4 * sizeof(int) + 6 * sizeof(double));
+  key.push_back('N');
+  key.push_back(static_cast<char>(method));
+  key.push_back(static_cast<char>(p.repair_policy));
+  append_key_bytes(key, p.node_set_size);
+  append_key_bytes(key, p.redundancy_set_size);
+  append_key_bytes(key, p.fault_tolerance);
+  append_key_bytes(key, p.drives_per_node);
+  append_key_bytes(key, p.node_failure.value());
+  append_key_bytes(key, p.drive_failure.value());
+  append_key_bytes(key, p.node_rebuild.value());
+  append_key_bytes(key, p.drive_rebuild.value());
+  append_key_bytes(key, p.capacity.value());
+  append_key_bytes(key, p.her_per_byte);
+  return key;
+}
+
+std::string ir_solve_key(const models::InternalRaidParams& p, Method method) {
+  std::string key;
+  key.reserve(2 + 3 * sizeof(int) + 4 * sizeof(double));
+  key.push_back('I');
+  key.push_back(static_cast<char>(method));
+  key.push_back(static_cast<char>(p.repair_policy));
+  append_key_bytes(key, p.node_set_size);
+  append_key_bytes(key, p.redundancy_set_size);
+  append_key_bytes(key, p.fault_tolerance);
+  append_key_bytes(key, p.node_failure.value());
+  append_key_bytes(key, p.node_rebuild.value());
+  append_key_bytes(key, p.array_failure.value());
+  append_key_bytes(key, p.sector_error.value());
+  return key;
+}
+
+/// Runs `solve` with memoization when a cache is supplied.
+template <typename Solve>
+Hours cached_solve(SolveCache* cache, const std::string& key, Solve solve) {
+  if (cache == nullptr) return solve();
+  if (const auto hit = cache->lookup(key)) return Hours(*hit);
+  const Hours value = solve();
+  cache->store(key, value.value());
+  return value;
+}
+
+}  // namespace
+
+Method parse_method(const std::string& name) {
+  if (name == "exact") return Method::kExactChain;
+  if (name == "closed") return Method::kClosedForm;
+  throw ContractViolation("unknown method '" + name + "' (use exact|closed)");
+}
+
+std::string method_name(Method method) {
+  return method == Method::kExactChain ? "exact" : "closed";
+}
+
 Analyzer::Analyzer(SystemConfig config) : config_(std::move(config)) {
   config_.validate();
 }
@@ -108,7 +171,7 @@ sim::MttdlEstimate Analyzer::simulate_mttdl(
 }
 
 AnalysisResult Analyzer::analyze(const Configuration& configuration,
-                                 Method method) const {
+                                 Method method, SolveCache* cache) const {
   NSREL_EXPECTS(configuration.node_fault_tolerance >= 1);
   NSREL_EXPECTS(configuration.node_fault_tolerance <
                 config_.redundancy_set_size);
@@ -121,16 +184,21 @@ AnalysisResult Analyzer::analyze(const Configuration& configuration,
   result.rebuild = plan.rates();
 
   if (configuration.internal == InternalScheme::kNone) {
-    const models::NoInternalRaidModel model(nir_params(configuration));
-    result.mttdl = method == Method::kExactChain ? model.mttdl_exact()
-                                                 : model.mttdl_closed_form();
+    const models::NoInternalRaidParams p = nir_params(configuration);
+    result.mttdl = cached_solve(cache, nir_solve_key(p, method), [&] {
+      const models::NoInternalRaidModel model(p);
+      return method == Method::kExactChain ? model.mttdl_exact()
+                                           : model.mttdl_closed_form();
+    });
   } else {
     const models::InternalRaidParams p = ir_params(configuration);
     result.array_failure_rate = p.array_failure;
     result.sector_error_rate = p.sector_error;
-    const models::InternalRaidNodeModel model(p);
-    result.mttdl = method == Method::kExactChain ? model.mttdl_exact()
-                                                 : model.mttdl_closed_form();
+    result.mttdl = cached_solve(cache, ir_solve_key(p, method), [&] {
+      const models::InternalRaidNodeModel model(p);
+      return method == Method::kExactChain ? model.mttdl_exact()
+                                           : model.mttdl_closed_form();
+    });
   }
 
   result.events_per_system_year = 1.0 / to_years(result.mttdl);

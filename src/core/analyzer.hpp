@@ -6,6 +6,7 @@
 #include <cstdint>
 
 #include "core/configuration.hpp"
+#include "core/solve_cache.hpp"
 #include "core/system_config.hpp"
 #include "ctmc/chain.hpp"
 #include "models/internal_raid.hpp"
@@ -21,6 +22,14 @@ namespace nsrel::core {
 /// full Markov chain; ClosedForm evaluates the paper's approximations.
 /// They agree to a few percent in the repair-dominant regime (tested).
 enum class Method : unsigned char { kExactChain, kClosedForm };
+
+/// Parses the canonical method names shared by the CLI's --method flag
+/// and scenario files' [output] method key: "exact" | "closed".
+/// Throws ContractViolation on anything else.
+[[nodiscard]] Method parse_method(const std::string& name);
+
+/// The canonical name parse_method accepts: "exact" / "closed".
+[[nodiscard]] std::string method_name(Method method);
 
 struct AnalysisResult {
   Configuration configuration;
@@ -40,9 +49,13 @@ class Analyzer {
 
   [[nodiscard]] const SystemConfig& config() const { return config_; }
 
-  /// Full analysis of one configuration.
+  /// Full analysis of one configuration. With a non-null `cache`, the
+  /// chain solve (the expensive step) is memoized under a key built from
+  /// the exact model parameters — a hit returns bit-identical results to
+  /// a fresh solve, so caching never changes output.
   [[nodiscard]] AnalysisResult analyze(const Configuration& configuration,
-                                       Method method = Method::kExactChain) const;
+                                       Method method = Method::kExactChain,
+                                       SolveCache* cache = nullptr) const;
 
   /// Shortcuts.
   [[nodiscard]] Hours mttdl(const Configuration& configuration,

@@ -1,0 +1,31 @@
+#include "core/solve_cache.hpp"
+
+namespace nsrel::core {
+
+std::optional<double> SolveCache::lookup(const std::string& key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = values_.find(key);
+  if (it == values_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  return it->second;
+}
+
+void SolveCache::store(const std::string& key, double value) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  values_.emplace(key, value);
+}
+
+SolveCache::Stats SolveCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t SolveCache::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return values_.size();
+}
+
+}  // namespace nsrel::core

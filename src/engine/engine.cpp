@@ -1,0 +1,81 @@
+#include "engine/engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <future>
+#include <optional>
+
+#include "util/assert.hpp"
+#include "util/thread_pool.hpp"
+
+namespace nsrel::engine {
+
+ResultSet::ResultSet(Grid grid, std::vector<core::AnalysisResult> cells,
+                     core::SolveCache::Stats cache_stats)
+    : grid_(std::move(grid)),
+      cells_(std::move(cells)),
+      cache_stats_(cache_stats) {
+  NSREL_EXPECTS(cells_.size() ==
+                grid_.points.size() * grid_.configurations.size());
+}
+
+const core::AnalysisResult& ResultSet::at(std::size_t point,
+                                          std::size_t configuration) const {
+  NSREL_EXPECTS(point < grid_.points.size());
+  NSREL_EXPECTS(configuration < grid_.configurations.size());
+  return cells_[point * grid_.configurations.size() + configuration];
+}
+
+ResultSet evaluate(const Grid& grid, const EvalOptions& options) {
+  NSREL_EXPECTS(!grid.points.empty());
+  NSREL_EXPECTS(!grid.configurations.empty());
+  NSREL_EXPECTS(options.jobs >= 0);
+
+  const std::size_t columns = grid.configurations.size();
+  const std::size_t cell_count = grid.points.size() * columns;
+  std::vector<core::AnalysisResult> cells(cell_count);
+
+  core::SolveCache local_cache;
+  core::SolveCache* cache = options.cache ? options.cache : &local_cache;
+
+  // Each cell writes only its own slot; the slot index is a pure
+  // function of the grid, so the filled vector is schedule-independent.
+  const auto evaluate_cell = [&](std::size_t index) {
+    const std::size_t point = index / columns;
+    const std::size_t configuration = index % columns;
+    const core::Analyzer analyzer(grid.points[point].system);
+    cells[index] = analyzer.analyze(grid.configurations[configuration],
+                                    grid.method, cache);
+  };
+
+  const int jobs =
+      options.jobs == 0 ? ThreadPool::hardware_threads() : options.jobs;
+  if (jobs <= 1 || cell_count == 1) {
+    for (std::size_t index = 0; index < cell_count; ++index) {
+      evaluate_cell(index);
+    }
+  } else {
+    std::atomic<std::size_t> next{0};
+    const auto worker = [&] {
+      for (;;) {
+        const std::size_t index = next.fetch_add(1, std::memory_order_relaxed);
+        if (index >= cell_count) return;
+        evaluate_cell(index);
+      }
+    };
+    // Declared after everything the workers touch: if a cell throws, the
+    // pool destructor joins the remaining workers while their inputs are
+    // still alive.
+    ThreadPool pool(jobs);
+    const std::size_t lanes = std::min<std::size_t>(
+        static_cast<std::size_t>(pool.thread_count()), cell_count);
+    std::vector<std::future<void>> done;
+    done.reserve(lanes);
+    for (std::size_t i = 0; i < lanes; ++i) done.push_back(pool.submit(worker));
+    for (auto& future : done) future.get();
+  }
+
+  return ResultSet(grid, std::move(cells), cache->stats());
+}
+
+}  // namespace nsrel::engine

@@ -1,0 +1,75 @@
+// The unified evaluation engine: one parallel, memoizing grid-evaluation
+// path shared by the CLI, the scenario runner, and every figure bench.
+//
+// evaluate() fans the grid's cells (points x configurations) out over a
+// util::ThreadPool. Each cell is computed independently into its own
+// preassigned slot, so the ResultSet's contents are identical at any
+// jobs count — parallelism never changes output, only wall clock (the
+// same discipline as sim::run_trials). Chain solves are memoized through
+// core::SolveCache: cells whose swept parameter does not change the
+// underlying Markov model — and repeated configurations across sweeps
+// sharing a cache — skip the LU/elimination solve entirely, and a cache
+// hit is bit-identical to a fresh solve by construction.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/analyzer.hpp"
+#include "core/solve_cache.hpp"
+#include "engine/grid.hpp"
+
+namespace nsrel::engine {
+
+struct EvalOptions {
+  /// Worker threads. 1 evaluates inline on the caller (no pool);
+  /// 0 means "all hardware threads". Never changes results.
+  int jobs = 1;
+
+  /// Optional externally-owned solve cache, shared across evaluate()
+  /// calls (the benches reuse one per binary so repeated configurations
+  /// across figures hit it). When null the engine uses a private cache
+  /// scoped to the single call.
+  core::SolveCache* cache = nullptr;
+};
+
+/// The evaluated grid: one AnalysisResult per (point, configuration)
+/// cell in deterministic row-major order, plus the grid that produced
+/// it and a snapshot of the solve-cache counters after the run.
+class ResultSet {
+ public:
+  ResultSet(Grid grid, std::vector<core::AnalysisResult> cells,
+            core::SolveCache::Stats cache_stats);
+
+  [[nodiscard]] const Grid& grid() const { return grid_; }
+  [[nodiscard]] std::size_t point_count() const { return grid_.points.size(); }
+  [[nodiscard]] std::size_t configuration_count() const {
+    return grid_.configurations.size();
+  }
+
+  [[nodiscard]] const core::AnalysisResult& at(std::size_t point,
+                                               std::size_t configuration) const;
+
+  /// Cache counters as of the end of this run. With a shared external
+  /// cache the numbers are cumulative across runs; with the engine's
+  /// private cache they cover exactly this grid. Counters depend on the
+  /// thread schedule for jobs > 1 (two workers can race to first solve
+  /// of a key) and are exact for jobs == 1. Never rendered into
+  /// table/CSV/JSON output, which stays jobs-invariant.
+  [[nodiscard]] const core::SolveCache::Stats& cache_stats() const {
+    return cache_stats_;
+  }
+
+ private:
+  Grid grid_;
+  std::vector<core::AnalysisResult> cells_;  // row-major: point * C + config
+  core::SolveCache::Stats cache_stats_;
+};
+
+/// Evaluates every cell of the grid. Throws what the underlying model
+/// construction throws (e.g. a swept value producing an invalid
+/// configuration); with jobs > 1 the first worker exception propagates.
+[[nodiscard]] ResultSet evaluate(const Grid& grid,
+                                 const EvalOptions& options = {});
+
+}  // namespace nsrel::engine

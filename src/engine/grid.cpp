@@ -1,0 +1,87 @@
+#include "engine/grid.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+#include "util/format.hpp"
+
+namespace nsrel::engine {
+
+namespace {
+
+std::string default_label(double x) { return sci(x, 4); }
+
+}  // namespace
+
+Grid custom_sweep(const std::string& axis, const std::vector<double>& values,
+                  const std::function<core::SystemConfig(double)>& make_system,
+                  std::vector<core::Configuration> configurations,
+                  core::Method method, const AxisFormatter& format_x) {
+  NSREL_EXPECTS(!axis.empty());
+  NSREL_EXPECTS(!values.empty());
+  NSREL_EXPECTS(!configurations.empty());
+  Grid grid;
+  grid.axis = axis;
+  grid.configurations = std::move(configurations);
+  grid.method = method;
+  grid.points.reserve(values.size());
+  for (const double x : values) {
+    GridPoint point;
+    point.system = make_system(x);
+    point.system.validate();
+    point.x = x;
+    point.label = format_x ? format_x(x) : default_label(x);
+    grid.points.push_back(std::move(point));
+  }
+  return grid;
+}
+
+Grid parameter_sweep(const core::SystemConfig& base,
+                     const std::string& parameter,
+                     const std::vector<double>& values,
+                     std::vector<core::Configuration> configurations,
+                     core::Method method, const AxisFormatter& format_x) {
+  return custom_sweep(
+      parameter, values,
+      [&](double x) {
+        core::SystemConfig system = base;
+        if (!core::set_parameter(system, parameter, x)) {
+          throw ContractViolation("unknown sweep parameter '" + parameter +
+                                  "'");
+        }
+        return system;
+      },
+      std::move(configurations), method, format_x);
+}
+
+Grid single_point(const core::SystemConfig& system,
+                  std::vector<core::Configuration> configurations,
+                  core::Method method, const std::string& label) {
+  NSREL_EXPECTS(!configurations.empty());
+  Grid grid;
+  grid.configurations = std::move(configurations);
+  grid.method = method;
+  GridPoint point;
+  point.system = system;
+  point.system.validate();
+  point.label = label;
+  grid.points.push_back(std::move(point));
+  return grid;
+}
+
+std::vector<double> spaced_points(double from, double to, int steps,
+                                  bool log_scale) {
+  NSREL_EXPECTS(steps >= 2);
+  NSREL_EXPECTS(log_scale ? (from > 0.0 && to > from) : to > from);
+  std::vector<double> values;
+  values.reserve(static_cast<std::size_t>(steps));
+  for (int i = 0; i < steps; ++i) {
+    const double fraction =
+        static_cast<double>(i) / static_cast<double>(steps - 1);
+    values.push_back(log_scale ? from * std::pow(to / from, fraction)
+                               : from + (to - from) * fraction);
+  }
+  return values;
+}
+
+}  // namespace nsrel::engine

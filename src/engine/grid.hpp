@@ -1,0 +1,73 @@
+// Evaluation grids: the declarative input of the evaluation engine.
+//
+// A grid is a list of system-configuration points (rows — usually one
+// swept parameter applied to a base SystemConfig via core::set_parameter)
+// crossed with a list of redundancy configurations (columns) and a
+// solution method. Every front-end — CLI sweep/compare/analyze, scenario
+// runner, figure benches — describes its work as a Grid and hands it to
+// engine::evaluate instead of looping over Analyzer itself.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/analyzer.hpp"
+#include "core/system_config.hpp"
+
+namespace nsrel::engine {
+
+/// One row of the grid: a fully-built system plus the swept value it
+/// came from and the label it renders under.
+struct GridPoint {
+  core::SystemConfig system;
+  double x = 0.0;
+  std::string label;
+};
+
+struct Grid {
+  /// Header of the x column; empty for single-point (no-sweep) grids.
+  std::string axis;
+  std::vector<GridPoint> points;
+  std::vector<core::Configuration> configurations;
+  core::Method method = core::Method::kExactChain;
+
+  [[nodiscard]] bool has_axis() const { return !axis.empty(); }
+};
+
+/// Renders a swept value into its row label; defaults to sci(x, 4).
+using AxisFormatter = std::function<std::string(double)>;
+
+/// Builds one grid point per swept SystemConfig produced by the caller's
+/// factory — the fully general form the benches use (several fields may
+/// change together).
+[[nodiscard]] Grid custom_sweep(
+    const std::string& axis, const std::vector<double>& values,
+    const std::function<core::SystemConfig(double)>& make_system,
+    std::vector<core::Configuration> configurations,
+    core::Method method = core::Method::kExactChain,
+    const AxisFormatter& format_x = {});
+
+/// Sweeps one canonical parameter (core::set_parameter names) over the
+/// given values. Throws ContractViolation on an unknown parameter name
+/// or a value the resulting SystemConfig rejects.
+[[nodiscard]] Grid parameter_sweep(
+    const core::SystemConfig& base, const std::string& parameter,
+    const std::vector<double>& values,
+    std::vector<core::Configuration> configurations,
+    core::Method method = core::Method::kExactChain,
+    const AxisFormatter& format_x = {});
+
+/// A grid with exactly one point and no swept axis (compare/analyze).
+[[nodiscard]] Grid single_point(
+    const core::SystemConfig& system,
+    std::vector<core::Configuration> configurations,
+    core::Method method = core::Method::kExactChain,
+    const std::string& label = "events/PB-yr");
+
+/// `steps` points from `from` to `to` inclusive, log- or linearly
+/// spaced. Preconditions: steps >= 2; log scale needs 0 < from < to.
+[[nodiscard]] std::vector<double> spaced_points(double from, double to,
+                                                int steps, bool log_scale);
+
+}  // namespace nsrel::engine

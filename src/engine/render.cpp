@@ -1,0 +1,132 @@
+#include "engine/render.hpp"
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "report/json.hpp"
+#include "util/format.hpp"
+
+namespace nsrel::engine {
+
+report::Table events_table(const ResultSet& results,
+                           const core::ReliabilityTarget* mark_target) {
+  const Grid& grid = results.grid();
+  std::vector<std::string> headers;
+  headers.push_back(grid.has_axis() ? grid.axis : "metric");
+  for (const auto& configuration : grid.configurations) {
+    headers.push_back(core::name(configuration));
+  }
+  report::Table table(std::move(headers));
+  for (std::size_t p = 0; p < results.point_count(); ++p) {
+    std::vector<std::string> row{grid.points[p].label};
+    for (std::size_t c = 0; c < results.configuration_count(); ++c) {
+      const double events = results.at(p, c).events_per_pb_year;
+      row.push_back(sci(events) +
+                    (mark_target != nullptr && mark_target->met_by(events)
+                         ? " *"
+                         : ""));
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+report::Table sweep_table(const ResultSet& results) {
+  const Grid& grid = results.grid();
+  const bool qualify = grid.configurations.size() > 1;
+  std::vector<std::string> headers;
+  headers.push_back(grid.has_axis() ? grid.axis : "metric");
+  for (const auto& configuration : grid.configurations) {
+    const std::string prefix =
+        qualify ? core::name(configuration) + " " : std::string();
+    headers.push_back(prefix + "MTTDL (h)");
+    headers.push_back(prefix + "events/PB-yr");
+  }
+  report::Table table(std::move(headers));
+  for (std::size_t p = 0; p < results.point_count(); ++p) {
+    std::vector<std::string> row{grid.points[p].label};
+    for (std::size_t c = 0; c < results.configuration_count(); ++c) {
+      const core::AnalysisResult& result = results.at(p, c);
+      row.push_back(sci(result.mttdl.value()));
+      row.push_back(sci(result.events_per_pb_year));
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+report::Table compare_table(const ResultSet& results,
+                            const core::ReliabilityTarget& target) {
+  report::Table table({"configuration", "MTTDL", "events/PB-yr", "meets"});
+  for (std::size_t c = 0; c < results.configuration_count(); ++c) {
+    const core::AnalysisResult& result = results.at(0, c);
+    table.add_row({core::name(results.grid().configurations[c]),
+                   human_hours(result.mttdl.value()),
+                   sci(result.events_per_pb_year),
+                   target.met_by(result) ? "yes" : "NO"});
+  }
+  return table;
+}
+
+void write_json(const ResultSet& results, std::ostream& out) {
+  const Grid& grid = results.grid();
+  report::JsonWriter json(out);
+  json.begin_object();
+  json.key("schema").value("nsrel-resultset-v1");
+  json.key("method").value(core::method_name(grid.method));
+  if (grid.has_axis()) {
+    json.key("axis").value(grid.axis);
+  } else {
+    json.key("axis").null();
+  }
+
+  json.key("points").begin_array();
+  for (const GridPoint& point : grid.points) {
+    json.begin_object();
+    json.key("label").value(point.label);
+    if (grid.has_axis()) json.key("x").value(point.x);
+    json.end_object();
+  }
+  json.end_array();
+
+  json.key("configurations").begin_array();
+  for (const auto& configuration : grid.configurations) {
+    json.value(core::name(configuration));
+  }
+  json.end_array();
+
+  json.key("cells").begin_array();
+  for (std::size_t p = 0; p < results.point_count(); ++p) {
+    for (std::size_t c = 0; c < results.configuration_count(); ++c) {
+      const core::AnalysisResult& result = results.at(p, c);
+      json.begin_object();
+      json.key("point").value(static_cast<std::uint64_t>(p));
+      json.key("configuration").value(static_cast<std::uint64_t>(c));
+      json.key("mttdl_hours").value(result.mttdl.value());
+      json.key("events_per_system_year").value(result.events_per_system_year);
+      json.key("events_per_pb_year").value(result.events_per_pb_year);
+      json.key("logical_capacity_bytes").value(result.logical_capacity.value());
+      json.key("node_rebuild_hours")
+          .value(to_hours(result.rebuild.node_rebuild_time).value());
+      json.key("node_rebuild_bottleneck")
+          .value(result.rebuild.node_bottleneck == rebuild::Bottleneck::kDisk
+                     ? "disk"
+                     : "network");
+      if (grid.configurations[c].internal != core::InternalScheme::kNone) {
+        json.key("array_failure_per_hour")
+            .value(result.array_failure_rate.value());
+        json.key("sector_error_per_hour")
+            .value(result.sector_error_rate.value());
+        json.key("restripe_hours")
+            .value(to_hours(result.rebuild.restripe_time).value());
+      }
+      json.end_object();
+    }
+  }
+  json.end_array();
+  json.end_object();
+}
+
+}  // namespace nsrel::engine

@@ -1,0 +1,39 @@
+// Presentation of evaluated grids, separated from evaluation: the same
+// ResultSet renders as the scenario/bench events matrix, the CLI's sweep
+// and compare tables, or a machine-readable JSON document. None of the
+// renderers include scheduling artifacts (jobs, cache counters), so
+// rendered bytes are identical at any --jobs value.
+#pragma once
+
+#include <iosfwd>
+
+#include "core/analyzer.hpp"
+#include "engine/engine.hpp"
+#include "report/table.hpp"
+
+namespace nsrel::engine {
+
+/// Rows = grid points, one column per configuration, cells =
+/// events/PB-year. With a non-null `mark_target`, values meeting the
+/// target get the " *" suffix (the scenario/bench table convention);
+/// pass nullptr for CSV output.
+[[nodiscard]] report::Table events_table(
+    const ResultSet& results, const core::ReliabilityTarget* mark_target);
+
+/// Rows = grid points; per configuration an "MTTDL (h)" and an
+/// "events/PB-yr" column (headers prefixed with the configuration name
+/// when the grid has several). The CLI sweep shape.
+[[nodiscard]] report::Table sweep_table(const ResultSet& results);
+
+/// Rows = configurations of the first grid point: configuration, MTTDL,
+/// events/PB-yr, meets. The CLI compare shape.
+[[nodiscard]] report::Table compare_table(const ResultSet& results,
+                                          const core::ReliabilityTarget& target);
+
+/// Full structured dump (schema nsrel-resultset-v1): method, axis,
+/// points (label + swept value), configuration names, and one record per
+/// cell with every AnalysisResult scalar. Numbers round-trip exactly
+/// through strtod.
+void write_json(const ResultSet& results, std::ostream& out);
+
+}  // namespace nsrel::engine

@@ -1,0 +1,85 @@
+// Minimal streaming JSON emitter for machine-readable reports.
+//
+// The engine's ResultSet (and any future structured report) renders
+// through this writer so every front-end produces the same JSON dialect:
+// two-space indentation, keys in insertion order, numbers printed with
+// the shortest representation that round-trips exactly through strtod.
+// Deterministic by construction — the same data always serializes to the
+// same bytes, which is what lets jobs-invariance tests compare whole
+// documents.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nsrel::report {
+
+/// Escapes a string for use inside JSON quotes (backslash, quote,
+/// control characters as \uXXXX, the common short escapes).
+[[nodiscard]] std::string json_escape(std::string_view text);
+
+/// Shortest decimal representation of `v` that parses back to exactly
+/// the same double. Non-finite values render as null (JSON has no
+/// inf/nan).
+[[nodiscard]] std::string json_number(double v);
+
+/// Streaming writer with scope tracking. Usage:
+///
+///   JsonWriter w(out);
+///   w.begin_object();
+///   w.key("name").value("raid5-ft2");
+///   w.key("cells").begin_array();
+///   w.value(1.5);
+///   w.end_array();
+///   w.end_object();
+///
+/// Misuse (a value with no pending key inside an object, unbalanced
+/// scopes) trips a contract violation.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out);
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emits an object key; the next value/begin_* attaches to it.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view text);
+  JsonWriter& value(const char* text);
+  JsonWriter& value(double number);
+  JsonWriter& value(int number);
+  JsonWriter& value(std::int64_t number);
+  JsonWriter& value(std::uint64_t number);
+  JsonWriter& value(bool flag);
+  JsonWriter& null();
+
+  /// True once the single top-level value is complete and balanced.
+  [[nodiscard]] bool complete() const;
+
+ private:
+  struct Scope {
+    char closer;
+    bool has_items = false;
+  };
+
+  /// Writes separators/indentation before an item and validates that an
+  /// item is legal here (object members need a pending key).
+  void prepare_item();
+  /// Marks the document complete (with a trailing newline) when the item
+  /// just written closed the top-level value.
+  void finish_item();
+  void write_indent(std::size_t depth);
+
+  std::ostream& out_;
+  std::vector<Scope> scopes_;
+  bool pending_key_ = false;
+  bool done_ = false;
+};
+
+}  // namespace nsrel::report

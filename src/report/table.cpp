@@ -8,6 +8,24 @@
 
 namespace nsrel::report {
 
+OutputFormat parse_output_format(const std::string& name) {
+  if (name == "table") return OutputFormat::kTable;
+  if (name == "csv") return OutputFormat::kCsv;
+  if (name == "json") return OutputFormat::kJson;
+  throw ContractViolation("unknown output format '" + name +
+                          "' (use table|csv|json)");
+}
+
+std::string format_name(OutputFormat format) {
+  switch (format) {
+    case OutputFormat::kTable: return "table";
+    case OutputFormat::kCsv: return "csv";
+    case OutputFormat::kJson: return "json";
+  }
+  NSREL_ASSERT(false);
+  return "table";
+}
+
 Table::Table(std::vector<std::string> headers)
     : headers_(std::move(headers)) {
   NSREL_EXPECTS(!headers_.empty());

@@ -8,6 +8,16 @@
 
 namespace nsrel::report {
 
+/// The rendering targets every front-end (CLI flags, scenario files)
+/// shares: aligned text table, CSV, or the JSON emitter.
+enum class OutputFormat : unsigned char { kTable, kCsv, kJson };
+
+/// Parses "table" | "csv" | "json"; throws ContractViolation otherwise.
+[[nodiscard]] OutputFormat parse_output_format(const std::string& name);
+
+/// The canonical name parse_output_format accepts.
+[[nodiscard]] std::string format_name(OutputFormat format);
+
 class Table {
  public:
   /// Column headers define the width floor; cells widen columns as needed.

@@ -1,8 +1,11 @@
 #include "scenario/scenario.hpp"
 
-#include <cmath>
+#include <cstdlib>
 #include <ostream>
 
+#include "engine/engine.hpp"
+#include "engine/grid.hpp"
+#include "engine/render.hpp"
 #include "report/table.hpp"
 #include "util/assert.hpp"
 #include "util/format.hpp"
@@ -89,19 +92,14 @@ Scenario parse_scenario(const std::string& text) {
   }
 
   // [output].
-  const std::string format = doc.get("output", "format", "table");
-  if (format == "csv") {
-    scenario.csv = true;
-  } else if (format != "table") {
-    throw ContractViolation("unknown output format '" + format + "'");
-  }
+  scenario.format =
+      report::parse_output_format(doc.get("output", "format", "table"));
   scenario.target =
       core::ReliabilityTarget{doc.get_double("output", "target", 2e-3)};
-  const std::string method = doc.get("output", "method", "exact");
-  if (method == "closed") {
-    scenario.method = core::Method::kClosedForm;
-  } else if (method != "exact") {
-    throw ContractViolation("unknown method '" + method + "'");
+  scenario.method = core::parse_method(doc.get("output", "method", "exact"));
+  scenario.jobs = static_cast<int>(doc.get_double("output", "jobs", 1.0));
+  if (scenario.jobs < 0) {
+    throw ContractViolation("[output] jobs must be >= 0 (0 = all cores)");
   }
 
   // Reject unexpected sections (likely typos).
@@ -115,51 +113,35 @@ Scenario parse_scenario(const std::string& text) {
 }
 
 void run_scenario(const Scenario& scenario, std::ostream& out) {
-  std::vector<std::string> headers;
-  headers.push_back(scenario.sweep ? scenario.sweep->parameter : "metric");
-  for (const auto& configuration : scenario.configurations) {
-    headers.push_back(core::name(configuration));
-  }
-  report::Table table(std::move(headers));
-
-  const auto evaluate = [&](const core::SystemConfig& system,
-                            const std::string& label) {
-    const core::Analyzer analyzer(system);
-    std::vector<std::string> row{label};
-    for (const auto& configuration : scenario.configurations) {
-      const double events =
-          analyzer.events_per_pb_year(configuration, scenario.method);
-      row.push_back(sci(events) +
-                    (!scenario.csv && scenario.target.met_by(events) ? " *"
-                                                                     : ""));
-    }
-    table.add_row(std::move(row));
-  };
-
+  engine::Grid grid;
   if (scenario.sweep) {
     const Sweep& sweep = *scenario.sweep;
-    for (int i = 0; i < sweep.steps; ++i) {
-      const double fraction =
-          static_cast<double>(i) / static_cast<double>(sweep.steps - 1);
-      const double x =
-          sweep.log_scale
-              ? sweep.from * std::pow(sweep.to / sweep.from, fraction)
-              : sweep.from + (sweep.to - sweep.from) * fraction;
-      core::SystemConfig system = scenario.system;
-      NSREL_ASSERT(core::set_parameter(system, sweep.parameter, x));
-      system.validate();
-      evaluate(system, sci(x, 4));
-    }
+    grid = engine::parameter_sweep(
+        scenario.system, sweep.parameter,
+        engine::spaced_points(sweep.from, sweep.to, sweep.steps,
+                              sweep.log_scale),
+        scenario.configurations, scenario.method);
   } else {
-    evaluate(scenario.system, "events/PB-yr");
+    grid = engine::single_point(scenario.system, scenario.configurations,
+                                scenario.method);
   }
 
-  if (scenario.csv) {
-    table.print_csv(out);
-  } else {
-    table.print(out);
-    out << "(* = meets " << sci(scenario.target.events_per_pb_year)
-        << " events/PB-yr)\n";
+  engine::EvalOptions options;
+  options.jobs = scenario.jobs;
+  const engine::ResultSet results = engine::evaluate(grid, options);
+
+  switch (scenario.format) {
+    case report::OutputFormat::kTable:
+      engine::events_table(results, &scenario.target).print(out);
+      out << "(* = meets " << sci(scenario.target.events_per_pb_year)
+          << " events/PB-yr)\n";
+      break;
+    case report::OutputFormat::kCsv:
+      engine::events_table(results, nullptr).print_csv(out);
+      break;
+    case report::OutputFormat::kJson:
+      engine::write_json(results, out);
+      break;
   }
 }
 

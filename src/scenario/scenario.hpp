@@ -21,10 +21,14 @@
 //   scale = log          ; or linear
 //
 //   [output]
-//   format = table       ; or csv
+//   format = table       ; or csv, json
 //   target = 2e-3
+//   jobs = 1             ; worker threads (0 = all cores; never changes
+//                        ; results — the engine is jobs-invariant)
 //
 // Configuration tokens are `<scheme>-ft<K>` with scheme none|raid5|raid6.
+// Evaluation runs through engine::evaluate — the same parallel,
+// solve-memoizing path the CLI and the figure benches use.
 #pragma once
 
 #include <iosfwd>
@@ -33,6 +37,7 @@
 #include <vector>
 
 #include "core/analyzer.hpp"
+#include "report/table.hpp"
 #include "scenario/ini.hpp"
 
 namespace nsrel::scenario {
@@ -49,9 +54,10 @@ struct Scenario {
   core::SystemConfig system;
   std::vector<core::Configuration> configurations;
   std::optional<Sweep> sweep;
-  bool csv = false;
+  report::OutputFormat format = report::OutputFormat::kTable;
   core::ReliabilityTarget target = core::ReliabilityTarget::paper();
   core::Method method = core::Method::kExactChain;
+  int jobs = 1;  ///< engine worker threads; 0 = all cores
 };
 
 /// Parses a configuration token like "raid5-ft2".

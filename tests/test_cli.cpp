@@ -166,6 +166,56 @@ TEST(Dispatch, SweepRejectsUnknownParam) {
   EXPECT_EQ(result.exit_code, 2);
 }
 
+TEST(Dispatch, SweepAcceptsEveryCanonicalParameter) {
+  // The old CLI hand-rolled seven parameters; the engine path accepts
+  // everything core::set_parameter knows, e.g. util and bw-frac.
+  const auto util = run({"sweep", "--param", "util", "--from", "0.5", "--to",
+                         "0.9", "--steps", "3"});
+  EXPECT_EQ(util.exit_code, 0) << util.err;
+  EXPECT_NE(util.out.find("sweeping util"), std::string::npos);
+  const auto bw = run({"sweep", "--param", "bw-frac", "--from", "0.05",
+                       "--to", "0.2", "--steps", "3"});
+  EXPECT_EQ(bw.exit_code, 0) << bw.err;
+}
+
+TEST(Dispatch, SweepFormatJsonAndJobsInvariance) {
+  const auto serial =
+      run({"sweep", "--param", "drive-mttf", "--from", "1e5", "--to",
+           "7.5e5", "--steps", "4", "--format", "json", "--jobs", "1"});
+  EXPECT_EQ(serial.exit_code, 0) << serial.err;
+  EXPECT_NE(serial.out.find("\"schema\": \"nsrel-resultset-v1\""),
+            std::string::npos);
+  EXPECT_NE(serial.out.find("\"axis\": \"drive-mttf\""), std::string::npos);
+  const auto parallel =
+      run({"sweep", "--param", "drive-mttf", "--from", "1e5", "--to",
+           "7.5e5", "--steps", "4", "--format", "json", "--jobs", "8"});
+  EXPECT_EQ(parallel.exit_code, 0) << parallel.err;
+  EXPECT_EQ(serial.out, parallel.out);  // bit-identical across jobs
+}
+
+TEST(Dispatch, SweepRejectsUnknownFormat) {
+  const auto result = run({"sweep", "--format", "xml"});
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.err.find("unknown output format"), std::string::npos);
+}
+
+TEST(Dispatch, AnalyzeAndCompareFormats) {
+  const auto json = run({"analyze", "--format", "json"});
+  EXPECT_EQ(json.exit_code, 0) << json.err;
+  EXPECT_NE(json.out.find("\"mttdl_hours\""), std::string::npos);
+  const auto csv = run({"analyze", "--format", "csv"});
+  EXPECT_EQ(csv.exit_code, 0) << csv.err;
+  EXPECT_NE(csv.out.find("configuration,MTTDL,events/PB-yr,meets"),
+            std::string::npos);
+  const auto compare_csv = run({"compare", "--format", "csv", "--jobs", "2"});
+  EXPECT_EQ(compare_csv.exit_code, 0) << compare_csv.err;
+  EXPECT_NE(compare_csv.out.find("configuration,MTTDL,events/PB-yr,meets"),
+            std::string::npos);
+  const auto compare_json = run({"compare", "--format", "json"});
+  EXPECT_EQ(compare_json.exit_code, 0) << compare_json.err;
+  EXPECT_NE(compare_json.out.find("\"axis\": null"), std::string::npos);
+}
+
 TEST(Dispatch, AvailabilityBothFamilies) {
   const auto nir = run({"availability", "--scheme", "none", "--ft", "2",
                         "--restore-hours", "24"});

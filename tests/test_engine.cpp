@@ -1,0 +1,213 @@
+// Tests for the grid-evaluation engine: grid construction, parallel
+// jobs-invariance, solve-cache correctness, and the renderers.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/solve_cache.hpp"
+#include "engine/engine.hpp"
+#include "engine/grid.hpp"
+#include "engine/render.hpp"
+#include "util/assert.hpp"
+
+namespace nsrel::engine {
+namespace {
+
+const std::vector<core::Configuration> kMixedConfigurations = {
+    {core::InternalScheme::kNone, 2}, {core::InternalScheme::kRaid5, 2}};
+
+Grid small_sweep() {
+  return parameter_sweep(core::SystemConfig::baseline(), "drive-mttf",
+                         spaced_points(100e3, 750e3, 5, true),
+                         kMixedConfigurations);
+}
+
+std::string to_json(const ResultSet& results) {
+  std::ostringstream out;
+  write_json(results, out);
+  return out.str();
+}
+
+TEST(SpacedPoints, LogAndLinearSpacing) {
+  const auto log_pts = spaced_points(1.0, 100.0, 3, true);
+  ASSERT_EQ(log_pts.size(), 3u);
+  EXPECT_DOUBLE_EQ(log_pts[0], 1.0);
+  EXPECT_DOUBLE_EQ(log_pts[1], 10.0);
+  EXPECT_DOUBLE_EQ(log_pts[2], 100.0);
+
+  const auto lin_pts = spaced_points(0.0, 10.0, 5, false);
+  ASSERT_EQ(lin_pts.size(), 5u);
+  EXPECT_DOUBLE_EQ(lin_pts[1], 2.5);
+  EXPECT_DOUBLE_EQ(lin_pts[4], 10.0);
+}
+
+TEST(SpacedPoints, RejectsBadRanges) {
+  EXPECT_THROW((void)spaced_points(1.0, 2.0, 1, false), ContractViolation);
+  EXPECT_THROW((void)spaced_points(0.0, 2.0, 3, true), ContractViolation);
+  EXPECT_THROW((void)spaced_points(5.0, 2.0, 3, true), ContractViolation);
+}
+
+TEST(GridBuilders, ParameterSweepUsesCanonicalNames) {
+  const Grid grid = parameter_sweep(core::SystemConfig::baseline(), "util",
+                                    {0.5, 0.9}, kMixedConfigurations);
+  EXPECT_EQ(grid.axis, "util");
+  ASSERT_EQ(grid.points.size(), 2u);
+  EXPECT_DOUBLE_EQ(grid.points[0].system.capacity_utilization, 0.5);
+  EXPECT_DOUBLE_EQ(grid.points[1].system.capacity_utilization, 0.9);
+  EXPECT_THROW((void)parameter_sweep(core::SystemConfig::baseline(),
+                                     "wombats", {1.0}, kMixedConfigurations),
+               ContractViolation);
+}
+
+TEST(GridBuilders, SinglePointHasNoAxis) {
+  const Grid grid =
+      single_point(core::SystemConfig::baseline(), kMixedConfigurations);
+  EXPECT_FALSE(grid.has_axis());
+  ASSERT_EQ(grid.points.size(), 1u);
+  EXPECT_EQ(grid.points[0].label, "events/PB-yr");
+}
+
+TEST(Evaluate, MatchesDirectAnalyzerCalls) {
+  const Grid grid = small_sweep();
+  const ResultSet results = evaluate(grid);
+  for (std::size_t p = 0; p < results.point_count(); ++p) {
+    const core::Analyzer analyzer(grid.points[p].system);
+    for (std::size_t c = 0; c < results.configuration_count(); ++c) {
+      const auto direct = analyzer.analyze(grid.configurations[c]);
+      EXPECT_EQ(results.at(p, c).mttdl.value(), direct.mttdl.value());
+      EXPECT_EQ(results.at(p, c).events_per_pb_year,
+                direct.events_per_pb_year);
+    }
+  }
+}
+
+TEST(Evaluate, JobsInvariantToTheByte) {
+  const Grid grid = small_sweep();
+  const std::string serial = to_json(evaluate(grid, {.jobs = 1}));
+  const std::string two = to_json(evaluate(grid, {.jobs = 2}));
+  const std::string eight = to_json(evaluate(grid, {.jobs = 8}));
+  const std::string all = to_json(evaluate(grid, {.jobs = 0}));
+  EXPECT_EQ(serial, two);
+  EXPECT_EQ(serial, eight);
+  EXPECT_EQ(serial, all);
+}
+
+TEST(Evaluate, SharedCacheSecondRunIsAllHitsAndBitwiseEqual) {
+  const Grid grid = small_sweep();
+  core::SolveCache cache;
+  const ResultSet first = evaluate(grid, {.jobs = 1, .cache = &cache});
+  const auto after_first = first.cache_stats();
+  const ResultSet second = evaluate(grid, {.jobs = 1, .cache = &cache});
+  const auto after_second = second.cache_stats();
+
+  // Every solve of the second run hit the cache.
+  EXPECT_EQ(after_second.misses, after_first.misses);
+  EXPECT_GT(after_second.hits, after_first.hits);
+  EXPECT_EQ(after_second.hits - after_first.hits,
+            after_second.lookups() - after_first.lookups());
+
+  // And hits reproduce the fresh solves exactly, bit for bit.
+  for (std::size_t p = 0; p < first.point_count(); ++p) {
+    for (std::size_t c = 0; c < first.configuration_count(); ++c) {
+      EXPECT_EQ(first.at(p, c).mttdl.value(), second.at(p, c).mttdl.value());
+      EXPECT_EQ(first.at(p, c).events_per_pb_year,
+                second.at(p, c).events_per_pb_year);
+    }
+  }
+}
+
+TEST(Evaluate, RestripeSweepDedupesUnchangedNirModel) {
+  // restripe-kb is not a NoInternalRaidParams input, so every point of a
+  // no-internal-RAID sweep shares one Markov model: 1 solve, N-1 hits.
+  const Grid grid = parameter_sweep(core::SystemConfig::baseline(),
+                                    "restripe-kb",
+                                    spaced_points(64.0, 4096.0, 8, true),
+                                    {{core::InternalScheme::kNone, 2}});
+  const ResultSet results = evaluate(grid, {.jobs = 1});
+  EXPECT_EQ(results.cache_stats().misses, 1u);
+  EXPECT_EQ(results.cache_stats().hits, 7u);
+}
+
+TEST(Evaluate, CacheIsKeyedOnMethod) {
+  Grid grid = single_point(core::SystemConfig::baseline(),
+                           {{core::InternalScheme::kNone, 2}});
+  core::SolveCache cache;
+  (void)evaluate(grid, {.cache = &cache});
+  grid.method = core::Method::kClosedForm;
+  const ResultSet closed = evaluate(grid, {.cache = &cache});
+  // The closed form must not be served the exact chain's cached solve.
+  EXPECT_EQ(closed.cache_stats().misses, 2u);
+}
+
+TEST(Render, EventsTableShape) {
+  const ResultSet results = evaluate(
+      single_point(core::SystemConfig::baseline(), kMixedConfigurations));
+  const core::ReliabilityTarget target = core::ReliabilityTarget::paper();
+  std::ostringstream csv;
+  events_table(results, nullptr).print_csv(csv);
+  // Configuration names contain commas, so the CSV header quotes them.
+  EXPECT_NE(csv.str().find("metric,\"FT2, No Internal RAID\""),
+            std::string::npos);
+  EXPECT_EQ(csv.str().find('*'), std::string::npos);
+  // The marked variant tags cells meeting the target.
+  const std::string marked = events_table(results, &target).to_string();
+  EXPECT_NE(marked.find(" *"), std::string::npos);
+}
+
+TEST(Render, SweepTableMatchesLegacyCliShape) {
+  const ResultSet results =
+      evaluate(parameter_sweep(core::SystemConfig::baseline(), "drive-mttf",
+                               spaced_points(100e3, 750e3, 3, true),
+                               {{core::InternalScheme::kRaid5, 2}}));
+  std::ostringstream csv;
+  sweep_table(results).print_csv(csv);
+  EXPECT_EQ(csv.str().substr(0, csv.str().find('\n')),
+            "drive-mttf,MTTDL (h),events/PB-yr");
+  // Multi-configuration sweeps qualify the value columns.
+  const ResultSet multi =
+      evaluate(parameter_sweep(core::SystemConfig::baseline(), "drive-mttf",
+                               spaced_points(100e3, 750e3, 3, true),
+                               kMixedConfigurations));
+  std::ostringstream multi_csv;
+  sweep_table(multi).print_csv(multi_csv);
+  EXPECT_NE(multi_csv.str().find("FT2, Internal RAID 5 MTTDL (h)"),
+            std::string::npos);
+}
+
+TEST(Render, CompareTableListsConfigurations) {
+  const ResultSet results = evaluate(
+      single_point(core::SystemConfig::baseline(), kMixedConfigurations));
+  const report::Table table =
+      compare_table(results, core::ReliabilityTarget::paper());
+  EXPECT_EQ(table.row_count(), 2u);
+  std::ostringstream csv;
+  table.print_csv(csv);
+  EXPECT_NE(csv.str().find("configuration,MTTDL,events/PB-yr,meets"),
+            std::string::npos);
+}
+
+TEST(Render, JsonRoundTripsNumbersExactly) {
+  const ResultSet results = evaluate(small_sweep());
+  const std::string json = to_json(results);
+  // Pull every mttdl_hours value back out and compare bitwise against
+  // the cells (shortest-round-trip formatting must lose nothing).
+  std::size_t cursor = 0;
+  for (std::size_t p = 0; p < results.point_count(); ++p) {
+    for (std::size_t c = 0; c < results.configuration_count(); ++c) {
+      const std::size_t at = json.find("\"mttdl_hours\": ", cursor);
+      ASSERT_NE(at, std::string::npos);
+      cursor = at + std::string("\"mttdl_hours\": ").size();
+      EXPECT_EQ(std::strtod(json.c_str() + cursor, nullptr),
+                results.at(p, c).mttdl.value());
+    }
+  }
+  // Internal-RAID cells expose the array rates; NIR cells omit them.
+  EXPECT_NE(json.find("\"array_failure_per_hour\""), std::string::npos);
+  EXPECT_NE(json.find("\"axis\": \"drive-mttf\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nsrel::engine

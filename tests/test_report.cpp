@@ -1,8 +1,11 @@
-// Tests for the table/CSV report emitters.
+// Tests for the table/CSV/JSON report emitters.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <limits>
 #include <sstream>
 
+#include "report/json.hpp"
 #include "report/table.hpp"
 #include "util/assert.hpp"
 
@@ -58,6 +61,92 @@ TEST(Table, CsvRowStructure) {
   std::ostringstream out;
   t.print_csv(out);
   EXPECT_EQ(out.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, CsvQuotesEmbeddedNewlines) {
+  Table t({"name", "note"});
+  t.add_row({"multi\nline", "also \"quoted\", with comma"});
+  std::ostringstream out;
+  t.print_csv(out);
+  EXPECT_EQ(out.str(),
+            "name,note\n\"multi\nline\",\"also \"\"quoted\"\", with "
+            "comma\"\n");
+}
+
+TEST(OutputFormat, ParseAndName) {
+  EXPECT_EQ(parse_output_format("table"), OutputFormat::kTable);
+  EXPECT_EQ(parse_output_format("csv"), OutputFormat::kCsv);
+  EXPECT_EQ(parse_output_format("json"), OutputFormat::kJson);
+  EXPECT_THROW((void)parse_output_format("xml"), ContractViolation);
+  EXPECT_EQ(format_name(OutputFormat::kJson), "json");
+  EXPECT_EQ(parse_output_format(format_name(OutputFormat::kCsv)),
+            OutputFormat::kCsv);
+}
+
+TEST(Json, EscapesSpecialCharacters) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(json_escape("tab\there\n"), "tab\\there\\n");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(Json, NumbersRoundTripThroughStrtod) {
+  for (const double v : {1.0, -0.5, 1e-300, 1.7976931348623157e308,
+                         0.1 + 0.2, 3.0e5, 2e-3, 123456789.123456789}) {
+    const std::string text = json_number(v);
+    EXPECT_EQ(std::strtod(text.c_str(), nullptr), v) << text;
+  }
+  // Non-finite values have no JSON spelling; the writer emits null.
+  EXPECT_EQ(json_number(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(json_number(std::numeric_limits<double>::quiet_NaN()), "null");
+}
+
+TEST(Json, WriterGoldenBytes) {
+  std::ostringstream out;
+  JsonWriter w(out);
+  w.begin_object();
+  w.key("name").value("raid5-ft2");
+  w.key("count").value(std::uint64_t{3});
+  w.key("ratio").value(0.5);
+  w.key("ok").value(true);
+  w.key("axis").null();
+  w.key("cells").begin_array();
+  w.value(1);
+  w.begin_object();
+  w.key("x").value("a,\"b\"");
+  w.end_object();
+  w.end_array();
+  w.end_object();
+  EXPECT_TRUE(w.complete());
+  EXPECT_EQ(out.str(),
+            "{\n"
+            "  \"name\": \"raid5-ft2\",\n"
+            "  \"count\": 3,\n"
+            "  \"ratio\": 0.5,\n"
+            "  \"ok\": true,\n"
+            "  \"axis\": null,\n"
+            "  \"cells\": [\n"
+            "    1,\n"
+            "    {\n"
+            "      \"x\": \"a,\\\"b\\\"\"\n"
+            "    }\n"
+            "  ]\n"
+            "}\n");
+}
+
+TEST(Json, WriterRejectsMisuse) {
+  {
+    std::ostringstream out;
+    JsonWriter w(out);
+    w.begin_object();
+    EXPECT_THROW(w.value(1.0), ContractViolation);  // member without a key
+  }
+  {
+    std::ostringstream out;
+    JsonWriter w(out);
+    w.begin_array();
+    EXPECT_THROW(w.end_object(), ContractViolation);  // mismatched closer
+  }
 }
 
 TEST(Section, HeaderShape) {

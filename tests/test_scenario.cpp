@@ -82,8 +82,19 @@ TEST(Scenario, DefaultsWhenSectionsAbsent) {
   const Scenario scenario = parse_scenario("");
   EXPECT_EQ(scenario.configurations.size(), 3u);  // the sensitivity trio
   EXPECT_FALSE(scenario.sweep.has_value());
-  EXPECT_FALSE(scenario.csv);
+  EXPECT_EQ(scenario.format, report::OutputFormat::kTable);
+  EXPECT_EQ(scenario.jobs, 1);
   EXPECT_DOUBLE_EQ(scenario.target.events_per_pb_year, 2e-3);
+}
+
+TEST(Scenario, OutputFormatAndJobsParse) {
+  const Scenario json = parse_scenario("[output]\nformat = json\njobs = 4\n");
+  EXPECT_EQ(json.format, report::OutputFormat::kJson);
+  EXPECT_EQ(json.jobs, 4);
+  const Scenario all_cores = parse_scenario("[output]\njobs = 0\n");
+  EXPECT_EQ(all_cores.jobs, 0);
+  EXPECT_THROW((void)parse_scenario("[output]\njobs = -1\n"),
+               ContractViolation);
 }
 
 TEST(Scenario, SystemOverridesApply) {
@@ -106,7 +117,7 @@ TEST(Scenario, RejectsUnknownKeysAndSections) {
                ContractViolation);
   EXPECT_THROW((void)parse_scenario("[sweep]\nparam = n\nfrom = 5\nto = 2\n"),
                ContractViolation);
-  EXPECT_THROW((void)parse_scenario("[output]\nformat = json\n"),
+  EXPECT_THROW((void)parse_scenario("[output]\nformat = xml\n"),
                ContractViolation);
 }
 
@@ -163,6 +174,31 @@ format = csv
   EXPECT_NE(text.find("drive-mttf,"), std::string::npos);
   // CSV: no asterisks, 4 lines (header + 3 rows).
   EXPECT_EQ(text.find('*'), std::string::npos);
+}
+
+TEST(Scenario, JsonOutputAndJobsInvariance) {
+  const char* kBody = R"(
+[configurations]
+list = none-ft2, raid5-ft2
+[sweep]
+param = drive-mttf
+from = 1e5
+to = 7.5e5
+steps = 4
+scale = log
+[output]
+format = json
+)";
+  std::ostringstream serial;
+  run_scenario_text(std::string(kBody) + "jobs = 1\n", serial);
+  EXPECT_NE(serial.str().find("\"schema\": \"nsrel-resultset-v1\""),
+            std::string::npos);
+  EXPECT_NE(serial.str().find("\"axis\": \"drive-mttf\""), std::string::npos);
+
+  // Same scenario at jobs = 4: bytes must match exactly.
+  std::ostringstream parallel;
+  run_scenario_text(std::string(kBody) + "jobs = 4\n", parallel);
+  EXPECT_EQ(serial.str(), parallel.str());
 }
 
 TEST(Scenario, LinearAndLogSpacingDiffer) {
