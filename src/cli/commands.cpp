@@ -56,6 +56,10 @@ evaluation flags (analyze | compare | sweep; all three run through the
 parallel grid-evaluation engine — output never depends on --jobs):
   --format table|csv|json     rendering                  (default table)
   --jobs N                    worker threads, 0 = all cores (default 1)
+  --on-error skip|fail        failed-cell policy         (default skip)
+                              skip: evaluate the rest, mark failures with
+                              their error code, exit 3; fail: stop at the
+                              first failure and exit 5
 
 system flags (defaults = the paper's section-6 baseline):
   --n 64          node set size         --r 8            redundancy set size
@@ -79,6 +83,14 @@ simulate flags:
                   (e.g. 0.05 = ±5%; 0 = run exactly --trials)
   --chunk 256     trials per RNG stream chunk
   --max-trials 1000000  adaptive-mode trial cap
+
+exit codes:
+  0  success — every cell evaluated
+  3  partial results — at least one cell failed (failures are marked in
+     the output and detailed on stderr with stable error codes)
+  4  usage error — unknown command/flag, bad value, unreadable file
+  5  internal or evaluation error — unexpected exception, or a cell
+     failure under --on-error fail
 )";
 
 core::Method method_from_args(const Args& args) {
@@ -98,6 +110,10 @@ EvalFlags eval_flags_from_args(const Args& args) {
   if (flags.options.jobs < 0) {
     throw ContractViolation("--jobs must be >= 0 (0 = all cores)");
   }
+  // The CLI default is skip: report what evaluated, mark what failed.
+  // "fail" maps to the engine's fail-fast, surfacing as exit 5.
+  flags.options.on_error =
+      engine::parse_on_error(args.get_string("on-error", "skip"));
   const bool legacy_csv = args.get_int("csv", 0) != 0;
   flags.format = report::parse_output_format(
       args.get_string("format", legacy_csv ? "csv" : "table"));
@@ -110,7 +126,25 @@ int check_unused(const Args& args, std::ostream& err) {
   err << "unknown flag(s):";
   for (const auto& key : unused) err << " --" << key;
   err << "\n";
-  return 2;
+  return kExitUsage;
+}
+
+/// Details every failed cell on stderr (row-major, so the lines are
+/// jobs-invariant like the rendered output) and maps the run to its
+/// exit code: 0 all cells ok, 3 partial results.
+int report_failures(const engine::ResultSet& results, std::ostream& err) {
+  const std::vector<engine::CellError> failures = results.errors();
+  if (failures.empty()) return 0;
+  const std::size_t total =
+      results.point_count() * results.configuration_count();
+  err << "warning: " << failures.size() << " of " << total
+      << " cell(s) failed:\n";
+  for (const engine::CellError& failure : failures) {
+    err << "  " << results.grid().points[failure.point].label << " / "
+        << core::name(results.grid().configurations[failure.configuration])
+        << ": " << failure.error.message() << "\n";
+  }
+  return kExitPartialResults;
 }
 
 int run_analyze(const Args& args, std::ostream& out, std::ostream& err) {
@@ -125,11 +159,15 @@ int run_analyze(const Args& args, std::ostream& out, std::ostream& err) {
       engine::single_point(system, {configuration}, method), flags.options);
   if (flags.format == report::OutputFormat::kJson) {
     engine::write_json(results, out);
-    return 0;
+    return report_failures(results, err);
   }
   if (flags.format == report::OutputFormat::kCsv) {
     engine::compare_table(results, target).print_csv(out);
-    return 0;
+    return report_failures(results, err);
+  }
+  if (!results.ok(0, 0)) {
+    out << "configuration:     " << core::name(configuration) << "\n";
+    return report_failures(results, err);
   }
   const core::AnalysisResult& result = results.at(0, 0);
   out << "configuration:     " << core::name(configuration) << "\n"
@@ -153,7 +191,7 @@ int run_analyze(const Args& args, std::ostream& out, std::ostream& err) {
         << " /h\nre-stripe:         "
         << fixed(to_hours(result.rebuild.restripe_time).value(), 1) << " h\n";
   }
-  return 0;
+  return kExitOk;
 }
 
 int run_compare(const Args& args, std::ostream& out, std::ostream& err) {
@@ -177,7 +215,7 @@ int run_compare(const Args& args, std::ostream& out, std::ostream& err) {
       engine::write_json(results, out);
       break;
   }
-  return 0;
+  return report_failures(results, err);
 }
 
 int run_rebuild(const Args& args, std::ostream& out, std::ostream& err) {
@@ -229,7 +267,7 @@ int run_sweep(const Args& args, std::ostream& out, std::ostream& err) {
   core::SystemConfig probe = base;
   if (!core::set_parameter(probe, param, from)) {
     err << "unknown --param '" << param << "'\n";
-    return 2;
+    return kExitUsage;
   }
 
   // Log-spaced points: sensitivity plots in the paper span decades.
@@ -251,7 +289,7 @@ int run_sweep(const Args& args, std::ostream& out, std::ostream& err) {
       engine::write_json(results, out);
       break;
   }
-  return 0;
+  return report_failures(results, err);
 }
 
 int run_availability(const Args& args, std::ostream& out, std::ostream& err) {
@@ -358,7 +396,7 @@ int run_scenario_command(const Args& args, std::ostream& out,
   if (const int rc = check_unused(args, err); rc != 0) return rc;
   if (path.empty()) {
     err << "scenario requires --file <path>\n";
-    return 2;
+    return kExitUsage;
   }
   if (jobs_given && jobs < 0) {
     throw ContractViolation("--jobs must be >= 0 (0 = all cores)");
@@ -366,14 +404,19 @@ int run_scenario_command(const Args& args, std::ostream& out,
   std::ifstream in(path);
   if (!in) {
     err << "cannot open scenario file '" << path << "'\n";
-    return 2;
+    return kExitUsage;
   }
   std::ostringstream text;
   text << in.rdbuf();
   scenario::Scenario scenario = scenario::parse_scenario(text.str());
   if (jobs_given) scenario.jobs = jobs;  // command line beats [output] jobs
-  scenario::run_scenario(scenario, out);
-  return 0;
+  const scenario::RunOutcome outcome = scenario::run_scenario(scenario, out);
+  if (outcome.error_count != 0) {
+    err << "warning: " << outcome.error_count << " of "
+        << outcome.ok_count + outcome.error_count << " cell(s) failed\n";
+    return kExitPartialResults;
+  }
+  return kExitOk;
 }
 
 }  // namespace
@@ -424,7 +467,7 @@ int dispatch(const Args& args, std::ostream& out, std::ostream& err) {
     const std::string& command = args.command();
     if (command.empty() || command == "help") {
       out << kUsage;
-      return command.empty() ? 2 : 0;
+      return command.empty() ? kExitUsage : kExitOk;
     }
     if (command == "analyze") return run_analyze(args, out, err);
     if (command == "compare") return run_compare(args, out, err);
@@ -436,10 +479,16 @@ int dispatch(const Args& args, std::ostream& out, std::ostream& err) {
     if (command == "chain") return run_chain(args, out, err);
     if (command == "provision") return run_provision(args, out, err);
     err << "unknown command '" << command << "' (try: nsrel help)\n";
-    return 2;
+    return kExitUsage;
   } catch (const ContractViolation& violation) {
     err << "error: " << violation.what() << "\n";
-    return 1;
+    return kExitUsage;
+  } catch (const ErrorException& failure) {
+    err << "error: " << failure.what() << "\n";
+    return kExitInternal;
+  } catch (const std::exception& unexpected) {
+    err << "internal error: " << unexpected.what() << "\n";
+    return kExitInternal;
   }
 }
 
@@ -449,7 +498,10 @@ int dispatch(int argc, const char* const* argv, std::ostream& out,
     return dispatch(Args(argc, argv), out, err);
   } catch (const ContractViolation& violation) {
     err << "error: " << violation.what() << "\n";
-    return 1;
+    return kExitUsage;
+  } catch (const std::exception& unexpected) {
+    err << "internal error: " << unexpected.what() << "\n";
+    return kExitInternal;
   }
 }
 

@@ -24,6 +24,14 @@
 
 namespace nsrel::cli {
 
+/// Process exit codes. 1 and 2 are deliberately unused (shells and
+/// harnesses overload them); anything nonzero below is stable API.
+inline constexpr int kExitOk = 0;              ///< every cell evaluated
+inline constexpr int kExitPartialResults = 3;  ///< some cells failed (skip)
+inline constexpr int kExitUsage = 4;           ///< bad command line / input
+inline constexpr int kExitInternal = 5;        ///< unexpected exception or
+                                               ///< failure under on-error=fail
+
 /// Builds a SystemConfig from the shared flags over the paper baseline.
 [[nodiscard]] core::SystemConfig config_from_args(const Args& args);
 

@@ -1,5 +1,7 @@
 #include "core/analyzer.hpp"
 
+#include <cmath>
+
 #include "raid/array_model.hpp"
 #include "sim/storage_simulator.hpp"
 #include "util/assert.hpp"
@@ -47,14 +49,35 @@ std::string ir_solve_key(const models::InternalRaidParams& p, Method method) {
   return key;
 }
 
-/// Runs `solve` with memoization when a cache is supplied.
+/// Runs `solve` with memoization when a cache is supplied. Exceptions
+/// from the solve are converted to typed errors and cached exactly like
+/// values, so a hit on a known-bad key replays the original error
+/// without re-running the failing solve.
 template <typename Solve>
-Hours cached_solve(SolveCache* cache, const std::string& key, Solve solve) {
-  if (cache == nullptr) return solve();
-  if (const auto hit = cache->lookup(key)) return Hours(*hit);
-  const Hours value = solve();
-  cache->store(key, value.value());
-  return value;
+Expected<double> cached_solve(SolveCache* cache, const std::string& key,
+                              Solve solve) {
+  const auto guarded = [&]() -> Expected<double> {
+    try {
+      return solve().value();
+    } catch (const ErrorException& e) {
+      return e.error();
+    } catch (const ContractViolation& e) {
+      return Error{ErrorCode::kContractViolation, "core.analyzer", e.what()};
+    }
+  };
+  if (cache == nullptr) return guarded();
+  if (auto hit = cache->lookup(key)) return *std::move(hit);
+  Expected<double> outcome = guarded();
+  cache->store(key, outcome);
+  return outcome;
+}
+
+/// Checks a system parameter for the try_analyze path: finite and
+/// strictly positive, else an invalid_parameter error naming it.
+std::optional<Error> check_positive_finite(double value, const char* name) {
+  if (std::isfinite(value) && value > 0.0) return std::nullopt;
+  return Error{ErrorCode::kInvalidParameter, "core.analyzer",
+               std::string(name) + " must be finite and positive"};
 }
 
 }  // namespace
@@ -175,39 +198,86 @@ AnalysisResult Analyzer::analyze(const Configuration& configuration,
   NSREL_EXPECTS(configuration.node_fault_tolerance >= 1);
   NSREL_EXPECTS(configuration.node_fault_tolerance <
                 config_.redundancy_set_size);
+  return try_analyze(configuration, method, cache).value_or_throw();
+}
+
+Expected<AnalysisResult> Analyzer::try_analyze(
+    const Configuration& configuration, Method method,
+    SolveCache* cache) const {
+  if (configuration.node_fault_tolerance < 1 ||
+      configuration.node_fault_tolerance >= config_.redundancy_set_size) {
+    return Error{ErrorCode::kInvalidParameter, "core.analyzer",
+                 "node fault tolerance must be >= 1 and below the "
+                 "redundancy set size"};
+  }
+  if (auto bad = check_positive_finite(config_.drive.mttf.value(),
+                                       "drive MTTF")) {
+    return *std::move(bad);
+  }
+  if (auto bad = check_positive_finite(config_.node_mttf.value(),
+                                       "node MTTF")) {
+    return *std::move(bad);
+  }
+  if (auto bad = check_positive_finite(config_.drive.capacity.value(),
+                                       "drive capacity")) {
+    return *std::move(bad);
+  }
+  if (!std::isfinite(config_.drive.her_per_byte) ||
+      config_.drive.her_per_byte < 0.0) {
+    return Error{ErrorCode::kInvalidParameter, "core.analyzer",
+                 "hard-error rate must be finite and non-negative"};
+  }
 
   AnalysisResult result;
   result.configuration = configuration;
 
-  const rebuild::RebuildPlanner plan =
-      planner(configuration.node_fault_tolerance);
-  result.rebuild = plan.rates();
+  try {
+    const rebuild::RebuildPlanner plan =
+        planner(configuration.node_fault_tolerance);
+    result.rebuild = plan.rates();
 
-  if (configuration.internal == InternalScheme::kNone) {
-    const models::NoInternalRaidParams p = nir_params(configuration);
-    result.mttdl = cached_solve(cache, nir_solve_key(p, method), [&] {
-      const models::NoInternalRaidModel model(p);
-      return method == Method::kExactChain ? model.mttdl_exact()
-                                           : model.mttdl_closed_form();
-    });
-  } else {
-    const models::InternalRaidParams p = ir_params(configuration);
-    result.array_failure_rate = p.array_failure;
-    result.sector_error_rate = p.sector_error;
-    result.mttdl = cached_solve(cache, ir_solve_key(p, method), [&] {
-      const models::InternalRaidNodeModel model(p);
-      return method == Method::kExactChain ? model.mttdl_exact()
-                                           : model.mttdl_closed_form();
-    });
+    Expected<double> mttdl_hours{0.0};
+    if (configuration.internal == InternalScheme::kNone) {
+      const models::NoInternalRaidParams p = nir_params(configuration);
+      mttdl_hours = cached_solve(cache, nir_solve_key(p, method), [&] {
+        const models::NoInternalRaidModel model(p);
+        return method == Method::kExactChain ? model.mttdl_exact()
+                                             : model.mttdl_closed_form();
+      });
+    } else {
+      const models::InternalRaidParams p = ir_params(configuration);
+      result.array_failure_rate = p.array_failure;
+      result.sector_error_rate = p.sector_error;
+      mttdl_hours = cached_solve(cache, ir_solve_key(p, method), [&] {
+        const models::InternalRaidNodeModel model(p);
+        return method == Method::kExactChain ? model.mttdl_exact()
+                                             : model.mttdl_closed_form();
+      });
+    }
+    if (!mttdl_hours.has_value()) return mttdl_hours.error();
+    result.mttdl = Hours(mttdl_hours.value());
+
+    result.events_per_system_year = 1.0 / to_years(result.mttdl);
+    result.logical_capacity = logical_capacity(configuration);
+    const double petabytes_logical =
+        result.logical_capacity.value() / petabytes(1.0).value();
+    if (!std::isfinite(petabytes_logical) || petabytes_logical <= 0.0) {
+      return Error{ErrorCode::kNonFiniteResult, "core.analyzer",
+                   "logical capacity is non-finite or nonpositive"};
+    }
+    result.events_per_pb_year =
+        result.events_per_system_year / petabytes_logical;
+  } catch (const ErrorException& e) {
+    return e.error();
+  } catch (const ContractViolation& e) {
+    return Error{ErrorCode::kContractViolation, "core.analyzer", e.what()};
   }
 
-  result.events_per_system_year = 1.0 / to_years(result.mttdl);
-  result.logical_capacity = logical_capacity(configuration);
-  const double petabytes_logical =
-      result.logical_capacity.value() / petabytes(1.0).value();
-  NSREL_ASSERT(petabytes_logical > 0.0);
-  result.events_per_pb_year =
-      result.events_per_system_year / petabytes_logical;
+  if (!std::isfinite(result.mttdl.value()) || result.mttdl.value() <= 0.0 ||
+      !std::isfinite(result.events_per_pb_year)) {
+    return Error{ErrorCode::kNonFiniteResult, "core.analyzer",
+                 "MTTDL or events per PB-year is non-finite or nonpositive"};
+  }
   return result;
 }
 

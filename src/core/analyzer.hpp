@@ -14,6 +14,7 @@
 #include "rebuild/planner.hpp"
 #include "sim/estimate.hpp"
 #include "sim/parallel.hpp"
+#include "util/error.hpp"
 #include "util/units.hpp"
 
 namespace nsrel::core {
@@ -56,6 +57,18 @@ class Analyzer {
   [[nodiscard]] AnalysisResult analyze(const Configuration& configuration,
                                        Method method = Method::kExactChain,
                                        SolveCache* cache = nullptr) const;
+
+  /// Non-throwing form of analyze(): every failure mode comes back as a
+  /// typed Error instead of an exception — out-of-range or non-finite
+  /// system parameters as invalid_parameter, numerical failures in the
+  /// chain solve with their original code (singular_generator,
+  /// ill_conditioned, non_finite_result), violated internal contracts as
+  /// contract_violation, and non-finite derived metrics (MTTDL, events
+  /// per PB-year) as non_finite_result. Failed solves are cached like
+  /// successful ones, so a cache hit replays the error bit-identically.
+  [[nodiscard]] Expected<AnalysisResult> try_analyze(
+      const Configuration& configuration, Method method = Method::kExactChain,
+      SolveCache* cache = nullptr) const;
 
   /// Shortcuts.
   [[nodiscard]] Hours mttdl(const Configuration& configuration,

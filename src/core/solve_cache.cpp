@@ -2,7 +2,7 @@
 
 namespace nsrel::core {
 
-std::optional<double> SolveCache::lookup(const std::string& key) {
+std::optional<Expected<double>> SolveCache::lookup(const std::string& key) {
   const std::lock_guard<std::mutex> lock(mutex_);
   const auto it = values_.find(key);
   if (it == values_.end()) {
@@ -13,9 +13,9 @@ std::optional<double> SolveCache::lookup(const std::string& key) {
   return it->second;
 }
 
-void SolveCache::store(const std::string& key, double value) {
+void SolveCache::store(const std::string& key, Expected<double> outcome) {
   const std::lock_guard<std::mutex> lock(mutex_);
-  values_.emplace(key, value);
+  values_.emplace(key, std::move(outcome));
 }
 
 SolveCache::Stats SolveCache::stats() const {

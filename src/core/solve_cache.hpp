@@ -23,6 +23,8 @@
 #include <type_traits>
 #include <unordered_map>
 
+#include "util/error.hpp"
+
 namespace nsrel::core {
 
 class SolveCache {
@@ -38,13 +40,16 @@ class SolveCache {
   SolveCache(const SolveCache&) = delete;
   SolveCache& operator=(const SolveCache&) = delete;
 
-  /// Returns the cached value for `key` (counting a hit), or nullopt
-  /// (counting a miss).
-  [[nodiscard]] std::optional<double> lookup(const std::string& key);
+  /// Returns the cached outcome for `key` (counting a hit), or nullopt
+  /// (counting a miss). Failed solves are cached like successful ones:
+  /// a hit replays the original typed error bit-identically instead of
+  /// re-running a solve that is known to fail.
+  [[nodiscard]] std::optional<Expected<double>> lookup(const std::string& key);
 
-  /// Stores `value` under `key`. Idempotent for identical values; a
-  /// second store of the same key keeps the first entry.
-  void store(const std::string& key, double value);
+  /// Stores a solve outcome (value or typed error) under `key`.
+  /// Idempotent for identical outcomes; a second store of the same key
+  /// keeps the first entry.
+  void store(const std::string& key, Expected<double> outcome);
 
   [[nodiscard]] Stats stats() const;
 
@@ -53,7 +58,7 @@ class SolveCache {
 
  private:
   mutable std::mutex mutex_;
-  std::unordered_map<std::string, double> values_;
+  std::unordered_map<std::string, Expected<double>> values_;
   Stats stats_;
 };
 

@@ -6,12 +6,23 @@
 #include "ctmc/elimination.hpp"
 #include "linalg/lu.hpp"
 #include "util/assert.hpp"
+#include "util/format.hpp"
 #include "util/math.hpp"
 
 namespace nsrel::ctmc {
 
 AbsorbingAnalysis AbsorbingSolver::analyze(const Chain& chain,
                                            StateId initial) {
+  return try_analyze(chain, initial).value_or_throw();
+}
+
+AbsorbingAnalysis AbsorbingSolver::analyze_distribution(
+    const Chain& chain, const std::vector<double>& initial) {
+  return try_analyze_distribution(chain, initial).value_or_throw();
+}
+
+Expected<AbsorbingAnalysis> AbsorbingSolver::try_analyze(
+    const Chain& chain, StateId initial, const NumericalGuards& guards) {
   NSREL_EXPECTS(initial < chain.state_count());
   NSREL_EXPECTS(chain.state(initial).kind == StateKind::kTransient);
   const auto transient = chain.transient_states();
@@ -19,11 +30,12 @@ AbsorbingAnalysis AbsorbingSolver::analyze(const Chain& chain,
   for (std::size_t i = 0; i < transient.size(); ++i) {
     if (transient[i] == initial) pi0[i] = 1.0;
   }
-  return analyze_distribution(chain, pi0);
+  return try_analyze_distribution(chain, pi0, guards);
 }
 
-AbsorbingAnalysis AbsorbingSolver::analyze_distribution(
-    const Chain& chain, const std::vector<double>& initial) {
+Expected<AbsorbingAnalysis> AbsorbingSolver::try_analyze_distribution(
+    const Chain& chain, const std::vector<double>& initial,
+    const NumericalGuards& guards) {
   const std::string defect = chain.validate();
   NSREL_EXPECTS(defect.empty());
   const auto transient = chain.transient_states();
@@ -33,7 +45,16 @@ AbsorbingAnalysis AbsorbingSolver::analyze_distribution(
 
   const linalg::Matrix r = chain.absorption_matrix();
   const linalg::LuDecomposition lu(r);
-  NSREL_EXPECTS(!lu.singular());
+  if (lu.singular()) {
+    return Error{ErrorCode::kSingularGenerator, "ctmc.absorbing",
+                 "absorption matrix is numerically singular"};
+  }
+  const double rcond = lu.rcond_estimate();
+  if (rcond < guards.min_rcond) {
+    return Error{ErrorCode::kIllConditioned, "ctmc.absorbing",
+                 "absorption matrix rcond " + sci(rcond) +
+                     " below threshold " + sci(guards.min_rcond)};
+  }
 
   AbsorbingAnalysis result;
   // tau^T R = pi0^T  <=>  R^T tau = pi0.
@@ -65,6 +86,24 @@ AbsorbingAnalysis AbsorbingSolver::analyze_distribution(
       p.add(result.occupancy_hours[i] * rates[i]);
     }
     result.absorption_probability.push_back(p.value());
+  }
+
+  // Health check on everything the solve produced: a conditioning
+  // problem that slipped past the rcond estimate shows up here as NaN,
+  // infinity, or a negative mean time.
+  bool finite = std::isfinite(result.mean_time_to_absorption_hours) &&
+                result.mean_time_to_absorption_hours > 0.0 &&
+                std::isfinite(result.stddev_time_to_absorption_hours);
+  for (const double tau : result.occupancy_hours) {
+    finite = finite && std::isfinite(tau);
+  }
+  for (const double p : result.absorption_probability) {
+    finite = finite && std::isfinite(p);
+  }
+  if (!finite) {
+    return Error{ErrorCode::kNonFiniteResult, "ctmc.absorbing",
+                 "absorption analysis produced a non-finite or nonpositive "
+                 "result"};
   }
   return result;
 }

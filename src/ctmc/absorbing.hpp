@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "ctmc/chain.hpp"
+#include "util/error.hpp"
 
 namespace nsrel::ctmc {
 
@@ -34,6 +35,9 @@ class AbsorbingSolver {
   /// Analyzes the chain starting from transient state `initial`
   /// (a full-state id; defaults to state 0).
   /// Preconditions: chain.validate() passes; `initial` is transient.
+  /// Numerical failures (singular or ill-conditioned absorption matrix,
+  /// non-finite results) throw ErrorException; use try_analyze to get
+  /// the typed error without an exception.
   [[nodiscard]] static AbsorbingAnalysis analyze(const Chain& chain,
                                                  StateId initial = 0);
 
@@ -41,6 +45,17 @@ class AbsorbingSolver {
   /// (indexed like Chain::transient_states(); must sum to ~1).
   [[nodiscard]] static AbsorbingAnalysis analyze_distribution(
       const Chain& chain, const std::vector<double>& initial);
+
+  /// Non-throwing forms: numerical-health failures come back as typed
+  /// errors (singular_generator, ill_conditioned below guards.min_rcond,
+  /// non_finite_result). Caller-bug preconditions (bad initial state,
+  /// size mismatch, invalid chain) still throw ContractViolation.
+  [[nodiscard]] static Expected<AbsorbingAnalysis> try_analyze(
+      const Chain& chain, StateId initial = 0,
+      const NumericalGuards& guards = {});
+  [[nodiscard]] static Expected<AbsorbingAnalysis> try_analyze_distribution(
+      const Chain& chain, const std::vector<double>& initial,
+      const NumericalGuards& guards = {});
 
   /// Convenience: just the MTTDL in hours from transient state `initial`.
   [[nodiscard]] static double mttdl_hours(const Chain& chain,

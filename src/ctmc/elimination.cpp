@@ -1,6 +1,7 @@
 #include "ctmc/elimination.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <vector>
 
 #include "util/assert.hpp"
@@ -14,8 +15,9 @@ namespace {
 ///   m_i = c[i] + sum_j b[i][j] * m_j,   sum_j b[i][j] + ab[i] = 1.
 /// Eliminates every state except `initial` (order: last to first, skipping
 /// `initial`), then m_initial = c[initial] / ab[initial].
-double eliminate(std::vector<std::vector<double>> b, std::vector<double> ab,
-                 std::vector<double> c, std::size_t initial) {
+Expected<double> eliminate(std::vector<std::vector<double>> b,
+                           std::vector<double> ab, std::vector<double> c,
+                           std::size_t initial) {
   const std::size_t n = b.size();
   std::vector<bool> eliminated(n, false);
 
@@ -27,7 +29,11 @@ double eliminate(std::vector<std::vector<double>> b, std::vector<double> ab,
     for (std::size_t j = 0; j < n; ++j) {
       if (j != s && !eliminated[j]) d += b[s][j];
     }
-    NSREL_ASSERT(d > 0.0);
+    if (!(d > 0.0)) {
+      return Error{ErrorCode::kSingularGenerator, "ctmc.elimination",
+                   "elimination pivot vanished (state has no remaining "
+                   "path to absorption)"};
+    }
     const double inv_d = 1.0 / d;
     for (std::size_t i = 0; i < n; ++i) {
       if (eliminated[i] || i == s) continue;
@@ -44,14 +50,27 @@ double eliminate(std::vector<std::vector<double>> b, std::vector<double> ab,
   }
   // Only the initial state remains: 1 - b[ii] = ab[i], so
   // m = c / ab (both accumulated without any subtraction).
-  NSREL_ASSERT(ab[initial] > 0.0);
-  return c[initial] / ab[initial];
+  if (!(ab[initial] > 0.0)) {
+    return Error{ErrorCode::kSingularGenerator, "ctmc.elimination",
+                 "initial state's absorption probability vanished"};
+  }
+  const double mean = c[initial] / ab[initial];
+  if (!std::isfinite(mean) || !(mean > 0.0)) {
+    return Error{ErrorCode::kNonFiniteResult, "ctmc.elimination",
+                 "mean absorption time is non-finite or nonpositive"};
+  }
+  return mean;
 }
 
 }  // namespace
 
 double EliminationSolver::mean_absorption_time_hours(const Chain& chain,
                                                      StateId initial) {
+  return try_mean_absorption_time_hours(chain, initial).value_or_throw();
+}
+
+Expected<double> EliminationSolver::try_mean_absorption_time_hours(
+    const Chain& chain, StateId initial) {
   NSREL_EXPECTS(chain.validate().empty());
   NSREL_EXPECTS(initial < chain.state_count());
   NSREL_EXPECTS(chain.state(initial).kind == StateKind::kTransient);
@@ -107,6 +126,7 @@ double EliminationSolver::mean_absorption_time_hours(const linalg::Matrix& r,
   return mean_absorption_time_hours(r, absorption, initial);
 }
 
+
 double EliminationSolver::mean_absorption_time_hours(
     const linalg::Matrix& r, const std::vector<double>& absorption_rates,
     std::size_t initial) {
@@ -131,7 +151,8 @@ double EliminationSolver::mean_absorption_time_hours(
       b[i][j] = -r(i, j) * inv_exit;
     }
   }
-  return eliminate(std::move(b), std::move(ab), std::move(c), initial);
+  return eliminate(std::move(b), std::move(ab), std::move(c), initial)
+      .value_or_throw();
 }
 
 }  // namespace nsrel::ctmc

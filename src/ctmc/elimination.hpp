@@ -17,6 +17,7 @@
 
 #include "ctmc/chain.hpp"
 #include "linalg/matrix.hpp"
+#include "util/error.hpp"
 
 namespace nsrel::ctmc {
 
@@ -25,8 +26,16 @@ class EliminationSolver {
   /// Mean time to absorption (hours) from `initial`, built directly from
   /// the chain's transition rates (no subtractions anywhere).
   /// Preconditions: chain.validate() passes; initial is transient.
+  /// Numerical failures (degenerate elimination pivot, non-finite
+  /// result) throw ErrorException; use the try_ form for typed errors.
   [[nodiscard]] static double mean_absorption_time_hours(const Chain& chain,
                                                          StateId initial);
+
+  /// Non-throwing form of the chain overload: a vanishing elimination
+  /// pivot (no remaining path to absorption — a numerically singular
+  /// generator) or a non-finite mean comes back as a typed error.
+  [[nodiscard]] static Expected<double> try_mean_absorption_time_hours(
+      const Chain& chain, StateId initial);
 
   /// Same, from an absorption matrix R = -Q_B (appendix form): row i's
   /// absorption rate is its row sum. The subtraction needed to recover

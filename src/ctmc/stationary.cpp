@@ -1,11 +1,18 @@
 #include "ctmc/stationary.hpp"
 
+#include <cmath>
+
 #include "linalg/lu.hpp"
 #include "util/assert.hpp"
 
 namespace nsrel::ctmc {
 
 std::vector<double> StationarySolver::distribution(const Chain& chain) {
+  return try_distribution(chain).value_or_throw();
+}
+
+Expected<std::vector<double>> StationarySolver::try_distribution(
+    const Chain& chain) {
   NSREL_EXPECTS(chain.absorbing_count() == 0);
   const std::size_t n = chain.state_count();
   NSREL_EXPECTS(n > 0);
@@ -18,8 +25,17 @@ std::vector<double> StationarySolver::distribution(const Chain& chain) {
   b[n - 1] = 1.0;
 
   const auto solution = linalg::solve(a, b);
-  NSREL_EXPECTS(solution.has_value());  // fails iff chain is reducible
-  for (const double p : *solution) NSREL_ENSURES(p > -1e-12);
+  if (!solution.has_value()) {  // singular iff chain is reducible
+    return Error{ErrorCode::kSingularGenerator, "ctmc.stationary",
+                 "generator is singular (chain is reducible)"};
+  }
+  for (const double p : *solution) {
+    if (!std::isfinite(p) || p < -1e-12) {
+      return Error{ErrorCode::kNonFiniteResult, "ctmc.stationary",
+                   "stationary distribution has a non-finite or negative "
+                   "probability"};
+    }
+  }
   return *solution;
 }
 

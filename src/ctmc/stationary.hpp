@@ -9,15 +9,22 @@
 #include <vector>
 
 #include "ctmc/chain.hpp"
+#include "util/error.hpp"
 
 namespace nsrel::ctmc {
 
 class StationarySolver {
  public:
   /// Stationary distribution over all states.
-  /// Preconditions: no absorbing states; the chain is irreducible (the
-  /// solve fails with a contract violation otherwise).
+  /// Preconditions: no absorbing states, non-empty chain. A reducible
+  /// chain (singular solve) or a non-finite/negative distribution throws
+  /// ErrorException; use try_distribution for the typed error.
   [[nodiscard]] static std::vector<double> distribution(const Chain& chain);
+
+  /// Non-throwing form: singular generator (reducible chain) and
+  /// non-finite or negative probabilities come back as typed errors.
+  [[nodiscard]] static Expected<std::vector<double>> try_distribution(
+      const Chain& chain);
 
   /// Long-run fraction of time spent in the given set of states.
   [[nodiscard]] static double occupancy(const Chain& chain,

@@ -3,14 +3,65 @@
 #include <algorithm>
 #include <atomic>
 #include <future>
-#include <optional>
+#include <mutex>
+#include <stdexcept>
+#include <string>
 
+#include "engine/testing.hpp"
 #include "util/assert.hpp"
 #include "util/thread_pool.hpp"
 
 namespace nsrel::engine {
 
-ResultSet::ResultSet(Grid grid, std::vector<core::AnalysisResult> cells,
+namespace {
+
+std::mutex fault_mutex;
+std::vector<testing::CellFault> registered_faults;
+
+/// Raises the registered fault the way a real failure of that class
+/// would surface from the model stack.
+[[noreturn]] void raise_injected(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kContractViolation:
+      throw ContractViolation("injected fault");
+    case ErrorCode::kInternal:
+      throw std::runtime_error("injected fault");
+    default:
+      throw ErrorException(
+          Error{code, "engine.testing", "injected fault"});
+  }
+}
+
+}  // namespace
+
+namespace testing {
+
+void inject_cell_fault(std::size_t point, std::size_t configuration,
+                       ErrorCode code) {
+  const std::lock_guard<std::mutex> lock(fault_mutex);
+  registered_faults.push_back({point, configuration, code});
+}
+
+void clear_cell_faults() {
+  const std::lock_guard<std::mutex> lock(fault_mutex);
+  registered_faults.clear();
+}
+
+std::vector<CellFault> snapshot_cell_faults() {
+  const std::lock_guard<std::mutex> lock(fault_mutex);
+  return registered_faults;
+}
+
+}  // namespace testing
+
+OnError parse_on_error(const std::string& name) {
+  if (name == "skip") return OnError::kSkip;
+  if (name == "fail") return OnError::kFailFast;
+  throw ContractViolation("unknown on-error policy '" + name +
+                          "' (use skip|fail)");
+}
+
+ResultSet::ResultSet(Grid grid, std::vector<Cell> cells,
                      core::SolveCache::Stats cache_stats)
     : grid_(std::move(grid)),
       cells_(std::move(cells)),
@@ -19,11 +70,39 @@ ResultSet::ResultSet(Grid grid, std::vector<core::AnalysisResult> cells,
                 grid_.points.size() * grid_.configurations.size());
 }
 
-const core::AnalysisResult& ResultSet::at(std::size_t point,
-                                          std::size_t configuration) const {
+const ResultSet::Cell& ResultSet::cell(std::size_t point,
+                                       std::size_t configuration) const {
   NSREL_EXPECTS(point < grid_.points.size());
   NSREL_EXPECTS(configuration < grid_.configurations.size());
   return cells_[point * grid_.configurations.size() + configuration];
+}
+
+bool ResultSet::ok(std::size_t point, std::size_t configuration) const {
+  return cell(point, configuration).has_value();
+}
+
+const core::AnalysisResult& ResultSet::at(std::size_t point,
+                                          std::size_t configuration) const {
+  const Cell& c = cell(point, configuration);
+  NSREL_EXPECTS(c.has_value());
+  return c.value();
+}
+
+std::size_t ResultSet::ok_count() const {
+  std::size_t count = 0;
+  for (const Cell& c : cells_) count += c.has_value() ? 1 : 0;
+  return count;
+}
+
+std::vector<CellError> ResultSet::errors() const {
+  std::vector<CellError> failed;
+  const std::size_t columns = grid_.configurations.size();
+  for (std::size_t index = 0; index < cells_.size(); ++index) {
+    if (cells_[index].has_value()) continue;
+    failed.push_back(
+        {index / columns, index % columns, cells_[index].error()});
+  }
+  return failed;
 }
 
 ResultSet evaluate(const Grid& grid, const EvalOptions& options) {
@@ -33,39 +112,78 @@ ResultSet evaluate(const Grid& grid, const EvalOptions& options) {
 
   const std::size_t columns = grid.configurations.size();
   const std::size_t cell_count = grid.points.size() * columns;
-  std::vector<core::AnalysisResult> cells(cell_count);
+  std::vector<ResultSet::Cell> cells(cell_count);
 
   core::SolveCache local_cache;
   core::SolveCache* cache = options.cache ? options.cache : &local_cache;
 
+  // One immutable snapshot of the fault registry, taken before any
+  // worker starts: workers only read this local copy.
+  const std::vector<testing::CellFault> faults =
+      testing::snapshot_cell_faults();
+
+  // Under fail-fast a recorded failure stops workers from CLAIMING new
+  // cells; cells already claimed always run to completion and record
+  // their outcome. Indices are claimed monotonically, so every cell
+  // below the first failing index is evaluated at any jobs count —
+  // which makes the lowest-indexed failure (the one reported) a pure
+  // function of the grid.
+  std::atomic<bool> stop{false};
+  std::vector<unsigned char> evaluated(cell_count, 0);
+
   // Each cell writes only its own slot; the slot index is a pure
   // function of the grid, so the filled vector is schedule-independent.
+  // Every failure mode — typed errors from the solve stack, violated
+  // contracts from a degenerate swept value, any other exception — is
+  // captured into the cell instead of escaping the worker.
   const auto evaluate_cell = [&](std::size_t index) {
     const std::size_t point = index / columns;
     const std::size_t configuration = index % columns;
-    const core::Analyzer analyzer(grid.points[point].system);
-    cells[index] = analyzer.analyze(grid.configurations[configuration],
+    ResultSet::Cell outcome = [&]() -> ResultSet::Cell {
+      try {
+        for (const testing::CellFault& fault : faults) {
+          if (fault.point == point && fault.configuration == configuration) {
+            raise_injected(fault.code);
+          }
+        }
+        const core::Analyzer analyzer(grid.points[point].system);
+        return analyzer.try_analyze(grid.configurations[configuration],
                                     grid.method, cache);
+      } catch (const ErrorException& e) {
+        return e.error();
+      } catch (const ContractViolation& e) {
+        return Error{ErrorCode::kContractViolation, "engine", e.what()};
+      } catch (const std::exception& e) {
+        return Error{ErrorCode::kInternal, "engine", e.what()};
+      }
+    }();
+    const bool failed = !outcome.has_value();
+    cells[index] = std::move(outcome);
+    evaluated[index] = 1;
+    if (failed && options.on_error == OnError::kFailFast) {
+      stop.store(true, std::memory_order_relaxed);
+    }
   };
 
   const int jobs =
       options.jobs == 0 ? ThreadPool::hardware_threads() : options.jobs;
   if (jobs <= 1 || cell_count == 1) {
     for (std::size_t index = 0; index < cell_count; ++index) {
+      if (stop.load(std::memory_order_relaxed)) break;
       evaluate_cell(index);
     }
   } else {
     std::atomic<std::size_t> next{0};
     const auto worker = [&] {
       for (;;) {
+        if (stop.load(std::memory_order_relaxed)) return;
         const std::size_t index = next.fetch_add(1, std::memory_order_relaxed);
         if (index >= cell_count) return;
         evaluate_cell(index);
       }
     };
-    // Declared after everything the workers touch: if a cell throws, the
-    // pool destructor joins the remaining workers while their inputs are
-    // still alive.
+    // Declared after everything the workers touch: the pool destructor
+    // joins the workers while their inputs are still alive.
     ThreadPool pool(jobs);
     const std::size_t lanes = std::min<std::size_t>(
         static_cast<std::size_t>(pool.thread_count()), cell_count);
@@ -73,6 +191,20 @@ ResultSet evaluate(const Grid& grid, const EvalOptions& options) {
     done.reserve(lanes);
     for (std::size_t i = 0; i < lanes; ++i) done.push_back(pool.submit(worker));
     for (auto& future : done) future.get();
+  }
+
+  if (options.on_error != OnError::kSkip) {
+    // The lowest-indexed failure among evaluated cells. Fail-fast and
+    // abort agree on it: no cell below it ever fails, and the claiming
+    // discipline guarantees it is evaluated under both policies.
+    for (std::size_t index = 0; index < cell_count; ++index) {
+      if (!evaluated[index] || cells[index].has_value()) continue;
+      Error e = cells[index].error();
+      e.detail = "cell (point " + std::to_string(index / columns) +
+                 ", configuration " + std::to_string(index % columns) +
+                 "): " + e.detail;
+      throw ErrorException(std::move(e));
+    }
   }
 
   return ResultSet(grid, std::move(cells), cache->stats());

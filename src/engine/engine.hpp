@@ -10,16 +10,49 @@
 // underlying Markov model — and repeated configurations across sweeps
 // sharing a cache — skip the LU/elimination solve entirely, and a cache
 // hit is bit-identical to a fresh solve by construction.
+//
+// Fault isolation: a failing cell (singular chain, non-finite result,
+// invalid swept parameter, or any exception escaping the model stack)
+// is captured as a typed Error in that cell's slot instead of tearing
+// down the whole evaluation. Cell indices are claimed monotonically
+// from an atomic counter and a claimed cell always completes and
+// records its outcome, so the set of failures below the first failing
+// index — and therefore the error evaluate() reports — is identical at
+// any jobs count.
 #pragma once
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "core/analyzer.hpp"
 #include "core/solve_cache.hpp"
 #include "engine/grid.hpp"
+#include "util/error.hpp"
 
 namespace nsrel::engine {
+
+/// What evaluate() does when a cell fails.
+enum class OnError : unsigned char {
+  /// Stop claiming new cells once a failure is recorded and throw
+  /// ErrorException for the lowest-indexed failing cell. Cells already
+  /// claimed still complete, so the thrown error is jobs-invariant.
+  /// The engine's default: library callers that do not opt into
+  /// partial results keep exception semantics.
+  kFailFast,
+  /// Evaluate every cell and return the ResultSet with failures
+  /// recorded in their slots; never throws for cell failures. The CLI
+  /// and scenario-runner default.
+  kSkip,
+  /// Evaluate every cell (so all failures are recorded), then throw
+  /// ErrorException for the lowest-indexed failing cell.
+  kAbort,
+};
+
+/// Parses the canonical policy names shared by the CLI's --on-error
+/// flag and scenario files' [output] on_error key: "skip" | "fail".
+/// Throws ContractViolation on anything else.
+[[nodiscard]] OnError parse_on_error(const std::string& name);
 
 struct EvalOptions {
   /// Worker threads. 1 evaluates inline on the caller (no pool);
@@ -31,14 +64,27 @@ struct EvalOptions {
   /// across figures hit it). When null the engine uses a private cache
   /// scoped to the single call.
   core::SolveCache* cache = nullptr;
+
+  /// Failure policy; identical observable behavior at any `jobs`.
+  OnError on_error = OnError::kFailFast;
 };
 
-/// The evaluated grid: one AnalysisResult per (point, configuration)
-/// cell in deterministic row-major order, plus the grid that produced
-/// it and a snapshot of the solve-cache counters after the run.
+/// One failed cell: its grid coordinates plus the typed error.
+struct CellError {
+  std::size_t point = 0;
+  std::size_t configuration = 0;
+  Error error;
+};
+
+/// The evaluated grid: one Expected<AnalysisResult> per
+/// (point, configuration) cell in deterministic row-major order, plus
+/// the grid that produced it and a snapshot of the solve-cache counters
+/// after the run.
 class ResultSet {
  public:
-  ResultSet(Grid grid, std::vector<core::AnalysisResult> cells,
+  using Cell = Expected<core::AnalysisResult>;
+
+  ResultSet(Grid grid, std::vector<Cell> cells,
             core::SolveCache::Stats cache_stats);
 
   [[nodiscard]] const Grid& grid() const { return grid_; }
@@ -47,8 +93,24 @@ class ResultSet {
     return grid_.configurations.size();
   }
 
+  /// The full cell outcome: a result or a typed error.
+  [[nodiscard]] const Cell& cell(std::size_t point,
+                                 std::size_t configuration) const;
+
+  /// True when the cell holds a result.
+  [[nodiscard]] bool ok(std::size_t point, std::size_t configuration) const;
+
+  /// The cell's result. Precondition: ok(point, configuration) — the
+  /// benches and renderers that index unconditionally run under
+  /// fail-fast, where every returned cell is a success.
   [[nodiscard]] const core::AnalysisResult& at(std::size_t point,
                                                std::size_t configuration) const;
+
+  /// Number of cells holding results.
+  [[nodiscard]] std::size_t ok_count() const;
+
+  /// All failed cells in row-major (point-major) order.
+  [[nodiscard]] std::vector<CellError> errors() const;
 
   /// Cache counters as of the end of this run. With a shared external
   /// cache the numbers are cumulative across runs; with the engine's
@@ -62,13 +124,16 @@ class ResultSet {
 
  private:
   Grid grid_;
-  std::vector<core::AnalysisResult> cells_;  // row-major: point * C + config
+  std::vector<Cell> cells_;  // row-major: point * C + config
   core::SolveCache::Stats cache_stats_;
 };
 
-/// Evaluates every cell of the grid. Throws what the underlying model
-/// construction throws (e.g. a swept value producing an invalid
-/// configuration); with jobs > 1 the first worker exception propagates.
+/// Evaluates every cell of the grid, isolating failures per cell (see
+/// OnError). Under kFailFast and kAbort a failing cell surfaces as an
+/// ErrorException for the lowest-indexed failure — jobs-invariant by
+/// the claiming discipline above; under kSkip failures are returned in
+/// their slots and evaluate() only throws for violated preconditions
+/// (empty grid, negative jobs).
 [[nodiscard]] ResultSet evaluate(const Grid& grid,
                                  const EvalOptions& options = {});
 

@@ -10,6 +10,17 @@
 
 namespace nsrel::engine {
 
+namespace {
+
+/// The table marker for a failed cell: "!" plus the stable error code
+/// ("!singular_generator"). Distinct from any numeric rendering, stable
+/// across runs, and identical at any jobs count.
+std::string failure_marker(const ResultSet::Cell& cell) {
+  return std::string("!") + error_code_name(cell.error().code);
+}
+
+}  // namespace
+
 report::Table events_table(const ResultSet& results,
                            const core::ReliabilityTarget* mark_target) {
   const Grid& grid = results.grid();
@@ -22,6 +33,10 @@ report::Table events_table(const ResultSet& results,
   for (std::size_t p = 0; p < results.point_count(); ++p) {
     std::vector<std::string> row{grid.points[p].label};
     for (std::size_t c = 0; c < results.configuration_count(); ++c) {
+      if (!results.ok(p, c)) {
+        row.push_back(failure_marker(results.cell(p, c)));
+        continue;
+      }
       const double events = results.at(p, c).events_per_pb_year;
       row.push_back(sci(events) +
                     (mark_target != nullptr && mark_target->met_by(events)
@@ -48,6 +63,12 @@ report::Table sweep_table(const ResultSet& results) {
   for (std::size_t p = 0; p < results.point_count(); ++p) {
     std::vector<std::string> row{grid.points[p].label};
     for (std::size_t c = 0; c < results.configuration_count(); ++c) {
+      if (!results.ok(p, c)) {
+        const std::string marker = failure_marker(results.cell(p, c));
+        row.push_back(marker);
+        row.push_back(marker);
+        continue;
+      }
       const core::AnalysisResult& result = results.at(p, c);
       row.push_back(sci(result.mttdl.value()));
       row.push_back(sci(result.events_per_pb_year));
@@ -61,6 +82,12 @@ report::Table compare_table(const ResultSet& results,
                             const core::ReliabilityTarget& target) {
   report::Table table({"configuration", "MTTDL", "events/PB-yr", "meets"});
   for (std::size_t c = 0; c < results.configuration_count(); ++c) {
+    if (!results.ok(0, c)) {
+      const std::string marker = failure_marker(results.cell(0, c));
+      table.add_row({core::name(results.grid().configurations[c]), marker,
+                     marker, "-"});
+      continue;
+    }
     const core::AnalysisResult& result = results.at(0, c);
     table.add_row({core::name(results.grid().configurations[c]),
                    human_hours(result.mttdl.value()),
@@ -74,7 +101,7 @@ void write_json(const ResultSet& results, std::ostream& out) {
   const Grid& grid = results.grid();
   report::JsonWriter json(out);
   json.begin_object();
-  json.key("schema").value("nsrel-resultset-v1");
+  json.key("schema").value("nsrel-resultset-v2");
   json.key("method").value(core::method_name(grid.method));
   if (grid.has_axis()) {
     json.key("axis").value(grid.axis);
@@ -100,10 +127,24 @@ void write_json(const ResultSet& results, std::ostream& out) {
   json.key("cells").begin_array();
   for (std::size_t p = 0; p < results.point_count(); ++p) {
     for (std::size_t c = 0; c < results.configuration_count(); ++c) {
+      if (!results.ok(p, c)) {
+        const Error& error = results.cell(p, c).error();
+        json.begin_object();
+        json.key("point").value(static_cast<std::uint64_t>(p));
+        json.key("configuration").value(static_cast<std::uint64_t>(c));
+        json.key("error").begin_object();
+        json.key("code").value(error_code_name(error.code));
+        json.key("layer").value(error.layer);
+        json.key("detail").value(error.detail);
+        json.end_object();
+        json.end_object();
+        continue;
+      }
       const core::AnalysisResult& result = results.at(p, c);
       json.begin_object();
       json.key("point").value(static_cast<std::uint64_t>(p));
       json.key("configuration").value(static_cast<std::uint64_t>(c));
+      json.key("error").null();
       json.key("mttdl_hours").value(result.mttdl.value());
       json.key("events_per_system_year").value(result.events_per_system_year);
       json.key("events_per_pb_year").value(result.events_per_pb_year);

@@ -16,7 +16,9 @@ namespace nsrel::engine {
 /// Rows = grid points, one column per configuration, cells =
 /// events/PB-year. With a non-null `mark_target`, values meeting the
 /// target get the " *" suffix (the scenario/bench table convention);
-/// pass nullptr for CSV output.
+/// pass nullptr for CSV output. Failed cells render as "!" plus the
+/// stable error code (e.g. "!singular_generator") in every table shape,
+/// byte-identically at any jobs count.
 [[nodiscard]] report::Table events_table(
     const ResultSet& results, const core::ReliabilityTarget* mark_target);
 
@@ -30,10 +32,12 @@ namespace nsrel::engine {
 [[nodiscard]] report::Table compare_table(const ResultSet& results,
                                           const core::ReliabilityTarget& target);
 
-/// Full structured dump (schema nsrel-resultset-v1): method, axis,
+/// Full structured dump (schema nsrel-resultset-v2): method, axis,
 /// points (label + swept value), configuration names, and one record per
-/// cell with every AnalysisResult scalar. Numbers round-trip exactly
-/// through strtod.
+/// cell. Every cell carries an "error" field — null on success (the
+/// AnalysisResult scalars follow), a {code, layer, detail} object on
+/// failure (numeric fields omitted). Numbers round-trip exactly through
+/// strtod.
 void write_json(const ResultSet& results, std::ostream& out);
 
 }  // namespace nsrel::engine

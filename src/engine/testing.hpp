@@ -1,0 +1,39 @@
+// Fault injection for the evaluation engine — test-only.
+//
+// Registered faults make evaluate() throw from inside the named cell's
+// evaluation, exercising the engine's per-cell capture paths exactly as
+// a real failure of that class would: the tests prove that a worker's
+// exception lands in its own cell (never lost, never torn across
+// cells) under TSan at any jobs count.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace nsrel::engine::testing {
+
+/// A fault registered for injection into evaluate().
+struct CellFault {
+  std::size_t point = 0;
+  std::size_t configuration = 0;
+  ErrorCode code = ErrorCode::kInternal;
+};
+
+/// Registers a fault: subsequent evaluate() calls throw from inside the
+/// named cell's evaluation — a ContractViolation for kContractViolation,
+/// a plain std::runtime_error for kInternal, an ErrorException carrying
+/// the code otherwise. Thread-safe; evaluate() reads one snapshot taken
+/// before its workers start, so a mid-run registration affects only
+/// later calls.
+void inject_cell_fault(std::size_t point, std::size_t configuration,
+                       ErrorCode code);
+
+/// Drops every registered fault.
+void clear_cell_faults();
+
+/// The currently registered faults (snapshot under the registry lock).
+[[nodiscard]] std::vector<CellFault> snapshot_cell_faults();
+
+}  // namespace nsrel::engine::testing

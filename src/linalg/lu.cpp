@@ -6,7 +6,7 @@ namespace nsrel::linalg {
 
 LuDecomposition::LuDecomposition(Matrix a) : lu_(std::move(a)) {
   NSREL_EXPECTS(lu_.square());
-  original_inf_norm_ = lu_.inf_norm();
+  original_one_norm_ = lu_.one_norm();
   const std::size_t n = lu_.rows();
   piv_.resize(n);
   for (std::size_t i = 0; i < n; ++i) piv_[i] = i;
@@ -108,9 +108,42 @@ Matrix LuDecomposition::inverse() const {
 
 double LuDecomposition::rcond_estimate() const {
   if (singular_) return 0.0;
-  const double inv_norm = inverse().inf_norm();
-  if (inv_norm == 0.0 || original_inf_norm_ == 0.0) return 0.0;
-  return 1.0 / (original_inf_norm_ * inv_norm);
+  const std::size_t n = lu_.rows();
+
+  // Hager's 1-norm estimator (Higham's algorithm 2.4): walk toward the
+  // column of A^{-1} with the largest 1-norm using only solves with A
+  // and A^T. Deterministic: starts from the uniform vector, breaks ties
+  // toward the lowest index, and converges in a few iterations.
+  Vector x(n, 1.0 / static_cast<double>(n));
+  double inv_norm = 0.0;
+  std::size_t previous_pick = n;  // sentinel: no unit vector picked yet
+  for (int iteration = 0; iteration < 5; ++iteration) {
+    const Vector y = solve(x);  // y = A^{-1} x
+    double y_norm = 0.0;
+    for (const double v : y) y_norm += std::abs(v);
+    inv_norm = std::max(inv_norm, y_norm);
+
+    Vector sign(n);
+    for (std::size_t i = 0; i < n; ++i) sign[i] = y[i] >= 0.0 ? 1.0 : -1.0;
+    const Vector z = solve_transposed(sign);  // z = A^{-T} sign(y)
+
+    std::size_t pick = 0;
+    for (std::size_t i = 1; i < n; ++i) {
+      if (std::abs(z[i]) > std::abs(z[pick])) pick = i;
+    }
+    // Converged when the subgradient says no unit vector improves on the
+    // current iterate (or we would revisit the same column).
+    if (std::abs(z[pick]) <= dot(z, x) || pick == previous_pick) break;
+    x.assign(n, 0.0);
+    x[pick] = 1.0;
+    previous_pick = pick;
+  }
+
+  if (!std::isfinite(inv_norm) || inv_norm == 0.0 ||
+      original_one_norm_ == 0.0) {
+    return 0.0;
+  }
+  return 1.0 / (original_one_norm_ * inv_norm);
 }
 
 std::optional<Vector> solve(const Matrix& a, const Vector& b) {

@@ -35,7 +35,13 @@ class LuDecomposition {
   /// A^{-1}. Requires !singular().
   [[nodiscard]] Matrix inverse() const;
 
-  /// Crude reciprocal condition estimate: 1 / (||A||_inf * ||A^{-1}||_inf).
+  /// Reciprocal 1-norm condition estimate 1 / (||A||_1 * est ||A^{-1}||_1),
+  /// with ||A^{-1}||_1 estimated by Hager's method (a handful of O(n^2)
+  /// triangular solves on the existing factorization — no O(n^3) inverse).
+  /// The estimate of ||A^{-1}||_1 is a lower bound, so the returned rcond
+  /// is an upper bound on the true value: when it is already below a
+  /// threshold, the true conditioning is at least that bad. Exact for
+  /// diagonal matrices; in practice within a small factor of exact.
   [[nodiscard]] double rcond_estimate() const;
 
  private:
@@ -43,7 +49,7 @@ class LuDecomposition {
   std::vector<std::size_t> piv_;  // row permutation
   int pivot_sign_ = 1;
   bool singular_ = false;
-  double original_inf_norm_ = 0.0;
+  double original_one_norm_ = 0.0;
 };
 
 /// Convenience: solve A x = b in one call; nullopt when A is singular.

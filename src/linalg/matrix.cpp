@@ -109,6 +109,16 @@ double Matrix::inf_norm() const {
   return m;
 }
 
+double Matrix::one_norm() const {
+  double m = 0.0;
+  for (std::size_t j = 0; j < cols_; ++j) {
+    double col_sum = 0.0;
+    for (std::size_t i = 0; i < rows_; ++i) col_sum += std::abs((*this)(i, j));
+    m = std::max(m, col_sum);
+  }
+  return m;
+}
+
 std::string Matrix::to_string(int precision) const {
   std::ostringstream out;
   for (std::size_t i = 0; i < rows_; ++i) {

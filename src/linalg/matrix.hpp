@@ -74,6 +74,10 @@ class Matrix {
   /// Row-sum norm (induced infinity norm).
   [[nodiscard]] double inf_norm() const;
 
+  /// Column-sum norm (induced 1-norm) — the norm the Hager condition
+  /// estimator works in.
+  [[nodiscard]] double one_norm() const;
+
   [[nodiscard]] bool same_shape(const Matrix& other) const {
     return rows_ == other.rows_ && cols_ == other.cols_;
   }

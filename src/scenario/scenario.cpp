@@ -101,6 +101,8 @@ Scenario parse_scenario(const std::string& text) {
   if (scenario.jobs < 0) {
     throw ContractViolation("[output] jobs must be >= 0 (0 = all cores)");
   }
+  scenario.on_error =
+      engine::parse_on_error(doc.get("output", "on_error", "skip"));
 
   // Reject unexpected sections (likely typos).
   for (const std::string& name : doc.section_names()) {
@@ -112,7 +114,7 @@ Scenario parse_scenario(const std::string& text) {
   return scenario;
 }
 
-void run_scenario(const Scenario& scenario, std::ostream& out) {
+RunOutcome run_scenario(const Scenario& scenario, std::ostream& out) {
   engine::Grid grid;
   if (scenario.sweep) {
     const Sweep& sweep = *scenario.sweep;
@@ -128,6 +130,7 @@ void run_scenario(const Scenario& scenario, std::ostream& out) {
 
   engine::EvalOptions options;
   options.jobs = scenario.jobs;
+  options.on_error = scenario.on_error;
   const engine::ResultSet results = engine::evaluate(grid, options);
 
   switch (scenario.format) {
@@ -135,6 +138,11 @@ void run_scenario(const Scenario& scenario, std::ostream& out) {
       engine::events_table(results, &scenario.target).print(out);
       out << "(* = meets " << sci(scenario.target.events_per_pb_year)
           << " events/PB-yr)\n";
+      for (const engine::CellError& failure : results.errors()) {
+        out << "failed: " << grid.points[failure.point].label << " / "
+            << core::name(grid.configurations[failure.configuration]) << ": "
+            << failure.error.message() << "\n";
+      }
       break;
     case report::OutputFormat::kCsv:
       engine::events_table(results, nullptr).print_csv(out);
@@ -143,10 +151,15 @@ void run_scenario(const Scenario& scenario, std::ostream& out) {
       engine::write_json(results, out);
       break;
   }
+
+  const std::size_t total =
+      results.point_count() * results.configuration_count();
+  const std::size_t ok = results.ok_count();
+  return RunOutcome{ok, total - ok};
 }
 
-void run_scenario_text(const std::string& text, std::ostream& out) {
-  run_scenario(parse_scenario(text), out);
+RunOutcome run_scenario_text(const std::string& text, std::ostream& out) {
+  return run_scenario(parse_scenario(text), out);
 }
 
 }  // namespace nsrel::scenario

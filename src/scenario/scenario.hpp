@@ -25,6 +25,9 @@
 //   target = 2e-3
 //   jobs = 1             ; worker threads (0 = all cores; never changes
 //                        ; results — the engine is jobs-invariant)
+//   on_error = skip      ; skip: evaluate the rest and mark failed cells
+//                        ; with their error code; fail: stop at the
+//                        ; first failure (throws ErrorException)
 //
 // Configuration tokens are `<scheme>-ft<K>` with scheme none|raid5|raid6.
 // Evaluation runs through engine::evaluate — the same parallel,
@@ -37,6 +40,7 @@
 #include <vector>
 
 #include "core/analyzer.hpp"
+#include "engine/engine.hpp"
 #include "report/table.hpp"
 #include "scenario/ini.hpp"
 
@@ -58,6 +62,8 @@ struct Scenario {
   core::ReliabilityTarget target = core::ReliabilityTarget::paper();
   core::Method method = core::Method::kExactChain;
   int jobs = 1;  ///< engine worker threads; 0 = all cores
+  /// Failed-cell policy ([output] on_error = skip|fail, default skip).
+  engine::OnError on_error = engine::OnError::kSkip;
 };
 
 /// Parses a configuration token like "raid5-ft2".
@@ -68,10 +74,21 @@ struct Scenario {
 /// on unknown keys, bad parameter names, or invalid ranges.
 [[nodiscard]] Scenario parse_scenario(const std::string& text);
 
-/// Runs the scenario, writing the result table/CSV to `out`.
-void run_scenario(const Scenario& scenario, std::ostream& out);
+/// How a run went: cells evaluated vs cells failed. Under the default
+/// on_error = skip a failing cell never aborts the run; the caller maps
+/// a nonzero error_count to its own partial-results signal.
+struct RunOutcome {
+  std::size_t ok_count = 0;
+  std::size_t error_count = 0;
+
+  [[nodiscard]] bool all_ok() const { return error_count == 0; }
+};
+
+/// Runs the scenario, writing the result table/CSV to `out`. With
+/// on_error = fail a failing cell throws ErrorException instead.
+RunOutcome run_scenario(const Scenario& scenario, std::ostream& out);
 
 /// Convenience: parse + run.
-void run_scenario_text(const std::string& text, std::ostream& out);
+RunOutcome run_scenario_text(const std::string& text, std::ostream& out);
 
 }  // namespace nsrel::scenario

@@ -1,0 +1,27 @@
+#include "util/error.hpp"
+
+namespace nsrel {
+
+const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kSingularGenerator:
+      return "singular_generator";
+    case ErrorCode::kIllConditioned:
+      return "ill_conditioned";
+    case ErrorCode::kNonFiniteResult:
+      return "non_finite_result";
+    case ErrorCode::kInvalidParameter:
+      return "invalid_parameter";
+    case ErrorCode::kContractViolation:
+      return "contract_violation";
+    case ErrorCode::kInternal:
+      return "internal";
+  }
+  return "internal";
+}
+
+std::string Error::message() const {
+  return layer + ": " + error_code_name(code) + ": " + detail;
+}
+
+}  // namespace nsrel

@@ -100,9 +100,9 @@ TEST(Dispatch, HelpAndUnknown) {
   EXPECT_EQ(help.exit_code, 0);
   EXPECT_NE(help.out.find("usage:"), std::string::npos);
   const auto empty = run({});
-  EXPECT_EQ(empty.exit_code, 2);
+  EXPECT_EQ(empty.exit_code, kExitUsage);
   const auto unknown = run({"frobnicate"});
-  EXPECT_EQ(unknown.exit_code, 2);
+  EXPECT_EQ(unknown.exit_code, kExitUsage);
   EXPECT_NE(unknown.err.find("unknown command"), std::string::npos);
 }
 
@@ -127,7 +127,7 @@ TEST(Dispatch, AnalyzeClosedFormMethod) {
 
 TEST(Dispatch, AnalyzeRejectsTypos) {
   const auto result = run({"analyze", "--nodes", "32"});
-  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_EQ(result.exit_code, kExitUsage);
   EXPECT_NE(result.err.find("--nodes"), std::string::npos);
 }
 
@@ -163,7 +163,7 @@ TEST(Dispatch, SweepTableAndCsv) {
 
 TEST(Dispatch, SweepRejectsUnknownParam) {
   const auto result = run({"sweep", "--param", "wombats"});
-  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_EQ(result.exit_code, kExitUsage);
 }
 
 TEST(Dispatch, SweepAcceptsEveryCanonicalParameter) {
@@ -183,7 +183,7 @@ TEST(Dispatch, SweepFormatJsonAndJobsInvariance) {
       run({"sweep", "--param", "drive-mttf", "--from", "1e5", "--to",
            "7.5e5", "--steps", "4", "--format", "json", "--jobs", "1"});
   EXPECT_EQ(serial.exit_code, 0) << serial.err;
-  EXPECT_NE(serial.out.find("\"schema\": \"nsrel-resultset-v1\""),
+  EXPECT_NE(serial.out.find("\"schema\": \"nsrel-resultset-v2\""),
             std::string::npos);
   EXPECT_NE(serial.out.find("\"axis\": \"drive-mttf\""), std::string::npos);
   const auto parallel =
@@ -195,7 +195,7 @@ TEST(Dispatch, SweepFormatJsonAndJobsInvariance) {
 
 TEST(Dispatch, SweepRejectsUnknownFormat) {
   const auto result = run({"sweep", "--format", "xml"});
-  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_EQ(result.exit_code, kExitUsage);
   EXPECT_NE(result.err.find("unknown output format"), std::string::npos);
 }
 
@@ -281,15 +281,15 @@ TEST(Dispatch, SimulateAdaptiveStopsAtCiTarget) {
 
 TEST(Dispatch, SimulateRejectsTypos) {
   const auto result = run({"simulate", "--job", "2"});
-  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_EQ(result.exit_code, kExitUsage);
   EXPECT_NE(result.err.find("--job"), std::string::npos);
 }
 
 TEST(Dispatch, ScenarioCommandRequiresFile) {
   const auto missing = run({"scenario"});
-  EXPECT_EQ(missing.exit_code, 2);
+  EXPECT_EQ(missing.exit_code, kExitUsage);
   const auto unreadable = run({"scenario", "--file", "/no/such/file"});
-  EXPECT_EQ(unreadable.exit_code, 2);
+  EXPECT_EQ(unreadable.exit_code, kExitUsage);
   EXPECT_NE(unreadable.err.find("cannot open"), std::string::npos);
 }
 
@@ -303,8 +303,52 @@ TEST(Dispatch, ProvisionPlansSpares) {
 
 TEST(Dispatch, ErrorsAreReportedNotThrown) {
   const auto result = run({"analyze", "--scheme", "raid9"});
-  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_EQ(result.exit_code, kExitUsage);
   EXPECT_NE(result.err.find("error:"), std::string::npos);
+}
+
+TEST(Dispatch, SweepWithDegenerateCellsReportsPartialResults) {
+  // A sweep whose low endpoint degenerates the chain must still print
+  // every healthy cell, mark the failed ones with their stable code,
+  // report each failure on stderr, and exit with the partial-results
+  // code — byte-identically at any --jobs.
+  const auto serial = run({"sweep", "--param", "drive-mttf", "--from",
+                           "1e-250", "--to", "3e5", "--steps", "4",
+                           "--jobs", "1"});
+  EXPECT_EQ(serial.exit_code, kExitPartialResults);
+  EXPECT_NE(serial.out.find("!singular_generator"), std::string::npos);
+  EXPECT_NE(serial.out.find("3.000e+05"), std::string::npos);
+  EXPECT_NE(serial.err.find("cell(s) failed"), std::string::npos);
+  EXPECT_NE(serial.err.find("singular_generator"), std::string::npos);
+  const auto parallel = run({"sweep", "--param", "drive-mttf", "--from",
+                             "1e-250", "--to", "3e5", "--steps", "4",
+                             "--jobs", "8"});
+  EXPECT_EQ(parallel.exit_code, kExitPartialResults);
+  EXPECT_EQ(parallel.out, serial.out);
+  EXPECT_EQ(parallel.err, serial.err);
+}
+
+TEST(Dispatch, SweepOverflowingToNonFinitePointsIsInvalidParameter) {
+  // Geometric spacing from 1e-308 to 3e5 overflows the step ratio, so
+  // the later points are infinite. Those cells must surface as
+  // invalid_parameter, not crash or poison the run.
+  const auto result = run({"sweep", "--param", "drive-mttf", "--from",
+                           "1e-308", "--to", "3e5", "--steps", "4"});
+  EXPECT_EQ(result.exit_code, kExitPartialResults);
+  EXPECT_NE(result.out.find("!invalid_parameter"), std::string::npos);
+  EXPECT_NE(result.err.find("invalid_parameter"), std::string::npos);
+}
+
+TEST(Dispatch, SweepOnErrorFailStopsAtTheFirstFailure) {
+  const auto result = run({"sweep", "--param", "drive-mttf", "--from",
+                           "1e-308", "--to", "3e5", "--steps", "4",
+                           "--on-error", "fail"});
+  EXPECT_EQ(result.exit_code, kExitInternal);
+  EXPECT_NE(result.err.find("singular_generator"), std::string::npos);
+  EXPECT_NE(result.err.find("point 0"), std::string::npos);
+  const auto bad = run({"sweep", "--param", "n", "--from", "16", "--to",
+                        "64", "--steps", "2", "--on-error", "explode"});
+  EXPECT_EQ(bad.exit_code, kExitUsage);
 }
 
 }  // namespace

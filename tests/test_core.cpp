@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include "core/analyzer.hpp"
+#include "core/solve_cache.hpp"
 #include "util/assert.hpp"
+#include "util/error.hpp"
 
 namespace nsrel::core {
 namespace {
@@ -178,6 +180,90 @@ TEST(Analyzer, GeneralFaultToleranceBeyondThreeWorksForNir) {
   const double ft3 = analyzer.events_per_pb_year({InternalScheme::kNone, 3});
   const double ft4 = analyzer.events_per_pb_year({InternalScheme::kNone, 4});
   EXPECT_LT(ft4, ft3);
+}
+
+TEST(Analyzer, TryAnalyzeMatchesAnalyzeBitwiseOnTheBaseline) {
+  const Analyzer analyzer(SystemConfig::baseline());
+  const Configuration config{InternalScheme::kRaid5, 2};
+  const auto outcome = analyzer.try_analyze(config);
+  ASSERT_TRUE(outcome.has_value()) << outcome.error().message();
+  const AnalysisResult direct = analyzer.analyze(config);
+  EXPECT_EQ(outcome.value().mttdl.value(), direct.mttdl.value());
+  EXPECT_EQ(outcome.value().events_per_pb_year, direct.events_per_pb_year);
+}
+
+TEST(Analyzer, TryAnalyzeReportsOutOfRangeFaultToleranceAsInvalidParameter) {
+  // The no-throw twin of RejectsFaultToleranceAtOrAboveR: the same caller
+  // mistakes surface as typed errors instead of contract violations.
+  const Analyzer analyzer(SystemConfig::baseline());
+  for (const int ft : {0, 8, 9}) {
+    const auto outcome = analyzer.try_analyze({InternalScheme::kNone, ft});
+    ASSERT_FALSE(outcome.has_value()) << "ft=" << ft;
+    EXPECT_EQ(outcome.error().code, ErrorCode::kInvalidParameter);
+    EXPECT_EQ(outcome.error().layer, "core.analyzer");
+  }
+}
+
+TEST(Analyzer, TryAnalyzeFlagsDegenerateSweepEndpointsWithoutThrowing) {
+  // A drive MTTF of 1e-308 hours passes basic validation (it is positive
+  // and finite) but produces failure rates so large that the absorbing
+  // chain degenerates. The solve must come back as a typed error, never
+  // an uncaught exception, and the throwing form must raise the same
+  // error as an ErrorException.
+  SystemConfig c = SystemConfig::baseline();
+  ASSERT_TRUE(set_parameter(c, "drive-mttf", 1e-308));
+  const Analyzer analyzer(c);
+  const Configuration config{InternalScheme::kRaid5, 2};
+  const auto outcome = analyzer.try_analyze(config);
+  ASSERT_FALSE(outcome.has_value());
+  EXPECT_EQ(outcome.error().code, ErrorCode::kSingularGenerator);
+  try {
+    (void)analyzer.analyze(config);
+    FAIL() << "analyze() must throw on a degenerate chain";
+  } catch (const ErrorException& e) {
+    EXPECT_EQ(e.error().code, outcome.error().code);
+    EXPECT_EQ(e.error().detail, outcome.error().detail);
+  }
+}
+
+TEST(SolveCache, CachesErrorsLikeValues) {
+  SolveCache cache;
+  EXPECT_FALSE(cache.lookup("k").has_value());  // miss
+  cache.store("k", Error{ErrorCode::kSingularGenerator, "test", "boom"});
+  const auto hit = cache.lookup("k");
+  ASSERT_TRUE(hit.has_value());
+  ASSERT_FALSE(hit->has_value());
+  EXPECT_EQ(hit->error().code, ErrorCode::kSingularGenerator);
+  EXPECT_EQ(hit->error().detail, "boom");
+  // A later store of the same key keeps the first entry.
+  cache.store("k", Expected<double>{1.0});
+  ASSERT_FALSE(cache.lookup("k")->has_value());
+  EXPECT_EQ(cache.stats().hits, 2u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(SolveCache, ReplaysCachedErrorsAcrossAnalyses) {
+  // A shared cache must replay a failed solve on the second analysis
+  // instead of re-running it: same typed error, one more hit, no new
+  // miss.
+  SystemConfig c = SystemConfig::baseline();
+  ASSERT_TRUE(set_parameter(c, "drive-mttf", 1e-308));
+  const Analyzer analyzer(c);
+  const Configuration config{InternalScheme::kNone, 2};
+  SolveCache cache;
+  const auto first = analyzer.try_analyze(config, Method::kExactChain, &cache);
+  ASSERT_FALSE(first.has_value());
+  const auto after_first = cache.stats();
+  EXPECT_EQ(after_first.hits, 0u);
+  EXPECT_EQ(after_first.misses, 1u);
+  const auto second = analyzer.try_analyze(config, Method::kExactChain, &cache);
+  ASSERT_FALSE(second.has_value());
+  EXPECT_EQ(second.error().code, first.error().code);
+  EXPECT_EQ(second.error().layer, first.error().layer);
+  EXPECT_EQ(second.error().detail, first.error().detail);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
 }
 
 }  // namespace

@@ -340,5 +340,100 @@ TEST(Stationary, RejectsAbsorbingStates) {
   EXPECT_THROW((void)StationarySolver::distribution(c), ContractViolation);
 }
 
+// ---------------------------------------------------------------------
+// Typed-error (try_) forms: numerical failures come back as Error
+// values with stable codes, and the throwing forms wrap exactly them.
+
+TEST(Stationary, TryDistributionFlagsReducibleChainAsSingular) {
+  // Two disconnected recurrent components: the stationary distribution
+  // is not unique, so the (normalized) linear system is singular.
+  Chain c;
+  const StateId a = c.add_state("a");
+  const StateId b = c.add_state("b");
+  const StateId x = c.add_state("x");
+  const StateId y = c.add_state("y");
+  c.add_transition(a, b, 1.0);
+  c.add_transition(b, a, 1.0);
+  c.add_transition(x, y, 1.0);
+  c.add_transition(y, x, 1.0);
+  const auto result = StationarySolver::try_distribution(c);
+  ASSERT_FALSE(result.has_value());
+  EXPECT_EQ(result.error().code, ErrorCode::kSingularGenerator);
+  EXPECT_EQ(result.error().layer, "ctmc.stationary");
+  // The throwing form surfaces the same typed error as an exception.
+  EXPECT_THROW((void)StationarySolver::distribution(c), ErrorException);
+}
+
+TEST(Stationary, TryDistributionMatchesThrowingFormOnHealthyChains) {
+  Chain c;
+  const StateId up = c.add_state("up");
+  const StateId down = c.add_state("down");
+  c.add_transition(up, down, 1.0);
+  c.add_transition(down, up, 4.0);
+  const auto result = StationarySolver::try_distribution(c);
+  ASSERT_TRUE(result.has_value());
+  const auto direct = StationarySolver::distribution(c);
+  ASSERT_EQ(result.value().size(), direct.size());
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_EQ(result.value()[i], direct[i]);
+  }
+}
+
+TEST(Absorbing, TryAnalyzeEnforcesTheRcondGuard) {
+  // The repairable pair is perfectly well conditioned, so the default
+  // guard passes; an artificially strict threshold trips the typed
+  // ill_conditioned error without touching exception paths.
+  const Chain c = repairable_pair(1e-4, 1.0);
+  const auto healthy = AbsorbingSolver::try_analyze(c, 0);
+  ASSERT_TRUE(healthy.has_value());
+  EXPECT_EQ(healthy.value().mean_time_to_absorption_hours,
+            AbsorbingSolver::analyze(c, 0).mean_time_to_absorption_hours);
+
+  NumericalGuards strict;
+  strict.min_rcond = 1.0;  // nothing short of the identity passes
+  const auto flagged = AbsorbingSolver::try_analyze(c, 0, strict);
+  ASSERT_FALSE(flagged.has_value());
+  EXPECT_EQ(flagged.error().code, ErrorCode::kIllConditioned);
+  EXPECT_EQ(flagged.error().layer, "ctmc.absorbing");
+  // The detail names both the estimate and the threshold it missed.
+  EXPECT_NE(flagged.error().detail.find("rcond"), std::string::npos);
+  EXPECT_NE(flagged.error().detail.find("threshold"), std::string::npos);
+}
+
+TEST(Absorbing, TryAnalyzeKeepsPreconditionsAsContracts) {
+  // Caller bugs stay ContractViolation even on the try_ path: typed
+  // errors are reserved for data-dependent numerical failures.
+  const Chain c = single_exponential(1.0);
+  EXPECT_THROW((void)AbsorbingSolver::try_analyze(c, 1), ContractViolation);
+  EXPECT_THROW(
+      (void)AbsorbingSolver::try_analyze_distribution(c, {0.5, 0.2}),
+      ContractViolation);
+}
+
+TEST(Elimination, TryFormMatchesThrowingFormBitwise) {
+  const Chain c = repairable_pair(1e-3, 10.0);
+  const auto result = EliminationSolver::try_mean_absorption_time_hours(c, 0);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result.value(),
+            EliminationSolver::mean_absorption_time_hours(c, 0));
+}
+
+TEST(ErrorTaxonomy, CodesHaveStableNames) {
+  EXPECT_STREQ(error_code_name(ErrorCode::kSingularGenerator),
+               "singular_generator");
+  EXPECT_STREQ(error_code_name(ErrorCode::kIllConditioned),
+               "ill_conditioned");
+  EXPECT_STREQ(error_code_name(ErrorCode::kNonFiniteResult),
+               "non_finite_result");
+  EXPECT_STREQ(error_code_name(ErrorCode::kInvalidParameter),
+               "invalid_parameter");
+  EXPECT_STREQ(error_code_name(ErrorCode::kContractViolation),
+               "contract_violation");
+  EXPECT_STREQ(error_code_name(ErrorCode::kInternal), "internal");
+  const Error e{ErrorCode::kNonFiniteResult, "ctmc.absorbing", "mean <= 0"};
+  EXPECT_EQ(e.message(), "ctmc.absorbing: non_finite_result: mean <= 0");
+  EXPECT_STREQ(ErrorException(e).what(), e.message().c_str());
+}
+
 }  // namespace
 }  // namespace nsrel::ctmc

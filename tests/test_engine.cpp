@@ -11,7 +11,9 @@
 #include "engine/engine.hpp"
 #include "engine/grid.hpp"
 #include "engine/render.hpp"
+#include "engine/testing.hpp"
 #include "util/assert.hpp"
+#include "util/error.hpp"
 
 namespace nsrel::engine {
 namespace {
@@ -207,6 +209,153 @@ TEST(Render, JsonRoundTripsNumbersExactly) {
   // Internal-RAID cells expose the array rates; NIR cells omit them.
   EXPECT_NE(json.find("\"array_failure_per_hour\""), std::string::npos);
   EXPECT_NE(json.find("\"axis\": \"drive-mttf\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Fault isolation: injected faults land in their own cells, surviving
+// cells still evaluate, and everything — recorded errors, rendered
+// bytes, thrown exceptions — is identical at any jobs count.
+
+class FaultIsolation : public ::testing::Test {
+ protected:
+  void SetUp() override { testing::clear_cell_faults(); }
+  void TearDown() override { testing::clear_cell_faults(); }
+};
+
+TEST_F(FaultIsolation, EveryErrorClassLandsInItsOwnCell) {
+  // 5 points x 2 configurations; one fault of each class in six
+  // distinct cells, four cells left healthy.
+  const Grid grid = small_sweep();
+  const ErrorCode codes[] = {
+      ErrorCode::kSingularGenerator, ErrorCode::kIllConditioned,
+      ErrorCode::kNonFiniteResult,   ErrorCode::kInvalidParameter,
+      ErrorCode::kContractViolation, ErrorCode::kInternal};
+  for (std::size_t i = 0; i < 6; ++i) {
+    testing::inject_cell_fault(i % 5, i / 5 == 0 ? 0 : 1, codes[i]);
+  }
+
+  const ResultSet results =
+      evaluate(grid, {.jobs = 1, .on_error = OnError::kSkip});
+  EXPECT_EQ(results.ok_count(), 4u);
+  const std::vector<CellError> failures = results.errors();
+  ASSERT_EQ(failures.size(), 6u);
+  for (std::size_t i = 0; i < 6; ++i) {
+    const std::size_t point = i % 5;
+    const std::size_t configuration = i / 5 == 0 ? 0 : 1;
+    EXPECT_FALSE(results.ok(point, configuration));
+    EXPECT_EQ(results.cell(point, configuration).error().code, codes[i]);
+  }
+  // Healthy cells match a fault-free run exactly.
+  testing::clear_cell_faults();
+  const ResultSet clean = evaluate(grid, {.jobs = 1});
+  for (std::size_t p = 0; p < results.point_count(); ++p) {
+    for (std::size_t c = 0; c < results.configuration_count(); ++c) {
+      if (!results.ok(p, c)) continue;
+      EXPECT_EQ(results.at(p, c).mttdl.value(), clean.at(p, c).mttdl.value());
+    }
+  }
+}
+
+TEST_F(FaultIsolation, NoWorkerExceptionIsEverLost) {
+  // Regression for the parallel path's old `future.get()` behavior,
+  // where only the first worker's exception survived: with several
+  // failing cells, every one must be reported, identically at --jobs 1
+  // and --jobs 8.
+  const Grid grid = small_sweep();
+  testing::inject_cell_fault(0, 1, ErrorCode::kSingularGenerator);
+  testing::inject_cell_fault(2, 0, ErrorCode::kNonFiniteResult);
+  testing::inject_cell_fault(4, 1, ErrorCode::kInternal);
+
+  const ResultSet serial =
+      evaluate(grid, {.jobs = 1, .on_error = OnError::kSkip});
+  const ResultSet parallel =
+      evaluate(grid, {.jobs = 8, .on_error = OnError::kSkip});
+  const std::vector<CellError> serial_errors = serial.errors();
+  const std::vector<CellError> parallel_errors = parallel.errors();
+  ASSERT_EQ(serial_errors.size(), 3u);
+  ASSERT_EQ(parallel_errors.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(serial_errors[i].point, parallel_errors[i].point);
+    EXPECT_EQ(serial_errors[i].configuration,
+              parallel_errors[i].configuration);
+    EXPECT_EQ(serial_errors[i].error.message(),
+              parallel_errors[i].error.message());
+  }
+}
+
+TEST_F(FaultIsolation, RenderedOutputWithFailuresIsJobsInvariant) {
+  const Grid grid = small_sweep();
+  testing::inject_cell_fault(1, 0, ErrorCode::kIllConditioned);
+  testing::inject_cell_fault(3, 1, ErrorCode::kInvalidParameter);
+
+  const auto render_all = [](const ResultSet& results) {
+    std::ostringstream text;
+    events_table(results, nullptr).print(text);
+    sweep_table(results).print_csv(text);
+    write_json(results, text);
+    return text.str();
+  };
+  const std::string serial =
+      render_all(evaluate(grid, {.jobs = 1, .on_error = OnError::kSkip}));
+  const std::string two =
+      render_all(evaluate(grid, {.jobs = 2, .on_error = OnError::kSkip}));
+  const std::string eight =
+      render_all(evaluate(grid, {.jobs = 8, .on_error = OnError::kSkip}));
+  EXPECT_EQ(serial, two);
+  EXPECT_EQ(serial, eight);
+  // The failed cells are marked with their stable codes...
+  EXPECT_NE(serial.find("!ill_conditioned"), std::string::npos);
+  EXPECT_NE(serial.find("!invalid_parameter"), std::string::npos);
+  // ...and the JSON carries structured error records under schema v2.
+  EXPECT_NE(serial.find("\"schema\": \"nsrel-resultset-v2\""),
+            std::string::npos);
+  EXPECT_NE(serial.find("\"code\": \"ill_conditioned\""), std::string::npos);
+  EXPECT_NE(serial.find("\"error\": null"), std::string::npos);
+}
+
+TEST_F(FaultIsolation, FailFastThrowsTheLowestIndexedFailureAtAnyJobs) {
+  const Grid grid = small_sweep();
+  testing::inject_cell_fault(1, 1, ErrorCode::kSingularGenerator);  // cell 3
+  testing::inject_cell_fault(3, 0, ErrorCode::kNonFiniteResult);    // cell 6
+
+  const auto thrown_message = [&](int jobs) {
+    try {
+      (void)evaluate(grid, {.jobs = jobs, .on_error = OnError::kFailFast});
+    } catch (const ErrorException& e) {
+      return std::string(e.what());
+    }
+    return std::string();
+  };
+  const std::string serial = thrown_message(1);
+  EXPECT_NE(serial.find("singular_generator"), std::string::npos);
+  EXPECT_NE(serial.find("point 1, configuration 1"), std::string::npos);
+  EXPECT_EQ(serial, thrown_message(2));
+  EXPECT_EQ(serial, thrown_message(8));
+}
+
+TEST_F(FaultIsolation, AbortEvaluatesEverythingThenThrowsTheSameError) {
+  const Grid grid = small_sweep();
+  testing::inject_cell_fault(1, 1, ErrorCode::kSingularGenerator);
+  testing::inject_cell_fault(3, 0, ErrorCode::kNonFiniteResult);
+
+  const auto thrown_code = [&](OnError policy) {
+    try {
+      (void)evaluate(grid, {.jobs = 4, .on_error = policy});
+    } catch (const ErrorException& e) {
+      return e.error().code;
+    }
+    return ErrorCode::kInternal;
+  };
+  EXPECT_EQ(thrown_code(OnError::kAbort), ErrorCode::kSingularGenerator);
+  EXPECT_EQ(thrown_code(OnError::kFailFast), ErrorCode::kSingularGenerator);
+  // The engine's default is fail-fast: exception semantics preserved.
+  EXPECT_THROW((void)evaluate(grid, {.jobs = 1}), ErrorException);
+}
+
+TEST_F(FaultIsolation, ParsePolicyNames) {
+  EXPECT_EQ(parse_on_error("skip"), OnError::kSkip);
+  EXPECT_EQ(parse_on_error("fail"), OnError::kFailFast);
+  EXPECT_THROW((void)parse_on_error("explode"), ContractViolation);
 }
 
 }  // namespace

@@ -223,6 +223,35 @@ TEST(Lu, RcondReasonableForWellConditioned) {
   EXPECT_NEAR(lu.rcond_estimate(), 1.0, 1e-12);
 }
 
+TEST(Lu, RcondExactForDiagonalMatrices) {
+  // For a diagonal matrix the Hager iteration converges to the true
+  // 1-norm condition number: rcond = min|d| / max|d|.
+  Matrix a = Matrix::identity(4);
+  a(0, 0) = 1.0;
+  a(1, 1) = -10.0;
+  a(2, 2) = 100.0;
+  a(3, 3) = 4000.0;
+  const LuDecomposition lu(a);
+  EXPECT_NEAR(lu.rcond_estimate(), 1.0 / 4000.0, 1e-15);
+}
+
+TEST_P(LuPropertyTest, RcondEstimateBracketsExactValue) {
+  // The Hager estimator produces a lower bound on ||A^-1||_1, so the
+  // returned rcond is an UPPER bound on the exact 1-norm rcond — and in
+  // practice lands within a small factor of it.
+  Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()) + 4000);
+  const auto n = static_cast<std::size_t>(2 + GetParam() % 10);
+  const Matrix a = random_matrix(n, rng);
+  const LuDecomposition lu(a);
+  ASSERT_FALSE(lu.singular());
+  const auto inv = inverse(a);
+  ASSERT_TRUE(inv.has_value());
+  const double exact = 1.0 / (a.one_norm() * inv->one_norm());
+  const double estimate = lu.rcond_estimate();
+  EXPECT_GE(estimate, exact * (1.0 - 1e-12));
+  EXPECT_LE(estimate, exact * 20.0);
+}
+
 TEST(Lu, MatrixSolveMultipleRhs) {
   const Matrix a{{2.0, 0.0}, {0.0, 4.0}};
   const Matrix b{{2.0, 4.0}, {8.0, 12.0}};

@@ -191,7 +191,7 @@ format = json
 )";
   std::ostringstream serial;
   run_scenario_text(std::string(kBody) + "jobs = 1\n", serial);
-  EXPECT_NE(serial.str().find("\"schema\": \"nsrel-resultset-v1\""),
+  EXPECT_NE(serial.str().find("\"schema\": \"nsrel-resultset-v2\""),
             std::string::npos);
   EXPECT_NE(serial.str().find("\"axis\": \"drive-mttf\""), std::string::npos);
 
