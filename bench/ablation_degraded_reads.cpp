@@ -12,8 +12,9 @@
 #include "util/rng.hpp"
 #include "workload/workload.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nsrel;
+  bench::init(argc, argv, "ablation_degraded_reads");
   bench::preamble("Ablation", "degraded-read amplification: model vs system");
 
   brick::StoreParams sp;
@@ -63,5 +64,5 @@ int main() {
             << fixed(100.0 * impact.foreground_share, 0)
             << "%, net throughput efficiency "
             << fixed(100.0 * impact.throughput_efficiency, 4) << "%\n";
-  return 0;
+  return bench::finish();
 }

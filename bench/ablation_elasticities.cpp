@@ -10,8 +10,9 @@
 #include "models/internal_raid.hpp"
 #include "models/no_internal_raid.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nsrel;
+  bench::init(argc, argv, "ablation_elasticities");
   bench::preamble("Ablation", "exact MTTDL elasticities at baseline");
 
   const core::Analyzer analyzer(core::SystemConfig::baseline());
@@ -82,5 +83,5 @@ int main() {
       << "\n(reading: FT2-IR5's +2 node-repair elasticity is Figure 16's\n"
       << " rebuild-block leverage; failure elasticities near -(t+1) echo\n"
       << " the lambda^(t+1) shape of the closed forms)\n";
-  return 0;
+  return bench::finish();
 }

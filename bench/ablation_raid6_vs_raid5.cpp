@@ -9,8 +9,9 @@
 #include "raid/array_model.hpp"
 #include "rebuild/planner.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nsrel;
+  bench::init(argc, argv, "ablation_raid6_vs_raid5");
   bench::preamble("Ablation", "internal RAID 6 vs RAID 5 (section 8)");
 
   const core::SystemConfig sys = core::SystemConfig::baseline();
@@ -71,5 +72,5 @@ int main() {
   cf.print(std::cout);
   std::cout << "(balance of protection: strengthening the drive tier only "
                "helps once the node tier is no longer the bottleneck)\n";
-  return 0;
+  return bench::finish();
 }

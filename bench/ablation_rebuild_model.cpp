@@ -6,8 +6,9 @@
 #include "models/no_internal_raid.hpp"
 #include "rebuild/planner.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nsrel;
+  bench::init(argc, argv, "ablation_rebuild_model");
   bench::preamble("Ablation", "rebuild-rate model decomposition");
 
   // Flow accounting across fault tolerances.
@@ -80,5 +81,5 @@ int main() {
          sci(result.sector_error_rate.value())});
   }
   restripe.print(std::cout);
-  return 0;
+  return bench::finish();
 }

@@ -11,8 +11,9 @@
 #include "models/closed_forms.hpp"
 #include "models/no_internal_raid.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nsrel;
+  bench::init(argc, argv, "ablation_recursive_k");
   bench::preamble("Ablation", "recursive solution for arbitrary k");
 
   report::Table table({"k", "states", "exact chain (h)", "recursive matrix",
@@ -53,5 +54,5 @@ int main() {
   table.print(std::cout);
   std::cout << "(recursive matrix and exact chain agree to solver precision;"
                "\n theorem tracks exact within the mu >> N*lambda regime)\n";
-  return 0;
+  return bench::finish();
 }

@@ -11,8 +11,9 @@
 #include "models/internal_raid.hpp"
 #include "models/no_internal_raid.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nsrel;
+  bench::init(argc, argv, "ablation_repair_policy");
   bench::preamble("Ablation", "single vs concurrent repair policy");
 
   const auto evaluate_nir = [](double stress, models::RepairPolicy policy,
@@ -52,5 +53,5 @@ int main() {
       << " block every fast drive rebuild queued behind it. The effect\n"
       << " compresses under extreme stress where failures, not repairs,\n"
       << " dominate the holding times.)\n";
-  return 0;
+  return bench::finish();
 }

@@ -9,8 +9,9 @@
 
 #include "core/scrubbing.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nsrel;
+  bench::init(argc, argv, "ablation_scrubbing");
   bench::preamble("Ablation", "scrub period vs reliability");
 
   const core::SystemConfig baseline = core::SystemConfig::baseline();
@@ -62,5 +63,5 @@ int main() {
   std::cout << "(* = meets target; scrub pass ~2.6 h at 1 MiB commands.\n"
             << " The optimum sits where marginal latent-error gains equal\n"
             << " marginal rebuild-slowdown losses — around 1-5 days here.)\n";
-  return 0;
+  return bench::finish();
 }

@@ -17,8 +17,9 @@
 #include "sim/storage_simulator.hpp"
 #include "util/thread_pool.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nsrel;
+  bench::init(argc, argv, "ablation_sim_vs_model");
   bench::preamble("Ablation", "Monte-Carlo simulation vs analytic models");
   const int trials = 4000;
 
@@ -93,5 +94,5 @@ int main() {
             << "outside their 95% CI by construction)\n"
             << "(jobs " << resolved_jobs << ", " << fixed(elapsed.count(), 3)
             << " s wall; results are jobs-invariant)\n";
-  return 0;
+  return bench::finish();
 }

@@ -10,8 +10,9 @@
 #include "models/no_internal_raid.hpp"
 #include "sim/weibull_simulator.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nsrel;
+  bench::init(argc, argv, "ablation_weibull");
   bench::preamble("Ablation", "Weibull lifetimes vs the exponential assumption");
 
   models::NoInternalRaidParams p;
@@ -50,5 +51,5 @@ int main() {
   std::cout << "\n(MTTF held fixed across shapes; repairs renew components.\n"
             << " The Markov assumption is conservative under wearout and\n"
             << " optimistic under infant mortality.)\n";
-  return 0;
+  return bench::finish();
 }

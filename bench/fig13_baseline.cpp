@@ -7,8 +7,9 @@
 //  3. FT3 + internal RAID exceeds the target by ~5 orders of magnitude.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nsrel;
+  bench::init(argc, argv, "fig13_baseline");
   bench::preamble("Figure 13", "baseline comparison of 9 configurations");
 
   const std::vector<core::Configuration> configurations =
@@ -48,5 +49,5 @@ int main() {
             << "observation 3 check: FT3+IR5 headroom vs target = "
             << sci(bench::kTarget.events_per_pb_year / raid5_ft3)
             << "x (paper: ~5 orders)\n";
-  return 0;
+  return bench::finish();
 }

@@ -7,8 +7,9 @@
 // bound); FT3-NIR is strongly drive-MTTF sensitive but passes.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nsrel;
+  bench::init(argc, argv, "fig14_drive_mttf");
   bench::preamble("Figure 14", "sensitivity to drive MTTF");
 
   const std::vector<double> drive_mttf_hours{100e3, 200e3, 300e3,
@@ -26,5 +27,5 @@ int main() {
         },
         core::sensitivity_configurations());
   }
-  return 0;
+  return bench::finish();
 }

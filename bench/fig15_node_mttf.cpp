@@ -7,8 +7,9 @@
 // most of the range.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nsrel;
+  bench::init(argc, argv, "fig15_node_mttf");
   bench::preamble("Figure 15", "sensitivity to node MTTF");
 
   const std::vector<double> node_mttf_hours{100e3, 200e3, 400e3,
@@ -48,5 +49,5 @@ int main() {
     std::cout << "  " << core::name(span.grid().configurations[i]) << ": "
               << sci(ratio) << "x\n";
   }
-  return 0;
+  return bench::finish();
 }

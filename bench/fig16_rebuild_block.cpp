@@ -8,8 +8,9 @@
 
 #include "rebuild/drive_model.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nsrel;
+  bench::init(argc, argv, "fig16_rebuild_block");
   bench::preamble("Figure 16", "sensitivity to rebuild block size");
 
   const std::vector<double> block_kib{4, 8, 16, 32, 64, 128, 256, 512, 1024};
@@ -47,5 +48,5 @@ int main() {
         return c;
       },
       core::sensitivity_configurations());
-  return 0;
+  return bench::finish();
 }

@@ -7,8 +7,9 @@
 
 #include "rebuild/planner.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nsrel;
+  bench::init(argc, argv, "fig17_link_speed");
   bench::preamble("Figure 17", "sensitivity to link speed");
 
   const std::vector<double> gbps{1, 2, 3, 4, 5, 10};
@@ -43,5 +44,5 @@ int main() {
   std::cout << "crossover (network-bound -> disk-bound) at "
             << fixed(baseline.link_speed_crossover().value() / 1e9, 2)
             << " Gb/s raw (paper: ~3 Gb/s)\n";
-  return 0;
+  return bench::finish();
 }

@@ -6,8 +6,9 @@
 // normalization cancels most of the rest.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nsrel;
+  bench::init(argc, argv, "fig18_node_set_size");
   bench::preamble("Figure 18", "sensitivity to node set size");
 
   const std::vector<double> sizes{16, 32, 64, 128, 256};
@@ -30,5 +31,5 @@ int main() {
                        fixed(42.0 / ((n - 1.0) * (n - 2.0)), 5)});
   }
   fractions.print(std::cout);
-  return 0;
+  return bench::finish();
 }

@@ -7,8 +7,9 @@
 // read per rebuild.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nsrel;
+  bench::init(argc, argv, "fig19_redundancy_set_size");
   bench::preamble("Figure 19", "sensitivity to redundancy set size");
 
   const std::vector<double> sizes{4, 6, 8, 10, 12, 16};
@@ -36,5 +37,5 @@ int main() {
     std::cout << "  " << core::name(span.grid().configurations[i]) << ": "
               << fixed(ratio, 1) << "x less reliable\n";
   }
-  return 0;
+  return bench::finish();
 }

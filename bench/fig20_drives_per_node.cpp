@@ -5,8 +5,9 @@
 // the normalized metric (events per PB-year) mostly cancels.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nsrel;
+  bench::init(argc, argv, "fig20_drives_per_node");
   bench::preamble("Figure 20", "sensitivity to drives per node");
 
   const std::vector<double> drives{4, 6, 8, 12, 16, 24};
@@ -38,5 +39,5 @@ int main() {
                     sci(result.events_per_pb_year)});
   }
   detail.print(std::cout);
-  return 0;
+  return bench::finish();
 }

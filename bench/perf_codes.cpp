@@ -3,6 +3,8 @@
 // trade behind the era's preference for XOR codes inside controllers.
 #include <benchmark/benchmark.h>
 
+#include "perf_json.hpp"
+
 #include "erasure/evenodd.hpp"
 #include "erasure/rdp.hpp"
 #include "erasure/reed_solomon.hpp"
@@ -113,4 +115,6 @@ BENCHMARK(BM_EvenOddDecodeTwoErasures)->Arg(4100)->Arg(65540);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return nsrel::bench::perf_main(argc, argv, "perf_codes");
+}

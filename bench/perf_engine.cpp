@@ -3,6 +3,8 @@
 // the effect of the solve cache on sweeps whose points share a chain.
 #include <benchmark/benchmark.h>
 
+#include "perf_json.hpp"
+
 #include "core/solve_cache.hpp"
 #include "engine/engine.hpp"
 #include "engine/grid.hpp"
@@ -67,4 +69,6 @@ BENCHMARK(BM_EvaluateCacheMisses)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return nsrel::bench::perf_main(argc, argv, "perf_engine");
+}

@@ -1,0 +1,84 @@
+// --json-out support for the google-benchmark perf binaries: a reporter
+// that mirrors every run into nsrel-bench-v1 entries while delegating the
+// normal console output, plus the shared main() body. Console output is
+// unchanged whether or not --json-out is given.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace nsrel::bench {
+
+/// ConsoleReporter subclass that captures each Run before printing it
+/// normally. Per-iteration real/cpu time is accumulated_time/iterations
+/// in seconds, converted to ns for the schema.
+class CaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.error_occurred) continue;
+      BenchEntry entry;
+      entry.name = run.benchmark_name();
+      entry.iterations = static_cast<std::uint64_t>(run.iterations);
+      const double iters =
+          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      entry.real_ns = run.real_accumulated_time / iters * 1e9;
+      entry.cpu_ns = run.cpu_accumulated_time / iters * 1e9;
+      for (const auto& [name, counter] : run.counters) {
+        entry.counters.emplace_back(name,
+                                    static_cast<double>(counter.value));
+      }
+      entries_.push_back(std::move(entry));
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+  [[nodiscard]] const std::vector<BenchEntry>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::vector<BenchEntry> entries_;
+};
+
+/// Shared main() of the perf binaries: strips --json-out FILE, hands the
+/// rest to google-benchmark, and writes the nsrel-bench-v1 document
+/// after the runs.
+inline int perf_main(int argc, char** argv, const std::string& binary) {
+  std::string json_path;
+  std::vector<char*> passthrough;
+  passthrough.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json-out" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  int pass_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&pass_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(pass_argc,
+                                             passthrough.data())) {
+    return 1;
+  }
+  CaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << binary << ": cannot write '" << json_path << "'\n";
+      return 1;
+    }
+    write_bench_json(out, binary, reporter.entries());
+    if (!out) return 1;
+  }
+  return 0;
+}
+
+}  // namespace nsrel::bench

@@ -4,6 +4,8 @@
 // the parallel Monte-Carlo engine's scaling across worker counts.
 #include <benchmark/benchmark.h>
 
+#include "perf_json.hpp"
+
 #include "ctmc/absorbing.hpp"
 #include "linalg/lu.hpp"
 #include "models/no_internal_raid.hpp"
@@ -143,4 +145,6 @@ BENCHMARK(BM_NirSimAdaptiveCi)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return nsrel::bench::perf_main(argc, argv, "perf_solvers");
+}

@@ -7,11 +7,19 @@
 namespace nsrel::cli {
 
 namespace {
+
 std::vector<std::string> to_tokens(int argc, const char* const* argv) {
   std::vector<std::string> tokens;
   for (int i = 1; i < argc; ++i) tokens.emplace_back(argv[i]);
   return tokens;
 }
+
+/// The few flags that take no value; everything else is `--key value`.
+bool is_bare_flag(const std::string& key) {
+  return key == "version" || key == "metrics" || key == "progress" ||
+         key == "cache-stats";
+}
+
 }  // namespace
 
 Args::Args(int argc, const char* const* argv) : Args(to_tokens(argc, argv)) {}
@@ -25,8 +33,13 @@ Args::Args(const std::vector<std::string>& tokens) {
   for (; i < tokens.size(); ++i) {
     const std::string& token = tokens[i];
     NSREL_EXPECTS(token.rfind("--", 0) == 0);  // stray positional argument
-    NSREL_EXPECTS(i + 1 < tokens.size());      // flag without a value
-    flags_[token.substr(2)] = tokens[++i];
+    const std::string key = token.substr(2);
+    if (is_bare_flag(key)) {
+      flags_[key] = "1";
+      continue;
+    }
+    NSREL_EXPECTS(i + 1 < tokens.size());  // flag without a value
+    flags_[key] = tokens[++i];
   }
 }
 

@@ -15,7 +15,9 @@ namespace nsrel::cli {
 class Args {
  public:
   /// Parses {argv[1], ...}. The first non-flag token is the command;
-  /// everything else must be `--key value` pairs.
+  /// everything else must be `--key value` pairs, except for the
+  /// whitelisted valueless flags (--version, --metrics, --progress,
+  /// --cache-stats) which parse as present with value "1".
   /// Throws ContractViolation on a flag without a value or a stray
   /// positional token.
   Args(int argc, const char* const* argv);

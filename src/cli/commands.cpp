@@ -1,6 +1,7 @@
 #include "cli/commands.hpp"
 
 #include <cmath>
+#include <optional>
 #include <ostream>
 
 #include <fstream>
@@ -11,6 +12,9 @@
 #include "engine/grid.hpp"
 #include "engine/render.hpp"
 #include "models/availability.hpp"
+#include "obs/build_info.hpp"
+#include "obs/progress.hpp"
+#include "obs/session.hpp"
 #include "placement/layout.hpp"
 #include "report/json.hpp"
 #include "report/table.hpp"
@@ -45,6 +49,8 @@ commands:
                 (pipe into `dot -Tpdf` for a Figure-5-style diagram)
   provision     fail-in-place spare planning: utilization that survives
                 the service life (--years, --confidence)
+  version       build identity: semver, git SHA, compiler, build type
+                (--version anywhere does the same)
   help          this text
 
 configuration flags:
@@ -84,6 +90,18 @@ simulate flags:
   --chunk 256     trials per RNG stream chunk
   --max-trials 1000000  adaptive-mode trial cap
 
+observability flags (any command; stdout stays byte-identical with these
+on or off, at any --jobs):
+  --trace FILE    write a Chrome/Perfetto trace_event JSON recording of
+                  the run (load in ui.perfetto.dev or chrome://tracing)
+  --metrics       print the metrics-registry block to stderr at exit
+  --progress      sweep/simulate: cells|chunks done/total + ETA on
+                  stderr, throttled to <= 4 updates/s
+  --cache-stats   opt into solve-cache counters in the output: a
+                  "cache: N hits, ..." footer after tables/CSV, a
+                  meta.cache object in --format json (counters are
+                  schedule-dependent for --jobs > 1)
+
 exit codes:
   0  success — every cell evaluated
   3  partial results — at least one cell failed (failures are marked in
@@ -102,10 +120,12 @@ core::Method method_from_args(const Args& args) {
 struct EvalFlags {
   engine::EvalOptions options;
   report::OutputFormat format = report::OutputFormat::kTable;
+  bool cache_stats = false;  ///< --cache-stats: opt into cache counters
 };
 
 EvalFlags eval_flags_from_args(const Args& args) {
   EvalFlags flags;
+  flags.cache_stats = args.has("cache-stats");
   flags.options.jobs = args.get_int("jobs", 1);
   if (flags.options.jobs < 0) {
     throw ContractViolation("--jobs must be >= 0 (0 = all cores)");
@@ -158,11 +178,13 @@ int run_analyze(const Args& args, std::ostream& out, std::ostream& err) {
   const engine::ResultSet results = engine::evaluate(
       engine::single_point(system, {configuration}, method), flags.options);
   if (flags.format == report::OutputFormat::kJson) {
-    engine::write_json(results, out);
+    engine::write_json(results, out,
+                       engine::JsonOptions{flags.cache_stats});
     return report_failures(results, err);
   }
   if (flags.format == report::OutputFormat::kCsv) {
     engine::compare_table(results, target).print_csv(out);
+    if (flags.cache_stats) engine::print_cache_footer(results, out);
     return report_failures(results, err);
   }
   if (!results.ok(0, 0)) {
@@ -191,6 +213,7 @@ int run_analyze(const Args& args, std::ostream& out, std::ostream& err) {
         << " /h\nre-stripe:         "
         << fixed(to_hours(result.rebuild.restripe_time).value(), 1) << " h\n";
   }
+  if (flags.cache_stats) engine::print_cache_footer(results, out);
   return kExitOk;
 }
 
@@ -207,12 +230,15 @@ int run_compare(const Args& args, std::ostream& out, std::ostream& err) {
   switch (flags.format) {
     case report::OutputFormat::kTable:
       engine::compare_table(results, target).print(out);
+      if (flags.cache_stats) engine::print_cache_footer(results, out);
       break;
     case report::OutputFormat::kCsv:
       engine::compare_table(results, target).print_csv(out);
+      if (flags.cache_stats) engine::print_cache_footer(results, out);
       break;
     case report::OutputFormat::kJson:
-      engine::write_json(results, out);
+      engine::write_json(results, out,
+                         engine::JsonOptions{flags.cache_stats});
       break;
   }
   return report_failures(results, err);
@@ -257,7 +283,8 @@ int run_sweep(const Args& args, std::ostream& out, std::ostream& err) {
   const core::Configuration configuration = configuration_from_args(args);
   const core::Method method = method_from_args(args);
   const core::SystemConfig base = config_from_args(args);
-  const EvalFlags flags = eval_flags_from_args(args);
+  EvalFlags flags = eval_flags_from_args(args);
+  const bool progress = args.has("progress");
   if (const int rc = check_unused(args, err); rc != 0) return rc;
   NSREL_EXPECTS(steps >= 2);
   NSREL_EXPECTS(from > 0.0 && to > from);
@@ -271,22 +298,31 @@ int run_sweep(const Args& args, std::ostream& out, std::ostream& err) {
   }
 
   // Log-spaced points: sensitivity plots in the paper span decades.
-  const engine::ResultSet results = engine::evaluate(
-      engine::parameter_sweep(base, param,
-                              engine::spaced_points(from, to, steps,
-                                                    /*log_scale=*/true),
-                              {configuration}, method),
-      flags.options);
+  const engine::Grid grid = engine::parameter_sweep(
+      base, param,
+      engine::spaced_points(from, to, steps, /*log_scale=*/true),
+      {configuration}, method);
+  std::optional<obs::ProgressMeter> meter;
+  if (progress) {
+    meter.emplace(err, "cells",
+                  grid.points.size() * grid.configurations.size());
+    flags.options.progress = &*meter;
+  }
+  const engine::ResultSet results = engine::evaluate(grid, flags.options);
+  if (meter) meter->finish();
   switch (flags.format) {
     case report::OutputFormat::kTable:
       out << core::name(configuration) << ", sweeping " << param << ":\n";
       engine::sweep_table(results).print(out);
+      if (flags.cache_stats) engine::print_cache_footer(results, out);
       break;
     case report::OutputFormat::kCsv:
       engine::sweep_table(results).print_csv(out);
+      if (flags.cache_stats) engine::print_cache_footer(results, out);
       break;
     case report::OutputFormat::kJson:
-      engine::write_json(results, out);
+      engine::write_json(results, out,
+                         engine::JsonOptions{flags.cache_stats});
       break;
   }
   return report_failures(results, err);
@@ -338,13 +374,26 @@ int run_simulate(const Args& args, std::ostream& out, std::ostream& err) {
   options.ci_target = args.get_double("ci-target", 0.0);
   options.chunk_trials = args.get_int("chunk", 256);
   options.max_trials = args.get_int("max-trials", options.max_trials);
+  const bool progress = args.has("progress");
   if (const int rc = check_unused(args, err); rc != 0) return rc;
   NSREL_EXPECTS(trials >= 2);
   NSREL_EXPECTS(options.jobs >= 0);
 
+  std::optional<obs::ProgressMeter> meter;
+  if (progress) {
+    // Total = whole chunks needed; in adaptive mode the trial cap is an
+    // upper bound (the meter's final line reports actual chunks).
+    const int per_chunk = options.chunk_trials;
+    const int bound = options.ci_target > 0.0 ? options.max_trials : trials;
+    meter.emplace(err, "chunks",
+                  static_cast<std::uint64_t>((bound + per_chunk - 1) /
+                                             per_chunk));
+    options.progress = &*meter;
+  }
   const double analytic = analyzer.mttdl(configuration).value();
   const auto estimate =
       analyzer.simulate_mttdl(configuration, trials, seed, options);
+  if (meter) meter->finish();
   out << "configuration:     " << core::name(configuration) << "\n"
       << "trials:            " << estimate.trials << " (jobs "
       << options.jobs << ", chunk " << options.chunk_trials << ", seed "
@@ -410,6 +459,10 @@ int run_scenario_command(const Args& args, std::ostream& out,
   text << in.rdbuf();
   scenario::Scenario scenario = scenario::parse_scenario(text.str());
   if (jobs_given) scenario.jobs = jobs;  // command line beats [output] jobs
+  // With --trace the dispatch-level Session owns recording and writes
+  // the CLI path; drop the file's [output] trace so the scenario runner
+  // neither restarts the recorder nor writes a second file.
+  if (args.has("trace")) scenario.trace.clear();
   const scenario::RunOutcome outcome = scenario::run_scenario(scenario, out);
   if (outcome.error_count != 0) {
     err << "warning: " << outcome.error_count << " of "
@@ -462,34 +515,67 @@ core::Configuration configuration_from_args(const Args& args) {
   return configuration;
 }
 
+namespace {
+
+/// `nsrel version` / `--version` anywhere: build identity, exit 0.
+int run_version(std::ostream& out) {
+  const obs::BuildInfo& build = obs::build_info();
+  out << obs::version_line() << "\n"
+      << "  semver:     " << build.semver << "\n"
+      << "  git SHA:    " << build.git_sha << "\n"
+      << "  compiler:   " << build.compiler << "\n"
+      << "  build type: " << build.build_type << "\n";
+  return kExitOk;
+}
+
+int dispatch_command(const Args& args, std::ostream& out, std::ostream& err) {
+  const std::string& command = args.command();
+  if (command.empty() || command == "help") {
+    out << kUsage;
+    return command.empty() ? kExitUsage : kExitOk;
+  }
+  if (command == "analyze") return run_analyze(args, out, err);
+  if (command == "compare") return run_compare(args, out, err);
+  if (command == "rebuild") return run_rebuild(args, out, err);
+  if (command == "sweep") return run_sweep(args, out, err);
+  if (command == "availability") return run_availability(args, out, err);
+  if (command == "scenario") return run_scenario_command(args, out, err);
+  if (command == "simulate") return run_simulate(args, out, err);
+  if (command == "chain") return run_chain(args, out, err);
+  if (command == "provision") return run_provision(args, out, err);
+  err << "unknown command '" << command << "' (try: nsrel help)\n";
+  return kExitUsage;
+}
+
+}  // namespace
+
 int dispatch(const Args& args, std::ostream& out, std::ostream& err) {
+  // --version anywhere wins (GNU convention), before any other flag is
+  // validated, so `nsrel sweep --version` still just prints and exits 0.
+  if (args.command() == "version" || args.has("version")) {
+    return run_version(out);
+  }
+  // One observability session per command: --trace/--metrics are global
+  // flags, consumed here so every command accepts them.
+  obs::Session session(
+      {args.get_string("trace", ""), args.has("metrics")});
+  int rc;
   try {
-    const std::string& command = args.command();
-    if (command.empty() || command == "help") {
-      out << kUsage;
-      return command.empty() ? kExitUsage : kExitOk;
-    }
-    if (command == "analyze") return run_analyze(args, out, err);
-    if (command == "compare") return run_compare(args, out, err);
-    if (command == "rebuild") return run_rebuild(args, out, err);
-    if (command == "sweep") return run_sweep(args, out, err);
-    if (command == "availability") return run_availability(args, out, err);
-    if (command == "scenario") return run_scenario_command(args, out, err);
-    if (command == "simulate") return run_simulate(args, out, err);
-    if (command == "chain") return run_chain(args, out, err);
-    if (command == "provision") return run_provision(args, out, err);
-    err << "unknown command '" << command << "' (try: nsrel help)\n";
-    return kExitUsage;
+    rc = dispatch_command(args, out, err);
   } catch (const ContractViolation& violation) {
     err << "error: " << violation.what() << "\n";
-    return kExitUsage;
+    rc = kExitUsage;
   } catch (const ErrorException& failure) {
     err << "error: " << failure.what() << "\n";
-    return kExitInternal;
+    rc = kExitInternal;
   } catch (const std::exception& unexpected) {
     err << "internal error: " << unexpected.what() << "\n";
-    return kExitInternal;
+    rc = kExitInternal;
   }
+  // The trace file and metrics block are written even when the command
+  // failed — a trace of a failing run is the one you want to look at.
+  if (!session.finish(err) && rc == kExitOk) rc = kExitUsage;
+  return rc;
 }
 
 int dispatch(int argc, const char* const* argv, std::ostream& out,

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "raid/array_model.hpp"
 #include "sim/storage_simulator.hpp"
 #include "util/assert.hpp"
@@ -56,7 +58,12 @@ std::string ir_solve_key(const models::InternalRaidParams& p, Method method) {
 template <typename Solve>
 Expected<double> cached_solve(SolveCache* cache, const std::string& key,
                               Solve solve) {
+  obs::Span span("solve", "core");
   const auto guarded = [&]() -> Expected<double> {
+    const obs::ScopedTimer timer(
+        obs::Registry::enabled()
+            ? obs::Registry::instance().histogram("core.solve_ns")
+            : obs::Histogram{});
     try {
       return solve().value();
     } catch (const ErrorException& e) {
@@ -65,8 +72,15 @@ Expected<double> cached_solve(SolveCache* cache, const std::string& key,
       return Error{ErrorCode::kContractViolation, "core.analyzer", e.what()};
     }
   };
-  if (cache == nullptr) return guarded();
-  if (auto hit = cache->lookup(key)) return *std::move(hit);
+  if (cache == nullptr) {
+    span.arg("cache", "none");
+    return guarded();
+  }
+  if (auto hit = cache->lookup(key)) {
+    span.arg("cache", "hit");
+    return *std::move(hit);
+  }
+  span.arg("cache", "miss");
   Expected<double> outcome = guarded();
   cache->store(key, outcome);
   return outcome;

@@ -1,26 +1,70 @@
 #include "core/solve_cache.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace nsrel::core {
 
+namespace {
+
+struct CacheProbes {
+  obs::Counter hits;
+  obs::Counter misses;
+  obs::Counter inserts;
+  obs::Histogram insert_ns;
+};
+
+CacheProbes cache_probes() {
+  auto& registry = obs::Registry::instance();
+  return {registry.counter("solve_cache.hits"),
+          registry.counter("solve_cache.misses"),
+          registry.counter("solve_cache.inserts"),
+          registry.histogram("solve_cache.insert_ns")};
+}
+
+}  // namespace
+
 std::optional<Expected<double>> SolveCache::lookup(const std::string& key) {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = values_.find(key);
-  if (it == values_.end()) {
-    ++stats_.misses;
-    return std::nullopt;
+  std::optional<Expected<double>> found;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = values_.find(key);
+    if (it != values_.end()) found = it->second;
   }
-  ++stats_.hits;
-  return it->second;
+  // Counters live outside the map mutex: relaxed atomics keep the Stats
+  // façade exact per instance without extending the critical section.
+  if (found.has_value()) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    if (obs::Registry::enabled()) {
+      obs::Registry::instance().add(cache_probes().hits);
+    }
+    return found;
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  if (obs::Registry::enabled()) {
+    obs::Registry::instance().add(cache_probes().misses);
+  }
+  return std::nullopt;
 }
 
 void SolveCache::store(const std::string& key, Expected<double> outcome) {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  values_.emplace(key, std::move(outcome));
+  const CacheProbes probes =
+      obs::Registry::enabled() ? cache_probes() : CacheProbes{};
+  const obs::ScopedTimer timer(probes.insert_ns);
+  bool inserted = false;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    inserted = values_.emplace(key, std::move(outcome)).second;
+  }
+  if (inserted && obs::Registry::enabled()) {
+    obs::Registry::instance().add(probes.inserts);
+  }
 }
 
 SolveCache::Stats SolveCache::stats() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  Stats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  return stats;
 }
 
 std::size_t SolveCache::size() const {

@@ -16,6 +16,7 @@
 // single-threaded runs).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <optional>
@@ -29,6 +30,11 @@ namespace nsrel::core {
 
 class SolveCache {
  public:
+  /// Per-instance hit/miss totals. This is a façade over atomic counters
+  /// owned by the cache itself: exact for *this* cache even when many
+  /// threads share it. The process-wide obs metrics registry additionally
+  /// aggregates `solve_cache.hits` / `solve_cache.misses` /
+  /// `solve_cache.inserts` across every cache instance when enabled.
   struct Stats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
@@ -59,7 +65,8 @@ class SolveCache {
  private:
   mutable std::mutex mutex_;
   std::unordered_map<std::string, Expected<double>> values_;
-  Stats stats_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
 };
 
 /// Appends the raw bytes of a trivially-copyable value to a cache key.

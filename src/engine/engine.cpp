@@ -8,6 +8,9 @@
 #include <string>
 
 #include "engine/testing.hpp"
+#include "obs/metrics.hpp"
+#include "obs/progress.hpp"
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
 #include "util/thread_pool.hpp"
 
@@ -110,6 +113,13 @@ ResultSet evaluate(const Grid& grid, const EvalOptions& options) {
   NSREL_EXPECTS(!grid.configurations.empty());
   NSREL_EXPECTS(options.jobs >= 0);
 
+  obs::Span eval_span("evaluate", "engine");
+  eval_span.arg("points", static_cast<std::uint64_t>(grid.points.size()));
+  eval_span.arg("configurations",
+                static_cast<std::uint64_t>(grid.configurations.size()));
+  eval_span.arg("jobs", static_cast<std::uint64_t>(
+                            options.jobs < 0 ? 0 : options.jobs));
+
   const std::size_t columns = grid.configurations.size();
   const std::size_t cell_count = grid.points.size() * columns;
   std::vector<ResultSet::Cell> cells(cell_count);
@@ -139,6 +149,12 @@ ResultSet evaluate(const Grid& grid, const EvalOptions& options) {
   const auto evaluate_cell = [&](std::size_t index) {
     const std::size_t point = index / columns;
     const std::size_t configuration = index % columns;
+    obs::Span cell_span("cell", "engine");
+    if (cell_span.armed()) {
+      cell_span.arg("cell", static_cast<std::uint64_t>(index));
+      cell_span.arg("point", static_cast<std::uint64_t>(point));
+      cell_span.arg("config", core::name(grid.configurations[configuration]));
+    }
     ResultSet::Cell outcome = [&]() -> ResultSet::Cell {
       try {
         for (const testing::CellFault& fault : faults) {
@@ -158,11 +174,21 @@ ResultSet evaluate(const Grid& grid, const EvalOptions& options) {
       }
     }();
     const bool failed = !outcome.has_value();
+    if (cell_span.armed()) {
+      cell_span.arg("outcome", failed ? error_code_name(outcome.error().code)
+                                      : "ok");
+    }
+    if (obs::Registry::enabled()) {
+      auto& registry = obs::Registry::instance();
+      registry.add(registry.counter(failed ? "engine.cells_failed"
+                                           : "engine.cells_ok"));
+    }
     cells[index] = std::move(outcome);
     evaluated[index] = 1;
     if (failed && options.on_error == OnError::kFailFast) {
       stop.store(true, std::memory_order_relaxed);
     }
+    if (options.progress != nullptr) options.progress->step();
   };
 
   const int jobs =
@@ -175,12 +201,16 @@ ResultSet evaluate(const Grid& grid, const EvalOptions& options) {
   } else {
     std::atomic<std::size_t> next{0};
     const auto worker = [&] {
+      obs::Span claim_span("claim", "engine");
+      std::uint64_t claimed = 0;
       for (;;) {
-        if (stop.load(std::memory_order_relaxed)) return;
+        if (stop.load(std::memory_order_relaxed)) break;
         const std::size_t index = next.fetch_add(1, std::memory_order_relaxed);
-        if (index >= cell_count) return;
+        if (index >= cell_count) break;
+        ++claimed;
         evaluate_cell(index);
       }
+      claim_span.arg("claimed", claimed);
     };
     // Declared after everything the workers touch: the pool destructor
     // joins the workers while their inputs are still alive.

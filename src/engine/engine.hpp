@@ -30,6 +30,10 @@
 #include "engine/grid.hpp"
 #include "util/error.hpp"
 
+namespace nsrel::obs {
+class ProgressMeter;
+}  // namespace nsrel::obs
+
 namespace nsrel::engine {
 
 /// What evaluate() does when a cell fails.
@@ -67,6 +71,10 @@ struct EvalOptions {
 
   /// Failure policy; identical observable behavior at any `jobs`.
   OnError on_error = OnError::kFailFast;
+
+  /// Optional progress meter stepped once per completed cell (stderr
+  /// only — rendered results are unaffected). Not owned.
+  obs::ProgressMeter* progress = nullptr;
 };
 
 /// One failed cell: its grid coordinates plus the typed error.

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "report/json.hpp"
 #include "util/format.hpp"
 
@@ -23,6 +24,8 @@ std::string failure_marker(const ResultSet::Cell& cell) {
 
 report::Table events_table(const ResultSet& results,
                            const core::ReliabilityTarget* mark_target) {
+  obs::Span span("render", "engine");
+  span.arg("kind", "events_table");
   const Grid& grid = results.grid();
   std::vector<std::string> headers;
   headers.push_back(grid.has_axis() ? grid.axis : "metric");
@@ -49,6 +52,8 @@ report::Table events_table(const ResultSet& results,
 }
 
 report::Table sweep_table(const ResultSet& results) {
+  obs::Span span("render", "engine");
+  span.arg("kind", "sweep_table");
   const Grid& grid = results.grid();
   const bool qualify = grid.configurations.size() > 1;
   std::vector<std::string> headers;
@@ -80,6 +85,8 @@ report::Table sweep_table(const ResultSet& results) {
 
 report::Table compare_table(const ResultSet& results,
                             const core::ReliabilityTarget& target) {
+  obs::Span span("render", "engine");
+  span.arg("kind", "compare_table");
   report::Table table({"configuration", "MTTDL", "events/PB-yr", "meets"});
   for (std::size_t c = 0; c < results.configuration_count(); ++c) {
     if (!results.ok(0, c)) {
@@ -98,11 +105,28 @@ report::Table compare_table(const ResultSet& results,
 }
 
 void write_json(const ResultSet& results, std::ostream& out) {
+  write_json(results, out, JsonOptions{});
+}
+
+void write_json(const ResultSet& results, std::ostream& out,
+                const JsonOptions& options) {
+  obs::Span span("render", "engine");
+  span.arg("kind", "json");
   const Grid& grid = results.grid();
   report::JsonWriter json(out);
   json.begin_object();
   json.key("schema").value("nsrel-resultset-v2");
   json.key("method").value(core::method_name(grid.method));
+  if (options.cache_meta) {
+    const core::SolveCache::Stats& stats = results.cache_stats();
+    json.key("meta").begin_object();
+    json.key("cache").begin_object();
+    json.key("hits").value(stats.hits);
+    json.key("misses").value(stats.misses);
+    json.key("lookups").value(stats.lookups());
+    json.end_object();
+    json.end_object();
+  }
   if (grid.has_axis()) {
     json.key("axis").value(grid.axis);
   } else {
@@ -168,6 +192,12 @@ void write_json(const ResultSet& results, std::ostream& out) {
   }
   json.end_array();
   json.end_object();
+}
+
+void print_cache_footer(const ResultSet& results, std::ostream& out) {
+  const core::SolveCache::Stats& stats = results.cache_stats();
+  out << "cache: " << stats.hits << " hits, " << stats.misses << " misses ("
+      << stats.lookups() << " lookups)\n";
 }
 
 }  // namespace nsrel::engine

@@ -1,8 +1,11 @@
 // Presentation of evaluated grids, separated from evaluation: the same
 // ResultSet renders as the scenario/bench events matrix, the CLI's sweep
 // and compare tables, or a machine-readable JSON document. None of the
-// renderers include scheduling artifacts (jobs, cache counters), so
-// rendered bytes are identical at any --jobs value.
+// renderers include scheduling artifacts (jobs, cache counters) by
+// default, so rendered bytes are identical at any --jobs value. Cache
+// counters appear only behind the explicit opt-in switches below
+// (JsonOptions::cache_meta / print_cache_footer — the CLI's
+// --cache-stats flag), documented as schedule-dependent for jobs > 1.
 #pragma once
 
 #include <iosfwd>
@@ -32,6 +35,15 @@ namespace nsrel::engine {
 [[nodiscard]] report::Table compare_table(const ResultSet& results,
                                           const core::ReliabilityTarget& target);
 
+/// Opt-in extras for write_json. Defaults add nothing, keeping the
+/// document jobs-invariant.
+struct JsonOptions {
+  /// Emit a "meta": {"cache": {hits, misses, lookups}} object (the
+  /// ResultSet's cache_stats()). Off by default because the counters
+  /// depend on the thread schedule for jobs > 1.
+  bool cache_meta = false;
+};
+
 /// Full structured dump (schema nsrel-resultset-v2): method, axis,
 /// points (label + swept value), configuration names, and one record per
 /// cell. Every cell carries an "error" field — null on success (the
@@ -39,5 +51,11 @@ namespace nsrel::engine {
 /// failure (numeric fields omitted). Numbers round-trip exactly through
 /// strtod.
 void write_json(const ResultSet& results, std::ostream& out);
+void write_json(const ResultSet& results, std::ostream& out,
+                const JsonOptions& options);
+
+/// One-line solve-cache summary ("cache: N hits, M misses (L lookups)")
+/// appended after tables when the CLI's --cache-stats flag asks for it.
+void print_cache_footer(const ResultSet& results, std::ostream& out);
 
 }  // namespace nsrel::engine

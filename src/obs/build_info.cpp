@@ -1,0 +1,37 @@
+#include "obs/build_info.hpp"
+
+// The CMake target supplies NSREL_VERSION / NSREL_GIT_SHA /
+// NSREL_BUILD_TYPE; the fallbacks keep the file compiling standalone.
+#ifndef NSREL_VERSION
+#define NSREL_VERSION "0.0.0"
+#endif
+#ifndef NSREL_GIT_SHA
+#define NSREL_GIT_SHA "unknown"
+#endif
+#ifndef NSREL_BUILD_TYPE
+#define NSREL_BUILD_TYPE "unknown"
+#endif
+
+#if defined(__clang__)
+#define NSREL_COMPILER "clang++ " __clang_version__
+#elif defined(__GNUC__)
+#define NSREL_COMPILER "g++ " __VERSION__
+#else
+#define NSREL_COMPILER "unknown"
+#endif
+
+namespace nsrel::obs {
+
+const BuildInfo& build_info() {
+  static const BuildInfo info{NSREL_VERSION, NSREL_GIT_SHA, NSREL_COMPILER,
+                              NSREL_BUILD_TYPE};
+  return info;
+}
+
+std::string version_line() {
+  const BuildInfo& info = build_info();
+  return std::string("nsrel ") + info.semver + " (git " + info.git_sha +
+         ", " + info.compiler + ", " + info.build_type + ")";
+}
+
+}  // namespace nsrel::obs

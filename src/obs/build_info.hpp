@@ -1,0 +1,23 @@
+// Build identity: semver, git SHA, compiler, and build type, embedded at
+// build time so traces, bench JSON, and `nsrel version` can self-identify
+// the binary they came from. The git SHA is captured at CMake configure
+// time ("unknown" outside a git checkout).
+#pragma once
+
+#include <string>
+
+namespace nsrel::obs {
+
+struct BuildInfo {
+  const char* semver;
+  const char* git_sha;
+  const char* compiler;
+  const char* build_type;
+};
+
+[[nodiscard]] const BuildInfo& build_info();
+
+/// One-line form: "nsrel 1.0.0 (git abc1234, g++ 13.2.0, RelWithDebInfo)".
+[[nodiscard]] std::string version_line();
+
+}  // namespace nsrel::obs

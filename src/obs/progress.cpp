@@ -1,0 +1,69 @@
+#include "obs/progress.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+#include "obs/metrics.hpp"
+
+namespace nsrel::obs {
+
+namespace {
+constexpr std::uint64_t kMinEmitGapNs = 250'000'000;  // <= 4 updates/s
+}
+
+ProgressMeter::ProgressMeter(std::ostream& out, std::string label,
+                             std::uint64_t total)
+    : out_(out),
+      label_(std::move(label)),
+      total_(total == 0 ? 1 : total),
+      start_ns_(now_ns()) {}
+
+ProgressMeter::~ProgressMeter() { finish(); }
+
+void ProgressMeter::step(std::uint64_t n) {
+  const std::uint64_t done =
+      done_.fetch_add(n, std::memory_order_relaxed) + n;
+  // Throttle: skip unless the gap elapsed, and never block a worker on
+  // another thread's emission.
+  if (!emit_mutex_.try_lock()) return;
+  const std::lock_guard<std::mutex> lock(emit_mutex_, std::adopt_lock);
+  if (finished_) return;
+  const std::uint64_t now = now_ns();
+  if (last_emit_ns_ != 0 && now - last_emit_ns_ < kMinEmitGapNs) return;
+  last_emit_ns_ = now;
+  emit(done, /*final_line=*/false);
+}
+
+void ProgressMeter::finish() {
+  const std::lock_guard<std::mutex> lock(emit_mutex_);
+  if (finished_) return;
+  finished_ = true;
+  emit(done_.load(std::memory_order_relaxed), /*final_line=*/true);
+}
+
+void ProgressMeter::emit(std::uint64_t done, bool final_line) {
+  const double elapsed_s =
+      static_cast<double>(now_ns() - start_ns_) / 1e9;
+  char buffer[160];
+  if (final_line) {
+    std::snprintf(buffer, sizeof(buffer), "%s: %llu/%llu in %.1fs\n",
+                  label_.c_str(), static_cast<unsigned long long>(done),
+                  static_cast<unsigned long long>(total_), elapsed_s);
+  } else {
+    const double fraction =
+        static_cast<double>(done) / static_cast<double>(total_);
+    const double eta_s = done == 0 ? 0.0
+                                   : elapsed_s *
+                                         static_cast<double>(total_ - done) /
+                                         static_cast<double>(done);
+    std::snprintf(buffer, sizeof(buffer),
+                  "%s: %llu/%llu (%.0f%%) eta %.1fs\n", label_.c_str(),
+                  static_cast<unsigned long long>(done),
+                  static_cast<unsigned long long>(total_), fraction * 100.0,
+                  eta_s);
+  }
+  out_ << buffer;
+  out_.flush();
+}
+
+}  // namespace nsrel::obs

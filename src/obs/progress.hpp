@@ -1,0 +1,49 @@
+// Opt-in progress meter for long evaluations: cells-done / total with an
+// ETA, written to stderr (never stdout — rendered results stay
+// byte-identical with the meter on or off, at any jobs count).
+//
+// step() is called from worker threads; the done count is a relaxed
+// atomic and the stderr write is throttled to at most one update per
+// 250 ms (<= 4/s) behind a try_lock, so contended workers never block on
+// the meter. finish() always emits a final "done/total in Xs" line.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+
+namespace nsrel::obs {
+
+class ProgressMeter {
+ public:
+  /// `label` names the unit ("cells", "chunks"); `total` the expected
+  /// step() count (an upper bound is fine — finish() reports actuals).
+  ProgressMeter(std::ostream& out, std::string label, std::uint64_t total);
+
+  /// Emits the final line (idempotent; called by the destructor too).
+  ~ProgressMeter();
+
+  /// Thread-safe; throttled emission.
+  void step(std::uint64_t n = 1);
+
+  void finish();
+
+  ProgressMeter(const ProgressMeter&) = delete;
+  ProgressMeter& operator=(const ProgressMeter&) = delete;
+
+ private:
+  void emit(std::uint64_t done, bool final_line);
+
+  std::ostream& out_;
+  std::string label_;
+  std::uint64_t total_;
+  std::uint64_t start_ns_;
+  std::atomic<std::uint64_t> done_{0};
+  std::mutex emit_mutex_;
+  std::uint64_t last_emit_ns_ = 0;  ///< guarded by emit_mutex_
+  bool finished_ = false;           ///< guarded by emit_mutex_
+};
+
+}  // namespace nsrel::obs

@@ -1,0 +1,41 @@
+#include "obs/session.hpp"
+
+#include <ostream>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace nsrel::obs {
+
+Session::Session(Options options) : options_(std::move(options)) {
+  if (options_.metrics) {
+    Registry::instance().reset();
+    Registry::instance().set_enabled(true);
+  }
+  if (!options_.trace_path.empty()) TraceRecorder::instance().begin();
+}
+
+Session::~Session() {
+  if (finished_) return;
+  if (options_.metrics) Registry::instance().set_enabled(false);
+  if (!options_.trace_path.empty()) TraceRecorder::instance().disable();
+}
+
+bool Session::finish(std::ostream& err) {
+  if (finished_) return true;
+  finished_ = true;
+  bool ok = true;
+  if (!options_.trace_path.empty()) {
+    if (!TraceRecorder::instance().write_file(options_.trace_path)) {
+      err << "cannot write trace file '" << options_.trace_path << "'\n";
+      ok = false;
+    }
+  }
+  if (options_.metrics) {
+    Registry::instance().set_enabled(false);
+    print_metrics_block(Registry::instance().snapshot(), err);
+  }
+  return ok;
+}
+
+}  // namespace nsrel::obs

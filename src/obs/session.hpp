@@ -1,0 +1,39 @@
+// Per-command observability scope: the CLI's `--trace FILE` and
+// `--metrics` flags map to one Session around the command body. The
+// constructor resets + enables whatever was requested; finish() writes
+// the trace file and prints the metrics block (to stderr — stdout stays
+// byte-identical with observability on or off), then disables both.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+namespace nsrel::obs {
+
+class Session {
+ public:
+  struct Options {
+    std::string trace_path;  ///< empty = no tracing
+    bool metrics = false;    ///< print the registry block at finish()
+  };
+
+  explicit Session(Options options);
+
+  /// Disables recording without writing anything if finish() was never
+  /// called (exception escape path — the trace is lost, by design).
+  ~Session();
+
+  /// Writes the trace file (if requested) and the metrics block to
+  /// `err`, then disables both subsystems. Returns false when the trace
+  /// file cannot be written (a message is printed to `err`). Idempotent.
+  bool finish(std::ostream& err);
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+ private:
+  Options options_;
+  bool finished_ = false;
+};
+
+}  // namespace nsrel::obs

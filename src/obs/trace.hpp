@@ -1,0 +1,122 @@
+// Trace-span recorder emitting Chrome/Perfetto `trace_event` JSON.
+//
+// Spans are RAII: construction stamps the start time, destruction records
+// one complete ("ph":"X") event into the calling thread's private buffer.
+// Like the metrics registry, the recorder is compiled in everywhere and a
+// disabled Span costs one relaxed atomic load — no clock read, no
+// allocation. Buffers are merged only when the trace is written (after
+// all parallel work has been joined), so recording never takes a lock on
+// the hot path.
+//
+// The output loads directly into chrome://tracing and ui.perfetto.dev:
+// a top-level {"traceEvents": [...]} object whose events carry name,
+// category, microsecond timestamps relative to begin(), a stable
+// per-thread lane id, and the span's key/value args. "otherData" embeds
+// the build identity (semver, git SHA, compiler, build type) so every
+// trace self-identifies the binary it came from.
+//
+// Span name/category must be string literals (events store the pointers);
+// args copy their values and may be dynamic.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace nsrel::obs {
+
+struct TraceArg {
+  std::string key;
+  std::string value;  ///< pre-rendered; emitted quoted or raw per `quoted`
+  bool quoted = true;
+};
+
+struct TraceEvent {
+  const char* name = "";      ///< string literal
+  const char* category = "";  ///< string literal
+  std::uint64_t start_ns = 0;  ///< absolute steady-clock ns
+  std::uint64_t dur_ns = 0;
+  std::uint32_t tid = 0;
+  std::vector<TraceArg> args;
+};
+
+class TraceRecorder {
+ public:
+  /// The process-wide recorder (leaked, like the metrics registry).
+  static TraceRecorder& instance();
+
+  /// The probe gate: one relaxed load.
+  [[nodiscard]] static bool enabled();
+
+  /// Clears every buffer, stamps the trace epoch, and starts recording.
+  void begin();
+
+  /// Stops recording (buffered events are kept until clear()).
+  void disable();
+
+  /// Writes the trace_event JSON document. Call only after parallel work
+  /// has been joined — live buffers are read under the registration lock.
+  void write(std::ostream& out) const;
+
+  /// write() to `path`, then disable. Returns false when the file cannot
+  /// be created or the stream fails.
+  [[nodiscard]] bool write_file(const std::string& path);
+
+  /// Drops all buffered events.
+  void clear();
+
+  /// Appends an event to the calling thread's buffer (no-op if disabled).
+  void record(TraceEvent event);
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+ private:
+  TraceRecorder() = default;
+  ~TraceRecorder() = default;
+
+  struct Buffer;
+  friend struct BufferHolder;
+
+  Buffer& local_buffer();
+  void retire(Buffer* buffer);
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> epoch_ns_{0};
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Buffer>> owned_;
+  std::vector<Buffer*> active_;
+  std::vector<Buffer*> free_;
+  std::vector<TraceEvent> retired_events_;
+  std::uint32_t next_tid_ = 0;
+};
+
+/// RAII trace span. Costs one relaxed load when tracing is off. arg()
+/// attaches a key/value pair (only stored while armed — guard expensive
+/// value construction with armed()).
+class Span {
+ public:
+  Span(const char* name, const char* category);
+  ~Span();
+
+  [[nodiscard]] bool armed() const { return start_ns_ != 0; }
+
+  void arg(const char* key, std::string value);
+  void arg(const char* key, const char* value);
+  void arg(const char* key, std::uint64_t value);
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_;
+  const char* category_;
+  std::uint64_t start_ns_ = 0;  ///< 0 = disarmed
+  std::vector<TraceArg> args_;
+};
+
+}  // namespace nsrel::obs

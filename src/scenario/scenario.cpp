@@ -6,6 +6,7 @@
 #include "engine/engine.hpp"
 #include "engine/grid.hpp"
 #include "engine/render.hpp"
+#include "obs/trace.hpp"
 #include "report/table.hpp"
 #include "util/assert.hpp"
 #include "util/format.hpp"
@@ -103,6 +104,7 @@ Scenario parse_scenario(const std::string& text) {
   }
   scenario.on_error =
       engine::parse_on_error(doc.get("output", "on_error", "skip"));
+  scenario.trace = doc.get("output", "trace", "");
 
   // Reject unexpected sections (likely typos).
   for (const std::string& name : doc.section_names()) {
@@ -115,6 +117,7 @@ Scenario parse_scenario(const std::string& text) {
 }
 
 RunOutcome run_scenario(const Scenario& scenario, std::ostream& out) {
+  if (!scenario.trace.empty()) obs::TraceRecorder::instance().begin();
   engine::Grid grid;
   if (scenario.sweep) {
     const Sweep& sweep = *scenario.sweep;
@@ -150,6 +153,12 @@ RunOutcome run_scenario(const Scenario& scenario, std::ostream& out) {
     case report::OutputFormat::kJson:
       engine::write_json(results, out);
       break;
+  }
+
+  if (!scenario.trace.empty() &&
+      !obs::TraceRecorder::instance().write_file(scenario.trace)) {
+    throw ContractViolation("cannot write trace file '" + scenario.trace +
+                            "'");
   }
 
   const std::size_t total =

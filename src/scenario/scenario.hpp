@@ -28,6 +28,8 @@
 //   on_error = skip      ; skip: evaluate the rest and mark failed cells
 //                        ; with their error code; fail: stop at the
 //                        ; first failure (throws ErrorException)
+//   trace = run.json     ; optional — write a Chrome/Perfetto trace of
+//                        ; the evaluation (table/CSV/JSON unaffected)
 //
 // Configuration tokens are `<scheme>-ft<K>` with scheme none|raid5|raid6.
 // Evaluation runs through engine::evaluate — the same parallel,
@@ -64,6 +66,11 @@ struct Scenario {
   int jobs = 1;  ///< engine worker threads; 0 = all cores
   /// Failed-cell policy ([output] on_error = skip|fail, default skip).
   engine::OnError on_error = engine::OnError::kSkip;
+  /// Optional trace-file path ([output] trace = FILE): run_scenario
+  /// records the evaluation and writes a Chrome/Perfetto trace_event
+  /// JSON file there. Empty = no tracing. The CLI's --trace flag takes
+  /// precedence over this key.
+  std::string trace;
 };
 
 /// Parses a configuration token like "raid5-ft2".

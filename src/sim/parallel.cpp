@@ -6,6 +6,8 @@
 #include <optional>
 #include <vector>
 
+#include "obs/progress.hpp"
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
 #include "util/thread_pool.hpp"
 
@@ -18,6 +20,11 @@ namespace {
 MomentAccumulator sample_chunk(const TrialSampler& sample_one,
                                std::uint64_t seed, std::uint64_t chunk,
                                int chunk_trials) {
+  obs::Span span("chunk", "sim");
+  if (span.armed()) {
+    span.arg("stream", chunk);
+    span.arg("trials", static_cast<std::uint64_t>(chunk_trials));
+  }
   Xoshiro256 rng(stream_seed(seed, chunk));
   MomentAccumulator acc;
   for (int i = 0; i < chunk_trials; ++i) acc.add(sample_one(rng));
@@ -31,10 +38,11 @@ MomentAccumulator sample_chunk(const TrialSampler& sample_one,
 void run_wave(const TrialSampler& sample_one, std::uint64_t seed,
               std::size_t first, std::size_t count, int chunk_trials,
               std::vector<MomentAccumulator>& accumulators,
-              ThreadPool* pool) {
+              ThreadPool* pool, obs::ProgressMeter* progress) {
   if (pool == nullptr || count == 1) {
     for (std::size_t c = first; c < first + count; ++c) {
       accumulators[c] = sample_chunk(sample_one, seed, c, chunk_trials);
+      if (progress != nullptr) progress->step();
     }
     return;
   }
@@ -45,6 +53,7 @@ void run_wave(const TrialSampler& sample_one, std::uint64_t seed,
       const std::size_t c = next.fetch_add(1, std::memory_order_relaxed);
       if (c >= limit) return;
       accumulators[c] = sample_chunk(sample_one, seed, c, chunk_trials);
+      if (progress != nullptr) progress->step();
     }
   };
   const std::size_t lanes =
@@ -105,6 +114,7 @@ MttdlEstimate run_trials(const TrialSampler& sample_one, int trials,
         if (size == chunk) continue;
         // Run the ragged chunk inline (it is unique and tiny).
         accumulators[c] = sample_chunk(sample_one, seed, c, size);
+        if (options.progress != nullptr) options.progress->step();
       }
       const std::size_t full =
           static_cast<std::size_t>(trials) % static_cast<std::size_t>(chunk) ==
@@ -113,11 +123,11 @@ MttdlEstimate run_trials(const TrialSampler& sample_one, int trials,
               : count - 1;
       if (full > 0) {
         run_wave(sample_one, seed, chunks_done, full, chunk, accumulators,
-                 pool);
+                 pool, options.progress);
       }
     } else {
       run_wave(sample_one, seed, chunks_done, count, chunk, accumulators,
-               pool);
+               pool, options.progress);
     }
     chunks_done += count;
 

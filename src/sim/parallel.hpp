@@ -24,6 +24,10 @@
 #include "sim/estimate.hpp"
 #include "util/rng.hpp"
 
+namespace nsrel::obs {
+class ProgressMeter;
+}  // namespace nsrel::obs
+
 namespace nsrel::sim {
 
 struct ParallelOptions {
@@ -44,6 +48,10 @@ struct ParallelOptions {
   /// Upper bound on total trials in adaptive mode (rounded up to whole
   /// chunks). Ignored when ci_target == 0.
   int max_trials = 1'000'000;
+
+  /// Optional progress meter stepped once per completed chunk (stderr
+  /// only — estimates are unaffected). Not owned.
+  obs::ProgressMeter* progress = nullptr;
 };
 
 /// One Monte-Carlo trial: draws from the given RNG and returns the

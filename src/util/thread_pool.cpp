@@ -1,14 +1,41 @@
 #include "util/thread_pool.hpp"
 
+#include <string>
+
+#include "obs/metrics.hpp"
 #include "util/assert.hpp"
 
 namespace nsrel {
+
+namespace {
+
+/// Registered lazily the first time a pool runs with metrics enabled; the
+/// registry hands back the same slots on every call, so repeated lookup
+/// is cheap and idempotent.
+struct PoolProbes {
+  obs::Counter submitted;
+  obs::Counter completed;
+  obs::Histogram queue_depth;
+  obs::Histogram queue_delay_ns;
+  obs::Histogram task_ns;
+};
+
+PoolProbes pool_probes() {
+  auto& registry = obs::Registry::instance();
+  return {registry.counter("thread_pool.submitted"),
+          registry.counter("thread_pool.completed"),
+          registry.histogram("thread_pool.queue_depth"),
+          registry.histogram("thread_pool.queue_delay_ns"),
+          registry.histogram("thread_pool.task_ns")};
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(int threads) {
   NSREL_EXPECTS(threads >= 1);
   workers_.reserve(static_cast<std::size_t>(threads));
   for (int i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -22,12 +49,23 @@ ThreadPool::~ThreadPool() {
 }
 
 std::future<void> ThreadPool::submit(std::function<void()> job) {
-  std::packaged_task<void()> task(std::move(job));
-  std::future<void> result = task.get_future();
+  Job entry;
+  entry.task = std::packaged_task<void()>(std::move(job));
+  std::future<void> result = entry.task.get_future();
+  const bool instrumented = obs::Registry::enabled();
+  if (instrumented) entry.submit_ns = obs::now_ns();
+  std::size_t depth = 0;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     NSREL_EXPECTS(!stopping_);
-    queue_.push_back(std::move(task));
+    queue_.push_back(std::move(entry));
+    depth = queue_.size();
+  }
+  if (instrumented) {
+    auto& registry = obs::Registry::instance();
+    const PoolProbes probes = pool_probes();
+    registry.add(probes.submitted);
+    registry.record(probes.queue_depth, depth);
   }
   work_available_.notify_one();
   return result;
@@ -38,18 +76,34 @@ int ThreadPool::hardware_threads() {
   return reported == 0 ? 1 : static_cast<int>(reported);
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(int index) {
   for (;;) {
-    std::packaged_task<void()> task;
+    Job job;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       work_available_.wait(lock,
                            [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopping_ and nothing left to drain
-      task = std::move(queue_.front());
+      job = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();  // exceptions land in the associated future
+    // Probe only jobs stamped at submit time, so a job enqueued before
+    // metrics were enabled never contributes a bogus latency sample.
+    if (job.submit_ns != 0 && obs::Registry::enabled()) {
+      auto& registry = obs::Registry::instance();
+      const PoolProbes probes = pool_probes();
+      const obs::Counter busy = registry.counter(
+          "thread_pool.worker" + std::to_string(index) + ".busy_ns");
+      const std::uint64_t start = obs::now_ns();
+      registry.record(probes.queue_delay_ns, start - job.submit_ns);
+      job.task();  // exceptions land in the associated future
+      const std::uint64_t elapsed = obs::now_ns() - start;
+      registry.record(probes.task_ns, elapsed);
+      registry.add(busy, elapsed);
+      registry.add(probes.completed);
+    } else {
+      job.task();  // exceptions land in the associated future
+    }
   }
 }
 

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -31,7 +32,9 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a job; the future resolves when it finishes (or rethrows
-  /// what the job threw).
+  /// what the job threw). When the obs metrics registry is enabled the
+  /// pool records queue depth at submit, submit-to-start latency, and
+  /// per-worker busy time; disabled, the probes cost one relaxed load.
   std::future<void> submit(std::function<void()> job);
 
   [[nodiscard]] int thread_count() const {
@@ -43,10 +46,17 @@ class ThreadPool {
   [[nodiscard]] static int hardware_threads();
 
  private:
-  void worker_loop();
+  /// One queued job plus its submit timestamp (0 = metrics disabled at
+  /// submit time, so the worker skips the latency probe).
+  struct Job {
+    std::packaged_task<void()> task;
+    std::uint64_t submit_ns = 0;
+  };
+
+  void worker_loop(int index);
 
   std::vector<std::thread> workers_;
-  std::deque<std::packaged_task<void()>> queue_;
+  std::deque<Job> queue_;
   std::mutex mutex_;
   std::condition_variable work_available_;
   bool stopping_ = false;
