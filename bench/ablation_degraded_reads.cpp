@@ -7,6 +7,10 @@
 // and we measure the amplification its I/O counters report.
 #include "bench_common.hpp"
 
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
 #include "brick/object_store.hpp"
 #include "rebuild/degraded.hpp"
 #include "util/rng.hpp"

@@ -3,6 +3,8 @@
 // (mu_d = d * mu_N) that the no-internal-RAID configurations depend on.
 #include "bench_common.hpp"
 
+#include <cstddef>
+
 #include "models/no_internal_raid.hpp"
 #include "rebuild/planner.hpp"
 

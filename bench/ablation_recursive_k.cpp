@@ -5,6 +5,8 @@
 //   - the general theorem's closed form (L_k recursion),
 //   - and for k <= 3, the printed section-4.3 / Figure-12 formulas.
 #include <chrono>
+#include <cstddef>
+#include <string>
 
 #include "bench_common.hpp"
 

@@ -7,6 +7,11 @@
 // period per configuration.
 #include "bench_common.hpp"
 
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "core/scrubbing.hpp"
 
 int main(int argc, char** argv) {

@@ -9,6 +9,7 @@
 #include "bench_common.hpp"
 
 #include <chrono>
+#include <cstdint>
 #include <cstdlib>
 
 #include "models/internal_raid.hpp"

@@ -7,6 +7,8 @@
 // fail right away — exponential is CONSERVATIVE).
 #include "bench_common.hpp"
 
+#include <cstdint>
+
 #include "models/no_internal_raid.hpp"
 #include "sim/weibull_simulator.hpp"
 

@@ -17,6 +17,7 @@
 #include <fstream>
 #include <functional>
 #include <iostream>
+#include <ostream>
 #include <string>
 #include <utility>
 #include <vector>

@@ -7,6 +7,9 @@
 //  3. FT3 + internal RAID exceeds the target by ~5 orders of magnitude.
 #include "bench_common.hpp"
 
+#include <cstddef>
+#include <vector>
+
 int main(int argc, char** argv) {
   using namespace nsrel;
   bench::init(argc, argv, "fig13_baseline");

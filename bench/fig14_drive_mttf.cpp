@@ -7,6 +7,8 @@
 // bound); FT3-NIR is strongly drive-MTTF sensitive but passes.
 #include "bench_common.hpp"
 
+#include <vector>
+
 int main(int argc, char** argv) {
   using namespace nsrel;
   bench::init(argc, argv, "fig14_drive_mttf");

@@ -7,6 +7,9 @@
 // most of the range.
 #include "bench_common.hpp"
 
+#include <cstddef>
+#include <vector>
+
 int main(int argc, char** argv) {
   using namespace nsrel;
   bench::init(argc, argv, "fig15_node_mttf");

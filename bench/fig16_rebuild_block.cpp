@@ -6,6 +6,8 @@
 // small commands are seek-bound, so the effective rebuild rate collapses.
 #include "bench_common.hpp"
 
+#include <vector>
+
 #include "rebuild/drive_model.hpp"
 
 int main(int argc, char** argv) {

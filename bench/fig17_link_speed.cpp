@@ -5,6 +5,8 @@
 // above, so reliability is flat between 5 and 10 Gb/s.
 #include "bench_common.hpp"
 
+#include <vector>
+
 #include "rebuild/planner.hpp"
 
 int main(int argc, char** argv) {

@@ -6,6 +6,8 @@
 // normalization cancels most of the rest.
 #include "bench_common.hpp"
 
+#include <vector>
+
 int main(int argc, char** argv) {
   using namespace nsrel;
   bench::init(argc, argv, "fig18_node_set_size");

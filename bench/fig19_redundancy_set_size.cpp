@@ -7,6 +7,9 @@
 // read per rebuild.
 #include "bench_common.hpp"
 
+#include <cstddef>
+#include <vector>
+
 int main(int argc, char** argv) {
   using namespace nsrel;
   bench::init(argc, argv, "fig19_redundancy_set_size");

@@ -5,6 +5,9 @@
 // the normalized metric (events per PB-year) mostly cancels.
 #include "bench_common.hpp"
 
+#include <cstddef>
+#include <vector>
+
 int main(int argc, char** argv) {
   using namespace nsrel;
   bench::init(argc, argv, "fig20_drives_per_node");

@@ -2,6 +2,9 @@
 // Reed-Solomon vs the XOR-only EVENODD and RDP — the encode/decode cost
 // trade behind the era's preference for XOR codes inside controllers.
 #include <benchmark/benchmark.h>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
 
 #include "perf_json.hpp"
 

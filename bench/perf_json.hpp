@@ -6,9 +6,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_common.hpp"

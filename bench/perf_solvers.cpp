@@ -3,6 +3,8 @@
 // closed forms — quantifying the cost of exact vs approximate paths — and
 // the parallel Monte-Carlo engine's scaling across worker counts.
 #include <benchmark/benchmark.h>
+#include <cstddef>
+#include <cstdint>
 
 #include "perf_json.hpp"
 

@@ -3,8 +3,11 @@
 // kills nodes and drives fail-in-place, reads through the failures,
 // rebuilds into distributed spare capacity, and compares the measured
 // rebuild traffic against section 5.1's flow model.
+#include <cstdint>
 #include <iostream>
 #include <numeric>
+#include <utility>
+#include <vector>
 
 #include "brick/object_store.hpp"
 #include "rebuild/planner.hpp"

@@ -7,9 +7,11 @@
 // Usage: capacity_planner [usable_petabytes] [target_events_per_pb_year]
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <cstdlib>
 #include <iostream>
 #include <optional>
+#include <vector>
 
 #include "core/analyzer.hpp"
 #include "engine/engine.hpp"

@@ -5,9 +5,12 @@
 // flows of section 5.1.
 //
 // Usage: erasure_demo [fault_tolerance 1..3]
+#include <cstddef>
+#include <cstdint>
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "erasure/reed_solomon.hpp"
 #include "placement/layout.hpp"

@@ -3,6 +3,7 @@
 // agreement — the validation experiment behind ablation_sim_vs_model.
 //
 // Usage: sim_vs_model [trials]
+#include <cstdint>
 #include <cstdlib>
 #include <iostream>
 

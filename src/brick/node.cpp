@@ -1,6 +1,9 @@
 #include "brick/node.hpp"
 
 #include <algorithm>
+#include <cstddef>
+#include <optional>
+#include <utility>
 
 #include "util/assert.hpp"
 
@@ -14,7 +17,7 @@ bool Drive::put(ChunkId id, Chunk chunk) {
   if (!alive_) return false;
   const double size = static_cast<double>(chunk.size());
   if (used_ + size > capacity_) return false;
-  NSREL_EXPECTS(chunks_.count(id) == 0);
+  NSREL_EXPECTS(!chunks_.contains(id));
   used_ += size;
   chunks_.emplace(id, std::move(chunk));
   return true;

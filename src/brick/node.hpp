@@ -5,6 +5,7 @@
 // stripes) and whole-node failures are both representable.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <unordered_map>

@@ -1,6 +1,11 @@
 #include "brick/object_store.hpp"
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
 
 #include "util/assert.hpp"
 

@@ -8,10 +8,12 @@
 // quantities section 5.1's flow model predicts.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "brick/node.hpp"

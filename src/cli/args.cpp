@@ -1,6 +1,9 @@
 #include "cli/args.hpp"
 
+#include <cstddef>
 #include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "util/assert.hpp"
 
@@ -45,7 +48,7 @@ Args::Args(const std::vector<std::string>& tokens) {
 
 bool Args::has(const std::string& key) const {
   consumed_.insert(key);
-  return flags_.count(key) > 0;
+  return flags_.contains(key);
 }
 
 std::string Args::get_string(const std::string& key,
@@ -75,7 +78,7 @@ int Args::get_int(const std::string& key, int fallback) const {
 std::vector<std::string> Args::unused() const {
   std::vector<std::string> result;
   for (const auto& [key, value] : flags_) {
-    if (consumed_.count(key) == 0) result.push_back(key);
+    if (!consumed_.contains(key)) result.push_back(key);
   }
   return result;
 }

@@ -1,11 +1,15 @@
 #include "cli/commands.hpp"
 
 #include <cmath>
+#include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <ostream>
 
 #include <fstream>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "ctmc/dot.hpp"
 #include "engine/engine.hpp"

@@ -1,6 +1,9 @@
 #include "combinat/critical_sets.hpp"
 
 #include <cmath>
+#include <cstddef>
+#include <utility>
+#include <vector>
 
 #include "util/assert.hpp"
 #include "util/math.hpp"

@@ -1,8 +1,13 @@
 #include "core/analyzer.hpp"
 
 #include <cmath>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
 
 #include "obs/metrics.hpp"
+#include "obs/probe_names.hpp"
 #include "obs/trace.hpp"
 #include "raid/array_model.hpp"
 #include "sim/storage_simulator.hpp"
@@ -58,11 +63,11 @@ std::string ir_solve_key(const models::InternalRaidParams& p, Method method) {
 template <typename Solve>
 Expected<double> cached_solve(SolveCache* cache, const std::string& key,
                               Solve solve) {
-  obs::Span span("solve", "core");
+  obs::Span span(obs::probe::kSpanSolve, obs::probe::kSpanCategoryCore);
   const auto guarded = [&]() -> Expected<double> {
     const obs::ScopedTimer timer(
         obs::Registry::enabled()
-            ? obs::Registry::instance().histogram("core.solve_ns")
+            ? obs::Registry::instance().histogram(obs::probe::kCoreSolveNs)
             : obs::Histogram{});
     try {
       return solve().value();

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "core/configuration.hpp"
 #include "core/solve_cache.hpp"

@@ -1,5 +1,8 @@
 #include "core/configuration.hpp"
 
+#include <string>
+#include <vector>
+
 #include "util/assert.hpp"
 
 namespace nsrel::core {

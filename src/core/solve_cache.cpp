@@ -1,6 +1,13 @@
 #include "core/solve_cache.hpp"
 
+#include <cstddef>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+
 #include "obs/metrics.hpp"
+#include "obs/probe_names.hpp"
 
 namespace nsrel::core {
 
@@ -15,10 +22,10 @@ struct CacheProbes {
 
 CacheProbes cache_probes() {
   auto& registry = obs::Registry::instance();
-  return {registry.counter("solve_cache.hits"),
-          registry.counter("solve_cache.misses"),
-          registry.counter("solve_cache.inserts"),
-          registry.histogram("solve_cache.insert_ns")};
+  return {registry.counter(obs::probe::kSolveCacheHits),
+          registry.counter(obs::probe::kSolveCacheMisses),
+          registry.counter(obs::probe::kSolveCacheInserts),
+          registry.histogram(obs::probe::kSolveCacheInsertNs)};
 }
 
 }  // namespace

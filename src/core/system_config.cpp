@@ -1,6 +1,8 @@
 #include "core/system_config.hpp"
 
 #include <cmath>
+#include <string>
+#include <vector>
 
 #include "util/assert.hpp"
 

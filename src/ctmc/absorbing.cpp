@@ -1,7 +1,10 @@
 #include "ctmc/absorbing.hpp"
 
 #include <cmath>
+#include <cstddef>
 #include <numeric>
+#include <string>
+#include <vector>
 
 #include "ctmc/elimination.hpp"
 #include "linalg/lu.hpp"

@@ -1,7 +1,11 @@
 #include "ctmc/chain.hpp"
 
 #include <algorithm>
+#include <cstddef>
 #include <queue>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "util/assert.hpp"
 

@@ -15,6 +15,9 @@
 // number.
 #pragma once
 
+#include <cstddef>
+#include <vector>
+
 #include "ctmc/chain.hpp"
 #include "linalg/matrix.hpp"
 #include "util/error.hpp"

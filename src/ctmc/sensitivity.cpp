@@ -1,5 +1,8 @@
 #include "ctmc/sensitivity.hpp"
 
+#include <cstddef>
+#include <vector>
+
 #include "linalg/lu.hpp"
 #include "util/assert.hpp"
 

@@ -1,6 +1,8 @@
 #include "ctmc/stationary.hpp"
 
 #include <cmath>
+#include <cstddef>
+#include <vector>
 
 #include "linalg/lu.hpp"
 #include "util/assert.hpp"

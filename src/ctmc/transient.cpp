@@ -1,6 +1,10 @@
 #include "ctmc/transient.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <cstddef>
+#include <utility>
+#include <vector>
 
 #include "util/assert.hpp"
 

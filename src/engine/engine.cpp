@@ -2,13 +2,18 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstddef>
+#include <cstdint>
 #include <future>
 #include <mutex>
 #include <stdexcept>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "engine/testing.hpp"
 #include "obs/metrics.hpp"
+#include "obs/probe_names.hpp"
 #include "obs/progress.hpp"
 #include "obs/trace.hpp"
 #include "util/assert.hpp"
@@ -113,7 +118,8 @@ ResultSet evaluate(const Grid& grid, const EvalOptions& options) {
   NSREL_EXPECTS(!grid.configurations.empty());
   NSREL_EXPECTS(options.jobs >= 0);
 
-  obs::Span eval_span("evaluate", "engine");
+  obs::Span eval_span(obs::probe::kSpanEvaluate,
+                      obs::probe::kSpanCategoryEngine);
   eval_span.arg("points", static_cast<std::uint64_t>(grid.points.size()));
   eval_span.arg("configurations",
                 static_cast<std::uint64_t>(grid.configurations.size()));
@@ -149,7 +155,7 @@ ResultSet evaluate(const Grid& grid, const EvalOptions& options) {
   const auto evaluate_cell = [&](std::size_t index) {
     const std::size_t point = index / columns;
     const std::size_t configuration = index % columns;
-    obs::Span cell_span("cell", "engine");
+    obs::Span cell_span(obs::probe::kSpanCell, obs::probe::kSpanCategoryEngine);
     if (cell_span.armed()) {
       cell_span.arg("cell", static_cast<std::uint64_t>(index));
       cell_span.arg("point", static_cast<std::uint64_t>(point));
@@ -180,8 +186,8 @@ ResultSet evaluate(const Grid& grid, const EvalOptions& options) {
     }
     if (obs::Registry::enabled()) {
       auto& registry = obs::Registry::instance();
-      registry.add(registry.counter(failed ? "engine.cells_failed"
-                                           : "engine.cells_ok"));
+      registry.add(registry.counter(failed ? obs::probe::kEngineCellsFailed
+                                           : obs::probe::kEngineCellsOk));
     }
     cells[index] = std::move(outcome);
     evaluated[index] = 1;
@@ -201,7 +207,8 @@ ResultSet evaluate(const Grid& grid, const EvalOptions& options) {
   } else {
     std::atomic<std::size_t> next{0};
     const auto worker = [&] {
-      obs::Span claim_span("claim", "engine");
+      obs::Span claim_span(obs::probe::kSpanClaim,
+                           obs::probe::kSpanCategoryEngine);
       std::uint64_t claimed = 0;
       for (;;) {
         if (stop.load(std::memory_order_relaxed)) break;

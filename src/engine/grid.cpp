@@ -1,6 +1,11 @@
 #include "engine/grid.hpp"
 
 #include <cmath>
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "util/assert.hpp"
 #include "util/format.hpp"

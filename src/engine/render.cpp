@@ -1,10 +1,13 @@
 #include "engine/render.hpp"
 
 #include <cstddef>
+#include <cstdint>
 #include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "obs/probe_names.hpp"
 #include "obs/trace.hpp"
 #include "report/json.hpp"
 #include "util/format.hpp"
@@ -24,7 +27,7 @@ std::string failure_marker(const ResultSet::Cell& cell) {
 
 report::Table events_table(const ResultSet& results,
                            const core::ReliabilityTarget* mark_target) {
-  obs::Span span("render", "engine");
+  obs::Span span(obs::probe::kSpanRender, obs::probe::kSpanCategoryEngine);
   span.arg("kind", "events_table");
   const Grid& grid = results.grid();
   std::vector<std::string> headers;
@@ -52,7 +55,7 @@ report::Table events_table(const ResultSet& results,
 }
 
 report::Table sweep_table(const ResultSet& results) {
-  obs::Span span("render", "engine");
+  obs::Span span(obs::probe::kSpanRender, obs::probe::kSpanCategoryEngine);
   span.arg("kind", "sweep_table");
   const Grid& grid = results.grid();
   const bool qualify = grid.configurations.size() > 1;
@@ -85,7 +88,7 @@ report::Table sweep_table(const ResultSet& results) {
 
 report::Table compare_table(const ResultSet& results,
                             const core::ReliabilityTarget& target) {
-  obs::Span span("render", "engine");
+  obs::Span span(obs::probe::kSpanRender, obs::probe::kSpanCategoryEngine);
   span.arg("kind", "compare_table");
   report::Table table({"configuration", "MTTDL", "events/PB-yr", "meets"});
   for (std::size_t c = 0; c < results.configuration_count(); ++c) {
@@ -110,7 +113,7 @@ void write_json(const ResultSet& results, std::ostream& out) {
 
 void write_json(const ResultSet& results, std::ostream& out,
                 const JsonOptions& options) {
-  obs::Span span("render", "engine");
+  obs::Span span(obs::probe::kSpanRender, obs::probe::kSpanCategoryEngine);
   span.arg("kind", "json");
   const Grid& grid = results.grid();
   report::JsonWriter json(out);

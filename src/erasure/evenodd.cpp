@@ -1,5 +1,9 @@
 #include "erasure/evenodd.hpp"
 
+#include <cstddef>
+#include <utility>
+#include <vector>
+
 #include "util/assert.hpp"
 
 namespace nsrel::erasure {

@@ -1,5 +1,9 @@
 #include "erasure/rdp.hpp"
 
+#include <cstddef>
+#include <utility>
+#include <vector>
+
 #include "erasure/evenodd.hpp"  // is_small_prime
 #include "util/assert.hpp"
 

@@ -1,6 +1,9 @@
 #include "erasure/reed_solomon.hpp"
 
 #include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
 
 #include "util/assert.hpp"
 

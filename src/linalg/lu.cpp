@@ -1,6 +1,10 @@
 #include "linalg/lu.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <cstddef>
+#include <optional>
+#include <utility>
 
 namespace nsrel::linalg {
 

@@ -6,7 +6,9 @@
 // (repair rates dwarf failure rates), so partial pivoting is ample.
 #pragma once
 
+#include <cstddef>
 #include <optional>
+#include <vector>
 
 #include "linalg/matrix.hpp"
 

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <sstream>
+#include <string>
 
 #include "util/format.hpp"
 

@@ -1,5 +1,7 @@
 #include "models/availability.hpp"
 
+#include <vector>
+
 #include "ctmc/absorbing.hpp"
 #include "ctmc/stationary.hpp"
 #include "util/assert.hpp"

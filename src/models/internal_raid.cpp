@@ -1,7 +1,9 @@
 #include "models/internal_raid.hpp"
 
 #include <cmath>
+#include <cstddef>
 #include <string>
+#include <vector>
 
 #include "combinat/critical_sets.hpp"
 #include "ctmc/absorbing.hpp"

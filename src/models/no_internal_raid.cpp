@@ -1,9 +1,11 @@
 #include "models/no_internal_raid.hpp"
 
 #include <cmath>
+#include <cstddef>
 #include <map>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "ctmc/absorbing.hpp"
 #include "ctmc/elimination.hpp"

@@ -18,6 +18,8 @@
 // produce identical matrices.
 #pragma once
 
+#include <vector>
+
 #include "combinat/critical_sets.hpp"
 #include "ctmc/chain.hpp"
 #include "linalg/matrix.hpp"

@@ -1,5 +1,7 @@
 #include "obs/build_info.hpp"
 
+#include <string>
+
 // The CMake target supplies NSREL_VERSION / NSREL_GIT_SHA /
 // NSREL_BUILD_TYPE; the fallbacks keep the file compiling standalone.
 #ifndef NSREL_VERSION

@@ -1,10 +1,19 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <array>
+#include <atomic>
 #include <bit>
 #include <chrono>
+#include <cstddef>
+#include <cstdint>
 #include <limits>
+#include <memory>
+#include <mutex>
 #include <ostream>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 namespace nsrel::obs {
 

@@ -1,0 +1,56 @@
+// The single registry of observability probe names: every counter,
+// histogram, and trace-span name the library emits lives here and
+// nowhere else.
+//
+// Why a registry instead of string literals at the call sites: probe
+// names are rendered into `--metrics` blocks and Perfetto traces that
+// downstream tooling greps by exact name, so a silent rename (or two
+// subsystems colliding on one name) corrupts dashboards without failing
+// a single test. tools/nsrel-lint enforces both halves mechanically:
+// the `probe-registry` rule rejects string literals passed directly to
+// Registry::counter()/histogram() or obs::Span in src/, and rejects
+// duplicate name constants in this header. Tests are exempt (they mint
+// throwaway "test.*" names for registry behavior itself).
+//
+// Span identity is (name, category); categories are the per-subsystem
+// kSpanCategory* constants below, and a (name, category) pair appearing
+// twice is fine only when it really is the same span emitted from the
+// same code path (e.g. kSpanRender from each of the four renderers).
+#pragma once
+
+namespace nsrel::obs::probe {
+
+// --- counters ---------------------------------------------------------
+inline constexpr const char* kThreadPoolSubmitted = "thread_pool.submitted";
+inline constexpr const char* kThreadPoolCompleted = "thread_pool.completed";
+inline constexpr const char* kSolveCacheHits = "solve_cache.hits";
+inline constexpr const char* kSolveCacheMisses = "solve_cache.misses";
+inline constexpr const char* kSolveCacheInserts = "solve_cache.inserts";
+inline constexpr const char* kEngineCellsOk = "engine.cells_ok";
+inline constexpr const char* kEngineCellsFailed = "engine.cells_failed";
+/// Per-worker busy-time counters are the one dynamic name family:
+/// "<prefix><index><suffix>", e.g. "thread_pool.worker3.busy_ns".
+inline constexpr const char* kThreadPoolWorkerPrefix = "thread_pool.worker";
+inline constexpr const char* kThreadPoolWorkerBusySuffix = ".busy_ns";
+
+// --- histograms -------------------------------------------------------
+inline constexpr const char* kThreadPoolQueueDepth = "thread_pool.queue_depth";
+inline constexpr const char* kThreadPoolQueueDelayNs =
+    "thread_pool.queue_delay_ns";
+inline constexpr const char* kThreadPoolTaskNs = "thread_pool.task_ns";
+inline constexpr const char* kSolveCacheInsertNs = "solve_cache.insert_ns";
+inline constexpr const char* kCoreSolveNs = "core.solve_ns";
+
+// --- trace spans (name, category) -------------------------------------
+inline constexpr const char* kSpanCategoryCore = "core";
+inline constexpr const char* kSpanCategoryEngine = "engine";
+inline constexpr const char* kSpanCategorySim = "sim";
+
+inline constexpr const char* kSpanSolve = "solve";
+inline constexpr const char* kSpanEvaluate = "evaluate";
+inline constexpr const char* kSpanCell = "cell";
+inline constexpr const char* kSpanClaim = "claim";
+inline constexpr const char* kSpanRender = "render";
+inline constexpr const char* kSpanChunk = "chunk";
+
+}  // namespace nsrel::obs::probe

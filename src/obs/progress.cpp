@@ -1,7 +1,11 @@
 #include "obs/progress.hpp"
 
+#include <cstdint>
 #include <cstdio>
+#include <mutex>
 #include <ostream>
+#include <string>
+#include <utility>
 
 #include "obs/metrics.hpp"
 

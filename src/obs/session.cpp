@@ -1,6 +1,7 @@
 #include "obs/session.hpp"
 
 #include <ostream>
+#include <utility>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"

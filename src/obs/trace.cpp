@@ -1,11 +1,18 @@
 #include "obs/trace.hpp"
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <iterator>
+#include <memory>
+#include <mutex>
 #include <ostream>
+#include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "obs/build_info.hpp"
 #include "obs/metrics.hpp"

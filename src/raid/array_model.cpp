@@ -1,7 +1,9 @@
 #include "raid/array_model.hpp"
 
 #include <cmath>
+#include <cstddef>
 #include <string>
+#include <vector>
 
 #include "ctmc/absorbing.hpp"
 #include "util/assert.hpp"

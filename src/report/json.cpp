@@ -1,9 +1,13 @@
 #include "report/json.hpp"
 
 #include <cmath>
+#include <cstddef>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <ostream>
+#include <string>
+#include <string_view>
 
 #include "util/assert.hpp"
 

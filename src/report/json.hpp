@@ -9,6 +9,7 @@
 // documents.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 #include <string>

@@ -1,8 +1,12 @@
 #include "report/table.hpp"
 
 #include <algorithm>
+#include <cstddef>
 #include <ostream>
 #include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "util/assert.hpp"
 

@@ -2,6 +2,7 @@
 // figures in the paper become printed series a reader can diff run-to-run.
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
 #include <vector>

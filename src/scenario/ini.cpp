@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "util/assert.hpp"
 
@@ -62,7 +64,7 @@ IniDocument IniDocument::parse(const std::string& text) {
     const std::string value = trim(line.substr(equals + 1));
     if (key.empty()) fail(line_number, "empty key");
     auto& section = doc.sections_[current];
-    if (section.count(key) > 0) {
+    if (section.contains(key)) {
       fail(line_number, "duplicate key '" + key + "' in section [" + current +
                             "]");
     }
@@ -72,7 +74,7 @@ IniDocument IniDocument::parse(const std::string& text) {
 }
 
 bool IniDocument::has_section(const std::string& name) const {
-  return sections_.count(name) > 0;
+  return sections_.contains(name);
 }
 
 const IniDocument::Section& IniDocument::section(
@@ -108,7 +110,7 @@ double IniDocument::get_double(const std::string& section_name,
 
 bool IniDocument::has(const std::string& section_name,
                       const std::string& key) const {
-  return section(section_name).count(key) > 0;
+  return section(section_name).contains(key);
 }
 
 }  // namespace nsrel::scenario

@@ -1,7 +1,9 @@
 #include "scenario/scenario.hpp"
 
+#include <cstddef>
 #include <cstdlib>
 #include <ostream>
+#include <string>
 
 #include "engine/engine.hpp"
 #include "engine/grid.hpp"

@@ -36,6 +36,7 @@
 // solve-memoizing path the CLI and the figure benches use.
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <optional>
 #include <string>

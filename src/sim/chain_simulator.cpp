@@ -1,5 +1,8 @@
 #include "sim/chain_simulator.hpp"
 
+#include <cstddef>
+#include <cstdint>
+
 #include "util/assert.hpp"
 
 namespace nsrel::sim {

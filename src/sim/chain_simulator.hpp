@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "ctmc/chain.hpp"
 #include "sim/estimate.hpp"

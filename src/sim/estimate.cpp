@@ -1,7 +1,9 @@
 #include "sim/estimate.hpp"
 
 #include <cmath>
+#include <cstddef>
 #include <limits>
+#include <vector>
 
 #include "util/assert.hpp"
 

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstddef>
+#include <cstdint>
 #include <future>
 #include <optional>
 #include <vector>
 
+#include "obs/probe_names.hpp"
 #include "obs/progress.hpp"
 #include "obs/trace.hpp"
 #include "util/assert.hpp"
@@ -20,7 +23,7 @@ namespace {
 MomentAccumulator sample_chunk(const TrialSampler& sample_one,
                                std::uint64_t seed, std::uint64_t chunk,
                                int chunk_trials) {
-  obs::Span span("chunk", "sim");
+  obs::Span span(obs::probe::kSpanChunk, obs::probe::kSpanCategorySim);
   if (span.armed()) {
     span.arg("stream", chunk);
     span.arg("trials", static_cast<std::uint64_t>(chunk_trials));

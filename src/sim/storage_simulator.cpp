@@ -1,5 +1,7 @@
 #include "sim/storage_simulator.hpp"
 
+#include <cstdint>
+
 #include "util/assert.hpp"
 #include "util/math.hpp"
 

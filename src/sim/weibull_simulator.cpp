@@ -1,6 +1,9 @@
 #include "sim/weibull_simulator.hpp"
 
+#include <cstddef>
+#include <cstdint>
 #include <limits>
+#include <vector>
 
 #include "util/assert.hpp"
 #include "util/math.hpp"

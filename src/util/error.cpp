@@ -1,5 +1,7 @@
 #include "util/error.hpp"
 
+#include <string>
+
 namespace nsrel {
 
 const char* error_code_name(ErrorCode code) {

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <string>
 
 #include "util/assert.hpp"
 #include "util/units.hpp"

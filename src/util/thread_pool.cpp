@@ -1,8 +1,15 @@
 #include "util/thread_pool.hpp"
 
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
 #include <string>
+#include <thread>
+#include <utility>
 
 #include "obs/metrics.hpp"
+#include "obs/probe_names.hpp"
 #include "util/assert.hpp"
 
 namespace nsrel {
@@ -22,11 +29,11 @@ struct PoolProbes {
 
 PoolProbes pool_probes() {
   auto& registry = obs::Registry::instance();
-  return {registry.counter("thread_pool.submitted"),
-          registry.counter("thread_pool.completed"),
-          registry.histogram("thread_pool.queue_depth"),
-          registry.histogram("thread_pool.queue_delay_ns"),
-          registry.histogram("thread_pool.task_ns")};
+  return {registry.counter(obs::probe::kThreadPoolSubmitted),
+          registry.counter(obs::probe::kThreadPoolCompleted),
+          registry.histogram(obs::probe::kThreadPoolQueueDepth),
+          registry.histogram(obs::probe::kThreadPoolQueueDelayNs),
+          registry.histogram(obs::probe::kThreadPoolTaskNs)};
 }
 
 }  // namespace
@@ -93,7 +100,8 @@ void ThreadPool::worker_loop(int index) {
       auto& registry = obs::Registry::instance();
       const PoolProbes probes = pool_probes();
       const obs::Counter busy = registry.counter(
-          "thread_pool.worker" + std::to_string(index) + ".busy_ns");
+          obs::probe::kThreadPoolWorkerPrefix + std::to_string(index) +
+          obs::probe::kThreadPoolWorkerBusySuffix);
       const std::uint64_t start = obs::now_ns();
       registry.record(probes.queue_delay_ns, start - job.submit_ns);
       job.task();  // exceptions land in the associated future

@@ -6,6 +6,7 @@
 // store's I/O counters.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

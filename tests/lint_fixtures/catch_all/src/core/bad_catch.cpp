@@ -1,0 +1,8 @@
+// Fixture: catch-all outside the CLI top level.
+int swallow() {
+  try {
+    return 1;
+  } catch (...) {
+    return 0;
+  }
+}

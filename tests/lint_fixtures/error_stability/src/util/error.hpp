@@ -1,0 +1,8 @@
+// Fixture: ErrorCode reordered against the stability table.
+#pragma once
+namespace nsrel {
+enum class ErrorCode : unsigned char {
+  kBeta,
+  kAlpha,
+};
+}

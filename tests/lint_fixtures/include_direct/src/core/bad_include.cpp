@@ -1,0 +1,6 @@
+// Fixture: names std::vector without directly including <vector>.
+#include <cstddef>
+std::size_t length() {
+  std::vector<int> values;
+  return values.size();
+}

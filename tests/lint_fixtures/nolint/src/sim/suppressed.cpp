@@ -1,0 +1,7 @@
+// Fixture: a violation carrying a rule-named NOLINT must not fire.
+#include <random>
+int entropy() {
+  // NOLINTNEXTLINE(rng-determinism): fixture proves suppression works
+  std::random_device device;
+  return static_cast<int>(device());
+}

@@ -1,0 +1,9 @@
+// Fixture: iterating an unordered container (hash order escapes).
+#include <string>
+#include <unordered_map>
+int total() {
+  std::unordered_map<std::string, int> cells;
+  int sum = 0;
+  for (const auto& entry : cells) sum += entry.second;
+  return sum;
+}

@@ -1,0 +1,4 @@
+// Fixture: unordered container in an output-path file.
+#include <string>
+#include <unordered_map>
+std::unordered_map<std::string, int> rows;

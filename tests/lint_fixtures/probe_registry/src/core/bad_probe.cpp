@@ -1,0 +1,6 @@
+// Fixture: probe name as a string literal instead of a registry constant.
+struct Registry { int counter(const char*); };
+int probe() {
+  Registry registry;
+  return registry.counter("solve_cache.hits");
+}

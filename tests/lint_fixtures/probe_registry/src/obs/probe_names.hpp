@@ -1,0 +1,4 @@
+// Fixture: two constants registering the same probe name.
+#pragma once
+inline constexpr const char* kHitsA = "cache.hits";
+inline constexpr const char* kHitsB = "cache.hits";

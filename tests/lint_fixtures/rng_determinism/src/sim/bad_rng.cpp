@@ -1,0 +1,6 @@
+// Fixture: nondeterministic seed source outside src/util/rng.*.
+#include <random>
+int entropy() {
+  std::random_device device;
+  return static_cast<int>(device());
+}

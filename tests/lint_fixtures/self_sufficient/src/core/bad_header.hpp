@@ -1,0 +1,3 @@
+// Fixture: header that does not compile standalone (missing <vector>).
+#pragma once
+inline std::vector<int> empty_values() { return {}; }

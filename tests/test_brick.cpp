@@ -2,9 +2,12 @@
 // store's write/read/degraded-read/rebuild lifecycle, fail-in-place
 // capacity behaviour, and the correspondence between measured rebuild
 // traffic and section 5.1's flow model.
+#include <cstddef>
+#include <cstdint>
 #include <gtest/gtest.h>
 
 #include <numeric>
+#include <vector>
 
 #include "brick/object_store.hpp"
 #include "util/assert.hpp"

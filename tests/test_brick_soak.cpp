@@ -3,9 +3,13 @@
 // rebuilds), rebuilds, and reads — asserting after every step that no
 // stored object is ever lost or corrupted and that rebuilds always return
 // the system to full redundancy.
+#include <cstddef>
+#include <cstdint>
 #include <gtest/gtest.h>
 
 #include <map>
+#include <utility>
+#include <vector>
 
 #include "brick/object_store.hpp"
 #include "util/rng.hpp"

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "cli/args.hpp"
 #include "cli/commands.hpp"
@@ -349,6 +351,36 @@ TEST(Dispatch, SweepOnErrorFailStopsAtTheFirstFailure) {
   const auto bad = run({"sweep", "--param", "n", "--from", "16", "--to",
                         "64", "--steps", "2", "--on-error", "explode"});
   EXPECT_EQ(bad.exit_code, kExitUsage);
+}
+
+TEST(Dispatch, RepeatedRunsAreByteIdentical) {
+  // The determinism contract nsrel-lint polices statically, asserted
+  // dynamically: re-running the same command in one process (warm solve
+  // cache, reused thread pool, different heap layout) must reproduce
+  // stdout and stderr byte-for-byte, serial and parallel alike.
+  const auto first = run({"sweep", "--param", "node-mttf", "--from",
+                          "1e4", "--to", "1e5", "--steps", "6",
+                          "--jobs", "8"});
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    const auto again = run({"sweep", "--param", "node-mttf", "--from",
+                            "1e4", "--to", "1e5", "--steps", "6",
+                            "--jobs", "8"});
+    EXPECT_EQ(again.exit_code, first.exit_code);
+    EXPECT_EQ(again.out, first.out);
+    EXPECT_EQ(again.err, first.err);
+  }
+  const auto serial = run({"sweep", "--param", "node-mttf", "--from",
+                           "1e4", "--to", "1e5", "--steps", "6",
+                           "--jobs", "1"});
+  EXPECT_EQ(serial.out, first.out);
+
+  const auto sim_first = run({"simulate", "--node-mttf", "500",
+                              "--drive-mttf", "300", "--trials", "300",
+                              "--jobs", "4", "--seed", "11"});
+  const auto sim_again = run({"simulate", "--node-mttf", "500",
+                              "--drive-mttf", "300", "--trials", "300",
+                              "--jobs", "4", "--seed", "11"});
+  EXPECT_EQ(sim_again.out, sim_first.out);
 }
 
 }  // namespace

@@ -1,6 +1,7 @@
 // Tests for the critical-redundancy-set combinatorics of section 5.2,
 // including cross-checks against exhaustive enumeration via the placement
 // module.
+#include <cstddef>
 #include <gtest/gtest.h>
 
 #include <algorithm>

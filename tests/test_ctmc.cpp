@@ -1,9 +1,11 @@
 // Tests for the CTMC substrate: chain construction, absorbing analysis
 // (against closed forms for small chains), transient uniformization
 // (against analytic exponentials), and the stationary solver.
+#include <cstddef>
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
 
 #include "ctmc/absorbing.hpp"
 #include "ctmc/chain.hpp"

@@ -2,9 +2,12 @@
 // (LU analysis, GTH elimination, trajectory simulation) and the transient
 // solver must agree on chains they were never hand-tuned for. Also covers
 // the DOT exporter.
+#include <cstddef>
+#include <cstdint>
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
 
 #include "ctmc/absorbing.hpp"
 #include "ctmc/chain.hpp"

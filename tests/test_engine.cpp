@@ -1,5 +1,6 @@
 // Tests for the grid-evaluation engine: grid construction, parallel
 // jobs-invariance, solve-cache correctness, and the renderers.
+#include <cstddef>
 #include <gtest/gtest.h>
 
 #include <cstdlib>

@@ -1,9 +1,12 @@
 // Tests for the GF(256) field and the Reed-Solomon erasure code: field
 // axioms (property-swept), MDS recoverability for every erasure pattern on
 // small codes, and random-pattern recovery on paper-sized codes.
+#include <cstddef>
+#include <cstdint>
 #include <gtest/gtest.h>
 
 #include <numeric>
+#include <vector>
 
 #include "erasure/gf256.hpp"
 #include "erasure/reed_solomon.hpp"

@@ -1,7 +1,10 @@
 // Tests for the EVENODD double-erasure code: parity identities and
 // EXHAUSTIVE recovery of every 0-, 1- and 2-column erasure pattern for
 // several primes and cell sizes.
+#include <cstddef>
+#include <cstdint>
 #include <gtest/gtest.h>
+#include <vector>
 
 #include "erasure/evenodd.hpp"
 #include "util/assert.hpp"

@@ -2,10 +2,13 @@
 // parameters through rebuild rates, array rates and node-level chains to
 // normalized events/PB-year, plus an erasure-coded "mini system" exercise
 // that ties placement, coding and the reliability model together.
+#include <cstddef>
+#include <cstdint>
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "core/analyzer.hpp"
 #include "ctmc/absorbing.hpp"

@@ -1,4 +1,7 @@
 // Unit and property tests for the dense linear algebra substrate.
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
 #include <gtest/gtest.h>
 
 #include <cmath>

@@ -1,6 +1,7 @@
 // Tests for the hierarchical internal-RAID node-level models
 // (Figures 5, 6, 7): chain structure, critical factors, closed-form vs
 // exact agreement, and monotonicity properties.
+#include <algorithm>
 #include <gtest/gtest.h>
 
 #include "combinat/critical_sets.hpp"

@@ -1,9 +1,12 @@
 // Tests for the no-internal-RAID models: the recursive chain construction
 // vs the appendix's block-recursive absorption matrix, exact-vs-closed-form
 // agreement, and structural properties of the failure-word state space.
+#include <algorithm>
+#include <cstddef>
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
 
 #include "ctmc/absorbing.hpp"
 #include "models/no_internal_raid.hpp"

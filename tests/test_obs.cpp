@@ -3,6 +3,7 @@
 // --cache-stats CLI surface, and the nsrel-bench-v1 writer — plus the
 // central invariant that stdout is byte-identical with observability on
 // or off, at any jobs count.
+#include <cstddef>
 #include <gtest/gtest.h>
 
 #include <cctype>

@@ -1,6 +1,7 @@
 // End-to-end checks of the paper's qualitative claims (the "shape" of every
 // figure), using the full Analyzer at the section-6 baseline. These are the
 // assertions EXPERIMENTS.md reports against.
+#include <algorithm>
 #include <gtest/gtest.h>
 
 #include "core/analyzer.hpp"

@@ -1,9 +1,12 @@
 // Tests for placement: even distribution, critical-stripe counting against
 // the combinatorial fractions, redundancy-set enumeration, and the
 // fail-in-place spare ledger.
+#include <cstddef>
+#include <cstdint>
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <vector>
 
 #include "combinat/critical_sets.hpp"
 #include "placement/layout.hpp"

@@ -1,7 +1,10 @@
 // Tests for the RDP code: parity definitions, exhaustive single/double
 // erasure recovery across primes, and cross-checks against EVENODD on the
 // shared row-parity component.
+#include <cstddef>
+#include <cstdint>
 #include <gtest/gtest.h>
+#include <vector>
 
 #include "erasure/evenodd.hpp"
 #include "erasure/rdp.hpp"

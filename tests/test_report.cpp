@@ -1,9 +1,11 @@
 // Tests for the table/CSV/JSON report emitters.
+#include <cstdint>
 #include <gtest/gtest.h>
 
 #include <cstdlib>
 #include <limits>
 #include <sstream>
+#include <string>
 
 #include "report/json.hpp"
 #include "report/table.hpp"

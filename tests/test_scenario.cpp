@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
 
 #include "scenario/ini.hpp"
 #include "scenario/scenario.hpp"

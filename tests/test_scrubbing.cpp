@@ -1,7 +1,9 @@
 // Tests for the scrubbing model: calibration identity, bandwidth
 // accounting, the reliability trade-off, and the existence of an interior
 // optimum scrub period.
+#include <cstddef>
 #include <gtest/gtest.h>
+#include <vector>
 
 #include "core/analyzer.hpp"
 #include "core/scrubbing.hpp"

@@ -4,6 +4,7 @@
 // validates the transition structure at any rate ratio.
 
 #include <cmath>
+#include <cstdint>
 #include <gtest/gtest.h>
 
 #include "ctmc/absorbing.hpp"

@@ -1,8 +1,12 @@
 // Unit tests for the util substrate: contracts, units, math, RNG, format.
+#include <cstddef>
+#include <cstdint>
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <set>
+#include <string>
+#include <vector>
 
 #include "util/assert.hpp"
 #include "util/format.hpp"

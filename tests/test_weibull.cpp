@@ -2,6 +2,7 @@
 // simulator: distribution moments, the exact reduction to the Markov
 // model at shape = 1, and the direction of the exponential-assumption
 // error at fixed MTTF.
+#include <cstdint>
 #include <gtest/gtest.h>
 
 #include <cmath>

@@ -1,7 +1,11 @@
 // Tests for the workload module: Zipf sampler statistics, partial-read
 // correctness with I/O accounting, and the empirical degraded-read
 // amplification vs the analytic DegradedModel prediction.
+#include <cstddef>
+#include <cstdint>
 #include <gtest/gtest.h>
+#include <utility>
+#include <vector>
 
 #include "brick/object_store.hpp"
 #include "util/assert.hpp"

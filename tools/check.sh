@@ -1,13 +1,17 @@
 #!/usr/bin/env bash
-# Sanitizer gate: builds the tree and runs ctest under ThreadSanitizer and
-# UndefinedBehaviorSanitizer (the thread pool and parallel Monte-Carlo
-# engine must stay clean under both).
+# Correctness gate: sanitizer builds + static analysis, one command each.
 #
-# usage: tools/check.sh [-j N] [-R ctest-regex] [thread|undefined|address ...]
+# usage: tools/check.sh [-j N] [-R ctest-regex] [thread|undefined|address|lint ...]
 #
 #   -j N           parallel build/test jobs        (default: nproc)
 #   -R regex       forward a test filter to ctest  (default: all tests)
-#   sanitizers...  which builds to run             (default: thread undefined)
+#   targets...     which gates to run              (default: thread undefined)
+#
+# Targets: thread/undefined/address build the tree and run ctest under
+# the named sanitizer (address enables LeakSanitizer too); `lint` runs
+# the static-analysis gate instead — tools/tidy.sh (clang-tidy wall,
+# skipped with a notice when clang-tidy isn't installed) followed by
+# tools/nsrel-lint (domain invariants; see DESIGN.md §10).
 #
 # Each sanitizer gets its own build tree (build-tsan/, build-ubsan/,
 # build-asan/) so the default build/ stays untouched.
@@ -17,29 +21,42 @@ cd "$(dirname "$0")/.."
 
 jobs="$(nproc)"
 filter=()
-sanitizers=()
+targets=()
 while [[ $# -gt 0 ]]; do
   case "$1" in
     -j) jobs="$2"; shift 2 ;;
     -R) filter=(-R "$2"); shift 2 ;;
-    thread|undefined|address) sanitizers+=("$1"); shift ;;
+    thread|undefined|address|lint) targets+=("$1"); shift ;;
     *) echo "unknown argument: $1" >&2; exit 2 ;;
   esac
 done
-if [[ ${#sanitizers[@]} -eq 0 ]]; then
-  sanitizers=(thread undefined)
+if [[ ${#targets[@]} -eq 0 ]]; then
+  targets=(thread undefined)
 fi
 
-for sanitizer in "${sanitizers[@]}"; do
-  case "$sanitizer" in
+for target in "${targets[@]}"; do
+  if [[ "$target" == lint ]]; then
+    echo "== static analysis (tidy.sh + nsrel-lint) =="
+    tools/tidy.sh -j "$jobs"
+    tools/nsrel-lint -j "$jobs"
+    continue
+  fi
+  case "$target" in
     thread)    dir=build-tsan ;;
     undefined) dir=build-ubsan ;;
     address)   dir=build-asan ;;
   esac
-  echo "== ${sanitizer} sanitizer (${dir}) =="
-  cmake -B "$dir" -S . -DNSREL_SANITIZE="$sanitizer" \
+  echo "== ${target} sanitizer (${dir}) =="
+  cmake -B "$dir" -S . -DNSREL_SANITIZE="$target" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
   cmake --build "$dir" -j "$jobs"
-  ctest --test-dir "$dir" --output-on-failure -j "$jobs" "${filter[@]}"
+  if [[ "$target" == address ]]; then
+    # Leak detection on explicitly: the thread pool, obs registry, and
+    # trace recorder all own long-lived allocations that must balance.
+    ASAN_OPTIONS="detect_leaks=1:${ASAN_OPTIONS:-}" \
+      ctest --test-dir "$dir" --output-on-failure -j "$jobs" "${filter[@]}"
+  else
+    ctest --test-dir "$dir" --output-on-failure -j "$jobs" "${filter[@]}"
+  fi
 done
-echo "== all sanitizer runs passed =="
+echo "== all requested gates passed =="

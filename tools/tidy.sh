@@ -1,0 +1,119 @@
+#!/usr/bin/env bash
+# clang-tidy wall for the whole tree (config: .clang-tidy at the repo
+# root; rule rationale and the NOLINT policy: DESIGN.md §10).
+#
+# usage: tools/tidy.sh [-j N] [-B build-dir] [--update-baseline] [paths...]
+#
+#   -j N               parallel tidy jobs            (default: nproc)
+#   -B dir             build tree with compile_commands.json
+#                      (default: build/, configured on demand)
+#   --update-baseline  rewrite tools/lint/tidy-baseline.txt from the
+#                      current findings instead of failing on them
+#   paths...           restrict to these sources     (default: src bench
+#                      tests tools examples)
+#
+# Gate semantics: every finding is normalized to "<file>:<check>" and
+# compared against the committed baseline (tools/lint/tidy-baseline.txt,
+# empty today — the tree is clean). Any finding not in the baseline fails
+# the run, so new findings can't land; shrinking the baseline is always
+# welcome, growing it needs review of the regenerated file.
+#
+# The container used for day-to-day development may not ship clang-tidy
+# (only the gcc toolchain is baked in). In that case this script prints a
+# notice and exits 0 so `tools/check.sh lint` stays runnable everywhere;
+# pass TIDY_REQUIRE=1 (CI does) to make a missing clang-tidy an error.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+jobs="$(nproc)"
+build_dir=build
+update_baseline=0
+paths=()
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    -j) jobs="$2"; shift 2 ;;
+    -B) build_dir="$2"; shift 2 ;;
+    --update-baseline) update_baseline=1; shift ;;
+    -*) echo "unknown argument: $1" >&2; exit 2 ;;
+    *) paths+=("$1"); shift ;;
+  esac
+done
+if [[ ${#paths[@]} -eq 0 ]]; then
+  paths=(src bench tests tools examples)
+fi
+
+tidy="${CLANG_TIDY:-}"
+if [[ -z "$tidy" ]]; then
+  for candidate in clang-tidy clang-tidy-19 clang-tidy-18 clang-tidy-17 \
+                   clang-tidy-16 clang-tidy-15; do
+    if command -v "$candidate" > /dev/null 2>&1; then
+      tidy="$candidate"
+      break
+    fi
+  done
+fi
+if [[ -z "$tidy" ]]; then
+  if [[ "${TIDY_REQUIRE:-0}" == "1" ]]; then
+    echo "tidy.sh: clang-tidy not found and TIDY_REQUIRE=1" >&2
+    exit 1
+  fi
+  echo "tidy.sh: clang-tidy not installed; skipping (set TIDY_REQUIRE=1 to fail)"
+  exit 0
+fi
+
+if [[ ! -f "$build_dir/compile_commands.json" ]]; then
+  cmake -B "$build_dir" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
+fi
+
+# Sources = every compiled TU under the requested paths, straight from
+# the compile database, so generated/unbuilt files never skew the gate.
+mapfile -t sources < <(python3 - "$build_dir" "${paths[@]}" <<'EOF'
+import json, os, sys
+build_dir, roots = sys.argv[1], sys.argv[2:]
+top = os.getcwd()
+seen = []
+for entry in json.load(open(os.path.join(build_dir, "compile_commands.json"))):
+    path = os.path.relpath(os.path.join(entry["directory"], entry["file"]), top)
+    if any(path == r or path.startswith(r.rstrip("/") + "/") for r in roots):
+        if path not in seen:
+            seen.append(path)
+print("\n".join(sorted(seen)))
+EOF
+)
+if [[ ${#sources[@]} -eq 0 ]]; then
+  echo "tidy.sh: no sources matched ${paths[*]}" >&2
+  exit 2
+fi
+
+echo "tidy.sh: $tidy over ${#sources[@]} TUs (-j $jobs, db: $build_dir)"
+log="$(mktemp)"
+trap 'rm -f "$log"' EXIT
+printf '%s\n' "${sources[@]}" \
+  | xargs -P "$jobs" -n 4 "$tidy" -p "$build_dir" --quiet >> "$log" 2>&1 \
+  || true
+
+# Normalize findings to "<relative file>:<check>" lines.
+findings="$(sed -n 's/^\([^ :]*\):[0-9]*:[0-9]*: \(warning\|error\): .*\[\(.*\)\]$/\1:\3/p' \
+              "$log" | sed "s|^$(pwd)/||" | sort -u)"
+
+baseline_file=tools/lint/tidy-baseline.txt
+if [[ $update_baseline -eq 1 ]]; then
+  { echo "# clang-tidy findings grandfathered by tools/tidy.sh --update-baseline."
+    echo "# One '<file>:<check>' per line; shrink freely, grow only with review."
+    [[ -n "$findings" ]] && printf '%s\n' "$findings"
+  } > "$baseline_file"
+  echo "tidy.sh: baseline updated ($(printf '%s' "$findings" | grep -c . || true) entries)"
+  exit 0
+fi
+
+new="$(comm -23 <(printf '%s\n' "$findings" | grep -v '^$' || true) \
+               <(grep -v '^#' "$baseline_file" | sort -u))"
+if [[ -n "$new" ]]; then
+  echo "tidy.sh: new clang-tidy findings (not in $baseline_file):" >&2
+  printf '%s\n' "$new" >&2
+  echo "--- full log ---" >&2
+  grep -E "warning:|error:" "$log" >&2 || true
+  exit 1
+fi
+echo "tidy.sh: clean (no findings outside baseline)"
