@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "ctmc/dot.hpp"
+#include "ctmc/solver_policy.hpp"
 #include "engine/engine.hpp"
 #include "engine/grid.hpp"
 #include "engine/render.hpp"
@@ -61,6 +62,9 @@ configuration flags:
   --scheme none|raid5|raid6   internal redundancy        (default raid5)
   --ft K                      node fault tolerance       (default 2)
   --method exact|closed       solution path              (default exact)
+  --solver auto|dense|sparse  CTMC solve backend         (default auto;
+                              backends are bit-identical — auto switches
+                              to sparse above 63 transient states)
 
 evaluation flags (analyze | compare | sweep; all three run through the
 parallel grid-evaluation engine — output never depends on --jobs):
@@ -119,6 +123,10 @@ core::Method method_from_args(const Args& args) {
   return core::parse_method(args.get_string("method", "exact"));
 }
 
+ctmc::SolverPolicy solver_from_args(const Args& args) {
+  return ctmc::parse_solver_policy(args.get_string("solver", "auto"));
+}
+
 /// Shared evaluation flags of analyze/compare/sweep. --csv 1 is the
 /// pre-engine spelling of --format csv, kept as an alias.
 struct EvalFlags {
@@ -175,12 +183,14 @@ int run_analyze(const Args& args, std::ostream& out, std::ostream& err) {
   const core::SystemConfig system = config_from_args(args);
   const core::Configuration configuration = configuration_from_args(args);
   const core::Method method = method_from_args(args);
+  const ctmc::SolverPolicy solver = solver_from_args(args);
   const core::ReliabilityTarget target{args.get_double("target", 2e-3)};
   const EvalFlags flags = eval_flags_from_args(args);
   if (const int rc = check_unused(args, err); rc != 0) return rc;
 
-  const engine::ResultSet results = engine::evaluate(
-      engine::single_point(system, {configuration}, method), flags.options);
+  engine::Grid grid = engine::single_point(system, {configuration}, method);
+  grid.solver = solver;
+  const engine::ResultSet results = engine::evaluate(grid, flags.options);
   if (flags.format == report::OutputFormat::kJson) {
     engine::write_json(results, out,
                        engine::JsonOptions{flags.cache_stats});
@@ -224,13 +234,15 @@ int run_analyze(const Args& args, std::ostream& out, std::ostream& err) {
 int run_compare(const Args& args, std::ostream& out, std::ostream& err) {
   const core::SystemConfig system = config_from_args(args);
   const core::Method method = method_from_args(args);
+  const ctmc::SolverPolicy solver = solver_from_args(args);
   const core::ReliabilityTarget target{args.get_double("target", 2e-3)};
   const EvalFlags flags = eval_flags_from_args(args);
   if (const int rc = check_unused(args, err); rc != 0) return rc;
 
-  const engine::ResultSet results = engine::evaluate(
-      engine::single_point(system, core::all_configurations(), method),
-      flags.options);
+  engine::Grid grid =
+      engine::single_point(system, core::all_configurations(), method);
+  grid.solver = solver;
+  const engine::ResultSet results = engine::evaluate(grid, flags.options);
   switch (flags.format) {
     case report::OutputFormat::kTable:
       engine::compare_table(results, target).print(out);
@@ -286,6 +298,7 @@ int run_sweep(const Args& args, std::ostream& out, std::ostream& err) {
   const int steps = args.get_int("steps", 5);
   const core::Configuration configuration = configuration_from_args(args);
   const core::Method method = method_from_args(args);
+  const ctmc::SolverPolicy solver = solver_from_args(args);
   const core::SystemConfig base = config_from_args(args);
   EvalFlags flags = eval_flags_from_args(args);
   const bool progress = args.has("progress");
@@ -302,10 +315,11 @@ int run_sweep(const Args& args, std::ostream& out, std::ostream& err) {
   }
 
   // Log-spaced points: sensitivity plots in the paper span decades.
-  const engine::Grid grid = engine::parameter_sweep(
+  engine::Grid grid = engine::parameter_sweep(
       base, param,
       engine::spaced_points(from, to, steps, /*log_scale=*/true),
       {configuration}, method);
+  grid.solver = solver;
   std::optional<obs::ProgressMeter> meter;
   if (progress) {
     meter.emplace(err, "cells",

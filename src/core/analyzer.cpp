@@ -21,12 +21,16 @@ namespace {
 /// on: a one-byte family/method tag followed by the model parameters.
 /// Bitwise-equal keys imply bitwise-equal solves.
 std::string nir_solve_key(const models::NoInternalRaidParams& p,
-                          Method method) {
+                          Method method, ctmc::SolverPolicy policy) {
   std::string key;
-  key.reserve(2 + 4 * sizeof(int) + 6 * sizeof(double));
+  key.reserve(3 + 4 * sizeof(int) + 6 * sizeof(double));
   key.push_back('N');
   key.push_back(static_cast<char>(method));
   key.push_back(static_cast<char>(p.repair_policy));
+  // The elimination backends are bit-identical, so distinct policies
+  // could share entries — but the key states what actually ran, and a
+  // duplicated solve is cheaper than a wrong aliasing assumption.
+  key.push_back(static_cast<char>(policy));
   append_key_bytes(key, p.node_set_size);
   append_key_bytes(key, p.redundancy_set_size);
   append_key_bytes(key, p.fault_tolerance);
@@ -40,12 +44,14 @@ std::string nir_solve_key(const models::NoInternalRaidParams& p,
   return key;
 }
 
-std::string ir_solve_key(const models::InternalRaidParams& p, Method method) {
+std::string ir_solve_key(const models::InternalRaidParams& p, Method method,
+                         ctmc::SolverPolicy policy) {
   std::string key;
-  key.reserve(2 + 3 * sizeof(int) + 4 * sizeof(double));
+  key.reserve(3 + 3 * sizeof(int) + 4 * sizeof(double));
   key.push_back('I');
   key.push_back(static_cast<char>(method));
   key.push_back(static_cast<char>(p.repair_policy));
+  key.push_back(static_cast<char>(policy));
   append_key_bytes(key, p.node_set_size);
   append_key_bytes(key, p.redundancy_set_size);
   append_key_bytes(key, p.fault_tolerance);
@@ -213,21 +219,32 @@ sim::MttdlEstimate Analyzer::simulate_mttdl(
 }
 
 AnalysisResult Analyzer::analyze(const Configuration& configuration,
-                                 Method method, SolveCache* cache) const {
+                                 Method method, SolveCache* cache,
+                                 ctmc::SolverPolicy policy) const {
   NSREL_EXPECTS(configuration.node_fault_tolerance >= 1);
   NSREL_EXPECTS(configuration.node_fault_tolerance <
                 config_.redundancy_set_size);
-  return try_analyze(configuration, method, cache).value_or_throw();
+  return try_analyze(configuration, method, cache, policy).value_or_throw();
 }
 
 Expected<AnalysisResult> Analyzer::try_analyze(
-    const Configuration& configuration, Method method,
-    SolveCache* cache) const {
+    const Configuration& configuration, Method method, SolveCache* cache,
+    ctmc::SolverPolicy policy) const {
   if (configuration.node_fault_tolerance < 1 ||
       configuration.node_fault_tolerance >= config_.redundancy_set_size) {
     return Error{ErrorCode::kInvalidParameter, "core.analyzer",
                  "node fault tolerance must be >= 1 and below the "
                  "redundancy set size"};
+  }
+  if (configuration.internal == InternalScheme::kNone &&
+      configuration.node_fault_tolerance > 16) {
+    // Matches the NoInternalRaidModel cap: the chain has 2^(k+1) states,
+    // and 16 is where even the sparse path stops being sensible. A typed
+    // error, not a contract violation — the parameter came from user
+    // input (a sweep axis), not from a caller bug.
+    return Error{ErrorCode::kInvalidParameter, "core.analyzer",
+                 "node fault tolerance above 16 is not supported without "
+                 "internal RAID (the chain has 2^(k+1) states)"};
   }
   if (auto bad = check_positive_finite(config_.drive.mttf.value(),
                                        "drive MTTF")) {
@@ -258,18 +275,20 @@ Expected<AnalysisResult> Analyzer::try_analyze(
     Expected<double> mttdl_hours{0.0};
     if (configuration.internal == InternalScheme::kNone) {
       const models::NoInternalRaidParams p = nir_params(configuration);
-      mttdl_hours = cached_solve(cache, nir_solve_key(p, method), [&] {
-        const models::NoInternalRaidModel model(p);
-        return method == Method::kExactChain ? model.mttdl_exact()
-                                             : model.mttdl_closed_form();
-      });
+      mttdl_hours =
+          cached_solve(cache, nir_solve_key(p, method, policy), [&] {
+            const models::NoInternalRaidModel model(p);
+            return method == Method::kExactChain
+                       ? model.mttdl_exact(policy)
+                       : model.mttdl_closed_form();
+          });
     } else {
       const models::InternalRaidParams p = ir_params(configuration);
       result.array_failure_rate = p.array_failure;
       result.sector_error_rate = p.sector_error;
-      mttdl_hours = cached_solve(cache, ir_solve_key(p, method), [&] {
+      mttdl_hours = cached_solve(cache, ir_solve_key(p, method, policy), [&] {
         const models::InternalRaidNodeModel model(p);
-        return method == Method::kExactChain ? model.mttdl_exact()
+        return method == Method::kExactChain ? model.mttdl_exact(policy)
                                              : model.mttdl_closed_form();
       });
     }

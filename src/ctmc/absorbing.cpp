@@ -2,52 +2,61 @@
 
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
 #include <numeric>
 #include <string>
 #include <vector>
 
 #include "ctmc/elimination.hpp"
 #include "linalg/lu.hpp"
+#include "linalg/sparse/sparse_lu.hpp"
+#include "linalg/sparse/sparse_matrix.hpp"
+#include "obs/probe_names.hpp"
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
 #include "util/format.hpp"
 #include "util/math.hpp"
 
 namespace nsrel::ctmc {
 
-AbsorbingAnalysis AbsorbingSolver::analyze(const Chain& chain,
-                                           StateId initial) {
-  return try_analyze(chain, initial).value_or_throw();
-}
+namespace {
 
-AbsorbingAnalysis AbsorbingSolver::analyze_distribution(
-    const Chain& chain, const std::vector<double>& initial) {
-  return try_analyze_distribution(chain, initial).value_or_throw();
-}
-
-Expected<AbsorbingAnalysis> AbsorbingSolver::try_analyze(
-    const Chain& chain, StateId initial, const NumericalGuards& guards) {
-  NSREL_EXPECTS(initial < chain.state_count());
-  NSREL_EXPECTS(chain.state(initial).kind == StateKind::kTransient);
+/// Assembles R = -Q_B in CSR form straight from the transition list —
+/// the sparse twin of Chain::absorption_matrix, same per-cell
+/// accumulation order, without the n x n intermediate.
+linalg::sparse::CsrMatrix sparse_absorption_matrix(const Chain& chain) {
   const auto transient = chain.transient_states();
-  std::vector<double> pi0(transient.size(), 0.0);
-  for (std::size_t i = 0; i < transient.size(); ++i) {
-    if (transient[i] == initial) pi0[i] = 1.0;
+  const std::size_t n = transient.size();
+  std::vector<std::size_t> index(chain.state_count(), chain.state_count());
+  for (std::size_t i = 0; i < n; ++i) index[transient[i]] = i;
+
+  std::vector<linalg::sparse::Triplet> triplets;
+  triplets.reserve(2 * chain.transitions().size());
+  for (const auto& t : chain.transitions()) {
+    const std::size_t from = index[t.from];
+    NSREL_ASSERT(from < n);
+    // Diagonal reflects ALL outflow, including flow into absorbing
+    // states; off-diagonals are negated transient-to-transient rates.
+    triplets.push_back({static_cast<std::uint32_t>(from),
+                        static_cast<std::uint32_t>(from), t.rate});
+    const std::size_t to = index[t.to];
+    if (to < n) {
+      triplets.push_back({static_cast<std::uint32_t>(from),
+                          static_cast<std::uint32_t>(to), -t.rate});
+    }
   }
-  return try_analyze_distribution(chain, pi0, guards);
+  return linalg::sparse::CsrMatrix::from_triplets(n, n, triplets);
 }
 
-Expected<AbsorbingAnalysis> AbsorbingSolver::try_analyze_distribution(
-    const Chain& chain, const std::vector<double>& initial,
-    const NumericalGuards& guards) {
-  const std::string defect = chain.validate();
-  NSREL_EXPECTS(defect.empty());
-  const auto transient = chain.transient_states();
-  NSREL_EXPECTS(initial.size() == transient.size());
-  NSREL_EXPECTS(approx_equal(
-      std::accumulate(initial.begin(), initial.end(), 0.0), 1.0, 1e-9));
-
-  const linalg::Matrix r = chain.absorption_matrix();
-  const linalg::LuDecomposition lu(r);
+/// Everything downstream of the factorization, shared verbatim between
+/// the dense and sparse backends (both expose singular/rcond_estimate/
+/// solve/solve_transposed): occupancy, MTTDL, phase-type stddev,
+/// absorption probabilities, and the final health check.
+template <typename Factorization>
+Expected<AbsorbingAnalysis> finish_analysis(const Chain& chain,
+                                            const Factorization& lu,
+                                            const std::vector<double>& initial,
+                                            const NumericalGuards& guards) {
   if (lu.singular()) {
     return Error{ErrorCode::kSingularGenerator, "ctmc.absorbing",
                  "absorption matrix is numerically singular"};
@@ -69,7 +78,7 @@ Expected<AbsorbingAnalysis> AbsorbingSolver::try_analyze_distribution(
 
   // m = R^{-1} 1: expected time to absorption from each transient state.
   // E[T^2] = 2 * sum_i tau_i * m_i (phase-type second moment).
-  const linalg::Vector ones(transient.size(), 1.0);
+  const linalg::Vector ones(result.occupancy_hours.size(), 1.0);
   const linalg::Vector m = lu.solve(ones);
   KahanSum second_moment;
   for (std::size_t i = 0; i < m.size(); ++i) {
@@ -111,11 +120,68 @@ Expected<AbsorbingAnalysis> AbsorbingSolver::try_analyze_distribution(
   return result;
 }
 
-double AbsorbingSolver::mttdl_hours(const Chain& chain, StateId initial) {
+}  // namespace
+
+AbsorbingAnalysis AbsorbingSolver::analyze(const Chain& chain, StateId initial,
+                                           SolverPolicy policy) {
+  return try_analyze(chain, initial, {}, policy).value_or_throw();
+}
+
+AbsorbingAnalysis AbsorbingSolver::analyze_distribution(
+    const Chain& chain, const std::vector<double>& initial,
+    SolverPolicy policy) {
+  return try_analyze_distribution(chain, initial, {}, policy)
+      .value_or_throw();
+}
+
+Expected<AbsorbingAnalysis> AbsorbingSolver::try_analyze(
+    const Chain& chain, StateId initial, const NumericalGuards& guards,
+    SolverPolicy policy) {
+  NSREL_EXPECTS(initial < chain.state_count());
+  NSREL_EXPECTS(chain.state(initial).kind == StateKind::kTransient);
+  const auto transient = chain.transient_states();
+  std::vector<double> pi0(transient.size(), 0.0);
+  for (std::size_t i = 0; i < transient.size(); ++i) {
+    if (transient[i] == initial) pi0[i] = 1.0;
+  }
+  return try_analyze_distribution(chain, pi0, guards, policy);
+}
+
+Expected<AbsorbingAnalysis> AbsorbingSolver::try_analyze_distribution(
+    const Chain& chain, const std::vector<double>& initial,
+    const NumericalGuards& guards, SolverPolicy policy) {
+  const std::string defect = chain.validate();
+  NSREL_EXPECTS(defect.empty());
+  const auto transient = chain.transient_states();
+  NSREL_EXPECTS(initial.size() == transient.size());
+  NSREL_EXPECTS(approx_equal(
+      std::accumulate(initial.begin(), initial.end(), 0.0), 1.0, 1e-9));
+
+  const bool sparse_backend = use_sparse(policy, transient.size());
+  obs::Span span(obs::probe::kSpanAbsorbingSolve,
+                 obs::probe::kSpanCategoryCtmc);
+  if (span.armed()) {
+    span.arg("backend", sparse_backend ? "sparse" : "dense");
+    span.arg("states", static_cast<std::uint64_t>(transient.size()));
+  }
+  if (sparse_backend) {
+    const linalg::sparse::SparseLu lu(sparse_absorption_matrix(chain));
+    return finish_analysis(chain, lu, initial, guards);
+  }
+  if (policy == SolverPolicy::kDense && dense_refuses(transient.size())) {
+    return dense_dimension_error("ctmc.absorbing", transient.size());
+  }
+  const linalg::LuDecomposition lu(chain.absorption_matrix());
+  return finish_analysis(chain, lu, initial, guards);
+}
+
+double AbsorbingSolver::mttdl_hours(const Chain& chain, StateId initial,
+                                    SolverPolicy policy) {
   // The GTH-style elimination path: identical to the LU route at normal
   // conditioning, and still exact when MTTDL/rate ratios exceed double
   // precision (where LU produces garbage, including negative times).
-  return EliminationSolver::mean_absorption_time_hours(chain, initial);
+  return EliminationSolver::mean_absorption_time_hours(chain, initial,
+                                                       policy);
 }
 
 }  // namespace nsrel::ctmc

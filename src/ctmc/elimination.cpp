@@ -3,9 +3,14 @@
 #include <algorithm>
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
+#include <map>
+#include <set>
 #include <utility>
 #include <vector>
 
+#include "obs/probe_names.hpp"
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
 #include "util/math.hpp"
 
@@ -64,15 +69,81 @@ Expected<double> eliminate(std::vector<std::vector<double>> b,
   return mean;
 }
 
+/// Sparse twin of `eliminate`, bit-identical by construction: the same
+/// elimination order and the same per-cell operations, with the dense
+/// path's additions of exact 0.0 (no-ops on non-negative values — every
+/// b/ab/c entry here is >= +0.0, and +0.0 + 0.0 == +0.0 exactly)
+/// skipped structurally. `b[i]` holds row i's nonzero jump
+/// probabilities keyed by column; `col_rows[j]` indexes the rows with a
+/// stored entry in column j. Eliminated rows/columns are detached from
+/// both structures, which plays the role of the dense `eliminated[]`
+/// mask. On tree-structured chains (the appendix recursion) the
+/// last-to-first order eliminates leaves before parents, so no fill-in
+/// occurs and the whole solve is O(n); general chains fill into the
+/// ordered maps.
+Expected<double> eliminate_sparse(
+    std::vector<std::map<std::uint32_t, double>> b,
+    std::vector<std::set<std::uint32_t>> col_rows, std::vector<double> ab,
+    std::vector<double> c, std::size_t initial) {
+  const std::size_t n = b.size();
+
+  for (std::size_t step = n; step-- > 0;) {
+    const std::uint32_t s = static_cast<std::uint32_t>(step);
+    if (step == initial) continue;
+    double d = ab[s];
+    for (const auto& [j, value] : b[s]) {
+      if (j != s) d += value;
+    }
+    if (!(d > 0.0)) {
+      return Error{ErrorCode::kSingularGenerator, "ctmc.elimination",
+                   "elimination pivot vanished (state has no remaining "
+                   "path to absorption)"};
+    }
+    const double inv_d = 1.0 / d;
+    for (const std::uint32_t i : col_rows[s]) {
+      if (i == s) continue;
+      const auto entry = b[i].find(s);
+      const double weight = entry->second * inv_d;
+      b[i].erase(entry);  // dense: b[i][s] = 0.0 (never read again)
+      if (weight == 0.0) continue;
+      c[i] += weight * c[s];
+      ab[i] += weight * ab[s];
+      for (const auto& [j, value] : b[s]) {
+        if (j == s) continue;
+        const auto [cell, inserted] = b[i].emplace(j, 0.0);
+        cell->second += weight * value;
+        if (inserted) col_rows[j].insert(i);
+      }
+    }
+    // Detach the eliminated row from the column index so later steps
+    // never walk it (the dense path's eliminated[] checks).
+    for (const auto& entry : b[s]) col_rows[entry.first].erase(s);
+    b[s].clear();
+    col_rows[s].clear();
+  }
+  if (!(ab[initial] > 0.0)) {
+    return Error{ErrorCode::kSingularGenerator, "ctmc.elimination",
+                 "initial state's absorption probability vanished"};
+  }
+  const double mean = c[initial] / ab[initial];
+  if (!std::isfinite(mean) || !(mean > 0.0)) {
+    return Error{ErrorCode::kNonFiniteResult, "ctmc.elimination",
+                 "mean absorption time is non-finite or nonpositive"};
+  }
+  return mean;
+}
+
 }  // namespace
 
 double EliminationSolver::mean_absorption_time_hours(const Chain& chain,
-                                                     StateId initial) {
-  return try_mean_absorption_time_hours(chain, initial).value_or_throw();
+                                                     StateId initial,
+                                                     SolverPolicy policy) {
+  return try_mean_absorption_time_hours(chain, initial, policy)
+      .value_or_throw();
 }
 
 Expected<double> EliminationSolver::try_mean_absorption_time_hours(
-    const Chain& chain, StateId initial) {
+    const Chain& chain, StateId initial, SolverPolicy policy) {
   NSREL_EXPECTS(chain.validate().empty());
   NSREL_EXPECTS(initial < chain.state_count());
   NSREL_EXPECTS(chain.state(initial).kind == StateKind::kTransient);
@@ -82,6 +153,54 @@ Expected<double> EliminationSolver::try_mean_absorption_time_hours(
   std::vector<std::size_t> index(chain.state_count(), n);
   for (std::size_t i = 0; i < n; ++i) index[transient[i]] = i;
   NSREL_ASSERT(index[initial] < n);
+
+  const bool sparse_backend = use_sparse(policy, n);
+  obs::Span span(obs::probe::kSpanEliminationSolve,
+                 obs::probe::kSpanCategoryCtmc);
+  if (span.armed()) {
+    span.arg("backend", sparse_backend ? "sparse" : "dense");
+    span.arg("states", static_cast<std::uint64_t>(n));
+  }
+  if (sparse_backend) {
+    // Exit rates first (transition order, same accumulation as dense),
+    // then the jump-probability rows keyed by transient column index.
+    std::vector<double> exit(n, 0.0);
+    std::vector<double> absorb(n, 0.0);
+    for (const auto& t : chain.transitions()) {
+      const std::size_t from = index[t.from];
+      NSREL_ASSERT(from < n);
+      exit[from] += t.rate;
+      if (index[t.to] >= n) absorb[from] += t.rate;
+    }
+    std::vector<std::map<std::uint32_t, double>> rates(n);
+    std::vector<std::set<std::uint32_t>> col_rows(n);
+    for (const auto& t : chain.transitions()) {
+      const std::size_t from = index[t.from];
+      const std::size_t to = index[t.to];
+      if (to >= n) continue;
+      const auto [cell, inserted] =
+          rates[from].emplace(static_cast<std::uint32_t>(to), 0.0);
+      cell->second += t.rate;
+      if (inserted) {
+        col_rows[to].insert(static_cast<std::uint32_t>(from));
+      }
+    }
+    std::vector<std::map<std::uint32_t, double>> b(n);
+    std::vector<double> ab(n, 0.0);
+    std::vector<double> c(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      NSREL_ASSERT(exit[i] > 0.0);
+      const double inv_exit = 1.0 / exit[i];
+      c[i] = inv_exit;
+      ab[i] = absorb[i] * inv_exit;
+      for (const auto& [j, rate] : rates[i]) b[i].emplace(j, rate * inv_exit);
+    }
+    return eliminate_sparse(std::move(b), std::move(col_rows), std::move(ab),
+                            std::move(c), index[initial]);
+  }
+  if (policy == SolverPolicy::kDense && dense_refuses(n)) {
+    return dense_dimension_error("ctmc.elimination", n);
+  }
 
   // Exit rates and split into transient-jump vs absorption flows.
   std::vector<double> exit(n, 0.0);
@@ -155,6 +274,44 @@ double EliminationSolver::mean_absorption_time_hours(
   }
   return eliminate(std::move(b), std::move(ab), std::move(c), initial)
       .value_or_throw();
+}
+
+double EliminationSolver::mean_absorption_time_hours(
+    const linalg::sparse::CsrMatrix& r,
+    const std::vector<double>& absorption_rates, std::size_t initial) {
+  return try_mean_absorption_time_hours(r, absorption_rates, initial)
+      .value_or_throw();
+}
+
+Expected<double> EliminationSolver::try_mean_absorption_time_hours(
+    const linalg::sparse::CsrMatrix& r,
+    const std::vector<double>& absorption_rates, std::size_t initial) {
+  NSREL_EXPECTS(r.square());
+  const std::size_t n = r.rows();
+  NSREL_EXPECTS(absorption_rates.size() == n);
+  NSREL_EXPECTS(initial < n);
+
+  std::vector<std::map<std::uint32_t, double>> b(n);
+  std::vector<std::set<std::uint32_t>> col_rows(n);
+  std::vector<double> ab(n, 0.0);
+  std::vector<double> c(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double exit = r.at(i, i);
+    NSREL_EXPECTS(exit > 0.0);
+    NSREL_EXPECTS(absorption_rates[i] >= 0.0);
+    const double inv_exit = 1.0 / exit;
+    c[i] = inv_exit;
+    ab[i] = absorption_rates[i] * inv_exit;
+    for (std::size_t e = r.row_ptr()[i]; e < r.row_ptr()[i + 1]; ++e) {
+      const std::uint32_t j = r.col_index()[e];
+      if (j == i) continue;
+      NSREL_EXPECTS(r.values()[e] <= 0.0);
+      b[i].emplace(j, -r.values()[e] * inv_exit);
+      col_rows[j].insert(static_cast<std::uint32_t>(i));
+    }
+  }
+  return eliminate_sparse(std::move(b), std::move(col_rows), std::move(ab),
+                          std::move(c), initial);
 }
 
 }  // namespace nsrel::ctmc

@@ -1,15 +1,23 @@
 #include "ctmc/sensitivity.hpp"
 
+#include <cmath>
 #include <cstddef>
 #include <vector>
 
 #include "linalg/lu.hpp"
 #include "util/assert.hpp"
+#include "util/format.hpp"
 
 namespace nsrel::ctmc {
 
 double SensitivitySolver::mtta_derivative(const Chain& chain, StateId initial,
                                           const TransitionSelector& selector) {
+  return try_mtta_derivative(chain, initial, selector).value_or_throw();
+}
+
+Expected<double> SensitivitySolver::try_mtta_derivative(
+    const Chain& chain, StateId initial, const TransitionSelector& selector,
+    const NumericalGuards& guards) {
   NSREL_EXPECTS(chain.validate().empty());
   NSREL_EXPECTS(initial < chain.state_count());
   NSREL_EXPECTS(chain.state(initial).kind == StateKind::kTransient);
@@ -21,7 +29,16 @@ double SensitivitySolver::mtta_derivative(const Chain& chain, StateId initial,
   for (std::size_t i = 0; i < n; ++i) index[transient[i]] = i;
 
   const linalg::LuDecomposition lu(chain.absorption_matrix());
-  NSREL_EXPECTS(!lu.singular());
+  if (lu.singular()) {
+    return Error{ErrorCode::kSingularGenerator, "ctmc.sensitivity",
+                 "absorption matrix is numerically singular"};
+  }
+  const double rcond = lu.rcond_estimate();
+  if (rcond < guards.min_rcond) {
+    return Error{ErrorCode::kIllConditioned, "ctmc.sensitivity",
+                 "absorption matrix rcond " + sci(rcond) +
+                     " below threshold " + sci(guards.min_rcond)};
+  }
 
   // m = R^{-1} 1 (mean absorption times), y = R^{-T} e_init.
   const linalg::Vector m = lu.solve(linalg::Vector(n, 1.0));
@@ -41,13 +58,28 @@ double SensitivitySolver::mtta_derivative(const Chain& chain, StateId initial,
     if (to < n) contribution -= y[from] * t.rate * m[to];
     derivative -= contribution;
   }
+  if (!std::isfinite(derivative)) {
+    return Error{ErrorCode::kNonFiniteResult, "ctmc.sensitivity",
+                 "MTTA derivative is non-finite"};
+  }
   return derivative;
 }
 
 double SensitivitySolver::mtta_elasticity(const Chain& chain, StateId initial,
                                           const TransitionSelector& selector) {
+  return try_mtta_elasticity(chain, initial, selector).value_or_throw();
+}
+
+Expected<double> SensitivitySolver::try_mtta_elasticity(
+    const Chain& chain, StateId initial, const TransitionSelector& selector,
+    const NumericalGuards& guards) {
+  const auto derivative =
+      try_mtta_derivative(chain, initial, selector, guards);
+  if (!derivative.has_value()) return derivative.error();
+
   const linalg::LuDecomposition lu(chain.absorption_matrix());
-  NSREL_EXPECTS(!lu.singular());
+  // try_mtta_derivative already screened singular/ill-conditioned.
+  NSREL_ASSERT(!lu.singular());
   const auto transient = chain.transient_states();
   std::size_t init_index = transient.size();
   for (std::size_t i = 0; i < transient.size(); ++i) {
@@ -56,8 +88,16 @@ double SensitivitySolver::mtta_elasticity(const Chain& chain, StateId initial,
   NSREL_EXPECTS(init_index < transient.size());
   const linalg::Vector m = lu.solve(linalg::Vector(transient.size(), 1.0));
   const double mtta = m[init_index];
-  NSREL_ASSERT(mtta != 0.0);
-  return mtta_derivative(chain, initial, selector) / mtta;
+  if (!std::isfinite(mtta) || mtta == 0.0) {
+    return Error{ErrorCode::kNonFiniteResult, "ctmc.sensitivity",
+                 "MTTA is non-finite or zero, elasticity undefined"};
+  }
+  const double elasticity = derivative.value() / mtta;
+  if (!std::isfinite(elasticity)) {
+    return Error{ErrorCode::kNonFiniteResult, "ctmc.sensitivity",
+                 "MTTA elasticity is non-finite"};
+  }
+  return elasticity;
 }
 
 }  // namespace nsrel::ctmc

@@ -18,6 +18,7 @@
 #include <functional>
 
 #include "ctmc/chain.hpp"
+#include "util/error.hpp"
 
 namespace nsrel::ctmc {
 
@@ -28,12 +29,28 @@ class SensitivitySolver {
   /// d(MTTA)/d(theta) at theta = 1, where theta scales the rates of all
   /// transitions matched by `selector`.
   /// Preconditions: chain.validate() passes; initial is transient.
+  /// Numerical failures (singular or ill-conditioned absorption matrix,
+  /// non-finite derivative) throw ErrorException; use the try_ form for
+  /// the typed error.
   [[nodiscard]] static double mtta_derivative(
       const Chain& chain, StateId initial, const TransitionSelector& selector);
+
+  /// Non-throwing form: a singular absorption matrix comes back as
+  /// kSingularGenerator, rcond below guards.min_rcond as
+  /// kIllConditioned, and a non-finite derivative as kNonFiniteResult.
+  [[nodiscard]] static Expected<double> try_mtta_derivative(
+      const Chain& chain, StateId initial, const TransitionSelector& selector,
+      const NumericalGuards& guards = {});
 
   /// Dimensionless elasticity: (theta / MTTA) * dMTTA/dtheta at theta=1.
   [[nodiscard]] static double mtta_elasticity(
       const Chain& chain, StateId initial, const TransitionSelector& selector);
+
+  /// Non-throwing form of mtta_elasticity, same taxonomy as
+  /// try_mtta_derivative plus kNonFiniteResult for a vanishing MTTA.
+  [[nodiscard]] static Expected<double> try_mtta_elasticity(
+      const Chain& chain, StateId initial, const TransitionSelector& selector,
+      const NumericalGuards& guards = {});
 };
 
 }  // namespace nsrel::ctmc

@@ -1,0 +1,52 @@
+#include "ctmc/solver_policy.hpp"
+
+#include <cstddef>
+#include <string>
+
+#include "util/assert.hpp"
+
+namespace nsrel::ctmc {
+
+SolverPolicy parse_solver_policy(const std::string& name) {
+  if (name == "auto") return SolverPolicy::kAuto;
+  if (name == "dense") return SolverPolicy::kDense;
+  if (name == "sparse") return SolverPolicy::kSparse;
+  throw ContractViolation("unknown solver policy '" + name +
+                          "' (use auto|dense|sparse)");
+}
+
+const char* solver_policy_name(SolverPolicy policy) {
+  switch (policy) {
+    case SolverPolicy::kAuto:
+      return "auto";
+    case SolverPolicy::kDense:
+      return "dense";
+    case SolverPolicy::kSparse:
+      return "sparse";
+  }
+  NSREL_ASSERT(false);
+  return "auto";
+}
+
+bool use_sparse(SolverPolicy policy, std::size_t dimension) {
+  switch (policy) {
+    case SolverPolicy::kDense:
+      return false;
+    case SolverPolicy::kSparse:
+      return true;
+    case SolverPolicy::kAuto:
+      return dimension >= kSparseAutoThreshold;
+  }
+  NSREL_ASSERT(false);
+  return false;
+}
+
+Error dense_dimension_error(const char* layer, std::size_t dimension) {
+  return Error{ErrorCode::kInvalidParameter, layer,
+               "dense solver refused: dimension " +
+                   std::to_string(dimension) + " exceeds the dense cap of " +
+                   std::to_string(kDenseMaxDimension) +
+                   " (use SolverPolicy::kSparse or kAuto)"};
+}
+
+}  // namespace nsrel::ctmc

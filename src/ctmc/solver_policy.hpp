@@ -1,0 +1,73 @@
+// Solver-backend selection for the CTMC solve stack.
+//
+// Every numerical entry point (elimination, absorbing analysis,
+// stationary distributions) has two backends: the original dense path
+// (O(n^2) storage, O(n^3) factorization) and a sparse path that exploits
+// the structure of the generators the models produce (the appendix
+// recursion is a binary tree, so leaf-first elimination has zero
+// fill-in and runs in O(n)). `SolverPolicy` picks between them:
+//
+//   kAuto    dense below kSparseAutoThreshold transient states, sparse
+//            at or above it — the default everywhere, chosen so the
+//            paper-baseline chains (k <= 5, <= 63 states) keep the
+//            exact dense arithmetic while the recursion's large-k
+//            chains switch to the sparse path.
+//   kDense   always the dense path. Refused (typed invalid_parameter
+//            error) above kDenseMaxDimension, where the O(n^2) matrix
+//            alone is gigabytes.
+//   kSparse  always the sparse path.
+//
+// The GTH elimination sparse backend replays the dense backend's
+// elimination order and per-entry arithmetic exactly, so its results
+// are BIT-IDENTICAL to dense at any size — `auto` never changes MTTDL
+// bytes, only wall clock. The LU-based backends (absorbing occupancy,
+// stationary distributions) pivot differently and agree to the bound
+// documented in DESIGN.md §11 (enforced by tests/diffharness).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace nsrel::ctmc {
+
+enum class SolverPolicy : unsigned char { kAuto, kDense, kSparse };
+
+/// Transient-state dimension at which kAuto switches to the sparse
+/// backend. Set from the bench/perf_solvers crossover ablation: dense
+/// wins (by ns) below a few dozen states, sparse wins above; 64 keeps
+/// every paper-figure chain except the k >= 6 recursion on dense.
+inline constexpr std::size_t kSparseAutoThreshold = 64;
+
+/// Largest dimension the dense backend accepts when forced with
+/// kDense: beyond this the dense matrix alone exceeds ~128 MiB and the
+/// O(n^3) factorization is hopeless, so the solvers return a typed
+/// invalid_parameter error instead of thrashing.
+inline constexpr std::size_t kDenseMaxDimension = 4096;
+
+/// Parses the canonical policy names shared by the CLI's --solver flag:
+/// "auto" | "dense" | "sparse". Throws ContractViolation on anything
+/// else.
+[[nodiscard]] SolverPolicy parse_solver_policy(const std::string& name);
+
+/// The canonical name parse_solver_policy accepts.
+[[nodiscard]] const char* solver_policy_name(SolverPolicy policy);
+
+/// True when `policy` resolves to the sparse backend at this dimension.
+[[nodiscard]] bool use_sparse(SolverPolicy policy, std::size_t dimension);
+
+/// The typed error for a forced-dense solve whose dimension exceeds
+/// kDenseMaxDimension (shared by every solver so the message and code
+/// are identical on all paths). `layer` names the solver, e.g.
+/// "ctmc.elimination".
+[[nodiscard]] Error dense_dimension_error(const char* layer,
+                                          std::size_t dimension);
+
+/// Guard shared by the dense entry points: nullopt when the dense
+/// backend may run, else the typed error.
+[[nodiscard]] inline bool dense_refuses(std::size_t dimension) {
+  return dimension > kDenseMaxDimension;
+}
+
+}  // namespace nsrel::ctmc

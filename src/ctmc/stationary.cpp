@@ -2,43 +2,101 @@
 
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "linalg/lu.hpp"
+#include "linalg/sparse/sparse_lu.hpp"
+#include "linalg/sparse/sparse_matrix.hpp"
+#include "obs/probe_names.hpp"
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
 
 namespace nsrel::ctmc {
 
-std::vector<double> StationarySolver::distribution(const Chain& chain) {
-  return try_distribution(chain).value_or_throw();
+namespace {
+
+/// Q^T with the last row replaced by the normalization equation, in CSR
+/// form straight from the transition list (no n x n intermediate).
+linalg::sparse::CsrMatrix sparse_normalized_transpose(const Chain& chain) {
+  const std::size_t n = chain.state_count();
+  std::vector<linalg::sparse::Triplet> triplets;
+  triplets.reserve(2 * chain.transitions().size() + n);
+  for (const auto& t : chain.transitions()) {
+    // Q's (from, to) += rate and (from, from) -= rate, transposed —
+    // except entries landing in the normalization row.
+    if (t.to != n - 1) {
+      triplets.push_back({static_cast<std::uint32_t>(t.to),
+                          static_cast<std::uint32_t>(t.from), t.rate});
+    }
+    if (t.from != n - 1) {
+      triplets.push_back({static_cast<std::uint32_t>(t.from),
+                          static_cast<std::uint32_t>(t.from), -t.rate});
+    }
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    triplets.push_back({static_cast<std::uint32_t>(n - 1),
+                        static_cast<std::uint32_t>(j), 1.0});
+  }
+  return linalg::sparse::CsrMatrix::from_triplets(n, n, triplets);
+}
+
+}  // namespace
+
+std::vector<double> StationarySolver::distribution(const Chain& chain,
+                                                   SolverPolicy policy) {
+  return try_distribution(chain, policy).value_or_throw();
 }
 
 Expected<std::vector<double>> StationarySolver::try_distribution(
-    const Chain& chain) {
+    const Chain& chain, SolverPolicy policy) {
   NSREL_EXPECTS(chain.absorbing_count() == 0);
   const std::size_t n = chain.state_count();
   NSREL_EXPECTS(n > 0);
 
   // pi Q = 0 with sum(pi) = 1: transpose to Q^T pi^T = 0 and replace the
   // last equation by the normalization row.
-  linalg::Matrix a = chain.generator().transpose();
-  for (std::size_t j = 0; j < n; ++j) a(n - 1, j) = 1.0;
-  linalg::Vector b(n, 0.0);
-  b[n - 1] = 1.0;
-
-  const auto solution = linalg::solve(a, b);
-  if (!solution.has_value()) {  // singular iff chain is reducible
-    return Error{ErrorCode::kSingularGenerator, "ctmc.stationary",
-                 "generator is singular (chain is reducible)"};
+  const bool sparse_backend = use_sparse(policy, n);
+  obs::Span span(obs::probe::kSpanStationarySolve,
+                 obs::probe::kSpanCategoryCtmc);
+  if (span.armed()) {
+    span.arg("backend", sparse_backend ? "sparse" : "dense");
+    span.arg("states", static_cast<std::uint64_t>(n));
   }
-  for (const double p : *solution) {
+  linalg::Vector solution;
+  if (sparse_backend) {
+    const linalg::sparse::SparseLu lu(sparse_normalized_transpose(chain));
+    if (lu.singular()) {  // singular iff chain is reducible
+      return Error{ErrorCode::kSingularGenerator, "ctmc.stationary",
+                   "generator is singular (chain is reducible)"};
+    }
+    linalg::Vector b(n, 0.0);
+    b[n - 1] = 1.0;
+    solution = lu.solve(b);
+  } else {
+    if (policy == SolverPolicy::kDense && dense_refuses(n)) {
+      return dense_dimension_error("ctmc.stationary", n);
+    }
+    linalg::Matrix a = chain.generator().transpose();
+    for (std::size_t j = 0; j < n; ++j) a(n - 1, j) = 1.0;
+    linalg::Vector b(n, 0.0);
+    b[n - 1] = 1.0;
+
+    const auto dense = linalg::solve(a, b);
+    if (!dense.has_value()) {  // singular iff chain is reducible
+      return Error{ErrorCode::kSingularGenerator, "ctmc.stationary",
+                   "generator is singular (chain is reducible)"};
+    }
+    solution = *dense;
+  }
+  for (const double p : solution) {
     if (!std::isfinite(p) || p < -1e-12) {
       return Error{ErrorCode::kNonFiniteResult, "ctmc.stationary",
                    "stationary distribution has a non-finite or negative "
                    "probability"};
     }
   }
-  return *solution;
+  return solution;
 }
 
 double StationarySolver::occupancy(const Chain& chain,

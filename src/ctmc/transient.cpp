@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "util/assert.hpp"
+#include "util/error.hpp"
 
 namespace nsrel::ctmc {
 
@@ -29,6 +30,11 @@ TransientSolver::TransientSolver(const Chain& chain) : chain_(chain) {
 std::vector<double> TransientSolver::distribution_at(double t_hours,
                                                      StateId initial,
                                                      double tol) const {
+  return try_distribution_at(t_hours, initial, tol).value_or_throw();
+}
+
+Expected<std::vector<double>> TransientSolver::try_distribution_at(
+    double t_hours, StateId initial, double tol) const {
   NSREL_EXPECTS(t_hours >= 0.0);
   NSREL_EXPECTS(initial < chain_.state_count());
   NSREL_EXPECTS(tol > 0.0);
@@ -38,6 +44,10 @@ std::vector<double> TransientSolver::distribution_at(double t_hours,
   if (t_hours == 0.0) return v;
 
   const double a = lambda_ * t_hours;
+  if (!std::isfinite(a)) {
+    return Error{ErrorCode::kInvalidParameter, "ctmc.transient",
+                 "uniformization horizon Lambda*t is non-finite"};
+  }
   // Poisson(k; a) computed iteratively in linear space with underflow
   // protection: start from the log of the k=0 term.
   std::vector<double> result(n, 0.0);
@@ -66,7 +76,24 @@ std::vector<double> TransientSolver::distribution_at(double t_hours,
       if (1.0 - accumulated < tol) break;
     }
   }
+  for (const double p : result) {
+    if (!std::isfinite(p)) {
+      return Error{ErrorCode::kNonFiniteResult, "ctmc.transient",
+                   "transient distribution has a non-finite probability"};
+    }
+  }
   return result;
+}
+
+Expected<double> TransientSolver::try_survival(double t_hours, StateId initial,
+                                               double tol) const {
+  const auto dist = try_distribution_at(t_hours, initial, tol);
+  if (!dist.has_value()) return dist.error();
+  double transient_mass = 0.0;
+  for (const StateId s : chain_.transient_states()) {
+    transient_mass += dist.value()[s];
+  }
+  return transient_mass;
 }
 
 double TransientSolver::survival(double t_hours, StateId initial,

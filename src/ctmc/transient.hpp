@@ -14,13 +14,17 @@
 #include <vector>
 
 #include "ctmc/chain.hpp"
+#include "util/error.hpp"
 
 namespace nsrel::ctmc {
 
 class TransientSolver {
  public:
   /// Builds the uniformized representation of `chain`.
-  /// Precondition: chain has at least one state.
+  /// Precondition: chain has at least one state. Zero-rate chains (every
+  /// state absorbing, or a single state with no transitions) are valid:
+  /// the uniformized kernel degenerates to the identity and the
+  /// distribution stays at pi(0) for all t.
   explicit TransientSolver(const Chain& chain);
 
   /// Distribution over ALL states at time t (hours), starting from the
@@ -29,9 +33,24 @@ class TransientSolver {
                                                     StateId initial = 0,
                                                     double tol = 1e-12) const;
 
+  /// Non-throwing form: a uniformization horizon too large for the
+  /// Poisson expansion (non-finite Lambda*t) comes back as
+  /// kInvalidParameter, and a distribution that lost probability mass
+  /// beyond the tolerance (a conditioning failure in the power
+  /// iteration) as kNonFiniteResult. Caller-bug preconditions (bad
+  /// state id, negative t or tol) still throw ContractViolation.
+  [[nodiscard]] Expected<std::vector<double>> try_distribution_at(
+      double t_hours, StateId initial = 0, double tol = 1e-12) const;
+
   /// Survival probability: P(not absorbed by t) from `initial`.
   [[nodiscard]] double survival(double t_hours, StateId initial = 0,
                                 double tol = 1e-12) const;
+
+  /// Non-throwing form of survival(), same error taxonomy as
+  /// try_distribution_at.
+  [[nodiscard]] Expected<double> try_survival(double t_hours,
+                                              StateId initial = 0,
+                                              double tol = 1e-12) const;
 
   /// Survival curve at the given time points (hours, non-decreasing not
   /// required; each point evaluated independently).

@@ -170,7 +170,7 @@ ResultSet evaluate(const Grid& grid, const EvalOptions& options) {
         }
         const core::Analyzer analyzer(grid.points[point].system);
         return analyzer.try_analyze(grid.configurations[configuration],
-                                    grid.method, cache);
+                                    grid.method, cache, grid.solver);
       } catch (const ErrorException& e) {
         return e.error();
       } catch (const ContractViolation& e) {

@@ -14,6 +14,7 @@
 
 #include "core/analyzer.hpp"
 #include "core/system_config.hpp"
+#include "ctmc/solver_policy.hpp"
 
 namespace nsrel::engine {
 
@@ -31,6 +32,10 @@ struct Grid {
   std::vector<GridPoint> points;
   std::vector<core::Configuration> configurations;
   core::Method method = core::Method::kExactChain;
+  /// CTMC solve backend for every cell (CLI --solver). The elimination
+  /// backends are bit-identical, so rendered output is the same under
+  /// any policy; only wall clock changes.
+  ctmc::SolverPolicy solver = ctmc::SolverPolicy::kAuto;
 
   [[nodiscard]] bool has_axis() const { return !axis.empty(); }
 };

@@ -28,6 +28,10 @@ inline constexpr const char* kSolveCacheMisses = "solve_cache.misses";
 inline constexpr const char* kSolveCacheInserts = "solve_cache.inserts";
 inline constexpr const char* kEngineCellsOk = "engine.cells_ok";
 inline constexpr const char* kEngineCellsFailed = "engine.cells_failed";
+/// Chains compared by the differential-testing harness
+/// (tests/test_diffharness.cpp; registered here so dashboards that grep
+/// harness runs share the one name registry).
+inline constexpr const char* kDiffHarnessChains = "diffharness.chains";
 /// Per-worker busy-time counters are the one dynamic name family:
 /// "<prefix><index><suffix>", e.g. "thread_pool.worker3.busy_ns".
 inline constexpr const char* kThreadPoolWorkerPrefix = "thread_pool.worker";
@@ -45,8 +49,14 @@ inline constexpr const char* kCoreSolveNs = "core.solve_ns";
 inline constexpr const char* kSpanCategoryCore = "core";
 inline constexpr const char* kSpanCategoryEngine = "engine";
 inline constexpr const char* kSpanCategorySim = "sim";
+inline constexpr const char* kSpanCategoryCtmc = "ctmc";
 
 inline constexpr const char* kSpanSolve = "solve";
+/// CTMC solver spans, each tagged with a "backend" arg (dense/sparse)
+/// so traces show which path SolverPolicy::kAuto actually picked.
+inline constexpr const char* kSpanEliminationSolve = "elimination_solve";
+inline constexpr const char* kSpanAbsorbingSolve = "absorbing_solve";
+inline constexpr const char* kSpanStationarySolve = "stationary_solve";
 inline constexpr const char* kSpanEvaluate = "evaluate";
 inline constexpr const char* kSpanCell = "cell";
 inline constexpr const char* kSpanClaim = "claim";

@@ -204,6 +204,29 @@ TEST(Analyzer, TryAnalyzeReportsOutOfRangeFaultToleranceAsInvalidParameter) {
   }
 }
 
+TEST(Analyzer, TryAnalyzeRejectsFaultToleranceAboveTheNirCap) {
+  // Without internal RAID the chain has 2^(k+1) states; the analyzer
+  // refuses k > 16 with a typed error instead of letting the model
+  // constructor trip a contract violation deep in the solve stack. A
+  // larger redundancy set keeps the ft < R check out of the way.
+  SystemConfig c = SystemConfig::baseline();
+  c.redundancy_set_size = 32;
+  const Analyzer analyzer(c);
+  const auto outcome = analyzer.try_analyze({InternalScheme::kNone, 17});
+  ASSERT_FALSE(outcome.has_value());
+  EXPECT_EQ(outcome.error().code, ErrorCode::kInvalidParameter);
+  EXPECT_EQ(outcome.error().layer, "core.analyzer");
+  EXPECT_NE(outcome.error().detail.find("above 16"), std::string::npos)
+      << outcome.error().detail;
+  // Below the cap but above the dense 4096-state ceiling (k = 12 is an
+  // 8191-state chain) the analyzer accepts and the sparse path solves.
+  // k = 16 itself also solves but chain assembly makes it a multi-minute
+  // test; the model-level cap-boundary test covers it on the recursive
+  // matrix route.
+  const auto above_dense = analyzer.try_analyze({InternalScheme::kNone, 12});
+  EXPECT_TRUE(above_dense.has_value()) << above_dense.error().message();
+}
+
 TEST(Analyzer, TryAnalyzeFlagsDegenerateSweepEndpointsWithoutThrowing) {
   // A drive MTTF of 1e-308 hours passes basic validation (it is positive
   // and finite) but produces failure rates so large that the absorbing

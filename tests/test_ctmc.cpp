@@ -13,6 +13,7 @@
 #include "ctmc/stationary.hpp"
 #include "ctmc/transient.hpp"
 #include "util/assert.hpp"
+#include "util/error.hpp"
 
 namespace nsrel::ctmc {
 namespace {
@@ -435,6 +436,61 @@ TEST(ErrorTaxonomy, CodesHaveStableNames) {
   const Error e{ErrorCode::kNonFiniteResult, "ctmc.absorbing", "mean <= 0"};
   EXPECT_EQ(e.message(), "ctmc.absorbing: non_finite_result: mean <= 0");
   EXPECT_STREQ(ErrorException(e).what(), e.message().c_str());
+}
+
+TEST(Transient, ZeroRateChainStaysAtInitialDistribution) {
+  // Every state absorbing: all generator rows are zero, the uniformized
+  // kernel is the identity, and pi(t) = pi(0) for every t.
+  Chain c;
+  c.add_state("a0", StateKind::kAbsorbing);
+  c.add_state("a1", StateKind::kAbsorbing);
+  const TransientSolver solver(c);
+  EXPECT_DOUBLE_EQ(solver.uniformization_rate(), 1.0);  // the 0 fallback
+  const auto dist = solver.try_distribution_at(1e6, 1);
+  ASSERT_TRUE(dist.has_value());
+  // The Poisson expansion truncates at 1 - tol mass, so "stays put" is
+  // exact on the zero state and tolerance-accurate on the occupied one.
+  EXPECT_DOUBLE_EQ(dist.value()[0], 0.0);
+  EXPECT_NEAR(dist.value()[1], 1.0, 1e-6);
+}
+
+TEST(Transient, SingleStateChainIsAFixedPoint) {
+  Chain c;
+  c.add_state("only", StateKind::kAbsorbing);
+  const TransientSolver solver(c);
+  const auto dist = solver.try_distribution_at(42.0, 0);
+  ASSERT_TRUE(dist.has_value());
+  EXPECT_NEAR(dist.value()[0], 1.0, 1e-9);
+  const auto survival = solver.try_survival(42.0, 0);
+  ASSERT_TRUE(survival.has_value());
+  EXPECT_DOUBLE_EQ(survival.value(), 0.0);  // no transient states
+}
+
+TEST(Transient, NonFiniteHorizonIsATypedError) {
+  // Lambda * t overflows: the Poisson expansion cannot run, and the
+  // failure must come back typed instead of producing garbage.
+  const Chain c = single_exponential(1e9);
+  const TransientSolver solver(c);
+  const auto dist = solver.try_distribution_at(1e308, 0);
+  ASSERT_FALSE(dist.has_value());
+  EXPECT_EQ(dist.error().code, ErrorCode::kInvalidParameter);
+  EXPECT_EQ(dist.error().layer, "ctmc.transient");
+  const auto survival = solver.try_survival(1e308, 0);
+  ASSERT_FALSE(survival.has_value());
+  EXPECT_EQ(survival.error().code, ErrorCode::kInvalidParameter);
+  // The throwing form surfaces the same error as an exception.
+  EXPECT_THROW((void)solver.distribution_at(1e308, 0), ErrorException);
+}
+
+TEST(Transient, TryFormMatchesThrowingFormOnHealthyChains) {
+  const Chain c = repairable_pair(0.3, 2.0);
+  const TransientSolver solver(c);
+  const auto dist = solver.try_distribution_at(5.0, 0);
+  ASSERT_TRUE(dist.has_value());
+  const auto direct = solver.distribution_at(5.0, 0);
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_DOUBLE_EQ(dist.value()[i], direct[i]);
+  }
 }
 
 }  // namespace

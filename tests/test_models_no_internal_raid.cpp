@@ -214,6 +214,29 @@ TEST(NoInternalRaid, RejectsInvalidParameters) {
   EXPECT_THROW(NoInternalRaidModel{p}, ContractViolation);
 }
 
+TEST(NoInternalRaid, FaultToleranceCapBoundaryIsExactlySixteen) {
+  // The documented cap is fault_tolerance <= 16 (a 2^17-1 = 131071-state
+  // absorption matrix). k = 16 must construct AND solve end to end on the
+  // sparse path; k = 17 is a contract violation at construction.
+  NoInternalRaidParams p = baseline(16);
+  p.redundancy_set_size = 32;  // R must exceed k
+  const NoInternalRaidModel model(p);
+  const auto sparse = model.absorption_matrix_recursive_sparse();
+  EXPECT_EQ(sparse.rows(), (std::size_t{2} << 16) - 1);
+  EXPECT_EQ(model.absorption_rates_recursive().size(), sparse.rows());
+  const double mttdl =
+      model.mttdl_recursive_matrix(ctmc::SolverPolicy::kSparse).value();
+  EXPECT_TRUE(std::isfinite(mttdl));
+  EXPECT_GT(mttdl, 0.0);
+  // 131071 states is far past the dense 4096-state ceiling, so the auto
+  // policy must route to the same sparse elimination, bit for bit.
+  EXPECT_EQ(model.mttdl_recursive_matrix(ctmc::SolverPolicy::kAuto).value(),
+            mttdl);
+
+  p.fault_tolerance = 17;
+  EXPECT_THROW(NoInternalRaidModel{p}, ContractViolation);
+}
+
 TEST(NoInternalRaid, ConcurrentRepairBeatsSingleRepair) {
   // More repair throughput can only help; the gap widens as failures get
   // frequent relative to repairs.

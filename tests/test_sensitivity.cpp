@@ -8,6 +8,7 @@
 #include "ctmc/sensitivity.hpp"
 #include "models/no_internal_raid.hpp"
 #include "util/assert.hpp"
+#include "util/error.hpp"
 
 namespace nsrel::ctmc {
 namespace {
@@ -113,6 +114,50 @@ TEST(Sensitivity, ValidatesInputs) {
   const Chain c = repairable_pair(0.01, 1.0);
   EXPECT_THROW((void)SensitivitySolver::mtta_derivative(c, 2, nullptr),
                ContractViolation);
+}
+
+TEST(Sensitivity, TypedFormMatchesThrowingFormOnHealthyChains) {
+  const Chain c = repairable_pair(0.02, 3.0);
+  const auto all = [](const Transition&) { return true; };
+  const auto typed = SensitivitySolver::try_mtta_derivative(c, 0, all);
+  ASSERT_TRUE(typed.has_value());
+  EXPECT_DOUBLE_EQ(typed.value(),
+                   SensitivitySolver::mtta_derivative(c, 0, all));
+  const auto elasticity = SensitivitySolver::try_mtta_elasticity(c, 0, all);
+  ASSERT_TRUE(elasticity.has_value());
+  EXPECT_NEAR(elasticity.value(), -1.0, 1e-10);
+}
+
+TEST(Sensitivity, NearSingularChainReportsIllConditioned) {
+  // Six decades between repair and failure rates push the absorption
+  // matrix rcond far below any strict guard: demanding rcond >= 0.5
+  // must come back as a typed ill-conditioned error, not garbage.
+  const Chain c = repairable_pair(1e-6, 1e3);
+  NumericalGuards guards;
+  guards.min_rcond = 0.5;
+  const auto all = [](const Transition&) { return true; };
+  const auto result = SensitivitySolver::try_mtta_derivative(c, 0, all,
+                                                             guards);
+  ASSERT_FALSE(result.has_value());
+  EXPECT_EQ(result.error().code, ErrorCode::kIllConditioned);
+  EXPECT_EQ(result.error().layer, "ctmc.sensitivity");
+  const auto elasticity =
+      SensitivitySolver::try_mtta_elasticity(c, 0, all, guards);
+  ASSERT_FALSE(elasticity.has_value());
+  EXPECT_EQ(elasticity.error().code, ErrorCode::kIllConditioned);
+}
+
+TEST(Sensitivity, EmptySelectionHasZeroDerivative) {
+  // A selector matching nothing: D = 0, so the derivative is exactly 0
+  // (and the elasticity is 0 too — MTTA does not depend on theta).
+  const Chain c = repairable_pair(0.05, 2.0);
+  const auto none = [](const Transition&) { return false; };
+  const auto derivative = SensitivitySolver::try_mtta_derivative(c, 0, none);
+  ASSERT_TRUE(derivative.has_value());
+  EXPECT_DOUBLE_EQ(derivative.value(), 0.0);
+  const auto elasticity = SensitivitySolver::try_mtta_elasticity(c, 0, none);
+  ASSERT_TRUE(elasticity.has_value());
+  EXPECT_DOUBLE_EQ(elasticity.value(), 0.0);
 }
 
 }  // namespace
