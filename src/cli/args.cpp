@@ -35,7 +35,13 @@ Args::Args(const std::vector<std::string>& tokens) {
   }
   for (; i < tokens.size(); ++i) {
     const std::string& token = tokens[i];
-    NSREL_EXPECTS(token.rfind("--", 0) == 0);  // stray positional argument
+    if (token.rfind("--", 0) != 0) {
+      // Positional operands exist only for `diff` (its two file paths);
+      // after any other command a bare token is a typo.
+      NSREL_EXPECTS(command_ == "diff");  // stray positional argument
+      positionals_.push_back(token);
+      continue;
+    }
     const std::string key = token.substr(2);
     if (is_bare_flag(key)) {
       flags_[key] = "1";

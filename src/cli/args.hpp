@@ -17,9 +17,11 @@ class Args {
   /// Parses {argv[1], ...}. The first non-flag token is the command;
   /// everything else must be `--key value` pairs, except for the
   /// whitelisted valueless flags (--version, --metrics, --progress,
-  /// --cache-stats) which parse as present with value "1".
-  /// Throws ContractViolation on a flag without a value or a stray
-  /// positional token.
+  /// --cache-stats) which parse as present with value "1", and the
+  /// commands that take positional operands (currently only `diff`,
+  /// whose two operands are file paths). Throws ContractViolation on a
+  /// flag without a value or a stray positional token after any other
+  /// command.
   Args(int argc, const char* const* argv);
 
   /// Convenience for tests.
@@ -40,8 +42,15 @@ class Args {
   /// almost certainly typos. Call after all gets.
   [[nodiscard]] std::vector<std::string> unused() const;
 
+  /// Positional operands after the command, in order (only the commands
+  /// whitelisted in the parser may have any).
+  [[nodiscard]] const std::vector<std::string>& positionals() const {
+    return positionals_;
+  }
+
  private:
   std::string command_;
+  std::vector<std::string> positionals_;
   std::map<std::string, std::string> flags_;
   mutable std::set<std::string> consumed_;
 };

@@ -9,6 +9,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "ctmc/dot.hpp"
@@ -21,8 +22,11 @@
 #include "obs/progress.hpp"
 #include "obs/session.hpp"
 #include "placement/layout.hpp"
+#include "report/diff.hpp"
 #include "report/json.hpp"
+#include "report/resultset_doc.hpp"
 #include "report/table.hpp"
+#include "sim/estimate.hpp"
 #include "scenario/scenario.hpp"
 #include "util/assert.hpp"
 #include "util/format.hpp"
@@ -49,7 +53,13 @@ commands:
   simulate      parallel Monte-Carlo MTTDL estimate vs the analytic model
                 (--trials, --seed, --jobs, --ci-target, --chunk,
                 --max-trials); use accelerated --node-mttf/--drive-mttf
-                so trajectories stay short
+                so trajectories stay short. With --param/--from/--to/
+                --steps it becomes a Monte-Carlo sweep through the grid
+                engine (same --format/--jobs/--on-error as sweep)
+  diff          compare two written resultset JSON documents
+                (nsrel diff A.json B.json [--abs-tol X] [--rel-tol Y]
+                [--format table|csv|json]); exit 0 = no drift, 3 = drift,
+                4 = unreadable or incomparable inputs
   chain         emit the configuration's Markov chain as Graphviz DOT
                 (pipe into `dot -Tpdf` for a Figure-5-style diagram)
   provision     fail-in-place spare planning: utilization that survives
@@ -382,40 +392,113 @@ int run_chain(const Args& args, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
-int run_simulate(const Args& args, std::ostream& out, std::ostream& err) {
-  const core::Analyzer analyzer(config_from_args(args));
-  const core::Configuration configuration = configuration_from_args(args);
-  const int trials = args.get_int("trials", 4000);
-  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 24141));
-  sim::ParallelOptions options;
-  options.jobs = args.get_int("jobs", 1);
-  options.ci_target = args.get_double("ci-target", 0.0);
-  options.chunk_trials = args.get_int("chunk", 256);
-  options.max_trials = args.get_int("max-trials", options.max_trials);
+/// `nsrel simulate --param ... --from ... --to ... --steps N`: a
+/// Monte-Carlo parameter sweep, routed through the same grid engine,
+/// renderers, and --on-error machinery as `nsrel sweep` — one sim cell
+/// per (point, configuration), bit-identical at any --jobs.
+int run_simulate_sweep(const Args& args, const core::SystemConfig& base,
+                       const core::Configuration& configuration,
+                       engine::SimSpec spec, std::ostream& out,
+                       std::ostream& err) {
+  const std::string param = args.get_string("param", "drive-mttf");
+  const double from = args.get_double("from", 100e3);
+  const double to = args.get_double("to", 750e3);
+  const int steps = args.get_int("steps", 5);
+  EvalFlags flags = eval_flags_from_args(args);
   const bool progress = args.has("progress");
   if (const int rc = check_unused(args, err); rc != 0) return rc;
-  NSREL_EXPECTS(trials >= 2);
-  NSREL_EXPECTS(options.jobs >= 0);
+  NSREL_EXPECTS(steps >= 2);
+  NSREL_EXPECTS(from > 0.0 && to > from);
+
+  core::SystemConfig probe = base;
+  if (!core::set_parameter(probe, param, from)) {
+    err << "unknown --param '" << param << "'\n";
+    return kExitUsage;
+  }
+
+  // Cell-level parallelism comes from the engine (--jobs); each cell
+  // runs its trials inline (the engine forces this for multi-cell sim
+  // grids, so the flag never double-subscribes the machine).
+  engine::Grid grid = engine::parameter_sweep(
+      base, param, engine::spaced_points(from, to, steps, /*log_scale=*/true),
+      {configuration});
+  grid.simulation = std::move(spec);
+  std::optional<obs::ProgressMeter> meter;
+  if (progress) {
+    meter.emplace(err, "cells",
+                  grid.points.size() * grid.configurations.size());
+    flags.options.progress = &*meter;
+  }
+  const engine::ResultSet results = engine::evaluate(grid, flags.options);
+  if (meter) meter->finish();
+  switch (flags.format) {
+    case report::OutputFormat::kTable:
+      out << core::name(configuration) << ", sweeping " << param << ":\n";
+      engine::sim_sweep_table(results).print(out);
+      if (flags.cache_stats) engine::print_cache_footer(results, out);
+      break;
+    case report::OutputFormat::kCsv:
+      engine::sim_sweep_table(results).print_csv(out);
+      if (flags.cache_stats) engine::print_cache_footer(results, out);
+      break;
+    case report::OutputFormat::kJson:
+      engine::write_json(results, out, engine::JsonOptions{flags.cache_stats});
+      break;
+  }
+  return report_failures(results, err);
+}
+
+int run_simulate(const Args& args, std::ostream& out, std::ostream& err) {
+  const core::SystemConfig system = config_from_args(args);
+  const core::Configuration configuration = configuration_from_args(args);
+  engine::SimSpec spec;
+  spec.trials = args.get_int("trials", 4000);
+  spec.seed = static_cast<std::uint64_t>(args.get_int("seed", 24141));
+  spec.options.jobs = args.get_int("jobs", 1);
+  spec.options.ci_target = args.get_double("ci-target", 0.0);
+  spec.options.chunk_trials = args.get_int("chunk", 256);
+  spec.options.max_trials = args.get_int("max-trials", spec.options.max_trials);
+  NSREL_EXPECTS(spec.trials >= 2);
+  NSREL_EXPECTS(spec.options.jobs >= 0);
+
+  // With --param the command becomes a Monte-Carlo sweep; --jobs then
+  // parallelizes across cells instead of within the one estimate.
+  if (args.has("param")) {
+    return run_simulate_sweep(args, system, configuration, std::move(spec),
+                              out, err);
+  }
+
+  const bool progress = args.has("progress");
+  if (const int rc = check_unused(args, err); rc != 0) return rc;
 
   std::optional<obs::ProgressMeter> meter;
   if (progress) {
     // Total = whole chunks needed; in adaptive mode the trial cap is an
     // upper bound (the meter's final line reports actual chunks).
-    const int per_chunk = options.chunk_trials;
-    const int bound = options.ci_target > 0.0 ? options.max_trials : trials;
+    const int per_chunk = spec.options.chunk_trials;
+    const int bound =
+        spec.options.ci_target > 0.0 ? spec.options.max_trials : spec.trials;
     meter.emplace(err, "chunks",
                   static_cast<std::uint64_t>((bound + per_chunk - 1) /
                                              per_chunk));
-    options.progress = &*meter;
+    spec.options.progress = &*meter;
   }
+  const core::Analyzer analyzer(system);
   const double analytic = analyzer.mttdl(configuration).value();
-  const auto estimate =
-      analyzer.simulate_mttdl(configuration, trials, seed, options);
+  // Single-cell grid through the same engine as the sweeps: the cell's
+  // seed is the base seed and the intra-cell jobs/progress are honored,
+  // so the estimate is bit-identical to the historical direct call.
+  const int jobs = spec.options.jobs;
+  const int chunk = spec.options.chunk_trials;
+  const std::uint64_t seed = spec.seed;
+  engine::Grid grid = engine::single_point(system, {configuration});
+  grid.simulation = std::move(spec);
+  const engine::ResultSet results = engine::evaluate(grid, {});
   if (meter) meter->finish();
+  const sim::MttdlEstimate& estimate = results.sim_at(0, 0).estimate;
   out << "configuration:     " << core::name(configuration) << "\n"
-      << "trials:            " << estimate.trials << " (jobs "
-      << options.jobs << ", chunk " << options.chunk_trials << ", seed "
-      << seed << ")\n"
+      << "trials:            " << estimate.trials << " (jobs " << jobs
+      << ", chunk " << chunk << ", seed " << seed << ")\n"
       << "simulated MTTDL:   " << sci(estimate.mean_hours) << " h\n"
       << "95% CI:            [" << sci(estimate.ci95_low_hours) << ", "
       << sci(estimate.ci95_high_hours) << "] h (±"
@@ -425,6 +508,69 @@ int run_simulate(const Args& args, std::ostream& out, std::ostream& err) {
       << "sim/analytic:      " << fixed(estimate.mean_hours / analytic, 3)
       << "\n";
   return 0;
+}
+
+/// `nsrel diff A.json B.json`: compare two written resultset documents.
+int run_diff(const Args& args, std::ostream& out, std::ostream& err) {
+  const std::vector<std::string>& paths = args.positionals();
+  report::DiffOptions options;
+  options.abs_tol = args.get_double("abs-tol", 0.0);
+  options.rel_tol = args.get_double("rel-tol", 0.0);
+  const report::OutputFormat format =
+      report::parse_output_format(args.get_string("format", "table"));
+  if (const int rc = check_unused(args, err); rc != 0) return rc;
+  if (paths.size() != 2) {
+    err << "diff requires exactly two files: nsrel diff A.json B.json\n";
+    return kExitUsage;
+  }
+  if (options.abs_tol < 0.0 || options.rel_tol < 0.0) {
+    throw ContractViolation("--abs-tol and --rel-tol must be >= 0");
+  }
+
+  // Unreadable or malformed inputs are usage-class failures (exit 4):
+  // the caller named files that are not comparable v3 documents.
+  std::vector<report::ResultSetDoc> docs;
+  for (const std::string& path : paths) {
+    std::ifstream in(path);
+    if (!in) {
+      err << "cannot open '" << path << "'\n";
+      return kExitUsage;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    Expected<report::ResultSetDoc> doc = report::read_resultset_json(text.str());
+    if (!doc.has_value()) {
+      err << "error: " << path << ": " << doc.error().message() << "\n";
+      return kExitUsage;
+    }
+    docs.push_back(std::move(doc.value()));
+  }
+
+  const Expected<report::DiffReport> compared =
+      report::diff_resultsets(docs[0], docs[1], options);
+  if (!compared.has_value()) {
+    err << "error: " << compared.error().message() << "\n";
+    return kExitUsage;
+  }
+  const report::DiffReport& drift = compared.value();
+  switch (format) {
+    case report::OutputFormat::kTable:
+      if (drift.clean()) {
+        out << "no drift: " << drift.cells << " cell(s) compared\n";
+      } else {
+        report::diff_table(drift).print(out);
+        out << drift.rows.size() << " drifting field(s) across "
+            << drift.cells << " cell(s)\n";
+      }
+      break;
+    case report::OutputFormat::kCsv:
+      report::diff_table(drift).print_csv(out);
+      break;
+    case report::OutputFormat::kJson:
+      report::write_diff_json(drift, options, out);
+      break;
+  }
+  return drift.clean() ? kExitOk : kExitPartialResults;
 }
 
 int run_provision(const Args& args, std::ostream& out, std::ostream& err) {
@@ -559,6 +705,7 @@ int dispatch_command(const Args& args, std::ostream& out, std::ostream& err) {
   if (command == "availability") return run_availability(args, out, err);
   if (command == "scenario") return run_scenario_command(args, out, err);
   if (command == "simulate") return run_simulate(args, out, err);
+  if (command == "diff") return run_diff(args, out, err);
   if (command == "chain") return run_chain(args, out, err);
   if (command == "provision") return run_provision(args, out, err);
   err << "unknown command '" << command << "' (try: nsrel help)\n";

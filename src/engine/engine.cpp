@@ -9,6 +9,7 @@
 #include <stdexcept>
 #include <string>
 #include <utility>
+#include <variant>
 #include <vector>
 
 #include "engine/testing.hpp"
@@ -89,11 +90,26 @@ bool ResultSet::ok(std::size_t point, std::size_t configuration) const {
   return cell(point, configuration).has_value();
 }
 
+bool ResultSet::is_sim(std::size_t point, std::size_t configuration) const {
+  const Cell& c = cell(point, configuration);
+  NSREL_EXPECTS(c.has_value());
+  return std::holds_alternative<sim::SimEstimate>(c.value());
+}
+
 const core::AnalysisResult& ResultSet::at(std::size_t point,
                                           std::size_t configuration) const {
   const Cell& c = cell(point, configuration);
   NSREL_EXPECTS(c.has_value());
-  return c.value();
+  NSREL_EXPECTS(std::holds_alternative<core::AnalysisResult>(c.value()));
+  return std::get<core::AnalysisResult>(c.value());
+}
+
+const sim::SimEstimate& ResultSet::sim_at(std::size_t point,
+                                          std::size_t configuration) const {
+  const Cell& c = cell(point, configuration);
+  NSREL_EXPECTS(c.has_value());
+  NSREL_EXPECTS(std::holds_alternative<sim::SimEstimate>(c.value()));
+  return std::get<sim::SimEstimate>(c.value());
 }
 
 std::size_t ResultSet::ok_count() const {
@@ -169,8 +185,37 @@ ResultSet evaluate(const Grid& grid, const EvalOptions& options) {
           }
         }
         const core::Analyzer analyzer(grid.points[point].system);
-        return analyzer.try_analyze(grid.configurations[configuration],
-                                    grid.method, cache, grid.solver);
+        if (grid.simulation.has_value()) {
+          // Monte-Carlo cell: bypasses the solve cache entirely (no chain
+          // solve happens) and draws from a per-cell seed that is a pure
+          // function of the grid. A single-cell grid keeps the caller's
+          // intra-cell jobs/progress (the classic `nsrel simulate`
+          // shape); multi-cell grids parallelize across cells instead,
+          // so each cell runs its trials inline.
+          const SimSpec& spec = *grid.simulation;
+          sim::ParallelOptions sim_options = spec.options;
+          if (cell_count > 1) {
+            sim_options.jobs = 1;
+            sim_options.progress = nullptr;
+          }
+          obs::Span sim_span(obs::probe::kSpanSimCell,
+                             obs::probe::kSpanCategoryEngine);
+          sim::SimEstimate estimate;
+          estimate.seed = cell_seed(spec.seed, index);
+          if (sim_span.armed()) {
+            sim_span.arg("trials", static_cast<std::uint64_t>(spec.trials));
+            sim_span.arg("seed", estimate.seed);
+          }
+          estimate.estimate = analyzer.simulate_mttdl(
+              grid.configurations[configuration], spec.trials, estimate.seed,
+              sim_options);
+          return CellValue{std::move(estimate)};
+        }
+        Expected<core::AnalysisResult> analyzed =
+            analyzer.try_analyze(grid.configurations[configuration],
+                                 grid.method, cache, grid.solver);
+        if (!analyzed.has_value()) return analyzed.error();
+        return CellValue{std::move(analyzed.value())};
       } catch (const ErrorException& e) {
         return e.error();
       } catch (const ContractViolation& e) {

@@ -23,11 +23,13 @@
 
 #include <cstddef>
 #include <string>
+#include <variant>
 #include <vector>
 
 #include "core/analyzer.hpp"
 #include "core/solve_cache.hpp"
 #include "engine/grid.hpp"
+#include "sim/estimate.hpp"
 #include "util/error.hpp"
 
 namespace nsrel::obs {
@@ -84,13 +86,20 @@ struct CellError {
   Error error;
 };
 
-/// The evaluated grid: one Expected<AnalysisResult> per
+/// What a successful cell holds: an analytic solve result, or — when the
+/// grid carries a SimSpec — a Monte-Carlo estimate. One variant (rather
+/// than two ResultSet types) so renderers, the solve-cache bypass, the
+/// JSON writer/reader, and the --on-error machinery are shared verbatim
+/// between `nsrel sweep` and `nsrel simulate` sweeps.
+using CellValue = std::variant<core::AnalysisResult, sim::SimEstimate>;
+
+/// The evaluated grid: one Expected<CellValue> per
 /// (point, configuration) cell in deterministic row-major order, plus
 /// the grid that produced it and a snapshot of the solve-cache counters
 /// after the run.
 class ResultSet {
  public:
-  using Cell = Expected<core::AnalysisResult>;
+  using Cell = Expected<CellValue>;
 
   ResultSet(Grid grid, std::vector<Cell> cells,
             core::SolveCache::Stats cache_stats);
@@ -108,10 +117,21 @@ class ResultSet {
   /// True when the cell holds a result.
   [[nodiscard]] bool ok(std::size_t point, std::size_t configuration) const;
 
-  /// The cell's result. Precondition: ok(point, configuration) — the
-  /// benches and renderers that index unconditionally run under
-  /// fail-fast, where every returned cell is a success.
+  /// True when the cell holds a Monte-Carlo estimate. Precondition:
+  /// ok(point, configuration). A grid's cells are homogeneous — this is
+  /// `grid().is_simulation()` restated per cell for renderer symmetry.
+  [[nodiscard]] bool is_sim(std::size_t point, std::size_t configuration) const;
+
+  /// The cell's analytic result. Precondition: ok(point, configuration)
+  /// and the cell is analytic — the benches and renderers that index
+  /// unconditionally run under fail-fast on analytic grids, where every
+  /// returned cell is a success.
   [[nodiscard]] const core::AnalysisResult& at(std::size_t point,
+                                               std::size_t configuration) const;
+
+  /// The cell's Monte-Carlo estimate. Precondition:
+  /// ok(point, configuration) and the cell is a sim cell.
+  [[nodiscard]] const sim::SimEstimate& sim_at(std::size_t point,
                                                std::size_t configuration) const;
 
   /// Number of cells holding results.

@@ -9,7 +9,8 @@
 
 #include "obs/probe_names.hpp"
 #include "obs/trace.hpp"
-#include "report/json.hpp"
+#include "report/resultset_doc.hpp"
+#include "util/assert.hpp"
 #include "util/format.hpp"
 
 namespace nsrel::engine {
@@ -23,6 +24,12 @@ std::string failure_marker(const ResultSet::Cell& cell) {
   return std::string("!") + error_code_name(cell.error().code);
 }
 
+/// The label-column header shared by the row-oriented renderers: the
+/// joined axis names, or "metric" for single-point grids.
+std::string label_header(const Grid& grid) {
+  return grid.has_axis() ? grid.axis_header() : "metric";
+}
+
 }  // namespace
 
 report::Table events_table(const ResultSet& results,
@@ -30,8 +37,9 @@ report::Table events_table(const ResultSet& results,
   obs::Span span(obs::probe::kSpanRender, obs::probe::kSpanCategoryEngine);
   span.arg("kind", "events_table");
   const Grid& grid = results.grid();
+  NSREL_EXPECTS(!grid.is_simulation());
   std::vector<std::string> headers;
-  headers.push_back(grid.has_axis() ? grid.axis : "metric");
+  headers.push_back(label_header(grid));
   for (const auto& configuration : grid.configurations) {
     headers.push_back(core::name(configuration));
   }
@@ -58,9 +66,10 @@ report::Table sweep_table(const ResultSet& results) {
   obs::Span span(obs::probe::kSpanRender, obs::probe::kSpanCategoryEngine);
   span.arg("kind", "sweep_table");
   const Grid& grid = results.grid();
+  NSREL_EXPECTS(!grid.is_simulation());
   const bool qualify = grid.configurations.size() > 1;
   std::vector<std::string> headers;
-  headers.push_back(grid.has_axis() ? grid.axis : "metric");
+  headers.push_back(label_header(grid));
   for (const auto& configuration : grid.configurations) {
     const std::string prefix =
         qualify ? core::name(configuration) + " " : std::string();
@@ -86,10 +95,49 @@ report::Table sweep_table(const ResultSet& results) {
   return table;
 }
 
+report::Table sim_sweep_table(const ResultSet& results) {
+  obs::Span span(obs::probe::kSpanRender, obs::probe::kSpanCategoryEngine);
+  span.arg("kind", "sim_sweep_table");
+  const Grid& grid = results.grid();
+  NSREL_EXPECTS(grid.is_simulation());
+  const bool qualify = grid.configurations.size() > 1;
+  std::vector<std::string> headers;
+  headers.push_back(label_header(grid));
+  for (const auto& configuration : grid.configurations) {
+    const std::string prefix =
+        qualify ? core::name(configuration) + " " : std::string();
+    headers.push_back(prefix + "sim MTTDL (h)");
+    headers.push_back(prefix + "95% CI (h)");
+  }
+  report::Table table(std::move(headers));
+  for (std::size_t p = 0; p < results.point_count(); ++p) {
+    std::vector<std::string> row{grid.points[p].label};
+    for (std::size_t c = 0; c < results.configuration_count(); ++c) {
+      if (!results.ok(p, c)) {
+        const std::string marker = failure_marker(results.cell(p, c));
+        row.push_back(marker);
+        row.push_back(marker);
+        continue;
+      }
+      const sim::MttdlEstimate& estimate = results.sim_at(p, c).estimate;
+      row.push_back(sci(estimate.mean_hours));
+      row.push_back("[" + sci(estimate.ci95_low_hours) + ", " +
+                    sci(estimate.ci95_high_hours) + "]");
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
 report::Table compare_table(const ResultSet& results,
                             const core::ReliabilityTarget& target) {
   obs::Span span(obs::probe::kSpanRender, obs::probe::kSpanCategoryEngine);
   span.arg("kind", "compare_table");
+  // This shape has no point-label column: it only makes sense for a
+  // single-point grid, and silently rendering point 0 of a larger grid
+  // would misattribute the sweep (caught here rather than by callers).
+  NSREL_EXPECTS(results.point_count() == 1);
+  NSREL_EXPECTS(!results.grid().is_simulation());
   report::Table table({"configuration", "MTTDL", "events/PB-yr", "meets"});
   for (std::size_t c = 0; c < results.configuration_count(); ++c) {
     if (!results.ok(0, c)) {
@@ -107,6 +155,72 @@ report::Table compare_table(const ResultSet& results,
   return table;
 }
 
+report::ResultSetDoc make_document(const ResultSet& results,
+                                   const JsonOptions& options) {
+  const Grid& grid = results.grid();
+  report::ResultSetDoc doc;
+  doc.method = core::method_name(grid.method);
+  if (options.cache_meta) {
+    const core::SolveCache::Stats& stats = results.cache_stats();
+    doc.cache = report::CacheMetaDoc{stats.hits, stats.misses,
+                                     stats.lookups()};
+  }
+  doc.axes.reserve(grid.axes.size());
+  for (const Axis& axis : grid.axes) doc.axes.push_back({axis.name});
+  doc.points.reserve(grid.points.size());
+  for (const GridPoint& point : grid.points) {
+    doc.points.push_back({point.label, point.coords});
+  }
+  doc.configurations.reserve(grid.configurations.size());
+  for (const auto& configuration : grid.configurations) {
+    doc.configurations.push_back(core::name(configuration));
+  }
+  doc.cells.reserve(results.point_count() * results.configuration_count());
+  for (std::size_t p = 0; p < results.point_count(); ++p) {
+    for (std::size_t c = 0; c < results.configuration_count(); ++c) {
+      report::CellDoc cell;
+      cell.point = p;
+      cell.configuration = c;
+      if (!results.ok(p, c)) {
+        const Error& error = results.cell(p, c).error();
+        cell.data = report::ErrorCellDoc{error_code_name(error.code),
+                                         error.layer, error.detail};
+      } else if (results.is_sim(p, c)) {
+        const sim::SimEstimate& sim = results.sim_at(p, c);
+        cell.data = report::SimCellDoc{sim.estimate.mean_hours,
+                                       sim.estimate.stddev_hours,
+                                       sim.estimate.stderr_hours,
+                                       sim.estimate.ci95_low_hours,
+                                       sim.estimate.ci95_high_hours,
+                                       sim.estimate.trials,
+                                       sim.seed};
+      } else {
+        const core::AnalysisResult& result = results.at(p, c);
+        report::AnalyticCellDoc analytic;
+        analytic.mttdl_hours = result.mttdl.value();
+        analytic.events_per_system_year = result.events_per_system_year;
+        analytic.events_per_pb_year = result.events_per_pb_year;
+        analytic.logical_capacity_bytes = result.logical_capacity.value();
+        analytic.node_rebuild_hours =
+            to_hours(result.rebuild.node_rebuild_time).value();
+        analytic.node_rebuild_bottleneck =
+            result.rebuild.node_bottleneck == rebuild::Bottleneck::kDisk
+                ? "disk"
+                : "network";
+        if (grid.configurations[c].internal != core::InternalScheme::kNone) {
+          analytic.has_internal_raid = true;
+          analytic.array_failure_per_hour = result.array_failure_rate.value();
+          analytic.sector_error_per_hour = result.sector_error_rate.value();
+          analytic.restripe_hours = to_hours(result.rebuild.restripe_time).value();
+        }
+        cell.data = std::move(analytic);
+      }
+      doc.cells.push_back(std::move(cell));
+    }
+  }
+  return doc;
+}
+
 void write_json(const ResultSet& results, std::ostream& out) {
   write_json(results, out, JsonOptions{});
 }
@@ -115,86 +229,7 @@ void write_json(const ResultSet& results, std::ostream& out,
                 const JsonOptions& options) {
   obs::Span span(obs::probe::kSpanRender, obs::probe::kSpanCategoryEngine);
   span.arg("kind", "json");
-  const Grid& grid = results.grid();
-  report::JsonWriter json(out);
-  json.begin_object();
-  json.key("schema").value("nsrel-resultset-v2");
-  json.key("method").value(core::method_name(grid.method));
-  if (options.cache_meta) {
-    const core::SolveCache::Stats& stats = results.cache_stats();
-    json.key("meta").begin_object();
-    json.key("cache").begin_object();
-    json.key("hits").value(stats.hits);
-    json.key("misses").value(stats.misses);
-    json.key("lookups").value(stats.lookups());
-    json.end_object();
-    json.end_object();
-  }
-  if (grid.has_axis()) {
-    json.key("axis").value(grid.axis);
-  } else {
-    json.key("axis").null();
-  }
-
-  json.key("points").begin_array();
-  for (const GridPoint& point : grid.points) {
-    json.begin_object();
-    json.key("label").value(point.label);
-    if (grid.has_axis()) json.key("x").value(point.x);
-    json.end_object();
-  }
-  json.end_array();
-
-  json.key("configurations").begin_array();
-  for (const auto& configuration : grid.configurations) {
-    json.value(core::name(configuration));
-  }
-  json.end_array();
-
-  json.key("cells").begin_array();
-  for (std::size_t p = 0; p < results.point_count(); ++p) {
-    for (std::size_t c = 0; c < results.configuration_count(); ++c) {
-      if (!results.ok(p, c)) {
-        const Error& error = results.cell(p, c).error();
-        json.begin_object();
-        json.key("point").value(static_cast<std::uint64_t>(p));
-        json.key("configuration").value(static_cast<std::uint64_t>(c));
-        json.key("error").begin_object();
-        json.key("code").value(error_code_name(error.code));
-        json.key("layer").value(error.layer);
-        json.key("detail").value(error.detail);
-        json.end_object();
-        json.end_object();
-        continue;
-      }
-      const core::AnalysisResult& result = results.at(p, c);
-      json.begin_object();
-      json.key("point").value(static_cast<std::uint64_t>(p));
-      json.key("configuration").value(static_cast<std::uint64_t>(c));
-      json.key("error").null();
-      json.key("mttdl_hours").value(result.mttdl.value());
-      json.key("events_per_system_year").value(result.events_per_system_year);
-      json.key("events_per_pb_year").value(result.events_per_pb_year);
-      json.key("logical_capacity_bytes").value(result.logical_capacity.value());
-      json.key("node_rebuild_hours")
-          .value(to_hours(result.rebuild.node_rebuild_time).value());
-      json.key("node_rebuild_bottleneck")
-          .value(result.rebuild.node_bottleneck == rebuild::Bottleneck::kDisk
-                     ? "disk"
-                     : "network");
-      if (grid.configurations[c].internal != core::InternalScheme::kNone) {
-        json.key("array_failure_per_hour")
-            .value(result.array_failure_rate.value());
-        json.key("sector_error_per_hour")
-            .value(result.sector_error_rate.value());
-        json.key("restripe_hours")
-            .value(to_hours(result.rebuild.restripe_time).value());
-      }
-      json.end_object();
-    }
-  }
-  json.end_array();
-  json.end_object();
+  report::write_resultset_json(make_document(results, options), out);
 }
 
 void print_cache_footer(const ResultSet& results, std::ostream& out) {

@@ -50,6 +50,7 @@ inline constexpr const char* kSpanCategoryCore = "core";
 inline constexpr const char* kSpanCategoryEngine = "engine";
 inline constexpr const char* kSpanCategorySim = "sim";
 inline constexpr const char* kSpanCategoryCtmc = "ctmc";
+inline constexpr const char* kSpanCategoryReport = "report";
 
 inline constexpr const char* kSpanSolve = "solve";
 /// CTMC solver spans, each tagged with a "backend" arg (dense/sparse)
@@ -59,8 +60,15 @@ inline constexpr const char* kSpanAbsorbingSolve = "absorbing_solve";
 inline constexpr const char* kSpanStationarySolve = "stationary_solve";
 inline constexpr const char* kSpanEvaluate = "evaluate";
 inline constexpr const char* kSpanCell = "cell";
+/// A Monte-Carlo grid cell: wraps the sim::run_trials call for one
+/// (point, configuration) slot when the grid carries a SimSpec.
+inline constexpr const char* kSpanSimCell = "sim_cell";
 inline constexpr const char* kSpanClaim = "claim";
 inline constexpr const char* kSpanRender = "render";
 inline constexpr const char* kSpanChunk = "chunk";
+/// Strict nsrel-resultset-v3 document read (report::read_resultset_json).
+inline constexpr const char* kSpanResultSetRead = "resultset_read";
+/// ResultSet document comparison (report::diff_resultsets / nsrel diff).
+inline constexpr const char* kSpanDiff = "diff";
 
 }  // namespace nsrel::obs::probe

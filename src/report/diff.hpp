@@ -1,0 +1,74 @@
+// Structured comparison of two nsrel-resultset-v3 documents — the
+// engine behind `nsrel diff A.json B.json`.
+//
+// Two documents are *comparable* when their shape matches: same method,
+// axes, points (labels and coordinates), and configuration names. A
+// shape mismatch is a typed invalid_parameter error (the caller passed
+// incomparable runs), not drift. Comparable documents are then compared
+// cell by cell; a numeric field drifts when
+//   |a - b| > abs_tol + rel_tol * max(|a|, |b|)
+// (both tolerances default to 0 = exact bit comparison of the rendered
+// doubles), and identity fields — cell kind, error code/layer/detail,
+// rebuild bottleneck, sim trials/seed — drift on any inequality.
+// The report lists every drifting field in row-major cell order, so the
+// rendered output is deterministic for a given pair of inputs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "report/resultset_doc.hpp"
+#include "report/table.hpp"
+#include "util/error.hpp"
+
+namespace nsrel::report {
+
+struct DiffOptions {
+  double abs_tol = 0.0;
+  double rel_tol = 0.0;
+};
+
+/// One drifting field of one cell. `a`/`b` are the rendered values
+/// (shortest round-trip form for numbers); the deltas are meaningful
+/// only when `numeric`.
+struct DriftRow {
+  std::uint64_t point = 0;
+  std::uint64_t configuration = 0;
+  std::string configuration_name;
+  std::string field;
+  std::string a;
+  std::string b;
+  bool numeric = false;
+  double a_value = 0.0;
+  double b_value = 0.0;
+  double abs_delta = 0.0;
+  double rel_delta = 0.0;  ///< abs_delta / max(|a|, |b|)
+};
+
+struct DiffReport {
+  std::size_t cells = 0;  ///< cells compared
+  std::vector<DriftRow> rows;
+
+  [[nodiscard]] bool clean() const { return rows.empty(); }
+};
+
+/// Compares two documents. Shape mismatches come back as typed
+/// invalid_parameter errors (layer "report.diff"); comparable documents
+/// always produce a report (possibly clean).
+[[nodiscard]] Expected<DiffReport> diff_resultsets(
+    const ResultSetDoc& a, const ResultSetDoc& b,
+    const DiffOptions& options = {});
+
+/// Drift rows as a table: point, configuration, field, a, b, |delta|,
+/// rel. Non-numeric drifts render "-" in the delta columns.
+[[nodiscard]] Table diff_table(const DiffReport& report);
+
+/// Machine-readable drift document (schema nsrel-diff-v1): the
+/// tolerances, the compared cell count, and one record per drift row.
+void write_diff_json(const DiffReport& report, const DiffOptions& options,
+                     std::ostream& out);
+
+}  // namespace nsrel::report

@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <ostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "engine/engine.hpp"
 #include "engine/grid.hpp"
@@ -65,22 +67,32 @@ Scenario parse_scenario(const std::string& text) {
   }
   NSREL_ENSURES(!scenario.configurations.empty());
 
-  // [sweep] (optional).
-  if (doc.has_section("sweep")) {
+  // [sweep], [sweep.2], [sweep.3], ... (optional; consecutive sections,
+  // each one axis of a cartesian grid).
+  for (std::size_t axis = 1;; ++axis) {
+    const std::string section =
+        axis == 1 ? "sweep" : "sweep." + std::to_string(axis);
+    if (!doc.has_section(section)) break;
     Sweep sweep;
-    sweep.parameter = doc.get("sweep", "param", "");
+    sweep.parameter = doc.get(section, "param", "");
     if (sweep.parameter.empty()) {
-      throw ContractViolation("[sweep] requires 'param'");
+      throw ContractViolation("[" + section + "] requires 'param'");
     }
     core::SystemConfig probe = scenario.system;
     if (!core::set_parameter(probe, sweep.parameter, 1.0)) {
       throw ContractViolation("unknown sweep parameter '" + sweep.parameter +
                               "'");
     }
-    sweep.from = doc.get_double("sweep", "from", 0.0);
-    sweep.to = doc.get_double("sweep", "to", 0.0);
-    sweep.steps = static_cast<int>(doc.get_double("sweep", "steps", 5.0));
-    const std::string scale = doc.get("sweep", "scale", "log");
+    for (const Sweep& existing : scenario.sweeps) {
+      if (existing.parameter == sweep.parameter) {
+        throw ContractViolation("sweep parameter '" + sweep.parameter +
+                                "' appears on more than one axis");
+      }
+    }
+    sweep.from = doc.get_double(section, "from", 0.0);
+    sweep.to = doc.get_double(section, "to", 0.0);
+    sweep.steps = static_cast<int>(doc.get_double(section, "steps", 5.0));
+    const std::string scale = doc.get(section, "scale", "log");
     if (scale == "log") {
       sweep.log_scale = true;
     } else if (scale == "linear") {
@@ -89,9 +101,10 @@ Scenario parse_scenario(const std::string& text) {
       throw ContractViolation("unknown sweep scale '" + scale + "'");
     }
     if (!(sweep.from > 0.0) || !(sweep.to > sweep.from) || sweep.steps < 2) {
-      throw ContractViolation("[sweep] requires 0 < from < to and steps >= 2");
+      throw ContractViolation("[" + section +
+                              "] requires 0 < from < to and steps >= 2");
     }
-    scenario.sweep = sweep;
+    scenario.sweeps.push_back(sweep);
   }
 
   // [output].
@@ -108,12 +121,30 @@ Scenario parse_scenario(const std::string& text) {
       engine::parse_on_error(doc.get("output", "on_error", "skip"));
   scenario.trace = doc.get("output", "trace", "");
 
-  // Reject unexpected sections (likely typos).
+  // Reject unexpected sections (likely typos). Sweep sections beyond the
+  // consecutive run parsed above ([sweep.4] with no [sweep.3]) land here
+  // too, with a hint about the numbering rule.
   for (const std::string& name : doc.section_names()) {
-    if (name != "system" && name != "configurations" && name != "sweep" &&
-        name != "output" && !name.empty()) {
-      throw ContractViolation("unknown section [" + name + "]");
+    if (name == "system" || name == "configurations" || name == "output" ||
+        name.empty()) {
+      continue;
     }
+    bool consumed_sweep = false;
+    for (std::size_t axis = 1; axis <= scenario.sweeps.size(); ++axis) {
+      const std::string section =
+          axis == 1 ? "sweep" : "sweep." + std::to_string(axis);
+      if (name == section) {
+        consumed_sweep = true;
+        break;
+      }
+    }
+    if (consumed_sweep) continue;
+    if (name.rfind("sweep", 0) == 0) {
+      throw ContractViolation(
+          "unknown section [" + name +
+          "] (sweep axes must be consecutive: [sweep], [sweep.2], ...)");
+    }
+    throw ContractViolation("unknown section [" + name + "]");
   }
   return scenario;
 }
@@ -121,13 +152,18 @@ Scenario parse_scenario(const std::string& text) {
 RunOutcome run_scenario(const Scenario& scenario, std::ostream& out) {
   if (!scenario.trace.empty()) obs::TraceRecorder::instance().begin();
   engine::Grid grid;
-  if (scenario.sweep) {
-    const Sweep& sweep = *scenario.sweep;
-    grid = engine::parameter_sweep(
-        scenario.system, sweep.parameter,
-        engine::spaced_points(sweep.from, sweep.to, sweep.steps,
-                              sweep.log_scale),
-        scenario.configurations, scenario.method);
+  if (!scenario.sweeps.empty()) {
+    std::vector<engine::AxisSpec> axes;
+    axes.reserve(scenario.sweeps.size());
+    for (const Sweep& sweep : scenario.sweeps) {
+      engine::AxisSpec axis;
+      axis.parameter = sweep.parameter;
+      axis.values = engine::spaced_points(sweep.from, sweep.to, sweep.steps,
+                                          sweep.log_scale);
+      axes.push_back(std::move(axis));
+    }
+    grid = engine::cartesian_sweep(scenario.system, axes,
+                                   scenario.configurations, scenario.method);
   } else {
     grid = engine::single_point(scenario.system, scenario.configurations,
                                 scenario.method);

@@ -1,8 +1,8 @@
 // Scenario files: declarative reliability studies.
 //
 // A scenario describes a system (overrides over the paper baseline), a
-// set of redundancy configurations, and optionally a one-parameter sweep,
-// then runs to a table or CSV. Example:
+// set of redundancy configurations, and optionally one or more sweep
+// axes, then runs to a table or CSV. Example:
 //
 //   # my-study.scenario
 //   [system]
@@ -19,6 +19,12 @@
 //   to = 1024
 //   steps = 9
 //   scale = log          ; or linear
+//
+//   [sweep.2]            ; optional second axis: the grid becomes the
+//   param = link-gbps    ; cartesian product (rows ordered first axis
+//   from = 1             ; outermost, last axis fastest). [sweep.3] etc.
+//   to = 10              ; nest further; sections must be consecutive.
+//   steps = 3
 //
 //   [output]
 //   format = table       ; or csv, json
@@ -38,7 +44,6 @@
 
 #include <cstddef>
 #include <iosfwd>
-#include <optional>
 #include <string>
 #include <vector>
 
@@ -60,7 +65,9 @@ struct Sweep {
 struct Scenario {
   core::SystemConfig system;
   std::vector<core::Configuration> configurations;
-  std::optional<Sweep> sweep;
+  /// Sweep axes in declaration order ([sweep], [sweep.2], ...); empty =
+  /// single evaluation point. Several axes form a cartesian grid.
+  std::vector<Sweep> sweeps;
   report::OutputFormat format = report::OutputFormat::kTable;
   core::ReliabilityTarget target = core::ReliabilityTarget::paper();
   core::Method method = core::Method::kExactChain;

@@ -3,6 +3,7 @@
 // streaming moment accumulator the parallel engine merges across chunks.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 namespace nsrel::sim {
@@ -23,6 +24,18 @@ struct MttdlEstimate {
   /// Half-width of the 95% CI relative to the mean (the adaptive
   /// stopping criterion). Infinity until the mean is positive.
   [[nodiscard]] double relative_half_width() const;
+};
+
+/// A Monte-Carlo grid cell: the merged estimate plus the RNG seed that
+/// produced it. This is what `nsrel simulate` sweeps store per cell when
+/// they route through engine::evaluate — the analytic cells' counterpart
+/// to core::AnalysisResult. The seed is part of the value because a sim
+/// cell's identity is (model, trials, chunk, seed): rendering it lets a
+/// reader reproduce any one cell without re-deriving the engine's
+/// per-cell stream assignment.
+struct SimEstimate {
+  MttdlEstimate estimate;
+  std::uint64_t seed = 0;
 };
 
 /// Streaming first/second central moments (Welford's algorithm), with

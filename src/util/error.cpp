@@ -18,6 +18,8 @@ const char* error_code_name(ErrorCode code) {
       return "contract_violation";
     case ErrorCode::kInternal:
       return "internal";
+    case ErrorCode::kMalformedDocument:
+      return "malformed_document";
   }
   return "internal";
 }

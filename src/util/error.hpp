@@ -34,6 +34,10 @@ namespace nsrel {
 ///   contract_violation  - an NSREL_EXPECTS/ENSURES/ASSERT fired inside
 ///                         the cell's model construction or solve
 ///   internal            - any other std::exception escaped the cell
+///   malformed_document  - a serialized document (nsrel-resultset-v3
+///                         JSON) failed strict validation: wrong schema
+///                         tag, missing/unknown keys, type mismatches,
+///                         or indices out of range
 enum class ErrorCode : unsigned char {
   kSingularGenerator,
   kIllConditioned,
@@ -41,6 +45,7 @@ enum class ErrorCode : unsigned char {
   kInvalidParameter,
   kContractViolation,
   kInternal,
+  kMalformedDocument,
 };
 
 /// The stable snake_case name of a code (e.g. "singular_generator").

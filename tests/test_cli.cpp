@@ -2,6 +2,7 @@
 // mapping, and every command driven end-to-end against string streams.
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -185,9 +186,9 @@ TEST(Dispatch, SweepFormatJsonAndJobsInvariance) {
       run({"sweep", "--param", "drive-mttf", "--from", "1e5", "--to",
            "7.5e5", "--steps", "4", "--format", "json", "--jobs", "1"});
   EXPECT_EQ(serial.exit_code, 0) << serial.err;
-  EXPECT_NE(serial.out.find("\"schema\": \"nsrel-resultset-v2\""),
+  EXPECT_NE(serial.out.find("\"schema\": \"nsrel-resultset-v3\""),
             std::string::npos);
-  EXPECT_NE(serial.out.find("\"axis\": \"drive-mttf\""), std::string::npos);
+  EXPECT_NE(serial.out.find("\"name\": \"drive-mttf\""), std::string::npos);
   const auto parallel =
       run({"sweep", "--param", "drive-mttf", "--from", "1e5", "--to",
            "7.5e5", "--steps", "4", "--format", "json", "--jobs", "8"});
@@ -215,7 +216,7 @@ TEST(Dispatch, AnalyzeAndCompareFormats) {
             std::string::npos);
   const auto compare_json = run({"compare", "--format", "json"});
   EXPECT_EQ(compare_json.exit_code, 0) << compare_json.err;
-  EXPECT_NE(compare_json.out.find("\"axis\": null"), std::string::npos);
+  EXPECT_NE(compare_json.out.find("\"axes\": []"), std::string::npos);
 }
 
 TEST(Dispatch, AvailabilityBothFamilies) {
@@ -381,6 +382,114 @@ TEST(Dispatch, RepeatedRunsAreByteIdentical) {
                               "--drive-mttf", "300", "--trials", "300",
                               "--jobs", "4", "--seed", "11"});
   EXPECT_EQ(sim_again.out, sim_first.out);
+}
+
+// ---------------------------------------------------------------------
+// Monte-Carlo sweeps: `simulate --param` rides the engine grid.
+
+TEST(Dispatch, SimulateSweepTableAndJobsInvariance) {
+  const auto table =
+      run({"simulate", "--scheme", "none", "--ft", "2", "--node-mttf", "500",
+           "--drive-mttf", "300", "--trials", "64", "--seed", "9", "--param",
+           "drive-mttf", "--from", "200", "--to", "600", "--steps", "3"});
+  EXPECT_EQ(table.exit_code, 0) << table.err;
+  EXPECT_NE(table.out.find("sweeping drive-mttf"), std::string::npos);
+  EXPECT_NE(table.out.find("sim MTTDL (h)"), std::string::npos);
+  EXPECT_NE(table.out.find("95% CI (h)"), std::string::npos);
+
+  const auto serial =
+      run({"simulate", "--scheme", "none", "--ft", "2", "--node-mttf", "500",
+           "--drive-mttf", "300", "--trials", "64", "--seed", "9", "--param",
+           "drive-mttf", "--from", "200", "--to", "600", "--steps", "3",
+           "--format", "json", "--jobs", "1"});
+  const auto parallel =
+      run({"simulate", "--scheme", "none", "--ft", "2", "--node-mttf", "500",
+           "--drive-mttf", "300", "--trials", "64", "--seed", "9", "--param",
+           "drive-mttf", "--from", "200", "--to", "600", "--steps", "3",
+           "--format", "json", "--jobs", "8"});
+  EXPECT_EQ(serial.exit_code, 0) << serial.err;
+  EXPECT_EQ(serial.out, parallel.out);  // bit-identical across jobs
+  EXPECT_NE(serial.out.find("\"kind\": \"sim\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// `nsrel diff`: compare two written result sets.
+
+std::string write_temp(const std::string& name, const std::string& bytes) {
+  const std::string path = ::testing::TempDir() + name;
+  std::ofstream out(path);
+  out << bytes;
+  return path;
+}
+
+CommandResult run_tokens(const std::vector<std::string>& tokens) {
+  std::ostringstream out;
+  std::ostringstream err;
+  const int code = dispatch(Args(tokens), out, err);
+  return {code, out.str(), err.str()};
+}
+
+TEST(Diff, SelfCompareOfJobsVariantsExitsClean) {
+  const auto serial =
+      run({"sweep", "--param", "drive-mttf", "--from", "1e5", "--to", "7.5e5",
+           "--steps", "4", "--format", "json", "--jobs", "1"});
+  const auto parallel =
+      run({"sweep", "--param", "drive-mttf", "--from", "1e5", "--to", "7.5e5",
+           "--steps", "4", "--format", "json", "--jobs", "8"});
+  const std::string a = write_temp("diff_a.json", serial.out);
+  const std::string b = write_temp("diff_b.json", parallel.out);
+  const auto result = run_tokens({"diff", a, b});
+  EXPECT_EQ(result.exit_code, 0) << result.err;
+  EXPECT_NE(result.out.find("no drift"), std::string::npos);
+}
+
+TEST(Diff, DriftExitsPartialResultsAndListsFields) {
+  const auto base =
+      run({"analyze", "--format", "json", "--scheme", "raid5", "--ft", "2"});
+  const auto moved =
+      run({"analyze", "--format", "json", "--scheme", "raid5", "--ft", "2",
+           "--drive-mttf", "2.9e5"});
+  const std::string a = write_temp("diff_base.json", base.out);
+  const std::string b = write_temp("diff_moved.json", moved.out);
+  const auto strict = run_tokens({"diff", a, b});
+  EXPECT_EQ(strict.exit_code, kExitPartialResults);
+  EXPECT_NE(strict.out.find("mttdl_hours"), std::string::npos);
+  EXPECT_NE(strict.out.find("drifting field(s)"), std::string::npos);
+  // A huge relative tolerance declares the same pair clean.
+  const auto loose = run_tokens({"diff", a, b, "--rel-tol", "1e9"});
+  EXPECT_EQ(loose.exit_code, 0) << loose.err;
+  // CSV and JSON renderings carry the drift rows too.
+  const auto csv = run_tokens({"diff", a, b, "--format", "csv"});
+  EXPECT_EQ(csv.exit_code, kExitPartialResults);
+  EXPECT_NE(csv.out.find("point,configuration,field"), std::string::npos);
+  const auto json = run_tokens({"diff", a, b, "--format", "json"});
+  EXPECT_NE(json.out.find("\"schema\": \"nsrel-diff-v1\""),
+            std::string::npos);
+}
+
+TEST(Diff, UsageErrors) {
+  // Wrong operand count.
+  EXPECT_EQ(run({"diff"}).exit_code, kExitUsage);
+  // Unreadable file.
+  const auto missing =
+      run_tokens({"diff", "/nonexistent/a.json", "/nonexistent/b.json"});
+  EXPECT_EQ(missing.exit_code, kExitUsage);
+  EXPECT_NE(missing.err.find("cannot open"), std::string::npos);
+  // Malformed document: the typed reader error reaches stderr.
+  const std::string bad = write_temp("diff_bad.json", "{\"schema\": 42}");
+  const auto malformed = run_tokens({"diff", bad, bad});
+  EXPECT_EQ(malformed.exit_code, kExitUsage);
+  EXPECT_NE(malformed.err.find("malformed_document"), std::string::npos);
+  // Incomparable shapes.
+  const auto one = run({"analyze", "--format", "json"});
+  const auto sweep = run({"sweep", "--param", "drive-mttf", "--from", "1e5",
+                          "--to", "7.5e5", "--steps", "3", "--format",
+                          "json"});
+  const auto mismatch =
+      run_tokens({"diff", write_temp("diff_one.json", one.out),
+                  write_temp("diff_sweep.json", sweep.out)});
+  EXPECT_EQ(mismatch.exit_code, kExitUsage);
+  EXPECT_NE(mismatch.err.find("axis count mismatch"), std::string::npos);
 }
 
 }  // namespace

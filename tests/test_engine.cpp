@@ -3,6 +3,7 @@
 #include <cstddef>
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdlib>
 #include <sstream>
 #include <string>
@@ -56,7 +57,9 @@ TEST(SpacedPoints, RejectsBadRanges) {
 TEST(GridBuilders, ParameterSweepUsesCanonicalNames) {
   const Grid grid = parameter_sweep(core::SystemConfig::baseline(), "util",
                                     {0.5, 0.9}, kMixedConfigurations);
-  EXPECT_EQ(grid.axis, "util");
+  ASSERT_EQ(grid.axes.size(), 1u);
+  EXPECT_EQ(grid.axes[0].name, "util");
+  EXPECT_EQ(grid.axis_header(), "util");
   ASSERT_EQ(grid.points.size(), 2u);
   EXPECT_DOUBLE_EQ(grid.points[0].system.capacity_utilization, 0.5);
   EXPECT_DOUBLE_EQ(grid.points[1].system.capacity_utilization, 0.9);
@@ -209,7 +212,155 @@ TEST(Render, JsonRoundTripsNumbersExactly) {
   }
   // Internal-RAID cells expose the array rates; NIR cells omit them.
   EXPECT_NE(json.find("\"array_failure_per_hour\""), std::string::npos);
-  EXPECT_NE(json.find("\"axis\": \"drive-mttf\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"drive-mttf\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Cartesian grids: several named axes, flattened row-major with the
+// last axis fastest; a single axis degenerates to the legacy shape.
+
+TEST(CartesianGrid, FlattensRowMajorLastAxisFastest) {
+  std::vector<AxisSpec> axes(2);
+  axes[0].parameter = "drive-mttf";
+  axes[0].values = {100e3, 500e3};
+  axes[1].parameter = "link-gbps";
+  axes[1].values = {1.0, 4.0, 10.0};
+  const Grid grid = cartesian_sweep(core::SystemConfig::baseline(), axes,
+                                    kMixedConfigurations);
+  ASSERT_EQ(grid.axes.size(), 2u);
+  EXPECT_EQ(grid.axis_header(), "drive-mttf x link-gbps");
+  ASSERT_EQ(grid.points.size(), 6u);
+  // Row-major: point index = outer * 3 + inner.
+  for (std::size_t p = 0; p < 6; ++p) {
+    ASSERT_EQ(grid.points[p].coords.size(), 2u);
+    EXPECT_DOUBLE_EQ(grid.points[p].coords[0], axes[0].values[p / 3]);
+    EXPECT_DOUBLE_EQ(grid.points[p].coords[1], axes[1].values[p % 3]);
+    EXPECT_DOUBLE_EQ(grid.points[p].system.drive.mttf.value(),
+                     axes[0].values[p / 3]);
+  }
+  // Labels join per-axis labels with " x ".
+  EXPECT_NE(grid.points[0].label.find(" x "), std::string::npos);
+}
+
+TEST(CartesianGrid, RejectsUnknownParameterAndEmptyAxes) {
+  std::vector<AxisSpec> axes(1);
+  axes[0].parameter = "wombats";
+  axes[0].values = {1.0};
+  EXPECT_THROW((void)cartesian_sweep(core::SystemConfig::baseline(), axes,
+                                     kMixedConfigurations),
+               ContractViolation);
+  EXPECT_THROW((void)cartesian_sweep(core::SystemConfig::baseline(), {},
+                                     kMixedConfigurations),
+               ContractViolation);
+}
+
+TEST(CartesianGrid, SingleAxisMatchesLegacySweepByte) {
+  // The 1-axis cartesian grid must be indistinguishable from the old
+  // single-axis builder: same points, same labels, same rendered bytes.
+  std::vector<AxisSpec> axes(1);
+  axes[0].parameter = "drive-mttf";
+  axes[0].values = spaced_points(100e3, 750e3, 5, true);
+  const Grid cartesian = cartesian_sweep(core::SystemConfig::baseline(), axes,
+                                         kMixedConfigurations);
+  const Grid legacy = small_sweep();
+  ASSERT_EQ(cartesian.points.size(), legacy.points.size());
+  for (std::size_t p = 0; p < legacy.points.size(); ++p) {
+    EXPECT_EQ(cartesian.points[p].label, legacy.points[p].label);
+  }
+  EXPECT_EQ(to_json(evaluate(cartesian)), to_json(evaluate(legacy)));
+}
+
+TEST(CartesianGrid, ThreeAxisRenderersCarryJoinedHeader) {
+  std::vector<AxisSpec> axes(3);
+  axes[0].parameter = "drive-mttf";
+  axes[0].values = {100e3, 500e3};
+  axes[1].parameter = "link-gbps";
+  axes[1].values = {1.0, 10.0};
+  axes[2].parameter = "util";
+  axes[2].values = {0.5, 0.9};
+  const Grid grid = cartesian_sweep(core::SystemConfig::baseline(), axes,
+                                    {{core::InternalScheme::kNone, 2}});
+  ASSERT_EQ(grid.points.size(), 8u);
+  const ResultSet results = evaluate(grid);
+  std::ostringstream csv;
+  sweep_table(results).print_csv(csv);
+  EXPECT_EQ(csv.str().substr(0, csv.str().find('\n')),
+            "drive-mttf x link-gbps x util,MTTDL (h),events/PB-yr");
+  std::ostringstream table;
+  events_table(results, nullptr).print(table);
+  EXPECT_NE(table.str().find("drive-mttf x link-gbps x util"),
+            std::string::npos);
+  // First and last odometer rows carry the full 3-coordinate label.
+  std::ostringstream json;
+  write_json(results, json);
+  EXPECT_NE(json.str().find("\"1.000e+05 x 1.000e+00 x 5.000e-01\""),
+            std::string::npos);
+  EXPECT_NE(json.str().find("\"5.000e+05 x 1.000e+01 x 9.000e-01\""),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Simulation grids: Monte-Carlo cells ride the same engine fan-out.
+
+TEST(SimulationGrid, SingleCellMatchesDirectSimulateCall) {
+  Grid grid = single_point(core::SystemConfig::baseline(),
+                           {{core::InternalScheme::kNone, 2}});
+  SimSpec spec;
+  spec.trials = 64;
+  spec.seed = 1234;
+  grid.simulation = spec;
+  const ResultSet results = evaluate(grid);
+  ASSERT_TRUE(results.is_sim(0, 0));
+  const sim::SimEstimate& cell = results.sim_at(0, 0);
+  // cell_seed(seed, 0) == seed, so the first cell reproduces a direct
+  // analyzer call with the user's seed bit-for-bit.
+  EXPECT_EQ(cell.seed, 1234u);
+  const core::Analyzer analyzer(grid.points[0].system);
+  const sim::MttdlEstimate direct =
+      analyzer.simulate_mttdl(grid.configurations[0], 64, 1234);
+  EXPECT_EQ(cell.estimate.mean_hours, direct.mean_hours);
+  EXPECT_EQ(cell.estimate.stddev_hours, direct.stddev_hours);
+  EXPECT_EQ(cell.estimate.trials, direct.trials);
+}
+
+TEST(SimulationGrid, SweepIsJobsInvariantToTheByte) {
+  Grid grid = parameter_sweep(core::SystemConfig::baseline(), "drive-mttf",
+                              spaced_points(100e3, 750e3, 3, true),
+                              kMixedConfigurations);
+  SimSpec spec;
+  spec.trials = 48;
+  spec.seed = 99;
+  grid.simulation = spec;
+  const std::string serial = to_json(evaluate(grid, {.jobs = 1}));
+  const std::string eight = to_json(evaluate(grid, {.jobs = 8}));
+  EXPECT_EQ(serial, eight);
+  EXPECT_NE(serial.find("\"kind\": \"sim\""), std::string::npos);
+  EXPECT_NE(serial.find("\"trials\": 48"), std::string::npos);
+}
+
+TEST(SimulationGrid, CellSeedsAreDistinctAndStable) {
+  EXPECT_EQ(cell_seed(42, 0), 42u);
+  const std::uint64_t second = cell_seed(42, 1);
+  EXPECT_NE(second, 42u);
+  EXPECT_EQ(second, cell_seed(42, 1));  // pure function of (seed, index)
+  EXPECT_NE(cell_seed(42, 1), cell_seed(42, 2));
+  EXPECT_NE(cell_seed(42, 1), cell_seed(43, 1));
+}
+
+TEST(SimulationGrid, AnalyticAccessorRefusesSimCells) {
+  Grid grid = single_point(core::SystemConfig::baseline(),
+                           {{core::InternalScheme::kNone, 2}});
+  SimSpec tiny;
+  tiny.trials = 16;
+  tiny.seed = 7;
+  grid.simulation = tiny;
+  const ResultSet results = evaluate(grid);
+  EXPECT_TRUE(results.ok(0, 0));
+  EXPECT_THROW((void)results.at(0, 0), ContractViolation);
+  const ResultSet analytic = evaluate(single_point(
+      core::SystemConfig::baseline(), {{core::InternalScheme::kNone, 2}}));
+  EXPECT_FALSE(analytic.is_sim(0, 0));
+  EXPECT_THROW((void)analytic.sim_at(0, 0), ContractViolation);
 }
 
 // ---------------------------------------------------------------------
@@ -307,8 +458,8 @@ TEST_F(FaultIsolation, RenderedOutputWithFailuresIsJobsInvariant) {
   // The failed cells are marked with their stable codes...
   EXPECT_NE(serial.find("!ill_conditioned"), std::string::npos);
   EXPECT_NE(serial.find("!invalid_parameter"), std::string::npos);
-  // ...and the JSON carries structured error records under schema v2.
-  EXPECT_NE(serial.find("\"schema\": \"nsrel-resultset-v2\""),
+  // ...and the JSON carries structured error records under schema v3.
+  EXPECT_NE(serial.find("\"schema\": \"nsrel-resultset-v3\""),
             std::string::npos);
   EXPECT_NE(serial.find("\"code\": \"ill_conditioned\""), std::string::npos);
   EXPECT_NE(serial.find("\"error\": null"), std::string::npos);

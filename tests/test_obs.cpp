@@ -495,9 +495,9 @@ TEST(ObsCli, CacheStatsJsonMetaIsOptIn) {
   EXPECT_NE(meta.out.find("\"lookups\""), std::string::npos);
   // The rest of the document is unchanged: strip the meta object and
   // the schema/method prefix stays identical.
-  EXPECT_NE(plain.out.find("\"schema\": \"nsrel-resultset-v2\""),
+  EXPECT_NE(plain.out.find("\"schema\": \"nsrel-resultset-v3\""),
             std::string::npos);
-  EXPECT_NE(meta.out.find("\"schema\": \"nsrel-resultset-v2\""),
+  EXPECT_NE(meta.out.find("\"schema\": \"nsrel-resultset-v3\""),
             std::string::npos);
 }
 

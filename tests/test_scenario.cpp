@@ -2,6 +2,7 @@
 // schema validation, and end-to-end runs to table and CSV.
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
 #include <string>
 
@@ -82,7 +83,7 @@ TEST(ConfigurationToken, RejectsGarbage) {
 TEST(Scenario, DefaultsWhenSectionsAbsent) {
   const Scenario scenario = parse_scenario("");
   EXPECT_EQ(scenario.configurations.size(), 3u);  // the sensitivity trio
-  EXPECT_FALSE(scenario.sweep.has_value());
+  EXPECT_TRUE(scenario.sweeps.empty());
   EXPECT_EQ(scenario.format, report::OutputFormat::kTable);
   EXPECT_EQ(scenario.jobs, 1);
   EXPECT_DOUBLE_EQ(scenario.target.events_per_pb_year, 2e-3);
@@ -192,9 +193,9 @@ format = json
 )";
   std::ostringstream serial;
   run_scenario_text(std::string(kBody) + "jobs = 1\n", serial);
-  EXPECT_NE(serial.str().find("\"schema\": \"nsrel-resultset-v2\""),
+  EXPECT_NE(serial.str().find("\"schema\": \"nsrel-resultset-v3\""),
             std::string::npos);
-  EXPECT_NE(serial.str().find("\"axis\": \"drive-mttf\""), std::string::npos);
+  EXPECT_NE(serial.str().find("\"name\": \"drive-mttf\""), std::string::npos);
 
   // Same scenario at jobs = 4: bytes must match exactly.
   std::ostringstream parallel;
@@ -207,8 +208,9 @@ TEST(Scenario, LinearAndLogSpacingDiffer) {
       "[sweep]\nparam = n\nfrom = 16\nto = 256\nsteps = 3\nscale = log\n");
   const Scenario lin_s = parse_scenario(
       "[sweep]\nparam = n\nfrom = 16\nto = 256\nsteps = 3\nscale = linear\n");
-  EXPECT_TRUE(log_s.sweep->log_scale);
-  EXPECT_FALSE(lin_s.sweep->log_scale);
+  ASSERT_EQ(log_s.sweeps.size(), 1u);
+  EXPECT_TRUE(log_s.sweeps[0].log_scale);
+  EXPECT_FALSE(lin_s.sweeps[0].log_scale);
 }
 
 TEST(Scenario, RepositoryScenarioFilesParse) {
@@ -220,6 +222,69 @@ TEST(Scenario, RepositoryScenarioFilesParse) {
        }) {
     EXPECT_NO_THROW((void)parse_scenario(text));
   }
+}
+
+// ---------------------------------------------------------------------
+// Cartesian sweeps: [sweep.2] and beyond.
+
+TEST(Cartesian, TwoAxisScenarioBuildsTheProductGrid) {
+  const Scenario scenario = parse_scenario(R"(
+[sweep]
+param = drive-mttf
+from = 1e5
+to = 5e5
+steps = 3
+[sweep.2]
+param = link-gbps
+from = 1
+to = 10
+steps = 2
+)");
+  ASSERT_EQ(scenario.sweeps.size(), 2u);
+  EXPECT_EQ(scenario.sweeps[0].parameter, "drive-mttf");
+  EXPECT_EQ(scenario.sweeps[1].parameter, "link-gbps");
+  std::ostringstream out;
+  const RunOutcome outcome = run_scenario(scenario, out);
+  EXPECT_EQ(outcome.ok_count, 3u * 2u * 3u);  // points x configurations
+  EXPECT_NE(out.str().find("drive-mttf x link-gbps"), std::string::npos);
+}
+
+TEST(Cartesian, RejectsDuplicateAxisParameterAndGappedSections) {
+  EXPECT_THROW(
+      (void)parse_scenario("[sweep]\nparam = n\nfrom = 16\nto = 64\nsteps = "
+                           "2\n[sweep.2]\nparam = n\nfrom = 16\nto = "
+                           "64\nsteps = 2\n"),
+      ContractViolation);
+  // [sweep.3] with no [sweep.2] is a typo, not a third axis.
+  try {
+    (void)parse_scenario(
+        "[sweep]\nparam = n\nfrom = 16\nto = 64\nsteps = 2\n"
+        "[sweep.3]\nparam = util\nfrom = 0.5\nto = 0.9\nsteps = 2\n");
+    FAIL() << "gapped sweep section accepted";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("consecutive"), std::string::npos);
+  }
+}
+
+TEST(Cartesian, CommittedScenarioMatchesGoldenOutput) {
+  // scenarios/mttf_x_bandwidth.scenario is the repo's 2-axis example;
+  // its table output is pinned byte-for-byte. Regenerate the golden
+  // with:  nsrel scenario --file scenarios/mttf_x_bandwidth.scenario
+  //        > tests/golden/mttf_x_bandwidth.golden
+  const std::string root = NSREL_SOURCE_DIR;
+  std::ifstream scenario_file(root + "/scenarios/mttf_x_bandwidth.scenario");
+  ASSERT_TRUE(scenario_file.good());
+  std::ostringstream scenario_text;
+  scenario_text << scenario_file.rdbuf();
+  std::ifstream golden_file(root + "/tests/golden/mttf_x_bandwidth.golden");
+  ASSERT_TRUE(golden_file.good());
+  std::ostringstream golden;
+  golden << golden_file.rdbuf();
+
+  std::ostringstream out;
+  const RunOutcome outcome = run_scenario_text(scenario_text.str(), out);
+  EXPECT_TRUE(outcome.all_ok());
+  EXPECT_EQ(out.str(), golden.str());
 }
 
 }  // namespace

@@ -56,6 +56,11 @@ NONDETERMINISTIC = {"total"}
 # benchmark's definition. Everything else must match exactly.
 ITERATION_SCALED = {"cache_hits", "cache_misses"}
 
+# Rate counters are derived from wall clock (bytes / elapsed time), so
+# they are machine-dependent like timings: excluded from the exact
+# comparison (the timing WARN path covers the same regression).
+TIMING_DERIVED = {"bytes_per_second", "items_per_second"}
+
 
 def main():
     parser = argparse.ArgumentParser()
@@ -96,7 +101,7 @@ def main():
         b_counters = dict(b.get("counters", {}))
         c_counters = dict(c.get("counters", {}))
         keys = set(b_counters) | set(c_counters)
-        for key in sorted(keys - ITERATION_SCALED):
+        for key in sorted(keys - ITERATION_SCALED - TIMING_DERIVED):
             bv = b_counters.get(key)
             cv = c_counters.get(key)
             if bv != cv:
