@@ -1,0 +1,164 @@
+// Microbenchmarks (google-benchmark) for the concurrent repair engine:
+// wall-clock scaling of parallel decode across --jobs, the cost of
+// serving foreground reads at every barrier (degraded-mode pressure),
+// and the overhead of mid-run fault injection with its re-planning.
+// Every benchmark exports the engine's deterministic work counters so
+// tools/bench_diff.py can hard-fail if a run did different work than
+// the committed baseline — the jobs sweep doing identical work at every
+// lane count is the determinism invariant, machine-checked in CI.
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "perf_json.hpp"
+
+#include "brick/object_store.hpp"
+#include "repair/fault_schedule.hpp"
+#include "repair/repair.hpp"
+#include "util/rng.hpp"
+#include "workload/workload.hpp"
+
+namespace {
+
+using namespace nsrel;
+using brick::ObjectId;
+using brick::ObjectStore;
+using brick::StoreParams;
+
+struct Fixture {
+  ObjectStore store;        // pristine but for one dead node
+  std::vector<ObjectId> objects;
+  std::vector<std::size_t> sizes;
+};
+
+// A store big enough that repair is decode-bound: one dead node out of
+// twelve leaves ~1.5k degraded stripes of 1 KiB chunks to reconstruct.
+Fixture degraded_fixture() {
+  StoreParams p;
+  p.node_count = 12;
+  p.drives_per_node = 3;
+  p.drive_capacity = kilobytes(1024.0);
+  p.redundancy_set_size = 6;
+  p.fault_tolerance = 2;
+  p.chunk_size = kilobytes(1.0);
+
+  Fixture f{ObjectStore(p), {}, {}};
+  Xoshiro256 rng(0xBE9C);
+  const std::size_t object_size = 9000;
+  for (int i = 0; i < 600; ++i) {
+    std::vector<std::uint8_t> bytes(object_size);
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.below(256));
+    f.objects.push_back(f.store.write(bytes));
+    f.sizes.push_back(object_size);
+  }
+  f.store.fail_node(0);
+  return f;
+}
+
+// Wall-clock scaling of the decode lanes. The report (and the final
+// store state) is byte-identical across the arg range by the engine's
+// determinism invariant, which is exactly what makes the exported
+// counters safe to hard-compare against the baseline.
+void BM_RepairJobs(benchmark::State& state) {
+  const Fixture fixture = degraded_fixture();
+  repair::RepairOptions options;
+  options.jobs = static_cast<int>(state.range(0));
+  repair::RepairReport report;
+  for (auto _ : state) {
+    state.PauseTiming();
+    ObjectStore store = fixture.store;
+    state.ResumeTiming();
+    report = repair::run_repair(store, {}, options);
+  }
+  state.counters["shards_repaired"] =
+      static_cast<double>(report.shards_repaired);
+  state.counters["stripes_attempted"] =
+      static_cast<double>(report.stripes_attempted);
+  state.counters["stripes_failed"] =
+      static_cast<double>(report.stripes_failed);
+}
+BENCHMARK(BM_RepairJobs)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Degraded-mode pressure: the same repair with a foreground read
+// workload served at every barrier — the price of staying online while
+// rebuilding, to compare against the bare BM_RepairJobs/4 lane.
+void BM_RepairUnderWorkload(benchmark::State& state) {
+  const Fixture fixture = degraded_fixture();
+  // Out-of-range node ids are deliberate no-ops (see fault_schedule.hpp),
+  // so these time events only force periodic barriers — the foreground
+  // workload gets to run throughout the rebuild, not once at the end.
+  const Expected<repair::FaultSchedule> pacing = repair::parse_fault_schedule(
+      "time:0.5 node:99; time:1.0 node:99; time:1.5 node:99; "
+      "time:2.0 node:99; time:2.5 node:99; time:3.0 node:99; "
+      "time:3.5 node:99; time:4.0 node:99; time:4.5 node:99; "
+      "time:5.0 node:99");
+  repair::RepairOptions options;
+  options.jobs = 4;
+  std::uint64_t barriers = 0;
+  std::uint64_t foreground_reads = 0;
+  options.on_barrier = [&](ObjectStore& s, double) {
+    ++barriers;
+    workload::WorkloadParams wl;
+    wl.operations = 32;
+    wl.read_bytes = 1024;
+    wl.seed = 0xF00D + barriers;
+    const workload::WorkloadResult result =
+        workload::run_read_workload(s, fixture.objects, fixture.sizes, wl);
+    foreground_reads += static_cast<std::uint64_t>(result.operations);
+  };
+  repair::RepairReport report;
+  for (auto _ : state) {
+    state.PauseTiming();
+    ObjectStore store = fixture.store;
+    barriers = 0;
+    foreground_reads = 0;
+    state.ResumeTiming();
+    report = repair::run_repair(store, pacing.value(), options);
+  }
+  state.counters["shards_repaired"] =
+      static_cast<double>(report.shards_repaired);
+  state.counters["barriers"] = static_cast<double>(barriers);
+  state.counters["foreground_reads"] =
+      static_cast<double>(foreground_reads);
+}
+BENCHMARK(BM_RepairUnderWorkload)->UseRealTime()->Unit(
+    benchmark::kMillisecond);
+
+// Mid-run fault injection: a second node dies while its stripes are in
+// flight, forcing a full re-plan and deeper decodes. Counters pin the
+// amount of extra work the engine does to absorb the fault.
+void BM_RepairWithMidRunFault(benchmark::State& state) {
+  const Fixture fixture = degraded_fixture();
+  const Expected<repair::FaultSchedule> schedule =
+      repair::parse_fault_schedule("after:200 node:5");
+  repair::RepairOptions options;
+  options.jobs = 4;
+  repair::RepairReport report;
+  for (auto _ : state) {
+    state.PauseTiming();
+    ObjectStore store = fixture.store;
+    state.ResumeTiming();
+    report = repair::run_repair(store, schedule.value(), options);
+  }
+  state.counters["shards_repaired"] =
+      static_cast<double>(report.shards_repaired);
+  state.counters["replans"] = static_cast<double>(report.replans);
+  state.counters["injected_faults"] =
+      static_cast<double>(report.injected_faults);
+}
+BENCHMARK(BM_RepairWithMidRunFault)->UseRealTime()->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return nsrel::bench::perf_main(argc, argv, "perf_repair");
+}

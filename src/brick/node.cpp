@@ -37,7 +37,11 @@ void Drive::drop(ChunkId id) {
   chunks_.erase(it);
 }
 
-void Drive::fail() { alive_ = false; }
+bool Drive::fail() {
+  const bool changed = alive_;
+  alive_ = false;
+  return changed;
+}
 
 Node::Node(int id, int drives, Bytes drive_capacity) : id_(id) {
   NSREL_EXPECTS(drives >= 1);
@@ -96,11 +100,15 @@ void Node::drop(int drive_index, ChunkId id) {
   drives_[static_cast<std::size_t>(drive_index)].drop(id);
 }
 
-void Node::fail() { alive_ = false; }
+bool Node::fail() {
+  const bool changed = alive_;
+  alive_ = false;
+  return changed;
+}
 
-void Node::fail_drive(int drive_index) {
-  NSREL_EXPECTS(drive_index >= 0 && drive_index < drive_count());
-  drives_[static_cast<std::size_t>(drive_index)].fail();
+bool Node::fail_drive(int drive_index) {
+  if (drive_index < 0 || drive_index >= drive_count()) return false;
+  return drives_[static_cast<std::size_t>(drive_index)].fail();
 }
 
 }  // namespace nsrel::brick

@@ -38,8 +38,10 @@ class Drive {
   /// Removes a chunk (idempotent); frees its space.
   void drop(ChunkId id);
 
-  /// Fail-in-place: contents become permanently unreadable.
-  void fail();
+  /// Fail-in-place: contents become permanently unreadable. Idempotent;
+  /// returns true when this call changed the state (a fresh failure),
+  /// false when the drive was already dead.
+  bool fail();
 
  private:
   double capacity_;
@@ -75,10 +77,13 @@ class Node {
   void drop(int drive_index, ChunkId id);
 
   /// Whole-node failure (controller/power): everything inaccessible.
-  void fail();
+  /// Idempotent; returns true only on the first (state-changing) call.
+  bool fail();
 
-  /// Single-drive failure inside a live node.
-  void fail_drive(int drive_index);
+  /// Single-drive failure. Idempotent and range-checked: an out-of-range
+  /// index or an already-dead drive returns false instead of crashing —
+  /// fault schedules replay raw (node, drive) ids without pre-validation.
+  bool fail_drive(int drive_index);
 
  private:
   int id_;

@@ -4,12 +4,46 @@
 #include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/probe_names.hpp"
 #include "util/assert.hpp"
+#include "util/error.hpp"
 
 namespace nsrel::brick {
+
+namespace {
+
+/// Counts one degraded read (a decode forced by a missing shard) when
+/// the metrics registry is on.
+void count_degraded_read() {
+  if (obs::Registry::enabled()) {
+    auto& registry = obs::Registry::instance();
+    registry.add(registry.counter(obs::probe::kBrickDegradedReads));
+  }
+}
+
+/// Shared body of the try_* twins: runs `fn`, converting the store's
+/// exception vocabulary into typed Errors (DataLossError -> kDataLoss,
+/// ErrorException -> its payload, ContractViolation -> the usual
+/// kContractViolation the solve stack uses for caller-contract breaks).
+template <typename Fn>
+auto as_expected(Fn&& fn) -> Expected<decltype(fn())> {
+  try {
+    return fn();
+  } catch (const DataLossError& e) {
+    return Error{ErrorCode::kDataLoss, "brick.store", e.what()};
+  } catch (const ErrorException& e) {
+    return e.error();
+  } catch (const ContractViolation& e) {
+    return Error{ErrorCode::kContractViolation, "brick.store", e.what()};
+  }
+}
+
+}  // namespace
 
 ObjectStore::ObjectStore(const StoreParams& params)
     : params_(params),
@@ -163,7 +197,10 @@ std::vector<std::uint8_t> ObjectStore::read(ObjectId id) const {
       return true;
     }();
     io_stats_.chunk_reads += static_cast<std::uint64_t>(data_shards);
-    if (!all_data_present) ++io_stats_.decode_operations;
+    if (!all_data_present) {
+      ++io_stats_.decode_operations;
+      count_degraded_read();
+    }
     const std::vector<Chunk> full =
         all_data_present ? shards : code_.reconstruct(shards, present);
     for (int i = 0; i < data_shards; ++i) {
@@ -219,6 +256,7 @@ std::vector<std::uint8_t> ObjectStore::read_range(ObjectId id,
       }
       io_stats_.chunk_reads += data_shards;
       ++io_stats_.decode_operations;
+      count_degraded_read();
       const std::vector<Chunk> full = code_.reconstruct(shards, present);
       piece = full[shard_index];
     }
@@ -231,14 +269,14 @@ std::vector<std::uint8_t> ObjectStore::read_range(ObjectId id,
   return bytes;
 }
 
-void ObjectStore::fail_node(int id) {
-  NSREL_EXPECTS(id >= 0 && id < params_.node_count);
-  nodes_[static_cast<std::size_t>(id)].fail();
+bool ObjectStore::fail_node(int id) {
+  if (id < 0 || id >= params_.node_count) return false;
+  return nodes_[static_cast<std::size_t>(id)].fail();
 }
 
-void ObjectStore::fail_drive(int node_id, int drive_index) {
-  NSREL_EXPECTS(node_id >= 0 && node_id < params_.node_count);
-  nodes_[static_cast<std::size_t>(node_id)].fail_drive(drive_index);
+bool ObjectStore::fail_drive(int node_id, int drive_index) {
+  if (node_id < 0 || node_id >= params_.node_count) return false;
+  return nodes_[static_cast<std::size_t>(node_id)].fail_drive(drive_index);
 }
 
 RebuildReport ObjectStore::rebuild() {
@@ -291,8 +329,9 @@ RebuildReport ObjectStore::rebuild() {
           }
         }
         if (target < 0) {
-          throw ContractViolation(
-              "no live node with spare capacity outside the stripe");
+          throw ErrorException(
+              Error{ErrorCode::kCapacityExhausted, "brick.store",
+                    "no live node with spare capacity outside the stripe"});
         }
         const ChunkId new_chunk = next_chunk_++;
         const std::optional<int> drive =
@@ -306,6 +345,159 @@ RebuildReport ObjectStore::rebuild() {
     }
   }
   return report;
+}
+
+Expected<ObjectId> ObjectStore::try_write(
+    const std::vector<std::uint8_t>& bytes) {
+  return as_expected([&] { return write(bytes); });
+}
+
+Expected<std::vector<std::uint8_t>> ObjectStore::try_read(ObjectId id) const {
+  return as_expected([&] { return read(id); });
+}
+
+Expected<std::vector<std::uint8_t>> ObjectStore::try_read_range(
+    ObjectId id, std::size_t offset, std::size_t length) const {
+  return as_expected([&] { return read_range(id, offset, length); });
+}
+
+Expected<RebuildReport> ObjectStore::try_rebuild() {
+  return as_expected([&] { return rebuild(); });
+}
+
+std::vector<StripeRef> ObjectStore::degraded_stripes() const {
+  std::vector<StripeRef> result;
+  for (const auto& [object_id, meta] : objects_) {
+    for (std::size_t s = 0; s < meta.stripes.size(); ++s) {
+      const Stripe& stripe = meta.stripes[s];
+      for (const ShardLocation& loc : stripe.shards) {
+        if (!shard_available(loc)) {
+          result.push_back(
+              StripeRef{object_id, static_cast<std::uint32_t>(s)});
+          break;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+StripeStatus ObjectStore::stripe_status(const StripeRef& ref) const {
+  const auto it = objects_.find(ref.object);
+  NSREL_EXPECTS(it != objects_.end());
+  NSREL_EXPECTS(ref.stripe < it->second.stripes.size());
+  const Stripe& stripe = it->second.stripes[ref.stripe];
+  StripeStatus status;
+  status.shards = stripe.shards;
+  status.available.reserve(stripe.shards.size());
+  for (const ShardLocation& loc : stripe.shards) {
+    status.available.push_back(shard_available(loc));
+  }
+  return status;
+}
+
+Expected<std::vector<Chunk>> ObjectStore::try_reconstruct_stripe(
+    const StripeRef& ref) const {
+  const auto it = objects_.find(ref.object);
+  NSREL_EXPECTS(it != objects_.end());
+  NSREL_EXPECTS(ref.stripe < it->second.stripes.size());
+  const Stripe& stripe = it->second.stripes[ref.stripe];
+  auto [shards, present] = gather(stripe);
+  if (!code_.recoverable(present)) {
+    return Error{ErrorCode::kDataLoss, "brick.store",
+                 "stripe " + std::to_string(ref.stripe) + " of object " +
+                     std::to_string(ref.object) +
+                     " lost more shards than the code tolerates"};
+  }
+  const bool all_present =
+      std::all_of(present.begin(), present.end(), [](bool p) { return p; });
+  if (all_present) return shards;
+  return code_.reconstruct(shards, present);
+}
+
+Expected<ShardLocation> ObjectStore::commit_repaired_shard(
+    const StripeRef& ref, int shard_index, int target_node, Chunk chunk) {
+  const auto it = objects_.find(ref.object);
+  NSREL_EXPECTS(it != objects_.end());
+  NSREL_EXPECTS(ref.stripe < it->second.stripes.size());
+  Stripe& stripe = it->second.stripes[ref.stripe];
+  const auto invalid = [&](const std::string& detail) {
+    return Error{ErrorCode::kInvalidParameter, "brick.store",
+                 "commit_repaired_shard: " + detail};
+  };
+  if (shard_index < 0 ||
+      shard_index >= static_cast<int>(stripe.shards.size())) {
+    return invalid("shard index " + std::to_string(shard_index) +
+                   " out of range");
+  }
+  if (shard_available(stripe.shards[static_cast<std::size_t>(shard_index)])) {
+    return invalid("shard " + std::to_string(shard_index) +
+                   " is still available (re-repair must be a no-op)");
+  }
+  if (target_node < 0 || target_node >= params_.node_count ||
+      !nodes_[static_cast<std::size_t>(target_node)].alive()) {
+    return invalid("target node " + std::to_string(target_node) +
+                   " is out of range or dead");
+  }
+  if (chunk.size() != static_cast<std::size_t>(params_.chunk_size.value())) {
+    return invalid("chunk size mismatch");
+  }
+  for (std::size_t j = 0; j < stripe.shards.size(); ++j) {
+    if (static_cast<int>(j) != shard_index &&
+        stripe.shards[j].node == target_node &&
+        shard_available(stripe.shards[j])) {
+      return invalid("target node " + std::to_string(target_node) +
+                     " already holds a live shard of this stripe");
+    }
+  }
+  Node& target = nodes_[static_cast<std::size_t>(target_node)];
+  const ChunkId new_chunk = next_chunk_++;
+  const std::optional<int> drive = target.put(new_chunk, std::move(chunk));
+  if (!drive.has_value()) {
+    // The id was consumed but never stored; leaving a gap in the chunk-id
+    // sequence is harmless (ids are opaque) and keeps this path simple.
+    return Error{ErrorCode::kCapacityExhausted, "brick.store",
+                 "target node " + std::to_string(target_node) +
+                     " has no drive with room for the rebuilt shard"};
+  }
+  const ShardLocation location{target_node, *drive, new_chunk};
+  stripe.shards[static_cast<std::size_t>(shard_index)] = location;
+  return location;
+}
+
+std::uint64_t ObjectStore::content_fingerprint() const {
+  // FNV-1a over the ordered logical state. std::map iteration gives a
+  // canonical traversal; availability and bytes capture what a reader
+  // could observe.
+  std::uint64_t hash = 14695981039346656037ULL;
+  const auto mix_byte = [&hash](std::uint8_t b) {
+    hash ^= b;
+    hash *= 1099511628211ULL;
+  };
+  const auto mix = [&mix_byte](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      mix_byte(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  };
+  for (const auto& [object_id, meta] : objects_) {
+    mix(object_id);
+    mix(static_cast<std::uint64_t>(meta.size));
+    for (const Stripe& stripe : meta.stripes) {
+      for (const ShardLocation& loc : stripe.shards) {
+        mix(static_cast<std::uint64_t>(loc.node));
+        mix(static_cast<std::uint64_t>(loc.drive));
+        mix(loc.chunk);
+        const bool available = shard_available(loc);
+        mix_byte(available ? 1 : 0);
+        if (!available) continue;
+        const std::optional<Chunk> data =
+            nodes_[static_cast<std::size_t>(loc.node)].get(loc.drive,
+                                                           loc.chunk);
+        for (const std::uint8_t b : *data) mix_byte(b);
+      }
+    }
+  }
+  return hash;
 }
 
 bool ObjectStore::fully_redundant() const {

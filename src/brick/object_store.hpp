@@ -19,6 +19,7 @@
 #include "brick/node.hpp"
 #include "erasure/reed_solomon.hpp"
 #include "placement/layout.hpp"
+#include "util/error.hpp"
 #include "util/units.hpp"
 
 namespace nsrel::brick {
@@ -58,6 +59,29 @@ struct RebuildReport {
   std::map<int, double> received_bytes;
 };
 
+/// Identifies one stripe of one object — the unit of repair planning.
+struct StripeRef {
+  ObjectId object = 0;
+  std::uint32_t stripe = 0;
+
+  friend bool operator==(const StripeRef&, const StripeRef&) = default;
+  friend bool operator<(const StripeRef& a, const StripeRef& b) {
+    return a.object != b.object ? a.object < b.object : a.stripe < b.stripe;
+  }
+};
+
+/// Snapshot of a stripe's shard placement and per-shard availability.
+struct StripeStatus {
+  std::vector<ShardLocation> shards;  ///< R entries, shard index = position
+  std::vector<bool> available;        ///< parallel to shards
+
+  [[nodiscard]] int missing() const {
+    int count = 0;
+    for (const bool ok : available) count += ok ? 0 : 1;
+    return count;
+  }
+};
+
 class ObjectStore {
  public:
   /// Preconditions: 1 <= t < R <= node_count; chunk_size > 0.
@@ -73,10 +97,20 @@ class ObjectStore {
   /// Throws ContractViolation when too few live nodes or out of space.
   ObjectId write(const std::vector<std::uint8_t>& bytes);
 
+  /// Typed twin of write(): kContractViolation when too few live nodes
+  /// or out of space, kDataLoss/kCapacityExhausted passed through.
+  [[nodiscard]] Expected<ObjectId> try_write(
+      const std::vector<std::uint8_t>& bytes);
+
   /// Reads an object back, reconstructing shards from parity where nodes
   /// or drives have failed. Throws DataLossError when some stripe has
   /// more than t shards missing.
   [[nodiscard]] std::vector<std::uint8_t> read(ObjectId id) const;
+
+  /// Typed twin of read(): kDataLoss when a stripe is beyond recovery
+  /// instead of the thrown DataLossError.
+  [[nodiscard]] Expected<std::vector<std::uint8_t>> try_read(
+      ObjectId id) const;
 
   /// Partial read: [offset, offset+length) of the object. Healthy chunks
   /// are fetched directly (one chunk read per touched chunk); a chunk on
@@ -87,6 +121,10 @@ class ObjectStore {
   [[nodiscard]] std::vector<std::uint8_t> read_range(ObjectId id,
                                                      std::size_t offset,
                                                      std::size_t length) const;
+
+  /// Typed twin of read_range().
+  [[nodiscard]] Expected<std::vector<std::uint8_t>> try_read_range(
+      ObjectId id, std::size_t offset, std::size_t length) const;
 
   /// I/O accounting since the last reset (chunk fetches, decode events,
   /// logical bytes served). Counts read() and read_range() work.
@@ -105,15 +143,55 @@ class ObjectStore {
   [[nodiscard]] const IoStats& io_stats() const { return io_stats_; }
   void reset_io_stats() { io_stats_ = IoStats{}; }
 
-  /// Fail-in-place events.
-  void fail_node(int id);
-  void fail_drive(int node_id, int drive_index);
+  /// Fail-in-place events. Idempotent and range-checked: out-of-range
+  /// ids and repeat failures return false (no state change) rather than
+  /// crashing — fault schedules replay raw ids without pre-validation.
+  /// Returns true exactly when this call killed a live node/drive.
+  bool fail_node(int id);
+  bool fail_drive(int node_id, int drive_index);
 
   /// Reconstructs every shard lost to failed nodes/drives onto live nodes
   /// outside each stripe's surviving set, restoring full redundancy.
-  /// Throws ContractViolation when the survivors lack capacity or
-  /// DataLossError when a stripe is beyond recovery.
+  /// Throws ErrorException(kCapacityExhausted) when the survivors lack
+  /// capacity or DataLossError when a stripe is beyond recovery.
+  /// (Single-threaded, all-or-nothing; src/repair is the concurrent,
+  /// fault-tolerant engine built on the stripe-level API below.)
   RebuildReport rebuild();
+
+  /// Typed twin of rebuild(): kDataLoss / kCapacityExhausted instead of
+  /// the exceptions.
+  [[nodiscard]] Expected<RebuildReport> try_rebuild();
+
+  // --- stripe-level repair API (used by repair::run_repair) -----------
+
+  /// Every stripe with at least one unavailable shard, in deterministic
+  /// (object id, stripe index) order.
+  [[nodiscard]] std::vector<StripeRef> degraded_stripes() const;
+
+  /// Placement + availability snapshot. Precondition: ref is valid.
+  [[nodiscard]] StripeStatus stripe_status(const StripeRef& ref) const;
+
+  /// Gathers the stripe's survivors and decodes the full R shards.
+  /// Read-only and safe to call concurrently with other const reads (it
+  /// bypasses the IoStats counters). kDataLoss when more than t shards
+  /// are missing. Precondition: ref is valid.
+  [[nodiscard]] Expected<std::vector<Chunk>> try_reconstruct_stripe(
+      const StripeRef& ref) const;
+
+  /// Installs a reconstructed shard on `target_node` and repoints the
+  /// stripe's metadata at it. NOT thread-safe — the repair engine
+  /// serializes commits in task order, which is what makes the final
+  /// store state jobs-invariant. Errors: kInvalidParameter (bad index,
+  /// shard still available, target dead or already holding a live shard
+  /// of this stripe) and kCapacityExhausted (target has no room).
+  [[nodiscard]] Expected<ShardLocation> commit_repaired_shard(
+      const StripeRef& ref, int shard_index, int target_node, Chunk chunk);
+
+  /// Order-independent digest of the full logical state: object metadata,
+  /// shard placements, availability, and the bytes of every available
+  /// chunk. Two stores with equal fingerprints hold byte-identical data
+  /// in identical locations — the jobs-invariance tests' equality oracle.
+  [[nodiscard]] std::uint64_t content_fingerprint() const;
 
   /// True when every stripe of every object has all R shards on live
   /// nodes and drives (full redundancy).

@@ -32,6 +32,15 @@ inline constexpr const char* kEngineCellsFailed = "engine.cells_failed";
 /// (tests/test_diffharness.cpp; registered here so dashboards that grep
 /// harness runs share the one name registry).
 inline constexpr const char* kDiffHarnessChains = "diffharness.chains";
+/// Brick-store degraded reads: read()/read_range() calls that had to
+/// fetch k survivors and decode instead of reading the shard directly.
+inline constexpr const char* kBrickDegradedReads = "brick.degraded_reads";
+// Concurrent repair engine (src/repair).
+inline constexpr const char* kRepairShardsRepaired = "repair.shards_repaired";
+inline constexpr const char* kRepairReplans = "repair.replans";
+inline constexpr const char* kRepairRetries = "repair.retries";
+inline constexpr const char* kRepairInjectedFaults = "repair.injected_faults";
+inline constexpr const char* kRepairStripesFailed = "repair.stripes_failed";
 /// Per-worker busy-time counters are the one dynamic name family:
 /// "<prefix><index><suffix>", e.g. "thread_pool.worker3.busy_ns".
 inline constexpr const char* kThreadPoolWorkerPrefix = "thread_pool.worker";
@@ -51,6 +60,7 @@ inline constexpr const char* kSpanCategoryEngine = "engine";
 inline constexpr const char* kSpanCategorySim = "sim";
 inline constexpr const char* kSpanCategoryCtmc = "ctmc";
 inline constexpr const char* kSpanCategoryReport = "report";
+inline constexpr const char* kSpanCategoryRepair = "repair";
 
 inline constexpr const char* kSpanSolve = "solve";
 /// CTMC solver spans, each tagged with a "backend" arg (dense/sparse)
@@ -70,5 +80,9 @@ inline constexpr const char* kSpanChunk = "chunk";
 inline constexpr const char* kSpanResultSetRead = "resultset_read";
 /// ResultSet document comparison (report::diff_resultsets / nsrel diff).
 inline constexpr const char* kSpanDiff = "diff";
+/// One per-stripe repair task executed by repair::run_repair (args:
+/// stripe, outcome, retries) and the enclosing run.
+inline constexpr const char* kSpanRepairTask = "repair_task";
+inline constexpr const char* kSpanRepairRun = "repair_run";
 
 }  // namespace nsrel::obs::probe

@@ -1,0 +1,154 @@
+#include "repair/fault_schedule.hpp"
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace nsrel::repair {
+
+namespace {
+
+Error malformed(const std::string& detail) {
+  return Error{ErrorCode::kInvalidParameter, "repair.fault_schedule",
+               detail};
+}
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  std::string current;
+  for (const char c : text) {
+    if (c == sep) {
+      parts.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  parts.push_back(current);
+  return parts;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t begin = 0;
+  std::size_t end = s.size();
+  while (begin < end && (s[begin] == ' ' || s[begin] == '\t')) ++begin;
+  while (end > begin && (s[end - 1] == ' ' || s[end - 1] == '\t')) --end;
+  return s.substr(begin, end - begin);
+}
+
+/// Parses a non-negative integer, requiring the whole string to be
+/// digits (no sign, no trailing junk).
+bool parse_uint(const std::string& s, std::uint64_t& out) {
+  if (s.empty()) return false;
+  std::uint64_t value = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  out = value;
+  return true;
+}
+
+bool parse_double(const std::string& s, double& out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  out = std::strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size() && out >= 0.0;
+}
+
+}  // namespace
+
+Expected<FaultSchedule> parse_fault_schedule(const std::string& text) {
+  FaultSchedule schedule;
+  for (const std::string& raw : split(text, ';')) {
+    const std::string entry = trim(raw);
+    if (entry.empty()) continue;  // allows trailing ';' and blank entries
+    const std::size_t space = entry.find(' ');
+    if (space == std::string::npos) {
+      return malformed("event '" + entry + "' needs '<trigger> <fault>'");
+    }
+    const std::string trigger = trim(entry.substr(0, space));
+    const std::string fault = trim(entry.substr(space + 1));
+
+    FaultEvent event;
+    const std::size_t tcolon = trigger.find(':');
+    if (tcolon == std::string::npos) {
+      return malformed("trigger '" + trigger + "' needs '<kind>:<value>'");
+    }
+    const std::string tkind = trigger.substr(0, tcolon);
+    const std::string tvalue = trigger.substr(tcolon + 1);
+    if (tkind == "before" || tkind == "after") {
+      event.trigger = tkind == "before" ? TriggerKind::kBeforeTask
+                                        : TriggerKind::kAfterTask;
+      if (!parse_uint(tvalue, event.index)) {
+        return malformed("bad task index '" + tvalue + "'");
+      }
+    } else if (tkind == "time") {
+      event.trigger = TriggerKind::kAtTime;
+      if (!parse_double(tvalue, event.time_seconds)) {
+        return malformed("bad time '" + tvalue + "'");
+      }
+    } else {
+      return malformed("unknown trigger '" + tkind + "'");
+    }
+
+    const std::size_t fcolon = fault.find(':');
+    if (fcolon == std::string::npos) {
+      return malformed("fault '" + fault + "' needs '<kind>:<id>'");
+    }
+    const std::string fkind = fault.substr(0, fcolon);
+    const std::string fvalue = fault.substr(fcolon + 1);
+    std::uint64_t id = 0;
+    if (fkind == "node") {
+      event.kind = FaultKind::kNode;
+      if (!parse_uint(fvalue, id)) {
+        return malformed("bad node id '" + fvalue + "'");
+      }
+      event.node = static_cast<int>(id);
+    } else if (fkind == "drive") {
+      event.kind = FaultKind::kDrive;
+      const std::size_t dot = fvalue.find('.');
+      std::uint64_t drive = 0;
+      if (dot == std::string::npos || !parse_uint(fvalue.substr(0, dot), id) ||
+          !parse_uint(fvalue.substr(dot + 1), drive)) {
+        return malformed("bad drive id '" + fvalue +
+                         "' (want '<node>.<drive>')");
+      }
+      event.node = static_cast<int>(id);
+      event.drive = static_cast<int>(drive);
+    } else {
+      return malformed("unknown fault '" + fkind + "'");
+    }
+    schedule.events.push_back(event);
+  }
+  return schedule;
+}
+
+std::string format_fault_event(const FaultEvent& event) {
+  std::ostringstream out;
+  switch (event.trigger) {
+    case TriggerKind::kBeforeTask:
+      out << "before:" << event.index;
+      break;
+    case TriggerKind::kAfterTask:
+      out << "after:" << event.index;
+      break;
+    case TriggerKind::kAtTime:
+      out << "time:" << event.time_seconds;
+      break;
+  }
+  out << ' ';
+  if (event.kind == FaultKind::kNode) {
+    out << "node:" << event.node;
+  } else {
+    out << "drive:" << event.node << '.' << event.drive;
+  }
+  return out.str();
+}
+
+}  // namespace nsrel::repair

@@ -1,0 +1,73 @@
+// Deterministic fault injection for the concurrent repair engine.
+//
+// A FaultSchedule is an ordered list of node/drive failures, each tied to
+// a deterministic point of a repair run: before the Nth committed task,
+// right after the Nth task commits, or at a simulated-time instant. The
+// run fires events only at its serial barriers, so the same schedule
+// produces the same store state and report at any --jobs count —
+// including schedules that kill the sources or targets of repairs that
+// are already planned or in flight.
+//
+// The textual format (parse_fault_schedule) keeps test matrices and docs
+// readable. Events are ';'-separated; each event is a trigger followed by
+// a fault:
+//
+//   trigger := "before:<task>" | "after:<task>" | "time:<seconds>"
+//   fault   := "node:<id>" | "drive:<node>.<drive>"
+//
+// e.g. "before:0 node:3; after:2 drive:1.0; time:0.5 node:7". Ids are
+// deliberately unvalidated against any store geometry: replaying a
+// schedule against a smaller store must degrade to no-ops, not crash.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace nsrel::repair {
+
+/// When an injected fault fires, relative to the run's committed-task
+/// counter or to its simulated clock (see RepairTiming).
+enum class TriggerKind : unsigned char {
+  kBeforeTask,  ///< at the barrier where `index` tasks have committed
+  kAfterTask,   ///< at the barrier right after task `index` commits
+  kAtTime,      ///< at the first barrier whose clock reaches `time_seconds`
+};
+
+/// What fails: a whole node or a single drive inside one.
+enum class FaultKind : unsigned char { kNode, kDrive };
+
+struct FaultEvent {
+  TriggerKind trigger = TriggerKind::kBeforeTask;
+  std::uint64_t index = 0;    ///< task counter (kBeforeTask / kAfterTask)
+  double time_seconds = 0.0;  ///< simulated seconds (kAtTime)
+  FaultKind kind = FaultKind::kNode;
+  int node = 0;
+  int drive = 0;  ///< kDrive only
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+/// An ordered fault schedule. Events fire in list order when several are
+/// due at the same barrier. Time-triggered events outliving the repair
+/// work fire after simulated idle time advances to their instant;
+/// task-count events whose index the run never reaches fire at the final
+/// barrier — a compressed schedule never silently drops a failure.
+struct FaultSchedule {
+  std::vector<FaultEvent> events;
+
+  [[nodiscard]] bool empty() const { return events.empty(); }
+};
+
+/// Parses the textual format above. kInvalidParameter on malformed
+/// input (unknown trigger/fault word, missing field, bad number).
+[[nodiscard]] Expected<FaultSchedule> parse_fault_schedule(
+    const std::string& text);
+
+/// Renders an event back into the textual format (exact inverse of the
+/// parser for integer-second times; used by reports and tests).
+[[nodiscard]] std::string format_fault_event(const FaultEvent& event);
+
+}  // namespace nsrel::repair

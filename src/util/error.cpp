@@ -20,6 +20,10 @@ const char* error_code_name(ErrorCode code) {
       return "internal";
     case ErrorCode::kMalformedDocument:
       return "malformed_document";
+    case ErrorCode::kDataLoss:
+      return "data_loss";
+    case ErrorCode::kCapacityExhausted:
+      return "capacity_exhausted";
   }
   return "internal";
 }

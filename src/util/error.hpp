@@ -38,6 +38,13 @@ namespace nsrel {
 ///                         JSON) failed strict validation: wrong schema
 ///                         tag, missing/unknown keys, type mismatches,
 ///                         or indices out of range
+///   data_loss           - stored data is genuinely gone: a stripe lost
+///                         more shards than its erasure code tolerates
+///                         (the brick store / repair engine's absorbing
+///                         state)
+///   capacity_exhausted  - the surviving nodes lack the spare capacity
+///                         to place or rebuild a shard (fail-in-place
+///                         over-provisioning ran out)
 enum class ErrorCode : unsigned char {
   kSingularGenerator,
   kIllConditioned,
@@ -46,6 +53,8 @@ enum class ErrorCode : unsigned char {
   kContractViolation,
   kInternal,
   kMalformedDocument,
+  kDataLoss,
+  kCapacityExhausted,
 };
 
 /// The stable snake_case name of a code (e.g. "singular_generator").

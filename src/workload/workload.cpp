@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "util/assert.hpp"
+#include "util/error.hpp"
 
 namespace nsrel::workload {
 
@@ -63,7 +64,9 @@ WorkloadResult run_read_workload(brick::ObjectStore& store,
     const std::size_t span = object_sizes[pick] - params.read_bytes;
     const std::size_t aligned_slots = span / chunk + 1;
     const std::size_t offset = chunk * rng.below(aligned_slots);
-    (void)store.read_range(objects[pick], offset, params.read_bytes);
+    const Expected<std::vector<std::uint8_t>> read =
+        store.try_read_range(objects[pick], offset, params.read_bytes);
+    if (!read.has_value()) ++result.failed_reads;
     const std::uint64_t decodes_now = store.io_stats().decode_operations;
     if (decodes_now > decodes_before) ++result.degraded_reads;
     decodes_before = decodes_now;

@@ -42,13 +42,16 @@ struct WorkloadResult {
   brick::ObjectStore::IoStats io;     ///< counters for this run
   double read_amplification = 0.0;    ///< physical/logical chunk reads
   std::uint64_t degraded_reads = 0;   ///< ops that needed a decode
+  std::uint64_t failed_reads = 0;     ///< ops that hit typed data loss
   int operations = 0;
 };
 
 /// Runs random-range reads against the store over the given objects and
 /// returns the measured amplification. Resets the store's I/O counters.
-/// Preconditions: objects non-empty; every object at least read_bytes
-/// long.
+/// Reads that hit a stripe beyond the code's tolerance are counted in
+/// failed_reads instead of throwing, so clients keep serving against a
+/// degraded store mid-rebuild. Preconditions: objects non-empty; every
+/// object at least read_bytes long.
 [[nodiscard]] WorkloadResult run_read_workload(
     brick::ObjectStore& store, const std::vector<brick::ObjectId>& objects,
     const std::vector<std::size_t>& object_sizes,

@@ -1,0 +1,170 @@
+// Long soak for the concurrent repair engine: tens of thousands of
+// objects, a fault schedule that kills nodes and drives before, during,
+// and after repair work — including sources and targets of in-flight
+// repairs — while foreground src/workload traffic runs at every barrier
+// (degraded-mode service). Invariants are asserted after every injected
+// event and at the end; the whole thing runs with parallel decode
+// (jobs = 8), which is what the TSan CI job exercises.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "brick/object_store.hpp"
+#include "repair/fault_schedule.hpp"
+#include "repair/repair.hpp"
+#include "util/rng.hpp"
+#include "workload/workload.hpp"
+
+namespace nsrel::repair {
+namespace {
+
+using brick::ObjectId;
+using brick::ObjectStore;
+using brick::StoreParams;
+
+std::vector<std::uint8_t> random_bytes(std::size_t size, Xoshiro256& rng) {
+  std::vector<std::uint8_t> bytes(size);
+  for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.below(256));
+  return bytes;
+}
+
+TEST(RepairSoak, TensOfThousandsOfObjectsUnderInjectedFaults) {
+  StoreParams p;
+  p.node_count = 16;
+  p.drives_per_node = 4;
+  p.drive_capacity = kilobytes(1024.0);
+  p.redundancy_set_size = 8;
+  p.fault_tolerance = 2;
+  p.chunk_size = Bytes(256.0);
+
+  const int object_count = 20000;
+  const std::size_t object_size = 6 * 256;  // one stripe per object
+
+  ObjectStore store(p);
+  Xoshiro256 rng(0x50A4);
+  std::vector<ObjectId> objects;
+  std::vector<std::size_t> sizes;
+  // A sample of originals for byte-exact read checks at barriers.
+  std::map<ObjectId, std::vector<std::uint8_t>> sample;
+  objects.reserve(object_count);
+  sizes.reserve(object_count);
+  for (int i = 0; i < object_count; ++i) {
+    const auto bytes = random_bytes(object_size, rng);
+    const ObjectId id = store.write(bytes);
+    objects.push_back(id);
+    sizes.push_back(object_size);
+    if (i % 500 == 0) sample[id] = bytes;
+  }
+  ASSERT_TRUE(store.fully_redundant());
+
+  // Two initial failures (within t = 2), then a schedule that kills more
+  // nodes and drives at task-count and time barriers mid-rebuild. The
+  // node-13 event repeats node 2's death (no-op) and node 14 dies twice
+  // via drive-then-node to exercise idempotence under load.
+  store.fail_node(2);
+  store.fail_drive(5, 1);
+  const std::size_t initially_degraded = store.degraded_stripes().size();
+  ASSERT_GT(initially_degraded, 5000u);
+
+  const Expected<FaultSchedule> schedule = parse_fault_schedule(
+      "after:1000 node:7; after:3000 drive:11.2; time:0.9 node:14; "
+      "before:9000 drive:14.0; before:12000 node:2; after:15000 drive:0.3");
+  ASSERT_TRUE(schedule.has_value());
+
+  RepairOptions options;
+  options.jobs = 8;
+  options.timing.bytes_per_second = 4.0 * 1024.0 * 1024.0;
+
+  // Degraded-mode service: run foreground workload reads at every
+  // barrier, plus byte-exact checks of the sampled originals. Reads of
+  // stripes that went beyond tolerance must fail typed, never throw.
+  std::uint64_t barriers = 0;
+  std::uint64_t foreground_reads = 0;
+  std::uint64_t foreground_degraded = 0;
+  std::uint64_t foreground_failed = 0;
+  options.on_barrier = [&](ObjectStore& s, double sim_seconds) {
+    EXPECT_GE(sim_seconds, 0.0);
+    ++barriers;
+    for (const auto& [id, bytes] : sample) {
+      const Expected<std::vector<std::uint8_t>> read = s.try_read(id);
+      if (read.has_value()) {
+        EXPECT_EQ(read.value(), bytes) << "object " << id;
+      } else {
+        EXPECT_EQ(read.error().code, ErrorCode::kDataLoss);
+      }
+    }
+    workload::WorkloadParams wl;
+    wl.operations = 64;
+    wl.read_bytes = 256;
+    wl.seed = 0xF0E0 + barriers;  // deterministic but varying
+    const workload::WorkloadResult result =
+        workload::run_read_workload(s, objects, sizes, wl);
+    foreground_reads += static_cast<std::uint64_t>(result.operations);
+    foreground_degraded += result.degraded_reads;
+    foreground_failed += result.failed_reads;
+    EXPECT_GE(result.read_amplification, 1.0);
+  };
+
+  const RepairReport report =
+      run_repair(store, schedule.value(), options);  // must not throw
+
+  // Every scheduled event fired; five of the six changed state (the
+  // node-2 repeat is the deliberate no-op).
+  EXPECT_EQ(report.injected_faults, 5u);
+  EXPECT_GT(barriers, 0u);
+  EXPECT_GT(foreground_reads, 0u);
+  EXPECT_GT(foreground_degraded, 0u);  // service ran while degraded
+  // Lost stripes surface to clients as counted typed failures, never as
+  // exceptions out of the workload loop.
+  EXPECT_EQ(foreground_failed > 0, report.stripes_failed > 0);
+  EXPECT_GT(report.replans, 0u);
+  EXPECT_GE(report.stripes_attempted, initially_degraded);
+  EXPECT_GT(report.shards_repaired, 0u);
+
+  // Final-state invariant: every stripe is either fully repaired or
+  // recorded as a typed failure — nothing in between, nothing dropped.
+  std::map<brick::StripeRef, bool> failed;
+  for (const RepairOutcome& outcome : report.outcomes) {
+    if (!outcome.result.has_value()) {
+      EXPECT_EQ(outcome.result.error().code, ErrorCode::kDataLoss)
+          << outcome.result.error().message();
+      failed[outcome.stripe] = true;
+    }
+  }
+  EXPECT_EQ(failed.size(), report.stripes_failed);
+  for (const brick::StripeRef& ref : store.degraded_stripes()) {
+    EXPECT_TRUE(failed.contains(ref))
+        << "stripe left degraded without a typed outcome: object "
+        << ref.object << " stripe " << ref.stripe;
+  }
+
+  // Accounting closes: received bytes equal repaired shards x chunk.
+  double received = 0.0;
+  for (const auto& [node, bytes] : report.received_bytes) received += bytes;
+  EXPECT_DOUBLE_EQ(received,
+                   static_cast<double>(report.shards_repaired) * 256.0);
+  EXPECT_DOUBLE_EQ(report.bytes_reconstructed, received);
+  EXPECT_GT(report.duration_seconds, 0.0);
+
+  // Every sampled object is either byte-identical or typed-lost.
+  std::size_t lost_objects = 0;
+  for (const auto& [id, bytes] : sample) {
+    const Expected<std::vector<std::uint8_t>> read = store.try_read(id);
+    if (read.has_value()) {
+      EXPECT_EQ(read.value(), bytes);
+    } else {
+      EXPECT_EQ(read.error().code, ErrorCode::kDataLoss);
+      ++lost_objects;
+    }
+  }
+  // With four dead-node-equivalents out of 16 the failure matrix allows
+  // losses, but the overwhelming majority of the sample must survive.
+  EXPECT_LT(lost_objects, sample.size() / 2);
+}
+
+}  // namespace
+}  // namespace nsrel::repair
