@@ -2,6 +2,10 @@
 // that mirrors every run into nsrel-bench-v1 entries while delegating the
 // normal console output, plus the shared main() body. Console output is
 // unchanged whether or not --json-out is given.
+//
+// --events FILE additionally arms the flight recorder around the runs
+// and writes the drained journal as nsrel-events-v1 NDJSON — the CI
+// repair-soak artifact (`perf_repair --events ...`) comes from here.
 #pragma once
 
 #include <benchmark/benchmark.h>
@@ -14,6 +18,8 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "obs/journal.hpp"
+#include "report/events_doc.hpp"
 
 namespace nsrel::bench {
 
@@ -49,16 +55,20 @@ class CaptureReporter : public benchmark::ConsoleReporter {
   std::vector<BenchEntry> entries_;
 };
 
-/// Shared main() of the perf binaries: strips --json-out FILE, hands the
-/// rest to google-benchmark, and writes the nsrel-bench-v1 document
-/// after the runs.
+/// Shared main() of the perf binaries: strips --json-out FILE and
+/// --events FILE, hands the rest to google-benchmark, and writes the
+/// nsrel-bench-v1 document (and the nsrel-events-v1 journal) after the
+/// runs.
 inline int perf_main(int argc, char** argv, const std::string& binary) {
   std::string json_path;
+  std::string events_path;
   std::vector<char*> passthrough;
   passthrough.push_back(argv[0]);
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--json-out" && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::string(argv[i]) == "--events" && i + 1 < argc) {
+      events_path = argv[++i];
     } else {
       passthrough.push_back(argv[i]);
     }
@@ -69,8 +79,24 @@ inline int perf_main(int argc, char** argv, const std::string& binary) {
                                              passthrough.data())) {
     return 1;
   }
+  if (!events_path.empty()) obs::Journal::instance().begin();
   CaptureReporter reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);
+  if (!events_path.empty()) {
+    // Benchmarked subsystems drained at their own joins/barriers; this
+    // catches the tail, then the journal is frozen for export.
+    obs::Journal::instance().drain();
+    obs::Journal::instance().disable();
+    std::ofstream out(events_path);
+    if (out) {
+      report::write_events_ndjson(obs::Journal::instance().events(),
+                                  obs::Journal::instance().dropped(), out);
+    }
+    if (!out) {
+      std::cerr << binary << ": cannot write '" << events_path << "'\n";
+      return 1;
+    }
+  }
   if (!json_path.empty()) {
     std::ofstream out(json_path);
     if (!out) {

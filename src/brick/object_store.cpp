@@ -8,6 +8,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/event_names.hpp"
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/probe_names.hpp"
 #include "util/assert.hpp"
@@ -18,11 +20,17 @@ namespace nsrel::brick {
 namespace {
 
 /// Counts one degraded read (a decode forced by a missing shard) when
-/// the metrics registry is on.
+/// the metrics registry is on, and journals it: inside a repair
+/// barrier scope the event sorts right after the barrier that served
+/// the read.
 void count_degraded_read() {
   if (obs::Registry::enabled()) {
     auto& registry = obs::Registry::instance();
     registry.add(registry.counter(obs::probe::kBrickDegradedReads));
+  }
+  if (obs::Journal::enabled()) {
+    obs::Journal::instance().record(
+        obs::seq_event(obs::event::kBrickDegradedRead));
   }
 }
 

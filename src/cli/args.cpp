@@ -36,9 +36,11 @@ Args::Args(const std::vector<std::string>& tokens) {
   for (; i < tokens.size(); ++i) {
     const std::string& token = tokens[i];
     if (token.rfind("--", 0) != 0) {
-      // Positional operands exist only for `diff` (its two file paths);
-      // after any other command a bare token is a typo.
-      NSREL_EXPECTS(command_ == "diff");  // stray positional argument
+      // Positional operands exist only for the file-reading commands
+      // (diff's two documents, events' journal, report's inputs); after
+      // any other command a bare token is a typo.
+      NSREL_EXPECTS(command_ == "diff" || command_ == "events" ||
+                    command_ == "report");  // stray positional argument
       positionals_.push_back(token);
       continue;
     }

@@ -18,8 +18,8 @@ class Args {
   /// everything else must be `--key value` pairs, except for the
   /// whitelisted valueless flags (--version, --metrics, --progress,
   /// --cache-stats) which parse as present with value "1", and the
-  /// commands that take positional operands (currently only `diff`,
-  /// whose two operands are file paths). Throws ContractViolation on a
+  /// commands that take positional operands (`diff`, `events`, and
+  /// `report`, whose operands are file paths). Throws ContractViolation on a
   /// flag without a value or a stray positional token after any other
   /// command.
   Args(int argc, const char* const* argv);

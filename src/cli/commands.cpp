@@ -19,12 +19,18 @@
 #include "engine/render.hpp"
 #include "models/availability.hpp"
 #include "obs/build_info.hpp"
+#include "obs/journal.hpp"
 #include "obs/progress.hpp"
 #include "obs/session.hpp"
+#include "obs/snapshot.hpp"
 #include "placement/layout.hpp"
 #include "report/diff.hpp"
+#include "report/events_doc.hpp"
+#include "report/footer.hpp"
 #include "report/json.hpp"
+#include "report/metrics_doc.hpp"
 #include "report/resultset_doc.hpp"
+#include "report/summary.hpp"
 #include "report/table.hpp"
 #include "sim/estimate.hpp"
 #include "scenario/scenario.hpp"
@@ -60,6 +66,14 @@ commands:
                 (nsrel diff A.json B.json [--abs-tol X] [--rel-tol Y]
                 [--format table|csv|json]); exit 0 = no drift, 3 = drift,
                 4 = unreadable or incomparable inputs
+  events        render a flight-recorder journal written by --events
+                (nsrel events RUN.ndjson [--view timeline|batches]
+                [--format table|csv|json]); batches rolls a faulted
+                repair run up into per-barrier fault/retry/read counts
+  report        aggregate observability documents across runs
+                (nsrel report A.json B.ndjson ...): counters and
+                histograms merged with exact snapshot algebra, event
+                counts per journal, one column per input plus a total
   chain         emit the configuration's Markov chain as Graphviz DOT
                 (pipe into `dot -Tpdf` for a Figure-5-style diagram)
   provision     fail-in-place spare planning: utilization that survives
@@ -119,6 +133,13 @@ on or off, at any --jobs):
                   "cache: N hits, ..." footer after tables/CSV, a
                   meta.cache object in --format json (counters are
                   schedule-dependent for --jobs > 1)
+  --events FILE   write the flight-recorder journal as nsrel-events-v1
+                  NDJSON (typed solve/cache/cell/sim/repair events on
+                  deterministic clocks, byte-identical at any --jobs);
+                  render it with `nsrel events`
+  --metrics-out FILE  write the metrics registry as an nsrel-metrics-v1
+                  JSON document (exact counters, log2 histograms with
+                  p50/p90/p99); aggregate runs with `nsrel report`
 
 exit codes:
   0  success — every cell evaluated
@@ -160,6 +181,31 @@ EvalFlags eval_flags_from_args(const Args& args) {
   flags.format = report::parse_output_format(
       args.get_string("format", legacy_csv ? "csv" : "table"));
   return flags;
+}
+
+/// The one --cache-stats footer call per command. Routing every format
+/// branch through report::print_cache_footer (a no-op for JSON) keeps
+/// the footer bytes identical everywhere instead of each switch branch
+/// carrying its own copy.
+void maybe_cache_footer(const EvalFlags& flags,
+                        const engine::ResultSet& results, std::ostream& out) {
+  if (!flags.cache_stats) return;
+  const core::SolveCache::Stats stats = results.cache_stats();
+  report::print_cache_footer(stats.hits, stats.misses, flags.format, out);
+}
+
+/// Reads a whole file for the document commands (diff/events/report);
+/// nullopt (with a message on `err`) when unreadable.
+std::optional<std::string> read_file(const std::string& path,
+                                     std::ostream& err) {
+  std::ifstream in(path);
+  if (!in) {
+    err << "cannot open '" << path << "'\n";
+    return std::nullopt;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return std::move(text).str();
 }
 
 int check_unused(const Args& args, std::ostream& err) {
@@ -208,7 +254,7 @@ int run_analyze(const Args& args, std::ostream& out, std::ostream& err) {
   }
   if (flags.format == report::OutputFormat::kCsv) {
     engine::compare_table(results, target).print_csv(out);
-    if (flags.cache_stats) engine::print_cache_footer(results, out);
+    maybe_cache_footer(flags, results, out);
     return report_failures(results, err);
   }
   if (!results.ok(0, 0)) {
@@ -237,7 +283,7 @@ int run_analyze(const Args& args, std::ostream& out, std::ostream& err) {
         << " /h\nre-stripe:         "
         << fixed(to_hours(result.rebuild.restripe_time).value(), 1) << " h\n";
   }
-  if (flags.cache_stats) engine::print_cache_footer(results, out);
+  maybe_cache_footer(flags, results, out);
   return kExitOk;
 }
 
@@ -256,17 +302,16 @@ int run_compare(const Args& args, std::ostream& out, std::ostream& err) {
   switch (flags.format) {
     case report::OutputFormat::kTable:
       engine::compare_table(results, target).print(out);
-      if (flags.cache_stats) engine::print_cache_footer(results, out);
       break;
     case report::OutputFormat::kCsv:
       engine::compare_table(results, target).print_csv(out);
-      if (flags.cache_stats) engine::print_cache_footer(results, out);
       break;
     case report::OutputFormat::kJson:
       engine::write_json(results, out,
                          engine::JsonOptions{flags.cache_stats});
       break;
   }
+  maybe_cache_footer(flags, results, out);
   return report_failures(results, err);
 }
 
@@ -342,17 +387,16 @@ int run_sweep(const Args& args, std::ostream& out, std::ostream& err) {
     case report::OutputFormat::kTable:
       out << core::name(configuration) << ", sweeping " << param << ":\n";
       engine::sweep_table(results).print(out);
-      if (flags.cache_stats) engine::print_cache_footer(results, out);
       break;
     case report::OutputFormat::kCsv:
       engine::sweep_table(results).print_csv(out);
-      if (flags.cache_stats) engine::print_cache_footer(results, out);
       break;
     case report::OutputFormat::kJson:
       engine::write_json(results, out,
                          engine::JsonOptions{flags.cache_stats});
       break;
   }
+  maybe_cache_footer(flags, results, out);
   return report_failures(results, err);
 }
 
@@ -435,16 +479,15 @@ int run_simulate_sweep(const Args& args, const core::SystemConfig& base,
     case report::OutputFormat::kTable:
       out << core::name(configuration) << ", sweeping " << param << ":\n";
       engine::sim_sweep_table(results).print(out);
-      if (flags.cache_stats) engine::print_cache_footer(results, out);
       break;
     case report::OutputFormat::kCsv:
       engine::sim_sweep_table(results).print_csv(out);
-      if (flags.cache_stats) engine::print_cache_footer(results, out);
       break;
     case report::OutputFormat::kJson:
       engine::write_json(results, out, engine::JsonOptions{flags.cache_stats});
       break;
   }
+  maybe_cache_footer(flags, results, out);
   return report_failures(results, err);
 }
 
@@ -531,14 +574,9 @@ int run_diff(const Args& args, std::ostream& out, std::ostream& err) {
   // the caller named files that are not comparable v3 documents.
   std::vector<report::ResultSetDoc> docs;
   for (const std::string& path : paths) {
-    std::ifstream in(path);
-    if (!in) {
-      err << "cannot open '" << path << "'\n";
-      return kExitUsage;
-    }
-    std::ostringstream text;
-    text << in.rdbuf();
-    Expected<report::ResultSetDoc> doc = report::read_resultset_json(text.str());
+    const std::optional<std::string> text = read_file(path, err);
+    if (!text.has_value()) return kExitUsage;
+    Expected<report::ResultSetDoc> doc = report::read_resultset_json(*text);
     if (!doc.has_value()) {
       err << "error: " << path << ": " << doc.error().message() << "\n";
       return kExitUsage;
@@ -571,6 +609,85 @@ int run_diff(const Args& args, std::ostream& out, std::ostream& err) {
       break;
   }
   return drift.clean() ? kExitOk : kExitPartialResults;
+}
+
+/// `nsrel events RUN.ndjson`: render a flight-recorder journal written
+/// by --events (or a scenario's [output] events key) as a timeline or
+/// the repair batches rollup.
+int run_events(const Args& args, std::ostream& out, std::ostream& err) {
+  const std::vector<std::string>& paths = args.positionals();
+  const report::OutputFormat format =
+      report::parse_output_format(args.get_string("format", "table"));
+  const std::string view = args.get_string("view", "timeline");
+  if (const int rc = check_unused(args, err); rc != 0) return rc;
+  if (paths.size() != 1) {
+    err << "events requires exactly one journal file: "
+           "nsrel events RUN.ndjson\n";
+    return kExitUsage;
+  }
+  if (view != "timeline" && view != "batches") {
+    err << "unknown --view '" << view << "' (use timeline|batches)\n";
+    return kExitUsage;
+  }
+
+  const std::optional<std::string> text = read_file(paths[0], err);
+  if (!text.has_value()) return kExitUsage;
+  Expected<report::EventsDoc> doc = report::read_events_ndjson(*text);
+  if (!doc.has_value()) {
+    err << "error: " << paths[0] << ": " << doc.error().message() << "\n";
+    return kExitUsage;
+  }
+  if (format == report::OutputFormat::kJson) {
+    report::write_events_json(doc.value(), out);
+    return kExitOk;
+  }
+  const report::Table table = view == "batches"
+                                  ? report::events_batches_table(doc.value())
+                                  : report::events_timeline_table(doc.value());
+  if (format == report::OutputFormat::kCsv) {
+    table.print_csv(out);
+  } else {
+    table.print(out);
+  }
+  return kExitOk;
+}
+
+/// `nsrel report A.json B.ndjson ...`: aggregate metrics snapshots and
+/// events journals across runs into one matrix with an exact total.
+int run_report(const Args& args, std::ostream& out, std::ostream& err) {
+  const std::vector<std::string>& paths = args.positionals();
+  const report::OutputFormat format =
+      report::parse_output_format(args.get_string("format", "table"));
+  if (const int rc = check_unused(args, err); rc != 0) return rc;
+  if (paths.empty()) {
+    err << "report requires at least one metrics or events document: "
+           "nsrel report A.json B.ndjson ...\n";
+    return kExitUsage;
+  }
+
+  std::vector<report::RunDoc> runs;
+  for (const std::string& path : paths) {
+    const std::optional<std::string> text = read_file(path, err);
+    if (!text.has_value()) return kExitUsage;
+    Expected<report::RunDoc> doc = report::read_run_document(path, *text);
+    if (!doc.has_value()) {
+      err << "error: " << doc.error().message() << "\n";
+      return kExitUsage;
+    }
+    runs.push_back(std::move(doc.value()));
+  }
+  switch (format) {
+    case report::OutputFormat::kTable:
+      report::report_table(runs).print(out);
+      break;
+    case report::OutputFormat::kCsv:
+      report::report_table(runs).print_csv(out);
+      break;
+    case report::OutputFormat::kJson:
+      report::write_report_json(runs, out);
+      break;
+  }
+  return kExitOk;
 }
 
 int run_provision(const Args& args, std::ostream& out, std::ostream& err) {
@@ -623,10 +740,11 @@ int run_scenario_command(const Args& args, std::ostream& out,
   text << in.rdbuf();
   scenario::Scenario scenario = scenario::parse_scenario(text.str());
   if (jobs_given) scenario.jobs = jobs;  // command line beats [output] jobs
-  // With --trace the dispatch-level Session owns recording and writes
-  // the CLI path; drop the file's [output] trace so the scenario runner
-  // neither restarts the recorder nor writes a second file.
+  // With --trace/--events the dispatch-level Session owns recording and
+  // writes the CLI path; drop the file's [output] key so the scenario
+  // runner neither restarts the recorder nor writes a second file.
   if (args.has("trace")) scenario.trace.clear();
+  if (args.has("events")) scenario.events.clear();
   const scenario::RunOutcome outcome = scenario::run_scenario(scenario, out);
   if (outcome.error_count != 0) {
     err << "warning: " << outcome.error_count << " of "
@@ -681,6 +799,33 @@ core::Configuration configuration_from_args(const Args& args) {
 
 namespace {
 
+/// Writes the drained journal as nsrel-events-v1 NDJSON (--events).
+bool write_events_file(const std::string& path, std::ostream& err) {
+  std::ofstream file(path);
+  if (file) {
+    report::write_events_ndjson(obs::Journal::instance().events(),
+                                obs::Journal::instance().dropped(), file);
+  }
+  if (!file) {
+    err << "cannot write events file '" << path << "'\n";
+    return false;
+  }
+  return true;
+}
+
+/// Writes the settled registry as nsrel-metrics-v1 JSON (--metrics-out).
+bool write_metrics_file(const std::string& path, std::ostream& err) {
+  std::ofstream file(path);
+  if (file) {
+    report::write_metrics_json(obs::MetricsSnapshot::capture(), file);
+  }
+  if (!file) {
+    err << "cannot write metrics file '" << path << "'\n";
+    return false;
+  }
+  return true;
+}
+
 /// `nsrel version` / `--version` anywhere: build identity, exit 0.
 int run_version(std::ostream& out) {
   const obs::BuildInfo& build = obs::build_info();
@@ -706,6 +851,8 @@ int dispatch_command(const Args& args, std::ostream& out, std::ostream& err) {
   if (command == "scenario") return run_scenario_command(args, out, err);
   if (command == "simulate") return run_simulate(args, out, err);
   if (command == "diff") return run_diff(args, out, err);
+  if (command == "events") return run_events(args, out, err);
+  if (command == "report") return run_report(args, out, err);
   if (command == "chain") return run_chain(args, out, err);
   if (command == "provision") return run_provision(args, out, err);
   err << "unknown command '" << command << "' (try: nsrel help)\n";
@@ -720,10 +867,14 @@ int dispatch(const Args& args, std::ostream& out, std::ostream& err) {
   if (args.command() == "version" || args.has("version")) {
     return run_version(out);
   }
-  // One observability session per command: --trace/--metrics are global
-  // flags, consumed here so every command accepts them.
-  obs::Session session(
-      {args.get_string("trace", ""), args.has("metrics")});
+  // One observability session per command: --trace/--metrics/--events/
+  // --metrics-out are global flags, consumed here so every command
+  // accepts them.
+  const std::string events_path = args.get_string("events", "");
+  const std::string metrics_path = args.get_string("metrics-out", "");
+  obs::Session session({args.get_string("trace", ""), args.has("metrics"),
+                        /*registry=*/!metrics_path.empty(),
+                        /*journal=*/!events_path.empty()});
   int rc;
   try {
     rc = dispatch_command(args, out, err);
@@ -740,6 +891,16 @@ int dispatch(const Args& args, std::ostream& out, std::ostream& err) {
   // The trace file and metrics block are written even when the command
   // failed — a trace of a failing run is the one you want to look at.
   if (!session.finish(err) && rc == kExitOk) rc = kExitUsage;
+  // Document files go out after finish(): the journal is drained and
+  // the registry settled, and both stay valid until the next begin().
+  if (!events_path.empty() && !write_events_file(events_path, err) &&
+      rc == kExitOk) {
+    rc = kExitUsage;
+  }
+  if (!metrics_path.empty() && !write_metrics_file(metrics_path, err) &&
+      rc == kExitOk) {
+    rc = kExitUsage;
+  }
   return rc;
 }
 

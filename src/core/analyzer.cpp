@@ -6,6 +6,8 @@
 #include <string>
 #include <utility>
 
+#include "obs/event_names.hpp"
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/probe_names.hpp"
 #include "obs/trace.hpp"
@@ -67,9 +69,24 @@ std::string ir_solve_key(const models::InternalRaidParams& p, Method method,
 /// values, so a hit on a known-bad key replays the original error
 /// without re-running the failing solve.
 template <typename Solve>
-Expected<double> cached_solve(SolveCache* cache, const std::string& key,
-                              Solve solve) {
+Expected<double> cached_solve(SolveCache* cache, const char* backend,
+                              const std::string& key, Solve solve) {
   obs::Span span(obs::probe::kSpanSolve, obs::probe::kSpanCategoryCore);
+  if (obs::Journal::enabled()) {
+    obs::Journal::instance().record(
+        obs::seq_event(obs::event::kSolveStart).arg("backend", backend));
+  }
+  // Brackets every exit below so hit and computed outcomes journal alike.
+  const auto journal_end = [&](const Expected<double>& outcome) {
+    if (obs::Journal::enabled()) {
+      obs::Journal::instance().record(
+          obs::seq_event(obs::event::kSolveEnd)
+              .arg("backend", backend)
+              .arg("outcome", outcome.has_value()
+                                  ? "ok"
+                                  : error_code_name(outcome.error().code)));
+    }
+  };
   const auto guarded = [&]() -> Expected<double> {
     const obs::ScopedTimer timer(
         obs::Registry::enabled()
@@ -85,15 +102,19 @@ Expected<double> cached_solve(SolveCache* cache, const std::string& key,
   };
   if (cache == nullptr) {
     span.arg("cache", "none");
-    return guarded();
+    Expected<double> outcome = guarded();
+    journal_end(outcome);
+    return outcome;
   }
   if (auto hit = cache->lookup(key)) {
     span.arg("cache", "hit");
+    journal_end(*hit);
     return *std::move(hit);
   }
   span.arg("cache", "miss");
   Expected<double> outcome = guarded();
   cache->store(key, outcome);
+  journal_end(outcome);
   return outcome;
 }
 
@@ -276,7 +297,8 @@ Expected<AnalysisResult> Analyzer::try_analyze(
     if (configuration.internal == InternalScheme::kNone) {
       const models::NoInternalRaidParams p = nir_params(configuration);
       mttdl_hours =
-          cached_solve(cache, nir_solve_key(p, method, policy), [&] {
+          cached_solve(cache, ctmc::solver_policy_name(policy),
+                       nir_solve_key(p, method, policy), [&] {
             const models::NoInternalRaidModel model(p);
             return method == Method::kExactChain
                        ? model.mttdl_exact(policy)
@@ -286,7 +308,8 @@ Expected<AnalysisResult> Analyzer::try_analyze(
       const models::InternalRaidParams p = ir_params(configuration);
       result.array_failure_rate = p.array_failure;
       result.sector_error_rate = p.sector_error;
-      mttdl_hours = cached_solve(cache, ir_solve_key(p, method, policy), [&] {
+      mttdl_hours = cached_solve(cache, ctmc::solver_policy_name(policy),
+                                 ir_solve_key(p, method, policy), [&] {
         const models::InternalRaidNodeModel model(p);
         return method == Method::kExactChain ? model.mttdl_exact(policy)
                                              : model.mttdl_closed_form();

@@ -6,6 +6,8 @@
 #include <string>
 #include <utility>
 
+#include "obs/event_names.hpp"
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/probe_names.hpp"
 
@@ -44,11 +46,17 @@ std::optional<Expected<double>> SolveCache::lookup(const std::string& key) {
     if (obs::Registry::enabled()) {
       obs::Registry::instance().add(cache_probes().hits);
     }
+    if (obs::Journal::enabled()) {
+      obs::Journal::instance().record(obs::seq_event(obs::event::kCacheHit));
+    }
     return found;
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
   if (obs::Registry::enabled()) {
     obs::Registry::instance().add(cache_probes().misses);
+  }
+  if (obs::Journal::enabled()) {
+    obs::Journal::instance().record(obs::seq_event(obs::event::kCacheMiss));
   }
   return std::nullopt;
 }

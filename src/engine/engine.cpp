@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "engine/testing.hpp"
+#include "obs/event_names.hpp"
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/probe_names.hpp"
 #include "obs/progress.hpp"
@@ -171,6 +173,19 @@ ResultSet evaluate(const Grid& grid, const EvalOptions& options) {
   const auto evaluate_cell = [&](std::size_t index) {
     const std::size_t point = index / columns;
     const std::size_t configuration = index % columns;
+    // Journal scope: cell index + 1 in the high 32 bits. A pure function
+    // of the grid, so every event this cell emits (including solve/cache
+    // events from the stack below) sorts identically at any --jobs; the
+    // low bits are left for per-chunk sequencing inside sim cells.
+    const obs::ScopeGuard journal_scope(
+        static_cast<std::uint64_t>(index + 1) << 32);
+    if (obs::Journal::enabled()) {
+      obs::Journal::instance().record(
+          obs::seq_event(obs::event::kCellClaim)
+              .arg("cell", static_cast<std::uint64_t>(index))
+              .arg("point", static_cast<std::uint64_t>(point))
+              .arg("config", static_cast<std::uint64_t>(configuration)));
+    }
     obs::Span cell_span(obs::probe::kSpanCell, obs::probe::kSpanCategoryEngine);
     if (cell_span.armed()) {
       cell_span.arg("cell", static_cast<std::uint64_t>(index));
@@ -234,6 +249,12 @@ ResultSet evaluate(const Grid& grid, const EvalOptions& options) {
       registry.add(registry.counter(failed ? obs::probe::kEngineCellsFailed
                                            : obs::probe::kEngineCellsOk));
     }
+    if (failed && obs::Journal::enabled()) {
+      obs::Journal::instance().record(
+          obs::seq_event(obs::event::kCellFail)
+              .arg("cell", static_cast<std::uint64_t>(index))
+              .arg("code", error_code_name(outcome.error().code)));
+    }
     cells[index] = std::move(outcome);
     evaluated[index] = 1;
     if (failed && options.on_error == OnError::kFailFast) {
@@ -274,6 +295,11 @@ ResultSet evaluate(const Grid& grid, const EvalOptions& options) {
     for (std::size_t i = 0; i < lanes; ++i) done.push_back(pool.submit(worker));
     for (auto& future : done) future.get();
   }
+
+  // Join point: pool workers (if any) have exited and retired their
+  // journal rings; flush this thread's ring so the journal is complete
+  // even when the fail-fast rethrow below unwinds past the caller.
+  if (obs::Journal::enabled()) obs::Journal::instance().drain();
 
   if (options.on_error != OnError::kSkip) {
     // The lowest-indexed failure among evaluated cells. Fail-fast and

@@ -9,6 +9,7 @@
 
 #include "obs/probe_names.hpp"
 #include "obs/trace.hpp"
+#include "report/footer.hpp"
 #include "report/resultset_doc.hpp"
 #include "util/assert.hpp"
 #include "util/format.hpp"
@@ -234,8 +235,8 @@ void write_json(const ResultSet& results, std::ostream& out,
 
 void print_cache_footer(const ResultSet& results, std::ostream& out) {
   const core::SolveCache::Stats& stats = results.cache_stats();
-  out << "cache: " << stats.hits << " hits, " << stats.misses << " misses ("
-      << stats.lookups() << " lookups)\n";
+  report::print_cache_footer(stats.hits, stats.misses,
+                             report::OutputFormat::kTable, out);
 }
 
 }  // namespace nsrel::engine

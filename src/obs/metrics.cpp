@@ -277,7 +277,8 @@ void print_metrics_block(const Registry::Snapshot& snapshot,
         << " sum=" << row.sum << " mean=" << static_cast<std::uint64_t>(row.mean())
         << " min=" << row.min << " max=" << row.max
         << " p50<" << row.quantile_bound(0.50)
-        << " p95<" << row.quantile_bound(0.95) << "\n";
+        << " p90<" << row.quantile_bound(0.90)
+        << " p99<" << row.quantile_bound(0.99) << "\n";
   }
   out << "== end metrics ==\n";
 }

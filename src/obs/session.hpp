@@ -1,8 +1,14 @@
-// Per-command observability scope: the CLI's `--trace FILE` and
-// `--metrics` flags map to one Session around the command body. The
-// constructor resets + enables whatever was requested; finish() writes
-// the trace file and prints the metrics block (to stderr — stdout stays
-// byte-identical with observability on or off), then disables both.
+// Per-command observability scope: the CLI's `--trace FILE`,
+// `--metrics`, `--metrics-out FILE`, and `--events FILE` flags map to
+// one Session around the command body. The constructor resets + enables
+// whatever was requested; finish() writes the trace file, prints the
+// metrics block (to stderr — stdout stays byte-identical with
+// observability on or off), drains the journal, then disables
+// everything. Document *files* (events NDJSON, metrics JSON) are
+// written by the caller after finish() — serialization lives in
+// src/report, which layers above obs — from Journal::events() and
+// Registry::snapshot(), both of which stay valid until the next
+// begin()/reset().
 #pragma once
 
 #include <iosfwd>
@@ -15,6 +21,9 @@ class Session {
   struct Options {
     std::string trace_path;  ///< empty = no tracing
     bool metrics = false;    ///< print the registry block at finish()
+    bool registry = false;   ///< enable the registry without the block
+                             ///< (--metrics-out without --metrics)
+    bool journal = false;    ///< arm the flight recorder (--events)
   };
 
   explicit Session(Options options);
@@ -24,8 +33,9 @@ class Session {
   ~Session();
 
   /// Writes the trace file (if requested) and the metrics block to
-  /// `err`, then disables both subsystems. Returns false when the trace
-  /// file cannot be written (a message is printed to `err`). Idempotent.
+  /// `err`, drains the journal, then disables every subsystem. Returns
+  /// false when the trace file cannot be written (a message is printed
+  /// to `err`). Idempotent.
   bool finish(std::ostream& err);
 
   Session(const Session&) = delete;

@@ -14,6 +14,8 @@
 #include <vector>
 
 #include "brick/object_store.hpp"
+#include "obs/event_names.hpp"
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/probe_names.hpp"
 #include "obs/trace.hpp"
@@ -109,6 +111,9 @@ class Run {
       barrier_callback();
     }
     report_.duration_seconds = sim_time_;
+    // Final join: decode workers never journal, so every event is in
+    // the serial thread's ring (or already committed at a barrier).
+    if (obs::Journal::enabled()) obs::Journal::instance().drain();
     if (run_span.armed()) {
       run_span.arg("stripes",
                    static_cast<std::uint64_t>(report_.stripes_attempted));
@@ -164,6 +169,11 @@ class Run {
     if (invalidated != 0 && obs::Registry::enabled()) {
       obs::Registry::instance().add(repair_probes().replans, invalidated);
     }
+    if (invalidated != 0 && obs::Journal::enabled()) {
+      obs::Journal::instance().record(
+          obs::sim_event(obs::event::kRepairReplan, ++event_seq_, sim_time_)
+              .arg("invalidated", invalidated));
+    }
   }
 
   bool apply_fault(const FaultEvent& event) {
@@ -176,6 +186,16 @@ class Run {
       if (obs::Registry::enabled()) {
         obs::Registry::instance().add(repair_probes().injected_faults);
       }
+    }
+    if (obs::Journal::enabled()) {
+      obs::Event journal_event =
+          obs::sim_event(obs::event::kRepairFault, ++event_seq_, sim_time_)
+              .arg("node", static_cast<std::uint64_t>(event.node));
+      if (event.kind == FaultKind::kDrive) {
+        journal_event.arg("drive", static_cast<std::uint64_t>(event.drive));
+      }
+      journal_event.arg("applied", static_cast<std::uint64_t>(changed ? 1 : 0));
+      obs::Journal::instance().record(journal_event);
     }
     return changed;
   }
@@ -220,8 +240,27 @@ class Run {
     return fired;
   }
 
+  /// Every batch boundary lands here, with the store consistent and
+  /// the simulated clock advanced. The barrier's journal event carries
+  /// the serial sequence that foreground work observes as its scope, so
+  /// degraded-read/failed-read events emitted by the callback sort
+  /// directly after the barrier that served them. The drain is safe:
+  /// decode workers never journal, so the serial ring holds everything.
   void barrier_callback() {
-    if (options_.on_barrier) options_.on_barrier(store_, sim_time_);
+    const std::uint64_t seq = ++event_seq_;
+    if (obs::Journal::enabled()) {
+      obs::Journal::instance().record(
+          obs::sim_event(obs::event::kRepairBarrier, seq, sim_time_)
+              .arg("batch", ++barrier_index_)
+              .arg("committed", committed_));
+    } else {
+      ++barrier_index_;
+    }
+    {
+      const obs::ScopeGuard journal_scope(seq);
+      if (options_.on_barrier) options_.on_barrier(store_, sim_time_);
+    }
+    if (obs::Journal::enabled()) obs::Journal::instance().drain();
   }
 
   /// How many more commits until the earliest unfired task-count event
@@ -493,6 +532,13 @@ class Run {
     if (obs::Registry::enabled()) {
       obs::Registry::instance().add(repair_probes().retries);
     }
+    if (obs::Journal::enabled()) {
+      obs::Journal::instance().record(
+          obs::sim_event(obs::event::kRepairRetry, ++event_seq_, sim_time_)
+              .arg("object", static_cast<std::uint64_t>(task.stripe.object))
+              .arg("stripe", static_cast<std::uint64_t>(task.stripe.stripe))
+              .arg("retries", static_cast<std::uint64_t>(task.retries)));
+    }
     RepairTask requeued;
     requeued.stripe = task.stripe;
     requeued.retries = task.retries;
@@ -512,6 +558,8 @@ class Run {
   std::map<StripeRef, std::vector<ShardRepair>> committed_shards_;
   std::map<StripeRef, int> cumulative_retries_;
   std::uint64_t committed_ = 0;
+  std::uint64_t event_seq_ = 0;      ///< serial journal sequence
+  std::uint64_t barrier_index_ = 0;  ///< 1-based batch number
   double sim_time_ = 0.0;
   RepairReport report_;
 };

@@ -1,0 +1,15 @@
+#include "report/footer.hpp"
+
+#include <cstdint>
+#include <ostream>
+
+namespace nsrel::report {
+
+void print_cache_footer(std::uint64_t hits, std::uint64_t misses,
+                        OutputFormat format, std::ostream& out) {
+  if (format == OutputFormat::kJson) return;
+  out << "cache: " << hits << " hits, " << misses << " misses ("
+      << (hits + misses) << " lookups)\n";
+}
+
+}  // namespace nsrel::report

@@ -1,0 +1,23 @@
+// The single writer for per-command stderr/stdout footers appended
+// after rendered results. Every front-end (CLI commands, scenario
+// runner) routes --cache-stats through here so the footer bytes are
+// identical in every format branch — previously each command duplicated
+// the call per format and the branches could drift.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "report/table.hpp"
+
+namespace nsrel::report {
+
+/// One-line solve-cache summary ("cache: N hits, M misses (L lookups)")
+/// appended after table and CSV output when the CLI's --cache-stats
+/// flag asks for it. No-op for kJson: the JSON document carries cache
+/// stats structurally (JsonOptions::cache_meta) instead of a trailing
+/// non-JSON line that would corrupt the document.
+void print_cache_footer(std::uint64_t hits, std::uint64_t misses,
+                        OutputFormat format, std::ostream& out);
+
+}  // namespace nsrel::report

@@ -1,0 +1,37 @@
+// Serialization loop for metrics documents (schema nsrel-metrics-v1):
+// the write half renders an obs::MetricsSnapshot as a stable JSON
+// document, the read half parses one back strictly (unknown keys,
+// wrong types, inconsistent percentile summaries, and malformed
+// buckets are all typed kMalformedDocument errors, layer
+// "report.metrics").
+//
+// The document is integer-exact: counters, histogram counts, sums,
+// extremes, and sparse log2 buckets all round-trip through uint64
+// tokens, so read(write(s)) == s field for field — which is what lets
+// `nsrel report` merge documents from different runs with
+// MetricsSnapshot's exact algebra. p50/p90/p99 are included as a
+// convenience summary and are *derived*: the reader recomputes them
+// from the buckets and rejects a document whose summary disagrees.
+#pragma once
+
+#include <iosfwd>
+#include <string_view>
+
+#include "obs/snapshot.hpp"
+#include "util/error.hpp"
+
+namespace nsrel::report {
+
+inline constexpr const char* kMetricsSchema = "nsrel-metrics-v1";
+
+/// Writes the snapshot as an nsrel-metrics-v1 document. Deterministic:
+/// rows in name order (the snapshot invariant), buckets sparse in
+/// ascending index order.
+void write_metrics_json(const obs::MetricsSnapshot& snapshot,
+                        std::ostream& out);
+
+/// Strict read of an nsrel-metrics-v1 document.
+[[nodiscard]] Expected<obs::MetricsSnapshot> read_metrics_json(
+    std::string_view text);
+
+}  // namespace nsrel::report

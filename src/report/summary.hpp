@@ -1,0 +1,51 @@
+// Cross-run summary behind `nsrel report`: one-or-more observability
+// documents — nsrel-metrics-v1 snapshots and/or nsrel-events-v1
+// journals — aggregated into a single matrix (rows = counters,
+// histogram summaries, event occurrence counts; columns = one per
+// input document plus an exact "total" built with MetricsSnapshot's
+// merge algebra; total percentiles are recomputed from the *merged*
+// buckets, never averaged).
+//
+// Document type is detected from the first line's "schema" member, so
+// callers can mix metrics and events files in one invocation; every
+// malformed input is a typed kMalformedDocument naming the file.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/snapshot.hpp"
+#include "report/events_doc.hpp"
+#include "report/table.hpp"
+#include "util/error.hpp"
+
+namespace nsrel::report {
+
+inline constexpr const char* kReportSchema = "nsrel-report-v1";
+
+/// One parsed input document, tagged with its origin label (the CLI
+/// passes the file path). Exactly one of metrics/events is set.
+struct RunDoc {
+  std::string label;
+  std::optional<obs::MetricsSnapshot> metrics;
+  std::optional<EventsDoc> events;
+};
+
+/// Parses `text` as whichever observability document it is (see file
+/// comment for the detection rule).
+[[nodiscard]] Expected<RunDoc> read_run_document(std::string label,
+                                                 std::string_view text);
+
+/// The summary matrix. Row order: counters (name order), histogram
+/// summary sub-rows (name.count/.sum/.p50/.p90/.p99), event counts
+/// ("events.<name>"), then "events.dropped" when any journal was given.
+/// Cells render "-" where an input has no such row.
+[[nodiscard]] Table report_table(const std::vector<RunDoc>& runs);
+
+/// The same aggregation as a stable nsrel-report-v1 JSON document.
+void write_report_json(const std::vector<RunDoc>& runs, std::ostream& out);
+
+}  // namespace nsrel::report

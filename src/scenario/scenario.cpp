@@ -2,6 +2,7 @@
 
 #include <cstddef>
 #include <cstdlib>
+#include <fstream>
 #include <ostream>
 #include <string>
 #include <utility>
@@ -10,7 +11,9 @@
 #include "engine/engine.hpp"
 #include "engine/grid.hpp"
 #include "engine/render.hpp"
+#include "obs/journal.hpp"
 #include "obs/trace.hpp"
+#include "report/events_doc.hpp"
 #include "report/table.hpp"
 #include "util/assert.hpp"
 #include "util/format.hpp"
@@ -120,6 +123,7 @@ Scenario parse_scenario(const std::string& text) {
   scenario.on_error =
       engine::parse_on_error(doc.get("output", "on_error", "skip"));
   scenario.trace = doc.get("output", "trace", "");
+  scenario.events = doc.get("output", "events", "");
 
   // Reject unexpected sections (likely typos). Sweep sections beyond the
   // consecutive run parsed above ([sweep.4] with no [sweep.3]) land here
@@ -151,6 +155,7 @@ Scenario parse_scenario(const std::string& text) {
 
 RunOutcome run_scenario(const Scenario& scenario, std::ostream& out) {
   if (!scenario.trace.empty()) obs::TraceRecorder::instance().begin();
+  if (!scenario.events.empty()) obs::Journal::instance().begin();
   engine::Grid grid;
   if (!scenario.sweeps.empty()) {
     std::vector<engine::AxisSpec> axes;
@@ -197,6 +202,20 @@ RunOutcome run_scenario(const Scenario& scenario, std::ostream& out) {
       !obs::TraceRecorder::instance().write_file(scenario.trace)) {
     throw ContractViolation("cannot write trace file '" + scenario.trace +
                             "'");
+  }
+  if (!scenario.events.empty()) {
+    // evaluate() drained at its join; this catches this thread's tail.
+    obs::Journal::instance().drain();
+    obs::Journal::instance().disable();
+    std::ofstream file(scenario.events);
+    if (file) {
+      report::write_events_ndjson(obs::Journal::instance().events(),
+                                  obs::Journal::instance().dropped(), file);
+    }
+    if (!file) {
+      throw ContractViolation("cannot write events file '" + scenario.events +
+                              "'");
+    }
   }
 
   const std::size_t total =

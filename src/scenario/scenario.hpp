@@ -36,6 +36,8 @@
 //                        ; first failure (throws ErrorException)
 //   trace = run.json     ; optional — write a Chrome/Perfetto trace of
 //                        ; the evaluation (table/CSV/JSON unaffected)
+//   events = run.ndjson  ; optional — write the flight-recorder journal
+//                        ; (nsrel-events-v1; render with `nsrel events`)
 //
 // Configuration tokens are `<scheme>-ft<K>` with scheme none|raid5|raid6.
 // Evaluation runs through engine::evaluate — the same parallel,
@@ -79,6 +81,12 @@ struct Scenario {
   /// JSON file there. Empty = no tracing. The CLI's --trace flag takes
   /// precedence over this key.
   std::string trace;
+  /// Optional flight-recorder path ([output] events = FILE):
+  /// run_scenario arms the journal and writes the drained events as an
+  /// nsrel-events-v1 NDJSON file there (render with `nsrel events`).
+  /// Empty = journal untouched. The CLI's --events flag takes
+  /// precedence over this key.
+  std::string events;
 };
 
 /// Parses a configuration token like "raid5-ft2".

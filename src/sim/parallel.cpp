@@ -8,6 +8,8 @@
 #include <optional>
 #include <vector>
 
+#include "obs/event_names.hpp"
+#include "obs/journal.hpp"
 #include "obs/probe_names.hpp"
 #include "obs/progress.hpp"
 #include "obs/trace.hpp"
@@ -20,9 +22,14 @@ namespace {
 
 /// Samples one whole chunk into a fresh accumulator. Depends only on
 /// (seed, chunk index, chunk trial count) — never on the calling thread.
+/// `scope_base` is the journal scope of the run_trials *caller*, passed
+/// explicitly because thread-local scope does not cross into pool
+/// workers; chunk c journals at scope_base + c + 1, a pure function of
+/// the chunk layout.
 MomentAccumulator sample_chunk(const TrialSampler& sample_one,
                                std::uint64_t seed, std::uint64_t chunk,
-                               int chunk_trials) {
+                               int chunk_trials, std::uint64_t scope_base) {
+  const obs::ScopeGuard journal_scope(scope_base + chunk + 1);
   obs::Span span(obs::probe::kSpanChunk, obs::probe::kSpanCategorySim);
   if (span.armed()) {
     span.arg("stream", chunk);
@@ -31,6 +38,12 @@ MomentAccumulator sample_chunk(const TrialSampler& sample_one,
   Xoshiro256 rng(stream_seed(seed, chunk));
   MomentAccumulator acc;
   for (int i = 0; i < chunk_trials; ++i) acc.add(sample_one(rng));
+  if (obs::Journal::enabled()) {
+    obs::Journal::instance().record(
+        obs::seq_event(obs::event::kSimChunk)
+            .arg("stream", chunk)
+            .arg("trials", static_cast<std::uint64_t>(chunk_trials)));
+  }
   return acc;
 }
 
@@ -41,10 +54,12 @@ MomentAccumulator sample_chunk(const TrialSampler& sample_one,
 void run_wave(const TrialSampler& sample_one, std::uint64_t seed,
               std::size_t first, std::size_t count, int chunk_trials,
               std::vector<MomentAccumulator>& accumulators,
-              ThreadPool* pool, obs::ProgressMeter* progress) {
+              ThreadPool* pool, obs::ProgressMeter* progress,
+              std::uint64_t scope_base) {
   if (pool == nullptr || count == 1) {
     for (std::size_t c = first; c < first + count; ++c) {
-      accumulators[c] = sample_chunk(sample_one, seed, c, chunk_trials);
+      accumulators[c] =
+          sample_chunk(sample_one, seed, c, chunk_trials, scope_base);
       if (progress != nullptr) progress->step();
     }
     return;
@@ -55,7 +70,8 @@ void run_wave(const TrialSampler& sample_one, std::uint64_t seed,
     for (;;) {
       const std::size_t c = next.fetch_add(1, std::memory_order_relaxed);
       if (c >= limit) return;
-      accumulators[c] = sample_chunk(sample_one, seed, c, chunk_trials);
+      accumulators[c] =
+          sample_chunk(sample_one, seed, c, chunk_trials, scope_base);
       if (progress != nullptr) progress->step();
     }
   };
@@ -96,49 +112,60 @@ MttdlEstimate run_trials(const TrialSampler& sample_one, int trials,
                      static_cast<std::size_t>(chunk)
                : wave_chunks;
 
-  std::optional<ThreadPool> pool_storage;
-  if (jobs > 1) pool_storage.emplace(jobs);
-  ThreadPool* pool = pool_storage ? &*pool_storage : nullptr;
+  // Captured on the calling thread and passed explicitly into every
+  // chunk: pool workers have no thread-local scope of their own.
+  const std::uint64_t scope_base = obs::current_scope();
 
   std::vector<MomentAccumulator> accumulators;
-  std::size_t chunks_done = 0;
   MttdlEstimate estimate;
-  for (;;) {
-    std::size_t count = std::min(wave_chunks, max_chunks - chunks_done);
-    NSREL_ASSERT(count > 0);
-    accumulators.resize(chunks_done + count);
-    if (!adaptive) {
-      // Ragged tail: all chunks full except possibly the last.
-      for (std::size_t c = chunks_done; c < chunks_done + count; ++c) {
-        const std::size_t begin = c * static_cast<std::size_t>(chunk);
-        const int size = static_cast<int>(
-            std::min<std::size_t>(static_cast<std::size_t>(chunk),
-                                  static_cast<std::size_t>(trials) - begin));
-        if (size == chunk) continue;
-        // Run the ragged chunk inline (it is unique and tiny).
-        accumulators[c] = sample_chunk(sample_one, seed, c, size);
-        if (options.progress != nullptr) options.progress->step();
-      }
-      const std::size_t full =
-          static_cast<std::size_t>(trials) % static_cast<std::size_t>(chunk) ==
-                  0
-              ? count
-              : count - 1;
-      if (full > 0) {
-        run_wave(sample_one, seed, chunks_done, full, chunk, accumulators,
-                 pool, options.progress);
-      }
-    } else {
-      run_wave(sample_one, seed, chunks_done, count, chunk, accumulators,
-               pool, options.progress);
-    }
-    chunks_done += count;
+  {
+    std::optional<ThreadPool> pool_storage;
+    if (jobs > 1) pool_storage.emplace(jobs);
+    ThreadPool* pool = pool_storage ? &*pool_storage : nullptr;
 
-    estimate = make_estimate(merge_pairwise(accumulators));
-    if (!adaptive) return estimate;
-    if (estimate.relative_half_width() <= options.ci_target) return estimate;
-    if (chunks_done >= max_chunks) return estimate;
+    std::size_t chunks_done = 0;
+    for (;;) {
+      std::size_t count = std::min(wave_chunks, max_chunks - chunks_done);
+      NSREL_ASSERT(count > 0);
+      accumulators.resize(chunks_done + count);
+      if (!adaptive) {
+        // Ragged tail: all chunks full except possibly the last.
+        for (std::size_t c = chunks_done; c < chunks_done + count; ++c) {
+          const std::size_t begin = c * static_cast<std::size_t>(chunk);
+          const int size = static_cast<int>(
+              std::min<std::size_t>(static_cast<std::size_t>(chunk),
+                                    static_cast<std::size_t>(trials) - begin));
+          if (size == chunk) continue;
+          // Run the ragged chunk inline (it is unique and tiny).
+          accumulators[c] = sample_chunk(sample_one, seed, c, size, scope_base);
+          if (options.progress != nullptr) options.progress->step();
+        }
+        const std::size_t full =
+            static_cast<std::size_t>(trials) %
+                        static_cast<std::size_t>(chunk) ==
+                    0
+                ? count
+                : count - 1;
+        if (full > 0) {
+          run_wave(sample_one, seed, chunks_done, full, chunk, accumulators,
+                   pool, options.progress, scope_base);
+        }
+      } else {
+        run_wave(sample_one, seed, chunks_done, count, chunk, accumulators,
+                 pool, options.progress, scope_base);
+      }
+      chunks_done += count;
+
+      estimate = make_estimate(merge_pairwise(accumulators));
+      if (!adaptive) break;
+      if (estimate.relative_half_width() <= options.ci_target) break;
+      if (chunks_done >= max_chunks) break;
+    }
   }
+  // Join point: the pool (if any) is destroyed, its workers' journal
+  // rings retired; flush this thread's chunks too.
+  if (obs::Journal::enabled()) obs::Journal::instance().drain();
+  return estimate;
 }
 
 }  // namespace nsrel::sim

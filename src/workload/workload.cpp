@@ -6,6 +6,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/event_names.hpp"
+#include "obs/journal.hpp"
 #include "util/assert.hpp"
 #include "util/error.hpp"
 
@@ -66,7 +68,13 @@ WorkloadResult run_read_workload(brick::ObjectStore& store,
     const std::size_t offset = chunk * rng.below(aligned_slots);
     const Expected<std::vector<std::uint8_t>> read =
         store.try_read_range(objects[pick], offset, params.read_bytes);
-    if (!read.has_value()) ++result.failed_reads;
+    if (!read.has_value()) {
+      ++result.failed_reads;
+      if (obs::Journal::enabled()) {
+        obs::Journal::instance().record(
+            obs::seq_event(obs::event::kWorkloadReadFailed));
+      }
+    }
     const std::uint64_t decodes_now = store.io_stats().decode_operations;
     if (decodes_now > decodes_before) ++result.degraded_reads;
     decodes_before = decodes_now;

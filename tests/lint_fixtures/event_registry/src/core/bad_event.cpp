@@ -1,0 +1,5 @@
+// Fixture: journal event name as a string literal instead of a
+// registry constant.
+struct Event {};
+Event seq_event(const char*);
+Event journal() { return seq_event("cell.claim"); }

@@ -1,0 +1,8 @@
+// Fixture: one duplicate event name and one constant renamed against
+// the stability table.
+#pragma once
+namespace nsrel::obs::event {
+inline constexpr const char* kSolveStart = "solve.start";
+inline constexpr const char* kSolveBegin = "solve.start";
+inline constexpr const char* kCacheProbe = "cache.hit";
+}  // namespace nsrel::obs::event

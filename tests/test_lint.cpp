@@ -92,6 +92,20 @@ TEST(NsrelLint, FiresOnProbeNameLiteralAndDuplicateRegistryEntry) {
       << result.output;
 }
 
+TEST(NsrelLint, FiresOnEventNameLiteralDuplicateAndRename) {
+  SKIP_WITHOUT_PYTHON();
+  const RunResult result = lint_fixture("event_registry");
+  EXPECT_EQ(result.status, 1) << result.output;
+  EXPECT_NE(result.output.find("journal event name is a string literal"),
+            std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("duplicate event name"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("never be reordered or renamed"),
+            std::string::npos)
+      << result.output;
+}
+
 TEST(NsrelLint, FiresOnReorderedErrorCodes) {
   SKIP_WITHOUT_PYTHON();
   const RunResult result = lint_fixture("error_stability");

@@ -291,6 +291,10 @@ TEST(ObsRegistry, MetricsBlockRendersCountersAndHistograms) {
   EXPECT_NE(text.find("== nsrel metrics =="), std::string::npos);
   EXPECT_NE(text.find("test.block = 3"), std::string::npos);
   EXPECT_NE(text.find("test.block_ns"), std::string::npos);
+  // The histogram line carries bucket-derived percentile bounds.
+  EXPECT_NE(text.find("p50<"), std::string::npos);
+  EXPECT_NE(text.find("p90<"), std::string::npos);
+  EXPECT_NE(text.find("p99<"), std::string::npos);
   EXPECT_NE(text.find("== end metrics =="), std::string::npos);
 }
 
