@@ -355,21 +355,21 @@ RebuildReport ObjectStore::rebuild() {
   return report;
 }
 
-Expected<ObjectId> ObjectStore::try_write(
+[[nodiscard]] Expected<ObjectId> ObjectStore::try_write(
     const std::vector<std::uint8_t>& bytes) {
   return as_expected([&] { return write(bytes); });
 }
 
-Expected<std::vector<std::uint8_t>> ObjectStore::try_read(ObjectId id) const {
+[[nodiscard]] Expected<std::vector<std::uint8_t>> ObjectStore::try_read(ObjectId id) const {
   return as_expected([&] { return read(id); });
 }
 
-Expected<std::vector<std::uint8_t>> ObjectStore::try_read_range(
+[[nodiscard]] Expected<std::vector<std::uint8_t>> ObjectStore::try_read_range(
     ObjectId id, std::size_t offset, std::size_t length) const {
   return as_expected([&] { return read_range(id, offset, length); });
 }
 
-Expected<RebuildReport> ObjectStore::try_rebuild() {
+[[nodiscard]] Expected<RebuildReport> ObjectStore::try_rebuild() {
   return as_expected([&] { return rebuild(); });
 }
 
@@ -404,7 +404,7 @@ StripeStatus ObjectStore::stripe_status(const StripeRef& ref) const {
   return status;
 }
 
-Expected<std::vector<Chunk>> ObjectStore::try_reconstruct_stripe(
+[[nodiscard]] Expected<std::vector<Chunk>> ObjectStore::try_reconstruct_stripe(
     const StripeRef& ref) const {
   const auto it = objects_.find(ref.object);
   NSREL_EXPECTS(it != objects_.end());
@@ -423,7 +423,7 @@ Expected<std::vector<Chunk>> ObjectStore::try_reconstruct_stripe(
   return code_.reconstruct(shards, present);
 }
 
-Expected<ShardLocation> ObjectStore::commit_repaired_shard(
+[[nodiscard]] Expected<ShardLocation> ObjectStore::commit_repaired_shard(
     const StripeRef& ref, int shard_index, int target_node, Chunk chunk) {
   const auto it = objects_.find(ref.object);
   NSREL_EXPECTS(it != objects_.end());

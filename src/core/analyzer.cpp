@@ -69,7 +69,7 @@ std::string ir_solve_key(const models::InternalRaidParams& p, Method method,
 /// values, so a hit on a known-bad key replays the original error
 /// without re-running the failing solve.
 template <typename Solve>
-Expected<double> cached_solve(SolveCache* cache, const char* backend,
+[[nodiscard]] Expected<double> cached_solve(SolveCache* cache, const char* backend,
                               const std::string& key, Solve solve) {
   obs::Span span(obs::probe::kSpanSolve, obs::probe::kSpanCategoryCore);
   if (obs::Journal::enabled()) {
@@ -248,7 +248,7 @@ AnalysisResult Analyzer::analyze(const Configuration& configuration,
   return try_analyze(configuration, method, cache, policy).value_or_throw();
 }
 
-Expected<AnalysisResult> Analyzer::try_analyze(
+[[nodiscard]] Expected<AnalysisResult> Analyzer::try_analyze(
     const Configuration& configuration, Method method, SolveCache* cache,
     ctmc::SolverPolicy policy) const {
   if (configuration.node_fault_tolerance < 1 ||

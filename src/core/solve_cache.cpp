@@ -1,7 +1,6 @@
 #include "core/solve_cache.hpp"
 
 #include <cstddef>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
@@ -10,6 +9,7 @@
 #include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/probe_names.hpp"
+#include "util/sync.hpp"
 
 namespace nsrel::core {
 
@@ -32,10 +32,10 @@ CacheProbes cache_probes() {
 
 }  // namespace
 
-std::optional<Expected<double>> SolveCache::lookup(const std::string& key) {
+[[nodiscard]] std::optional<Expected<double>> SolveCache::lookup(const std::string& key) {
   std::optional<Expected<double>> found;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     const auto it = values_.find(key);
     if (it != values_.end()) found = it->second;
   }
@@ -67,7 +67,7 @@ void SolveCache::store(const std::string& key, Expected<double> outcome) {
   const obs::ScopedTimer timer(probes.insert_ns);
   bool inserted = false;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     inserted = values_.emplace(key, std::move(outcome)).second;
   }
   if (inserted && obs::Registry::enabled()) {
@@ -83,7 +83,7 @@ SolveCache::Stats SolveCache::stats() const {
 }
 
 std::size_t SolveCache::size() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return values_.size();
 }
 

@@ -53,7 +53,7 @@ linalg::sparse::CsrMatrix sparse_absorption_matrix(const Chain& chain) {
 /// solve/solve_transposed): occupancy, MTTDL, phase-type stddev,
 /// absorption probabilities, and the final health check.
 template <typename Factorization>
-Expected<AbsorbingAnalysis> finish_analysis(const Chain& chain,
+[[nodiscard]] Expected<AbsorbingAnalysis> finish_analysis(const Chain& chain,
                                             const Factorization& lu,
                                             const std::vector<double>& initial,
                                             const NumericalGuards& guards) {
@@ -134,7 +134,7 @@ AbsorbingAnalysis AbsorbingSolver::analyze_distribution(
       .value_or_throw();
 }
 
-Expected<AbsorbingAnalysis> AbsorbingSolver::try_analyze(
+[[nodiscard]] Expected<AbsorbingAnalysis> AbsorbingSolver::try_analyze(
     const Chain& chain, StateId initial, const NumericalGuards& guards,
     SolverPolicy policy) {
   NSREL_EXPECTS(initial < chain.state_count());
@@ -147,7 +147,7 @@ Expected<AbsorbingAnalysis> AbsorbingSolver::try_analyze(
   return try_analyze_distribution(chain, pi0, guards, policy);
 }
 
-Expected<AbsorbingAnalysis> AbsorbingSolver::try_analyze_distribution(
+[[nodiscard]] Expected<AbsorbingAnalysis> AbsorbingSolver::try_analyze_distribution(
     const Chain& chain, const std::vector<double>& initial,
     const NumericalGuards& guards, SolverPolicy policy) {
   const std::string defect = chain.validate();

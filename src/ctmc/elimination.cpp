@@ -22,7 +22,7 @@ namespace {
 ///   m_i = c[i] + sum_j b[i][j] * m_j,   sum_j b[i][j] + ab[i] = 1.
 /// Eliminates every state except `initial` (order: last to first, skipping
 /// `initial`), then m_initial = c[initial] / ab[initial].
-Expected<double> eliminate(std::vector<std::vector<double>> b,
+[[nodiscard]] Expected<double> eliminate(std::vector<std::vector<double>> b,
                            std::vector<double> ab, std::vector<double> c,
                            std::size_t initial) {
   const std::size_t n = b.size();
@@ -81,7 +81,7 @@ Expected<double> eliminate(std::vector<std::vector<double>> b,
 /// last-to-first order eliminates leaves before parents, so no fill-in
 /// occurs and the whole solve is O(n); general chains fill into the
 /// ordered maps.
-Expected<double> eliminate_sparse(
+[[nodiscard]] Expected<double> eliminate_sparse(
     std::vector<std::map<std::uint32_t, double>> b,
     std::vector<std::set<std::uint32_t>> col_rows, std::vector<double> ab,
     std::vector<double> c, std::size_t initial) {
@@ -142,7 +142,7 @@ double EliminationSolver::mean_absorption_time_hours(const Chain& chain,
       .value_or_throw();
 }
 
-Expected<double> EliminationSolver::try_mean_absorption_time_hours(
+[[nodiscard]] Expected<double> EliminationSolver::try_mean_absorption_time_hours(
     const Chain& chain, StateId initial, SolverPolicy policy) {
   NSREL_EXPECTS(chain.validate().empty());
   NSREL_EXPECTS(initial < chain.state_count());
@@ -283,7 +283,7 @@ double EliminationSolver::mean_absorption_time_hours(
       .value_or_throw();
 }
 
-Expected<double> EliminationSolver::try_mean_absorption_time_hours(
+[[nodiscard]] Expected<double> EliminationSolver::try_mean_absorption_time_hours(
     const linalg::sparse::CsrMatrix& r,
     const std::vector<double>& absorption_rates, std::size_t initial) {
   NSREL_EXPECTS(r.square());

@@ -15,7 +15,7 @@ double SensitivitySolver::mtta_derivative(const Chain& chain, StateId initial,
   return try_mtta_derivative(chain, initial, selector).value_or_throw();
 }
 
-Expected<double> SensitivitySolver::try_mtta_derivative(
+[[nodiscard]] Expected<double> SensitivitySolver::try_mtta_derivative(
     const Chain& chain, StateId initial, const TransitionSelector& selector,
     const NumericalGuards& guards) {
   NSREL_EXPECTS(chain.validate().empty());
@@ -70,7 +70,7 @@ double SensitivitySolver::mtta_elasticity(const Chain& chain, StateId initial,
   return try_mtta_elasticity(chain, initial, selector).value_or_throw();
 }
 
-Expected<double> SensitivitySolver::try_mtta_elasticity(
+[[nodiscard]] Expected<double> SensitivitySolver::try_mtta_elasticity(
     const Chain& chain, StateId initial, const TransitionSelector& selector,
     const NumericalGuards& guards) {
   const auto derivative =

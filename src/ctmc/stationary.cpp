@@ -48,7 +48,7 @@ std::vector<double> StationarySolver::distribution(const Chain& chain,
   return try_distribution(chain, policy).value_or_throw();
 }
 
-Expected<std::vector<double>> StationarySolver::try_distribution(
+[[nodiscard]] Expected<std::vector<double>> StationarySolver::try_distribution(
     const Chain& chain, SolverPolicy policy) {
   NSREL_EXPECTS(chain.absorbing_count() == 0);
   const std::size_t n = chain.state_count();

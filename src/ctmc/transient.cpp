@@ -33,7 +33,7 @@ std::vector<double> TransientSolver::distribution_at(double t_hours,
   return try_distribution_at(t_hours, initial, tol).value_or_throw();
 }
 
-Expected<std::vector<double>> TransientSolver::try_distribution_at(
+[[nodiscard]] Expected<std::vector<double>> TransientSolver::try_distribution_at(
     double t_hours, StateId initial, double tol) const {
   NSREL_EXPECTS(t_hours >= 0.0);
   NSREL_EXPECTS(initial < chain_.state_count());
@@ -85,7 +85,7 @@ Expected<std::vector<double>> TransientSolver::try_distribution_at(
   return result;
 }
 
-Expected<double> TransientSolver::try_survival(double t_hours, StateId initial,
+[[nodiscard]] Expected<double> TransientSolver::try_survival(double t_hours, StateId initial,
                                                double tol) const {
   const auto dist = try_distribution_at(t_hours, initial, tol);
   if (!dist.has_value()) return dist.error();

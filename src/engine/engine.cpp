@@ -5,7 +5,6 @@
 #include <cstddef>
 #include <cstdint>
 #include <future>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -20,14 +19,16 @@
 #include "obs/progress.hpp"
 #include "obs/trace.hpp"
 #include "util/assert.hpp"
+#include "util/sync.hpp"
 #include "util/thread_pool.hpp"
 
 namespace nsrel::engine {
 
 namespace {
 
-std::mutex fault_mutex;
-std::vector<testing::CellFault> registered_faults;
+util::Mutex fault_mutex;
+std::vector<testing::CellFault> registered_faults
+    NSREL_GUARDED_BY(fault_mutex);
 
 /// Raises the registered fault the way a real failure of that class
 /// would surface from the model stack.
@@ -49,17 +50,17 @@ namespace testing {
 
 void inject_cell_fault(std::size_t point, std::size_t configuration,
                        ErrorCode code) {
-  const std::lock_guard<std::mutex> lock(fault_mutex);
+  const util::MutexLock lock(fault_mutex);
   registered_faults.push_back({point, configuration, code});
 }
 
 void clear_cell_faults() {
-  const std::lock_guard<std::mutex> lock(fault_mutex);
+  const util::MutexLock lock(fault_mutex);
   registered_faults.clear();
 }
 
 std::vector<CellFault> snapshot_cell_faults() {
-  const std::lock_guard<std::mutex> lock(fault_mutex);
+  const util::MutexLock lock(fault_mutex);
   return registered_faults;
 }
 

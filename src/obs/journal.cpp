@@ -5,8 +5,9 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
+
+#include "util/sync.hpp"
 
 namespace nsrel::obs {
 
@@ -116,7 +117,7 @@ Journal& Journal::instance() {
 }
 
 void Journal::begin() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   for (const auto& ring : owned_) ring->reset();
   committed_.clear();
   dropped_ = 0;
@@ -126,7 +127,7 @@ void Journal::begin() {
 void Journal::disable() { enabled_.store(false, std::memory_order_relaxed); }
 
 void Journal::clear() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   for (const auto& ring : owned_) ring->reset();
   committed_.clear();
   dropped_ = 0;
@@ -134,7 +135,7 @@ void Journal::clear() {
 
 Journal::Ring& Journal::local_ring() {
   if (tls_ring.ring == nullptr) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     if (!free_.empty()) {
       tls_ring.ring = free_.back();
       free_.pop_back();
@@ -148,7 +149,7 @@ Journal::Ring& Journal::local_ring() {
 }
 
 void Journal::retire(Ring* ring) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   flush_locked(*ring);
   active_.erase(std::find(active_.begin(), active_.end(), ring));
   free_.push_back(ring);
@@ -174,12 +175,12 @@ void Journal::record(const Event& event) {
 
 void Journal::drain() {
   if (tls_ring.ring == nullptr) return;
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   flush_locked(*tls_ring.ring);
 }
 
 std::vector<Event> Journal::events() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   std::vector<Event> sorted = committed_;
   std::stable_sort(sorted.begin(), sorted.end(),
                    [](const Event& a, const Event& b) { return a.seq < b.seq; });
@@ -187,7 +188,7 @@ std::vector<Event> Journal::events() const {
 }
 
 std::uint64_t Journal::dropped() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return dropped_;
 }
 

@@ -36,8 +36,9 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
+
+#include "util/sync.hpp"
 
 namespace nsrel::obs {
 
@@ -168,15 +169,16 @@ class Journal {
 
   Ring& local_ring();
   void retire(Ring* ring);
-  void flush_locked(Ring& ring);
+  void flush_locked(Ring& ring) NSREL_REQUIRES(mutex_);
 
+  // Relaxed probe gate (see tools/lint/atomics.tsv).
   std::atomic<bool> enabled_{false};
-  mutable std::mutex mutex_;
-  std::vector<std::unique_ptr<Ring>> owned_;
-  std::vector<Ring*> active_;
-  std::vector<Ring*> free_;
-  std::vector<Event> committed_;
-  std::uint64_t dropped_ = 0;
+  mutable util::Mutex mutex_;
+  std::vector<std::unique_ptr<Ring>> owned_ NSREL_GUARDED_BY(mutex_);
+  std::vector<Ring*> active_ NSREL_GUARDED_BY(mutex_);
+  std::vector<Ring*> free_ NSREL_GUARDED_BY(mutex_);
+  std::vector<Event> committed_ NSREL_GUARDED_BY(mutex_);
+  std::uint64_t dropped_ NSREL_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace nsrel::obs

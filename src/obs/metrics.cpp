@@ -9,11 +9,12 @@
 #include <cstdint>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <string_view>
 #include <utility>
 #include <vector>
+
+#include "util/sync.hpp"
 
 namespace nsrel::obs {
 
@@ -114,7 +115,7 @@ void Registry::set_enabled(bool on) {
 }
 
 Counter Registry::counter(std::string_view name) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   for (std::size_t i = 0; i < counter_names_.size(); ++i) {
     if (counter_names_[i] == name) return Counter{static_cast<std::uint32_t>(i)};
   }
@@ -124,7 +125,7 @@ Counter Registry::counter(std::string_view name) {
 }
 
 Histogram Registry::histogram(std::string_view name) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   for (std::size_t i = 0; i < histogram_names_.size(); ++i) {
     if (histogram_names_[i] == name) {
       return Histogram{static_cast<std::uint32_t>(i)};
@@ -137,7 +138,7 @@ Histogram Registry::histogram(std::string_view name) {
 
 Registry::Shard& Registry::local_shard() {
   if (tls_shard.shard == nullptr) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     if (!free_.empty()) {
       tls_shard.shard = free_.back();
       free_.pop_back();
@@ -151,7 +152,7 @@ Registry::Shard& Registry::local_shard() {
 }
 
 void Registry::retire(Shard* shard) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   for (std::size_t i = 0; i < kMaxCounters; ++i) {
     retired_->counters[i] += shard->counters[i].load(std::memory_order_relaxed);
   }
@@ -196,7 +197,7 @@ void Registry::record(Histogram histogram, std::uint64_t value) {
 }
 
 Registry::Snapshot Registry::snapshot() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   Snapshot snap;
 
   std::vector<std::uint64_t> counters(counter_names_.size(), 0);
@@ -247,7 +248,7 @@ Registry::Snapshot Registry::snapshot() const {
 }
 
 void Registry::reset() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   retired_->clear();
   for (const auto& shard : owned_) shard->clear();
 }

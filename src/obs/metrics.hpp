@@ -23,10 +23,11 @@
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/sync.hpp"
 
 namespace nsrel::obs {
 
@@ -122,14 +123,15 @@ class Registry {
 
   friend struct ShardHolder;
 
+  // Relaxed probe gate (see tools/lint/atomics.tsv).
   std::atomic<bool> enabled_{false};
-  mutable std::mutex mutex_;
-  std::vector<std::string> counter_names_;
-  std::vector<std::string> histogram_names_;
-  std::vector<std::unique_ptr<Shard>> owned_;
-  std::vector<Shard*> active_;
-  std::vector<Shard*> free_;
-  std::unique_ptr<Retired> retired_;
+  mutable util::Mutex mutex_;
+  std::vector<std::string> counter_names_ NSREL_GUARDED_BY(mutex_);
+  std::vector<std::string> histogram_names_ NSREL_GUARDED_BY(mutex_);
+  std::vector<std::unique_ptr<Shard>> owned_ NSREL_GUARDED_BY(mutex_);
+  std::vector<Shard*> active_ NSREL_GUARDED_BY(mutex_);
+  std::vector<Shard*> free_ NSREL_GUARDED_BY(mutex_);
+  std::unique_ptr<Retired> retired_ NSREL_GUARDED_BY(mutex_);
 };
 
 /// RAII histogram timer: reads the clock only when the registry is

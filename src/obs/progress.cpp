@@ -2,12 +2,12 @@
 
 #include <cstdint>
 #include <cstdio>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <utility>
 
 #include "obs/metrics.hpp"
+#include "util/sync.hpp"
 
 namespace nsrel::obs {
 
@@ -30,7 +30,7 @@ void ProgressMeter::step(std::uint64_t n) {
   // Throttle: skip unless the gap elapsed, and never block a worker on
   // another thread's emission.
   if (!emit_mutex_.try_lock()) return;
-  const std::lock_guard<std::mutex> lock(emit_mutex_, std::adopt_lock);
+  const util::MutexLock lock(emit_mutex_, std::adopt_lock);
   if (finished_) return;
   const std::uint64_t now = now_ns();
   if (last_emit_ns_ != 0 && now - last_emit_ns_ < kMinEmitGapNs) return;
@@ -39,7 +39,7 @@ void ProgressMeter::step(std::uint64_t n) {
 }
 
 void ProgressMeter::finish() {
-  const std::lock_guard<std::mutex> lock(emit_mutex_);
+  const util::MutexLock lock(emit_mutex_);
   if (finished_) return;
   finished_ = true;
   emit(done_.load(std::memory_order_relaxed), /*final_line=*/true);

@@ -11,8 +11,9 @@
 #include <atomic>
 #include <cstdint>
 #include <iosfwd>
-#include <mutex>
 #include <string>
+
+#include "util/sync.hpp"
 
 namespace nsrel::obs {
 
@@ -34,16 +35,17 @@ class ProgressMeter {
   ProgressMeter& operator=(const ProgressMeter&) = delete;
 
  private:
-  void emit(std::uint64_t done, bool final_line);
+  void emit(std::uint64_t done, bool final_line) NSREL_REQUIRES(emit_mutex_);
 
   std::ostream& out_;
   std::string label_;
   std::uint64_t total_;
   std::uint64_t start_ns_;
+  // Relaxed probe (see tools/lint/atomics.tsv).
   std::atomic<std::uint64_t> done_{0};
-  std::mutex emit_mutex_;
-  std::uint64_t last_emit_ns_ = 0;  ///< guarded by emit_mutex_
-  bool finished_ = false;           ///< guarded by emit_mutex_
+  util::Mutex emit_mutex_;
+  std::uint64_t last_emit_ns_ NSREL_GUARDED_BY(emit_mutex_) = 0;
+  bool finished_ NSREL_GUARDED_BY(emit_mutex_) = false;
 };
 
 }  // namespace nsrel::obs

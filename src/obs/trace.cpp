@@ -7,7 +7,6 @@
 #include <fstream>
 #include <iterator>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <string_view>
@@ -16,6 +15,7 @@
 
 #include "obs/build_info.hpp"
 #include "obs/metrics.hpp"
+#include "util/sync.hpp"
 
 namespace nsrel::obs {
 
@@ -107,7 +107,7 @@ void TraceRecorder::disable() {
 }
 
 void TraceRecorder::clear() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   retired_events_.clear();
   for (Buffer* buffer : active_) buffer->events.clear();
   for (Buffer* buffer : free_) buffer->events.clear();
@@ -115,7 +115,7 @@ void TraceRecorder::clear() {
 
 TraceRecorder::Buffer& TraceRecorder::local_buffer() {
   if (tls_buffer.buffer == nullptr) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     if (!free_.empty()) {
       tls_buffer.buffer = free_.back();
       free_.pop_back();
@@ -130,7 +130,7 @@ TraceRecorder::Buffer& TraceRecorder::local_buffer() {
 }
 
 void TraceRecorder::retire(Buffer* buffer) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   retired_events_.insert(retired_events_.end(),
                          std::make_move_iterator(buffer->events.begin()),
                          std::make_move_iterator(buffer->events.end()));
@@ -147,7 +147,7 @@ void TraceRecorder::record(TraceEvent event) {
 }
 
 void TraceRecorder::write(std::ostream& out) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   const std::uint64_t epoch = epoch_ns_.load(std::memory_order_relaxed);
   out << "{\n  \"traceEvents\": [";
   bool first = true;

@@ -23,9 +23,10 @@
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/sync.hpp"
 
 namespace nsrel::obs {
 
@@ -85,14 +86,15 @@ class TraceRecorder {
   Buffer& local_buffer();
   void retire(Buffer* buffer);
 
+  // Relaxed probes (see tools/lint/atomics.tsv).
   std::atomic<bool> enabled_{false};
   std::atomic<std::uint64_t> epoch_ns_{0};
-  mutable std::mutex mutex_;
-  std::vector<std::unique_ptr<Buffer>> owned_;
-  std::vector<Buffer*> active_;
-  std::vector<Buffer*> free_;
-  std::vector<TraceEvent> retired_events_;
-  std::uint32_t next_tid_ = 0;
+  mutable util::Mutex mutex_;
+  std::vector<std::unique_ptr<Buffer>> owned_ NSREL_GUARDED_BY(mutex_);
+  std::vector<Buffer*> active_ NSREL_GUARDED_BY(mutex_);
+  std::vector<Buffer*> free_ NSREL_GUARDED_BY(mutex_);
+  std::vector<TraceEvent> retired_events_ NSREL_GUARDED_BY(mutex_);
+  std::uint32_t next_tid_ NSREL_GUARDED_BY(mutex_) = 0;
 };
 
 /// RAII trace span. Costs one relaxed load when tracing is off. arg()

@@ -63,7 +63,7 @@ bool parse_double(const std::string& s, double& out) {
 
 }  // namespace
 
-Expected<FaultSchedule> parse_fault_schedule(const std::string& text) {
+[[nodiscard]] Expected<FaultSchedule> parse_fault_schedule(const std::string& text) {
   FaultSchedule schedule;
   for (const std::string& raw : split(text, ';')) {
     const std::string entry = trim(raw);

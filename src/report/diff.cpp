@@ -145,7 +145,7 @@ void diff_cell(const CellDoc& a, const CellDoc& b,
 
 }  // namespace
 
-Expected<DiffReport> diff_resultsets(const ResultSetDoc& a,
+[[nodiscard]] Expected<DiffReport> diff_resultsets(const ResultSetDoc& a,
                                      const ResultSetDoc& b,
                                      const DiffOptions& options) {
   obs::Span span(obs::probe::kSpanDiff, obs::probe::kSpanCategoryReport);

@@ -234,7 +234,7 @@ void write_events_ndjson(const std::vector<obs::Event>& events,
   for (const obs::Event& event : events) write_event_line(event, out);
 }
 
-Expected<EventsDoc> read_events_ndjson(std::string_view text) {
+[[nodiscard]] Expected<EventsDoc> read_events_ndjson(std::string_view text) {
   EventsDoc doc;
   std::size_t line_number = 0;
   std::size_t pos = 0;

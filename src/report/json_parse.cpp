@@ -303,7 +303,7 @@ class Parser {
 
 }  // namespace
 
-Expected<JsonValue> parse_json(std::string_view text) {
+[[nodiscard]] Expected<JsonValue> parse_json(std::string_view text) {
   try {
     return Parser(text).parse_document();
   } catch (const ErrorException& e) {

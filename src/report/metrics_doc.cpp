@@ -241,7 +241,7 @@ void write_metrics_json(const obs::MetricsSnapshot& snapshot,
   json.end_object();
 }
 
-Expected<obs::MetricsSnapshot> read_metrics_json(std::string_view text) {
+[[nodiscard]] Expected<obs::MetricsSnapshot> read_metrics_json(std::string_view text) {
   Expected<JsonValue> parsed = parse_json(text);
   if (!parsed.has_value()) return parsed.error();
   try {

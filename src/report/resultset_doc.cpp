@@ -416,7 +416,7 @@ void write_resultset_json(const ResultSetDoc& doc, std::ostream& out) {
   json.end_object();
 }
 
-Expected<ResultSetDoc> read_resultset_json(std::string_view text) {
+[[nodiscard]] Expected<ResultSetDoc> read_resultset_json(std::string_view text) {
   obs::Span span(obs::probe::kSpanResultSetRead,
                  obs::probe::kSpanCategoryReport);
   span.arg("bytes", static_cast<std::uint64_t>(text.size()));

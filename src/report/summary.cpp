@@ -99,7 +99,7 @@ void write_name_values(JsonWriter& json, const char* key,
 
 }  // namespace
 
-Expected<RunDoc> read_run_document(std::string label, std::string_view text) {
+[[nodiscard]] Expected<RunDoc> read_run_document(std::string label, std::string_view text) {
   RunDoc run;
   run.label = std::move(label);
 

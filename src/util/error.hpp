@@ -88,9 +88,12 @@ class ErrorException : public std::runtime_error {
 
 /// Minimal expected/either type: holds a T or an Error. Deliberately
 /// tiny (no monadic combinators) — the solve stack only ever constructs,
-/// tests, and unwraps.
+/// tests, and unwraps. Class-level [[nodiscard]]: ignoring a returned
+/// Expected silently drops a typed error, so the compiler rejects it
+/// (nsrel-lint rule expected-nodiscard additionally requires the
+/// attribute on every returning function for readers and older TUs).
 template <typename T>
-class Expected {
+class [[nodiscard]] Expected {
  public:
   /// Default state is an error, so containers of not-yet-evaluated cells
   /// read as failures rather than junk values.

@@ -1,0 +1,162 @@
+// Annotated synchronisation primitives: the only mutex/condvar types
+// allowed in src/ (nsrel-lint rule sync-wrapper bans the raw std::
+// types everywhere else). The wrappers carry Clang Thread Safety
+// Analysis attributes so that "which lock guards which field" is a
+// compile-time contract: a `-Wthread-safety -Werror` build (see
+// tools/thread_safety.sh) rejects any access to a NSREL_GUARDED_BY
+// field without its Mutex held. Under non-Clang compilers every macro
+// expands to nothing and Mutex/MutexLock/CondVar inline to the plain
+// std primitives — zero cost, identical codegen (the bench
+// counter-drift gate holds this to account).
+//
+// The lock hierarchy itself is documented in DESIGN.md §15. It is
+// deliberately flat: no code path acquires two nsrel mutexes at once,
+// so there are no NSREL_ACQUIRED_BEFORE edges to declare.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+// ---------------------------------------------------------------------------
+// Attribute macros (LLVM Thread Safety Analysis spelling, NSREL_ prefix).
+// Gated on __clang__: GCC parses but does not implement the analysis,
+// and warns about the unknown attributes, so they must vanish there.
+// ---------------------------------------------------------------------------
+#if defined(__clang__) && (!defined(SWIG))
+#define NSREL_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define NSREL_THREAD_ANNOTATION__(x)  // no-op outside Clang
+#endif
+
+/// Marks a type as a lockable capability ("mutex" in diagnostics).
+#define NSREL_CAPABILITY(x) NSREL_THREAD_ANNOTATION__(capability(x))
+
+/// Marks an RAII type whose lifetime holds a capability.
+#define NSREL_SCOPED_CAPABILITY NSREL_THREAD_ANNOTATION__(scoped_lockable)
+
+/// Declares that a data member may only be accessed with `x` held.
+#define NSREL_GUARDED_BY(x) NSREL_THREAD_ANNOTATION__(guarded_by(x))
+
+/// Declares that the pointee may only be accessed with `x` held.
+#define NSREL_PT_GUARDED_BY(x) NSREL_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+/// Function precondition: caller must hold `...` (and it stays held).
+#define NSREL_REQUIRES(...) \
+  NSREL_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+
+/// Function acquires `...` and returns with it held.
+#define NSREL_ACQUIRE(...) \
+  NSREL_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+
+/// Function releases `...` (which must be held on entry).
+#define NSREL_RELEASE(...) \
+  NSREL_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+
+/// Function acquires `...` iff it returns the given boolean.
+#define NSREL_TRY_ACQUIRE(...) \
+  NSREL_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+
+/// Function precondition: caller must NOT hold `...` (deadlock guard).
+#define NSREL_EXCLUDES(...) \
+  NSREL_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+/// Declares a static acquisition order between two mutexes.
+#define NSREL_ACQUIRED_BEFORE(...) \
+  NSREL_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+#define NSREL_ACQUIRED_AFTER(...) \
+  NSREL_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+
+/// Runtime assertion to the analyser that `...` is held here.
+#define NSREL_ASSERT_CAPABILITY(x) \
+  NSREL_THREAD_ANNOTATION__(assert_capability(x))
+
+/// Return value is the capability itself (for accessor functions).
+#define NSREL_RETURN_CAPABILITY(x) \
+  NSREL_THREAD_ANNOTATION__(lock_returned(x))
+
+/// Escape hatch: function body is not analysed. Only permitted inside
+/// this header's own implementation (the gate's "annotated-primitive
+/// headers" carve-out); using it elsewhere defeats the contract.
+#define NSREL_NO_THREAD_SAFETY_ANALYSIS \
+  NSREL_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+namespace nsrel::util {
+
+class CondVar;
+
+/// Annotated exclusive mutex. Same storage and codegen as std::mutex;
+/// the NSREL_CAPABILITY attribute lets the analyser name it in
+/// diagnostics and track which fields it guards.
+class NSREL_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() NSREL_ACQUIRE() { inner_.lock(); }
+  void unlock() NSREL_RELEASE() { inner_.unlock(); }
+  [[nodiscard]] bool try_lock() NSREL_TRY_ACQUIRE(true) {
+    return inner_.try_lock();
+  }
+
+ private:
+  friend class CondVar;  // CondVar::wait needs the raw handle.
+  std::mutex& native() { return inner_; }
+
+  std::mutex inner_;
+};
+
+/// RAII lock over Mutex — the only sanctioned way to hold one. The
+/// adopting constructor takes a mutex already held (e.g. after a
+/// successful try_lock) and assumes responsibility for releasing it.
+class NSREL_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) NSREL_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  MutexLock(Mutex& mutex, std::adopt_lock_t) NSREL_REQUIRES(mutex)
+      : mutex_(mutex) {}
+  ~MutexLock() NSREL_RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// Condition variable bound to Mutex. There is deliberately no
+/// predicate overload: the analyser cannot see through a predicate
+/// lambda to the GUARDED_BY fields it reads, so callers write the
+/// canonical explicit loop instead —
+///
+///   MutexLock lock(mutex_);
+///   while (!ready_) cv_.wait(mutex_);
+///
+/// which keeps every guarded read inside the analysed locked scope.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mutex`, blocks, and re-acquires before
+  /// returning. The caller must hold `mutex` (via MutexLock).
+  void wait(Mutex& mutex) NSREL_REQUIRES(mutex) {
+    // Adopt the held mutex into a temporary unique_lock for the wait,
+    // then release() it so ownership stays with the caller's
+    // MutexLock. The mutex is locked again when wait() returns, so
+    // the caller's scoped release stays balanced.
+    std::unique_lock<std::mutex> relock(mutex.native(), std::adopt_lock);
+    inner_.wait(relock);
+    relock.release();
+  }
+
+  void notify_one() { inner_.notify_one(); }
+  void notify_all() { inner_.notify_all(); }
+
+ private:
+  std::condition_variable inner_;
+};
+
+}  // namespace nsrel::util

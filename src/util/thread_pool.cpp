@@ -3,7 +3,6 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
@@ -11,6 +10,7 @@
 #include "obs/metrics.hpp"
 #include "obs/probe_names.hpp"
 #include "util/assert.hpp"
+#include "util/sync.hpp"
 
 namespace nsrel {
 
@@ -48,7 +48,7 @@ ThreadPool::ThreadPool(int threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     stopping_ = true;
   }
   work_available_.notify_all();
@@ -63,7 +63,7 @@ std::future<void> ThreadPool::submit(std::function<void()> job) {
   if (instrumented) entry.submit_ns = obs::now_ns();
   std::size_t depth = 0;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     NSREL_EXPECTS(!stopping_);
     queue_.push_back(std::move(entry));
     depth = queue_.size();
@@ -87,9 +87,10 @@ void ThreadPool::worker_loop(int index) {
   for (;;) {
     Job job;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_available_.wait(lock,
-                           [this] { return stopping_ || !queue_.empty(); });
+      const util::MutexLock lock(mutex_);
+      // Explicit wait loop (no predicate lambda) so the analyser sees
+      // every guarded read happen with mutex_ held.
+      while (!stopping_ && queue_.empty()) work_available_.wait(mutex_);
       if (queue_.empty()) return;  // stopping_ and nothing left to drain
       job = std::move(queue_.front());
       queue_.pop_front();

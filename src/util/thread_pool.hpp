@@ -9,14 +9,14 @@
 // scheduling property of this pool.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/sync.hpp"
 
 namespace nsrel {
 
@@ -56,10 +56,10 @@ class ThreadPool {
   void worker_loop(int index);
 
   std::vector<std::thread> workers_;
-  std::deque<Job> queue_;
-  std::mutex mutex_;
-  std::condition_variable work_available_;
-  bool stopping_ = false;
+  util::Mutex mutex_;
+  util::CondVar work_available_;
+  std::deque<Job> queue_ NSREL_GUARDED_BY(mutex_);
+  bool stopping_ NSREL_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace nsrel

@@ -1,0 +1,25 @@
+// Fixture: atomics-policy must fire on (a) an atomic with no registry
+// row, (b) a bare default-seq_cst op on a registered relaxed probe,
+// (c) an explicit non-relaxed order on a relaxed probe. The registry
+// additionally carries a stale row (mirror violation) and the linter
+// must flag it against tools/lint/atomics.tsv.
+#include <atomic>
+#include <cstdint>
+
+std::atomic<std::uint64_t> unregistered_count{0};
+
+std::atomic<bool> gate_{false};
+
+std::atomic<std::uint64_t> probe_{0};
+
+bool gate_on() {
+  return gate_.load();  // bare op: defaults to seq_cst on a relaxed probe
+}
+
+void bump() {
+  probe_.fetch_add(1, std::memory_order_acquire);  // wrong order for role
+}
+
+std::uint64_t read_unregistered() {
+  return unregistered_count.load(std::memory_order_relaxed);
+}

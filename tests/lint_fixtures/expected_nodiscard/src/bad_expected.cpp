@@ -1,0 +1,32 @@
+// Fixture: expected-nodiscard must fire on (a) an Expected-returning
+// function without [[nodiscard]], (b) a try_* function without
+// [[nodiscard]], (c) a statement-level try_* call that discards the
+// result — and must NOT fire on the continuation line of a wrapped
+// assignment (the last function below).
+template <typename T>
+class Expected {
+ public:
+  Expected() = default;
+};
+
+Expected<double> solve_plain(int cell) {  // missing [[nodiscard]]
+  (void)cell;
+  return Expected<double>();
+}
+
+[[nodiscard]] Expected<double> solve_marked(int cell) {  // compliant
+  (void)cell;
+  return Expected<double>();
+}
+
+bool try_commit(int shard) {  // missing [[nodiscard]] on try_*
+  return shard >= 0;
+}
+
+void caller() {
+  try_commit(1);  // discarded try_* result
+  (void)try_commit(2);  // (void)-cast discard is banned too
+  const bool ok =
+      try_commit(3);  // continuation of an assignment: not a discard
+  (void)ok;
+}

@@ -1,0 +1,18 @@
+// Fixture: rule-named NOLINT must suppress the concurrency-contract
+// rules too (atomics-policy, expected-nodiscard, sync-wrapper).
+#include <atomic>
+#include <mutex>
+
+// NOLINTNEXTLINE(atomics-policy): fixture proves suppression works
+std::atomic<int> unregistered_but_suppressed{0};
+
+// NOLINTNEXTLINE(sync-wrapper): fixture proves suppression works
+std::mutex raw_but_suppressed;
+
+// NOLINTNEXTLINE(expected-nodiscard): fixture proves suppression works
+bool try_ignore_me(int x) { return x > 0; }
+
+void caller() {
+  // NOLINTNEXTLINE(expected-nodiscard): fixture proves suppression works
+  try_ignore_me(1);
+}

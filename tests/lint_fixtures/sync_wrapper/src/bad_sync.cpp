@@ -1,0 +1,16 @@
+// Fixture: sync-wrapper must fire on every raw standard primitive the
+// annotated util/sync.hpp wrappers replace.
+#include <condition_variable>
+#include <mutex>
+
+std::mutex raw_mutex;
+std::condition_variable raw_cv;
+
+void locked_region() {
+  const std::lock_guard<std::mutex> lock(raw_mutex);
+}
+
+void waiting_region() {
+  std::unique_lock<std::mutex> lock(raw_mutex);
+  raw_cv.wait(lock, [] { return true; });
+}

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <cstddef>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -139,6 +140,57 @@ TEST(NsrelLint, FiresOnNonSelfSufficientHeader) {
           " --rules include-self-sufficient -j 2");
   EXPECT_EQ(result.status, 1) << result.output;
   EXPECT_NE(result.output.find("[include-self-sufficient]"),
+            std::string::npos)
+      << result.output;
+}
+
+TEST(NsrelLint, FiresOnUnregisteredAtomicMisorderedOpAndStaleRow) {
+  SKIP_WITHOUT_PYTHON();
+  const RunResult result = lint_fixture("atomics_policy");
+  EXPECT_EQ(result.status, 1) << result.output;
+  // All three contract edges: an atomic with no registry row, ops whose
+  // memory order conflicts with the declared role (bare default AND an
+  // explicit wrong order), and a registry row whose atomic is gone —
+  // the table must mirror the tree in both directions.
+  EXPECT_NE(result.output.find("is not registered"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("default seq_cst"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("memory_order_acquire"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("no matching declaration"),
+            std::string::npos)
+      << result.output;
+}
+
+TEST(NsrelLint, FiresOnMissingNodiscardAndDiscardedTryCall) {
+  SKIP_WITHOUT_PYTHON();
+  const RunResult result = lint_fixture("expected_nodiscard");
+  EXPECT_EQ(result.status, 1) << result.output;
+  EXPECT_NE(result.output.find("must be [[nodiscard]]"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("result is discarded"), std::string::npos)
+      << result.output;
+  // Exactly two discard findings: the wrapped-assignment continuation
+  // line in the fixture must NOT count as a discard.
+  std::size_t discards = 0;
+  for (std::size_t pos = result.output.find("result is discarded");
+       pos != std::string::npos;
+       pos = result.output.find("result is discarded", pos + 1)) {
+    ++discards;
+  }
+  EXPECT_EQ(discards, 2u) << result.output;
+}
+
+TEST(NsrelLint, FiresOnRawSyncPrimitivesInSrc) {
+  SKIP_WITHOUT_PYTHON();
+  const RunResult result = lint_fixture("sync_wrapper");
+  EXPECT_EQ(result.status, 1) << result.output;
+  EXPECT_NE(result.output.find("[sync-wrapper]"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("std::lock_guard"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("std::condition_variable"),
             std::string::npos)
       << result.output;
 }

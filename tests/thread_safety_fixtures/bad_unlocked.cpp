@@ -1,0 +1,25 @@
+// MUST NOT COMPILE under clang++ -Wthread-safety -Werror: reads and
+// writes a GUARDED_BY field without holding its mutex. If this file
+// ever compiles under the gate, the gate is broken.
+#include "guarded.hpp"
+
+namespace nsrel::testing {
+
+class RacyCounter : public GuardedCounter {
+ public:
+  long racy_read() {
+    return value_;  // no lock held: -Wthread-safety rejects this
+  }
+
+  void racy_write(long v) {
+    value_ = v;  // no lock held: -Wthread-safety rejects this
+  }
+};
+
+}  // namespace nsrel::testing
+
+int main() {
+  nsrel::testing::RacyCounter counter;
+  counter.racy_write(1);
+  return static_cast<int>(counter.racy_read());
+}

@@ -1,0 +1,30 @@
+// Negative-compile fixture surface: a counter whose value_ is guarded
+// by its mutex. bad_unlocked.cpp touches value_ without the lock and
+// must FAIL to compile under `clang++ -Wthread-safety -Werror`;
+// ok_locked.cpp takes the lock and must compile. tools/thread_safety.sh
+// compiles both to prove the gate actually fires (a gate that passes
+// everything proves nothing).
+#pragma once
+
+#include "util/sync.hpp"
+
+namespace nsrel::testing {
+
+class GuardedCounter {
+ public:
+  void increment() {
+    const util::MutexLock lock(mutex_);
+    ++value_;
+  }
+
+  [[nodiscard]] long read_locked() {
+    const util::MutexLock lock(mutex_);
+    return value_;
+  }
+
+ protected:
+  util::Mutex mutex_;
+  long value_ NSREL_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace nsrel::testing

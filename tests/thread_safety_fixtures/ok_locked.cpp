@@ -1,0 +1,12 @@
+// MUST COMPILE under clang++ -Wthread-safety -Werror: every access to
+// the guarded field happens with the mutex held via the annotated
+// RAII wrapper. The positive half of the negative-compile proof — it
+// shows the gate rejects bad_unlocked.cpp for the *guarded* access,
+// not for some unrelated breakage in the fixture surface.
+#include "guarded.hpp"
+
+int main() {
+  nsrel::testing::GuardedCounter counter;
+  counter.increment();
+  return static_cast<int>(counter.read_locked());
+}

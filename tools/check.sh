@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Correctness gate: sanitizer builds + static analysis, one command each.
 #
-# usage: tools/check.sh [-j N] [-R ctest-regex] [thread|undefined|address|lint ...]
+# usage: tools/check.sh [-j N] [-R ctest-regex]
+#                       [thread|undefined|address|lint|threadsafety ...]
 #
 #   -j N           parallel build/test jobs        (default: nproc)
 #   -R regex       forward a test filter to ctest  (default: all tests)
@@ -11,7 +12,10 @@
 # the named sanitizer (address enables LeakSanitizer too); `lint` runs
 # the static-analysis gate instead — tools/tidy.sh (clang-tidy wall,
 # skipped with a notice when clang-tidy isn't installed) followed by
-# tools/nsrel-lint (domain invariants; see DESIGN.md §10).
+# tools/nsrel-lint (domain invariants; see DESIGN.md §10);
+# `threadsafety` runs tools/thread_safety.sh (Clang -Wthread-safety
+# -Werror over the whole tree plus the negative-compile proof; skipped
+# with a notice when clang++ isn't installed — see DESIGN.md §15).
 #
 # Each sanitizer gets its own build tree (build-tsan/, build-ubsan/,
 # build-asan/) so the default build/ stays untouched.
@@ -26,7 +30,7 @@ while [[ $# -gt 0 ]]; do
   case "$1" in
     -j) jobs="$2"; shift 2 ;;
     -R) filter=(-R "$2"); shift 2 ;;
-    thread|undefined|address|lint) targets+=("$1"); shift ;;
+    thread|undefined|address|lint|threadsafety) targets+=("$1"); shift ;;
     *) echo "unknown argument: $1" >&2; exit 2 ;;
   esac
 done
@@ -39,6 +43,11 @@ for target in "${targets[@]}"; do
     echo "== static analysis (tidy.sh + nsrel-lint) =="
     tools/tidy.sh -j "$jobs"
     tools/nsrel-lint -j "$jobs"
+    continue
+  fi
+  if [[ "$target" == threadsafety ]]; then
+    echo "== thread-safety analysis (thread_safety.sh) =="
+    tools/thread_safety.sh -j "$jobs"
     continue
   fi
   case "$target" in

@@ -1,0 +1,59 @@
+# Shared toolchain discovery for the gate scripts (tidy.sh, check.sh,
+# thread_safety.sh). Source this file; never execute it.
+#
+# Contract: the find_* functions echo a command name (empty when the
+# tool is absent) and never fail the caller — each gate decides whether
+# absence is a visible skip (dev boxes: the container bakes in only the
+# gcc toolchain) or a hard error (CI sets *_REQUIRE=1). Environment
+# overrides always win: CLANG_TIDY for the tidy wall, CC/CXX for
+# compilers — so a non-default install never needs PATH surgery.
+
+# Echoes the clang-tidy to use ($CLANG_TIDY, else newest on PATH).
+nsrel_find_clang_tidy() {
+  if [[ -n "${CLANG_TIDY:-}" ]]; then
+    echo "$CLANG_TIDY"
+    return 0
+  fi
+  local candidate
+  for candidate in clang-tidy clang-tidy-19 clang-tidy-18 clang-tidy-17 \
+                   clang-tidy-16 clang-tidy-15; do
+    if command -v "$candidate" > /dev/null 2>&1; then
+      echo "$candidate"
+      return 0
+    fi
+  done
+}
+
+# Echoes a Clang C++ compiler: $CXX when it is a clang, else the newest
+# clang++ on PATH. (A gcc $CXX is ignored rather than an error — the
+# thread-safety gate specifically needs Clang's analysis.)
+nsrel_find_clangxx() {
+  if [[ -n "${CXX:-}" ]] && "$CXX" --version 2> /dev/null | grep -qi clang; then
+    echo "$CXX"
+    return 0
+  fi
+  local candidate
+  for candidate in clang++ clang++-19 clang++-18 clang++-17 clang++-16 \
+                   clang++-15; do
+    if command -v "$candidate" > /dev/null 2>&1; then
+      echo "$candidate"
+      return 0
+    fi
+  done
+}
+
+# nsrel_require_or_skip <found> <tool> <require-var-name>
+# Empty <found> → exit 0 with a visible skip notice, or exit 1 when the
+# named REQUIRE variable is set to 1 (CI). Non-empty → no-op.
+nsrel_require_or_skip() {
+  local found="$1" tool="$2" require_var="$3"
+  if [[ -n "$found" ]]; then
+    return 0
+  fi
+  if [[ "${!require_var:-0}" == "1" ]]; then
+    echo "${0##*/}: $tool not found and $require_var=1" >&2
+    exit 1
+  fi
+  echo "${0##*/}: $tool not installed; skipping (set $require_var=1 to fail)"
+  exit 0
+}

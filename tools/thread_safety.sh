@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Clang Thread Safety Analysis gate: the compile-time locking contract.
+#
+# usage: tools/thread_safety.sh [-j N] [-B build-dir]
+#
+#   -j N    parallel build jobs            (default: nproc)
+#   -B dir  clang build tree               (default: build-tsafety/)
+#
+# Two halves, both required:
+#
+#  1. Negative-compile proof: tests/thread_safety_fixtures/ must behave
+#     asymmetrically — ok_locked.cpp compiles, bad_unlocked.cpp (an
+#     unlocked access to a NSREL_GUARDED_BY field) is rejected. This
+#     runs first because it is the gate's own self-test: a toolchain
+#     that passes everything proves nothing.
+#  2. Whole-tree build with Clang and -Wthread-safety
+#     -Wthread-safety-beta -Werror (the flags come from CMakeLists.txt,
+#     which adds them for any Clang). Every mutex-guarded field in
+#     src/ is annotated (DESIGN.md §15), so any access outside its lock
+#     fails this build.
+#
+# The analysis is Clang-only; on a box without clang++ this prints a
+# notice and exits 0 (CI sets THREAD_SAFETY_REQUIRE=1 to make absence
+# an error), mirroring the tidy.sh contract.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+jobs="$(nproc)"
+build_dir=build-tsafety
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    -j) jobs="$2"; shift 2 ;;
+    -B) build_dir="$2"; shift 2 ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+# shellcheck source=tools/lib/toolchain.sh
+source tools/lib/toolchain.sh
+clangxx="$(nsrel_find_clangxx)"
+nsrel_require_or_skip "$clangxx" clang++ THREAD_SAFETY_REQUIRE
+
+flags=(-std=c++20 -Isrc -Wthread-safety -Wthread-safety-beta -Werror)
+
+echo "thread_safety.sh: negative-compile proof ($clangxx)"
+if ! "$clangxx" "${flags[@]}" -fsyntax-only \
+     tests/thread_safety_fixtures/ok_locked.cpp; then
+  echo "thread_safety.sh: ok_locked.cpp must compile but was rejected" >&2
+  exit 1
+fi
+if "$clangxx" "${flags[@]}" -fsyntax-only \
+     tests/thread_safety_fixtures/bad_unlocked.cpp 2> /dev/null; then
+  echo "thread_safety.sh: bad_unlocked.cpp compiled — the unlocked" \
+       "GUARDED_BY access was not rejected; the gate is broken" >&2
+  exit 1
+fi
+echo "thread_safety.sh: gate fires (bad_unlocked rejected, ok_locked clean)"
+
+echo "thread_safety.sh: full-tree clang build ($build_dir)"
+cmake -B "$build_dir" -S . \
+  -DCMAKE_CXX_COMPILER="$clangxx" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+cmake --build "$build_dir" -j "$jobs"
+echo "thread_safety.sh: tree is clean under -Wthread-safety -Werror"

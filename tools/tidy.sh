@@ -43,24 +43,10 @@ if [[ ${#paths[@]} -eq 0 ]]; then
   paths=(src bench tests tools examples)
 fi
 
-tidy="${CLANG_TIDY:-}"
-if [[ -z "$tidy" ]]; then
-  for candidate in clang-tidy clang-tidy-19 clang-tidy-18 clang-tidy-17 \
-                   clang-tidy-16 clang-tidy-15; do
-    if command -v "$candidate" > /dev/null 2>&1; then
-      tidy="$candidate"
-      break
-    fi
-  done
-fi
-if [[ -z "$tidy" ]]; then
-  if [[ "${TIDY_REQUIRE:-0}" == "1" ]]; then
-    echo "tidy.sh: clang-tidy not found and TIDY_REQUIRE=1" >&2
-    exit 1
-  fi
-  echo "tidy.sh: clang-tidy not installed; skipping (set TIDY_REQUIRE=1 to fail)"
-  exit 0
-fi
+# shellcheck source=tools/lib/toolchain.sh
+source tools/lib/toolchain.sh
+tidy="$(nsrel_find_clang_tidy)"
+nsrel_require_or_skip "$tidy" clang-tidy TIDY_REQUIRE
 
 if [[ ! -f "$build_dir/compile_commands.json" ]]; then
   cmake -B "$build_dir" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
